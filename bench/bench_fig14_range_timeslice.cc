@@ -1,0 +1,68 @@
+// Figure 14: the application-oriented range-timeslice queries (R1, R2,
+// R3a/R3b, R4, R5, R7) plus ALL as the reference, on a smaller data set —
+// the paper uses h=0.01/m=0.1 because R3/R4 explode.
+//
+// Expected shape (Section 5.6): the temporal-aggregation queries R3a/R3b
+// cost orders of magnitude more than reading the whole history (ALL);
+// System C's raw scan speed does not rescue the complex R queries.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace bih {
+namespace bench {
+namespace {
+
+void RegisterAll() {
+  SharedWorkload& w = SharedWorkload::Get();
+  for (const std::string& letter : AllEngineLetters()) {
+    TemporalEngine* e = &w.Engine(letter);
+    auto add = [&](const std::string& name, auto fn, int iters) {
+      benchmark::RegisterBenchmark(("Fig14/" + name + "/System" + letter).c_str(),
+                                   [fn, e](benchmark::State& state) {
+                                     for (auto _ : state) {
+                                       benchmark::DoNotOptimize(fn(*e));
+                                     }
+                                   })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(iters);
+    };
+    add("ALL", [](TemporalEngine& eng) { return QueryAll(eng); }, 3);
+    add("R1_state_changes", [](TemporalEngine& eng) { return R1(eng); }, 3);
+    add("R2_state_durations", [](TemporalEngine& eng) { return R2(eng); }, 3);
+    add("R3a_temporal_agg_count",
+        [](TemporalEngine& eng) {
+          return R3(eng, TemporalAggKind::kCount, /*naive=*/true);
+        },
+        1);
+    add("R3b_temporal_agg_max",
+        [](TemporalEngine& eng) {
+          return R3(eng, TemporalAggKind::kMax, /*naive=*/true);
+        },
+        1);
+    add("R4_stock_differences",
+        [](TemporalEngine& eng) { return R4(eng, 10); }, 3);
+    add("R5_temporal_join",
+        [](TemporalEngine& eng) { return R5(eng, 5000.0, 100000.0); }, 3);
+    add("R7_price_raises", [](TemporalEngine& eng) { return R7(eng, 7.5); },
+        3);
+    // Ablation beyond the paper: the timeline-sweep operator the DBMSs
+    // lack, to quantify what native temporal aggregation would buy.
+    add("R3a_timeline_sweep",
+        [](TemporalEngine& eng) {
+          return R3(eng, TemporalAggKind::kCount, /*naive=*/false);
+        },
+        3);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bih
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  bih::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

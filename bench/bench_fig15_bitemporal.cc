@@ -1,0 +1,59 @@
+// Figure 15: the bitemporal dimension queries B3.1-B3.11 (Table 3), without
+// indexes and with the Key+Time setting.
+//
+// Expected shape (Section 5.7): most variants degenerate to table scans and
+// unindexed joins; correlation variants (temporal joins) are the slowest
+// because no engine has a temporal join operator.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace bih {
+namespace bench {
+namespace {
+
+std::vector<std::unique_ptr<TemporalEngine>>* g_engines =
+    new std::vector<std::unique_ptr<TemporalEngine>>();
+
+void RegisterFor(const std::string& label, TemporalEngine* e,
+                 const WorkloadContext& ctx) {
+  const int64_t partkey =
+      55 % static_cast<int64_t>(ctx.initial.part.size()) + 1;
+  const int64_t app_mid = ctx.app_mid;
+  const Timestamp sys_mid = ctx.sys_mid;
+  for (int variant = 1; variant <= 11; ++variant) {
+    benchmark::RegisterBenchmark(
+        ("Fig15/B3_" + std::to_string(variant) + "/" + label).c_str(),
+        [e, variant, partkey, app_mid, sys_mid](benchmark::State& state) {
+          for (auto _ : state) {
+            benchmark::DoNotOptimize(B3(*e, variant, partkey, app_mid, sys_mid));
+          }
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(3);
+  }
+}
+
+void RegisterAll() {
+  SharedWorkload& w = SharedWorkload::Get();
+  const WorkloadContext& ctx = w.ctx();
+  for (const std::string& letter : AllEngineLetters()) {
+    g_engines->push_back(w.Fresh(letter));
+    RegisterFor("System" + letter + "_no_index", g_engines->back().get(), ctx);
+    g_engines->push_back(w.Fresh(letter));
+    Status st = ApplyIndexSetting(*g_engines->back(), IndexSetting::kKeyTime);
+    BIH_CHECK_MSG(st.ok(), st.ToString());
+    RegisterFor("System" + letter + "_indexed", g_engines->back().get(), ctx);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bih
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  bih::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

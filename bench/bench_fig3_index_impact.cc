@@ -1,0 +1,80 @@
+// Figure 3: impact of the Time Index tuning setting on basic time travel.
+// System C ignores indexes (scan-based); System D is additionally measured
+// with a GiST (R-tree) index.
+//
+// Expected shape (Section 5.3.2): limited impact overall — the broad
+// temporal predicates fail the optimizer's selectivity bar, so most plans
+// stay table scans; the GiST index never beats the B-tree.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace bih {
+namespace bench {
+namespace {
+
+void RegisterFor(const std::string& label, TemporalEngine* e,
+                 const WorkloadContext& ctx) {
+  auto add = [&](const std::string& name, auto fn) {
+    benchmark::RegisterBenchmark(("Fig3/" + name + "/" + label).c_str(),
+                                 [fn, e](benchmark::State& state) {
+                                   for (auto _ : state) {
+                                     benchmark::DoNotOptimize(fn(*e));
+                                   }
+                                 })
+        ->Unit(benchmark::kMillisecond);
+  };
+  const int64_t app_mid = ctx.app_mid;
+  const int64_t sys_mid = ctx.sys_mid.micros();
+  add("T1_vary_app_curr_sys", [app_mid](TemporalEngine& eng) {
+    return T1(eng, TemporalScanSpec::AppAsOf(app_mid));
+  });
+  add("T1_vary_sys_curr_app", [sys_mid, app_mid](TemporalEngine& eng) {
+    return T1(eng, TemporalScanSpec::BothAsOf(sys_mid, app_mid));
+  });
+  add("T2_vary_app_curr_sys", [app_mid](TemporalEngine& eng) {
+    return T2(eng, TemporalScanSpec::AppAsOf(app_mid));
+  });
+  add("T2_vary_sys_curr_app", [sys_mid, app_mid](TemporalEngine& eng) {
+    return T2(eng, TemporalScanSpec::BothAsOf(sys_mid, app_mid));
+  });
+  add("T5_all_versions", [](TemporalEngine& eng) { return QueryAll(eng); });
+}
+
+std::vector<std::unique_ptr<TemporalEngine>>* g_engines =
+    new std::vector<std::unique_ptr<TemporalEngine>>();
+
+void RegisterAll() {
+  SharedWorkload& w = SharedWorkload::Get();
+  const WorkloadContext& ctx = w.ctx();
+  // No-index baselines.
+  for (const std::string letter : {"C", "D"}) {
+    g_engines->push_back(w.Fresh(letter));
+    RegisterFor("System" + letter + "_no_index", g_engines->back().get(), ctx);
+  }
+  // B-tree time indexes.
+  for (const std::string& letter : AllEngineLetters()) {
+    g_engines->push_back(w.Fresh(letter));
+    Status st = ApplyIndexSetting(*g_engines->back(), IndexSetting::kTime,
+                                  IndexType::kBTree);
+    BIH_CHECK_MSG(st.ok(), st.ToString());
+    RegisterFor("System" + letter + "_btree", g_engines->back().get(), ctx);
+  }
+  // GiST on System D.
+  g_engines->push_back(w.Fresh("D"));
+  Status st = ApplyIndexSetting(*g_engines->back(), IndexSetting::kTime,
+                                IndexType::kRTree);
+  BIH_CHECK_MSG(st.ok(), st.ToString());
+  RegisterFor("SystemD_gist", g_engines->back().get(), ctx);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bih
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  bih::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 5: temporal slicing (T6) — pin one dimension, retrieve the full
+// range of the other — plus the simulated-application-time variant (T9)
+// and the ALL upper bound.
+//
+// Expected shape (Section 5.3.4): slicing is *cheaper* than point-point
+// time travel for the column store; indexes bring little because result
+// sets are large; simulated app time behaves like the native clause.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace bih {
+namespace bench {
+namespace {
+
+void RegisterAll() {
+  SharedWorkload& w = SharedWorkload::Get();
+  const WorkloadContext& ctx = w.ctx();
+  for (const std::string& letter : AllEngineLetters()) {
+    TemporalEngine* e = &w.Engine(letter);
+    auto add = [&](const std::string& name, auto fn) {
+      benchmark::RegisterBenchmark(("Fig5/" + name + "/System" + letter).c_str(),
+                                   [fn, e](benchmark::State& state) {
+                                     for (auto _ : state) {
+                                       benchmark::DoNotOptimize(fn(*e));
+                                     }
+                                   })
+          ->Unit(benchmark::kMillisecond);
+    };
+    const int64_t app_mid = ctx.app_mid;
+    const Timestamp sys_mid = ctx.sys_mid;
+    add("T6_app_point_over_sys", [app_mid](TemporalEngine& eng) {
+      return T6AppPointSysAll(eng, app_mid);
+    });
+    add("T6_simulated_app_over_sys", [app_mid](TemporalEngine& eng) {
+      return T9SimulatedAppSlice(eng, app_mid);
+    });
+    add("T6_sys_point_over_app", [sys_mid](TemporalEngine& eng) {
+      return T6SysPointAppAll(eng, sys_mid);
+    });
+    add("T5_all_versions", [](TemporalEngine& eng) { return QueryAll(eng); });
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bih
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  bih::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 6: implicit current time travel (no system-time clause) vs an
+// explicit AS OF <current timestamp>, on the engines with a native
+// current/history split (A, B, C).
+//
+// Expected shape (Section 5.3.5): identical answers, but the explicit
+// variant reads the history partition because no optimizer recognizes that
+// AS OF <now> could prune it — explicit is consistently slower.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace bih {
+namespace bench {
+namespace {
+
+void RegisterAll() {
+  SharedWorkload& w = SharedWorkload::Get();
+  for (const std::string letter : {"A", "B", "C"}) {
+    TemporalEngine* e = &w.Engine(letter);
+    benchmark::RegisterBenchmark(
+        ("Fig6/T7_implicit_current/System" + letter).c_str(),
+        [e](benchmark::State& state) {
+          for (auto _ : state) benchmark::DoNotOptimize(T7Implicit(*e));
+        })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("Fig6/T7_explicit_current/System" + letter).c_str(),
+        [e](benchmark::State& state) {
+          for (auto _ : state) benchmark::DoNotOptimize(T7Explicit(*e));
+        })
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bih
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  bih::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 8: key-in-time over the full history (K1): the evolution of one
+// customer along application time (at current and past system time), both
+// time axes, and system time, without indexes vs the Key+Time setting.
+//
+// Expected shape (Section 5.5.1): current-system access is cheap via the
+// system key index; past-system access degenerates to history scans until
+// the Key+Time index is added; System B keeps a reconstruction penalty;
+// System D pays scans even for current data (no split); System C scans.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace bih {
+namespace bench {
+namespace {
+
+std::vector<std::unique_ptr<TemporalEngine>>* g_engines =
+    new std::vector<std::unique_ptr<TemporalEngine>>();
+
+void RegisterFor(const std::string& label, TemporalEngine* e,
+                 const WorkloadContext& ctx) {
+  const int64_t key = ctx.hot_custkey;
+  const int64_t sys_mid = ctx.sys_mid.micros();
+  const int64_t app_late = ctx.app_late;
+  auto add = [&](const std::string& name, TemporalScanSpec spec) {
+    benchmark::RegisterBenchmark(
+        ("Fig8/" + name + "/" + label).c_str(),
+        [e, key, spec](benchmark::State& state) {
+          for (auto _ : state) benchmark::DoNotOptimize(K1(*e, key, spec));
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(5);
+  };
+  TemporalScanSpec app_curr;  // app evolution at current system time
+  app_curr.app_time = TemporalSelector::All();
+  add("K1_app_curr_sys", app_curr);
+  TemporalScanSpec app_past;  // app evolution at past system time
+  app_past.app_time = TemporalSelector::All();
+  app_past.system_time = TemporalSelector::AsOf(sys_mid);
+  add("K1_app_past_sys", app_past);
+  TemporalScanSpec both;
+  both.app_time = TemporalSelector::All();
+  both.system_time = TemporalSelector::All();
+  add("K1_both_times", both);
+  TemporalScanSpec sys_axis;  // system evolution at one app point
+  sys_axis.system_time = TemporalSelector::All();
+  sys_axis.app_time = TemporalSelector::AsOf(app_late);
+  add("K1_sys_curr_app", sys_axis);
+}
+
+void RegisterAll() {
+  SharedWorkload& w = SharedWorkload::Get();
+  const WorkloadContext& ctx = w.ctx();
+  for (const std::string& letter : AllEngineLetters()) {
+    g_engines->push_back(w.Fresh(letter));
+    RegisterFor("System" + letter + "_no_index", g_engines->back().get(), ctx);
+    g_engines->push_back(w.Fresh(letter));
+    Status st =
+        ApplyIndexSetting(*g_engines->back(), IndexSetting::kKeyTime);
+    BIH_CHECK_MSG(st.ok(), st.ToString());
+    RegisterFor("System" + letter + "_keytime", g_engines->back().get(), ctx);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bih
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  bih::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 9: key-in-time with temporal range restrictions (K2) and with a
+// single-column projection (K3), under the Key+Time index setting and
+// without it.
+//
+// Expected shape (Section 5.5.2): the range restriction changes little
+// compared to K1 — the key predicate dominates — and the narrow projection
+// helps mainly the column store.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace bih {
+namespace bench {
+namespace {
+
+std::vector<std::unique_ptr<TemporalEngine>>* g_engines =
+    new std::vector<std::unique_ptr<TemporalEngine>>();
+
+void RegisterFor(const std::string& label, TemporalEngine* e,
+                 const WorkloadContext& ctx) {
+  const int64_t key = ctx.hot_custkey;
+  auto add = [&](const std::string& name, auto fn) {
+    benchmark::RegisterBenchmark(("Fig9/" + name + "/" + label).c_str(),
+                                 [e, fn](benchmark::State& state) {
+                                   for (auto _ : state) {
+                                     benchmark::DoNotOptimize(fn(*e));
+                                   }
+                                 })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(5);
+  };
+  TemporalScanSpec app_range;  // restricted application window
+  app_range.app_time = TemporalSelector::Between(ctx.app_early, ctx.app_mid);
+  TemporalScanSpec sys_range;  // restricted system window
+  sys_range.system_time =
+      TemporalSelector::Between(ctx.sys_v0.micros(), ctx.sys_mid.micros());
+  sys_range.app_time = TemporalSelector::All();
+  TemporalScanSpec both;
+  both.system_time = sys_range.system_time;
+  both.app_time = app_range.app_time;
+  add("K2_app_range", [key, app_range](TemporalEngine& eng) {
+    return K2(eng, key, app_range);
+  });
+  add("K2_sys_range", [key, sys_range](TemporalEngine& eng) {
+    return K2(eng, key, sys_range);
+  });
+  add("K2_both_ranges", [key, both](TemporalEngine& eng) {
+    return K2(eng, key, both);
+  });
+  add("K3_app_range_1col", [key, app_range](TemporalEngine& eng) {
+    return K3(eng, key, app_range);
+  });
+  add("K3_sys_range_1col", [key, sys_range](TemporalEngine& eng) {
+    return K3(eng, key, sys_range);
+  });
+}
+
+void RegisterAll() {
+  SharedWorkload& w = SharedWorkload::Get();
+  const WorkloadContext& ctx = w.ctx();
+  for (const std::string& letter : AllEngineLetters()) {
+    g_engines->push_back(w.Fresh(letter));
+    RegisterFor("System" + letter + "_no_index", g_engines->back().get(), ctx);
+    g_engines->push_back(w.Fresh(letter));
+    Status st = ApplyIndexSetting(*g_engines->back(), IndexSetting::kKeyTime);
+    BIH_CHECK_MSG(st.ok(), st.ToString());
+    RegisterFor("System" + letter + "_keytime", g_engines->back().get(), ctx);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bih
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  bih::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

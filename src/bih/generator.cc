@@ -1,0 +1,681 @@
+#include "bih/generator.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "tpch/schema.h"
+
+namespace bih {
+
+namespace {
+
+// Table definitions by name, shared by state bookkeeping.
+const TableDef& DefOf(const std::string& name) {
+  static const std::vector<TableDef>* defs =
+      new std::vector<TableDef>(BiHSchema());
+  for (const TableDef& d : *defs) {
+    if (d.name == name) return d;
+  }
+  BIH_CHECK_MSG(false, "unknown table " + name);
+  return (*defs)[0];
+}
+
+std::vector<Value> KeyFromRow(const TableDef& def, const Row& row) {
+  std::vector<Value> key;
+  key.reserve(def.primary_key.size());
+  for (int c : def.primary_key) key.push_back(row[static_cast<size_t>(c)]);
+  return key;
+}
+
+}  // namespace
+
+HistoryGenerator::HistoryGenerator(const TpchData& initial,
+                                   GeneratorConfig config)
+    : rng_(config.seed), config_(std::move(config)),
+      app_today_(tpch_dates::kCurrent) {
+  // Ingest version 0 into the current-state maps and the sampling pools.
+  auto ingest = [&](const std::vector<Row>& rows, const char* table,
+                    VersionMap* state) {
+    const TableDef& def = DefOf(table);
+    for (const Row& row : rows) {
+      (*state)[KeyFromRow(def, row)].push_back(row);
+    }
+  };
+  ingest(initial.customer, "CUSTOMER", &customers_);
+  ingest(initial.orders, "ORDERS", &orders_);
+  ingest(initial.lineitem, "LINEITEM", &lineitems_);
+  ingest(initial.part, "PART", &parts_);
+  ingest(initial.partsupp, "PARTSUPP", &partsupps_);
+  ingest(initial.supplier, "SUPPLIER", &suppliers_);
+  region_rows_ = initial.region;
+  nation_rows_ = initial.nation;
+
+  for (const Row& r : initial.customer) {
+    int64_t k = r[customer::kCustKey].AsInt();
+    customer_keys_.push_back(k);
+    next_custkey_ = std::max(next_custkey_, k + 1);
+  }
+  for (const Row& r : initial.part) {
+    part_keys_.push_back(r[part::kPartKey].AsInt());
+  }
+  for (const Row& r : initial.supplier) {
+    supplier_keys_.push_back(r[supplier::kSuppKey].AsInt());
+  }
+  for (const Row& r : initial.partsupp) {
+    int64_t p = r[partsupp::kPartKey].AsInt();
+    int64_t s = r[partsupp::kSuppKey].AsInt();
+    partsupp_keys_.emplace_back(p, s);
+    parts_of_supplier_[s].push_back(p);
+  }
+  for (const Row& r : initial.orders) {
+    int64_t o = r[orders::kOrderKey].AsInt();
+    order_keys_.push_back(o);
+    next_orderkey_ = std::max(next_orderkey_, o + 1);
+    const std::string& status = r[orders::kOrderStatus].AsString();
+    if (status != "F") open_orders_.push_back(o);
+  }
+  for (const Row& r : initial.lineitem) {
+    lines_of_order_[r[lineitem::kOrderKey].AsInt()].push_back(
+        r[lineitem::kLineNumber].AsInt());
+  }
+  suppliers_count_ = static_cast<int64_t>(supplier_keys_.size());
+  parts_count_ = static_cast<int64_t>(part_keys_.size());
+
+  const int64_t n_scenarios =
+      std::max<int64_t>(1, static_cast<int64_t>(config_.m * 1e6));
+  const double span_days =
+      static_cast<double>(tpch_dates::kCurrent.DaysUntil(tpch_dates::kEnd));
+  days_per_scenario_ = span_days / static_cast<double>(n_scenarios);
+}
+
+void HistoryGenerator::AdvanceClock() {
+  day_accum_ += days_per_scenario_;
+  if (day_accum_ >= 1.0) {
+    int32_t whole = static_cast<int32_t>(day_accum_);
+    app_today_ = app_today_.AddDays(whole);
+    day_accum_ -= whole;
+  }
+}
+
+void HistoryGenerator::CountOp(const Operation& op) {
+  TableOpStats& st = stats_.per_table[op.table];
+  const TableDef& def = DefOf(op.table);
+  switch (op.kind) {
+    case Operation::Kind::kInsert:
+      if (def.HasAppTime()) {
+        ++st.app_insert;
+      } else {
+        ++st.nontemporal_insert;
+      }
+      break;
+    case Operation::Kind::kUpdateCurrent: {
+      // Assignments that touch application-period bounds are effectively
+      // application-time updates even when issued as plain updates.
+      bool touches_app = false;
+      for (const ColumnAssignment& a : op.set) {
+        for (const AppPeriodDef& ap : def.app_periods) {
+          touches_app |= a.column == ap.begin_col || a.column == ap.end_col;
+        }
+      }
+      if (touches_app) {
+        ++st.app_update;
+      } else {
+        ++st.nontemporal_update;
+      }
+      break;
+    }
+    case Operation::Kind::kUpdateSequenced:
+      ++st.app_update;
+      break;
+    case Operation::Kind::kUpdateOverwrite:
+      ++st.overwrite_app;
+      break;
+    case Operation::Kind::kDeleteCurrent:
+      ++st.deletes;
+      break;
+    case Operation::Kind::kDeleteSequenced:
+      // A sequenced delete over a suffix window is the SEQUENCED model's
+      // way of shortening a validity period; Table 2 counts these among
+      // the application-time updates, its Delete column counts only full
+      // row deletions.
+      ++st.app_update;
+      break;
+  }
+  ++stats_.total_operations;
+}
+
+void HistoryGenerator::ApplyToState(VersionMap* table_state,
+                                    const TableDef& def, const Operation& op) {
+  switch (op.kind) {
+    case Operation::Kind::kInsert:
+      (*table_state)[KeyFromRow(def, op.row)].push_back(op.row);
+      return;
+    case Operation::Kind::kDeleteCurrent:
+      table_state->erase(op.key);
+      return;
+    default:
+      break;
+  }
+  auto it = table_state->find(op.key);
+  BIH_CHECK_MSG(it != table_state->end(),
+                "generator state desync on " + def.name);
+  std::vector<Row>& versions = it->second;
+  if (op.kind == Operation::Kind::kUpdateCurrent) {
+    for (Row& v : versions) {
+      for (const ColumnAssignment& a : op.set) {
+        v[static_cast<size_t>(a.column)] = a.value;
+      }
+    }
+    return;
+  }
+  const AppPeriodDef& ap = def.app_periods[static_cast<size_t>(op.period_index)];
+  SequencedOps ops;
+  switch (op.kind) {
+    case Operation::Kind::kUpdateSequenced:
+      ops = PlanSequencedUpdate(versions, ap.begin_col, ap.end_col, op.period,
+                                op.set);
+      break;
+    case Operation::Kind::kUpdateOverwrite:
+      ops = PlanOverwriteUpdate(versions, ap.begin_col, ap.end_col, op.period,
+                                op.set);
+      break;
+    case Operation::Kind::kDeleteSequenced:
+      ops = PlanSequencedDelete(versions, ap.begin_col, ap.end_col, op.period);
+      break;
+    default:
+      BIH_CHECK(false);
+  }
+  std::vector<Row> next;
+  for (size_t i = 0; i < versions.size(); ++i) {
+    if (std::find(ops.to_close.begin(), ops.to_close.end(), i) ==
+        ops.to_close.end()) {
+      next.push_back(std::move(versions[i]));
+    }
+  }
+  for (Row& r : ops.to_insert) next.push_back(std::move(r));
+  if (next.empty()) {
+    table_state->erase(it);
+  } else {
+    it->second = std::move(next);
+  }
+}
+
+void HistoryGenerator::Emit(HistoryTransaction* txn, Operation op) {
+  CountOp(op);
+  VersionMap* state = nullptr;
+  if (op.table == "CUSTOMER") state = &customers_;
+  else if (op.table == "ORDERS") state = &orders_;
+  else if (op.table == "LINEITEM") state = &lineitems_;
+  else if (op.table == "PART") state = &parts_;
+  else if (op.table == "PARTSUPP") state = &partsupps_;
+  else if (op.table == "SUPPLIER") state = &suppliers_;
+  BIH_CHECK_MSG(state != nullptr, "unexpected table " + op.table);
+  ApplyToState(state, DefOf(op.table), op);
+  txn->ops.push_back(std::move(op));
+}
+
+void HistoryGenerator::NewOrder(HistoryTransaction* txn) {
+  const int64_t today = TodayDays();
+  int64_t ck;
+  if (rng_.Bernoulli(0.5) || customer_keys_.empty()) {
+    // Register a new customer, visible from today on.
+    ck = next_custkey_++;
+    int64_t nk = rng_.UniformInt(0, 24);
+    char name[32], phone[24];
+    std::snprintf(name, sizeof(name), "Customer#%09lld",
+                  static_cast<long long>(ck));
+    std::snprintf(phone, sizeof(phone), "%02d-%03d-%03d-%04d",
+                  static_cast<int>(nk + 10),
+                  static_cast<int>(rng_.UniformInt(100, 999)),
+                  static_cast<int>(rng_.UniformInt(100, 999)),
+                  static_cast<int>(rng_.UniformInt(1000, 9999)));
+    static const char* kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                       "HOUSEHOLD", "MACHINERY"};
+    Operation op;
+    op.kind = Operation::Kind::kInsert;
+    op.table = "CUSTOMER";
+    op.row = {Value(ck), Value(name), Value("new customer address"),
+              Value(nk), Value(phone),
+              Value(rng_.UniformInt(0, 999999) / 100.0),
+              Value(kSegments[rng_.UniformInt(0, 4)]), Value(today),
+              Value(Period::kForever)};
+    Emit(txn, std::move(op));
+    customer_keys_.push_back(ck);
+  } else {
+    // Existing customer places the order; the account balance moves.
+    ck = customer_keys_[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(customer_keys_.size()) - 1))];
+    const Row& cust = customers_[{Value(ck)}].front();
+    double bal = cust[customer::kAcctBal].AsDouble();
+    Operation op;
+    op.kind = Operation::Kind::kUpdateCurrent;
+    op.table = "CUSTOMER";
+    op.key = {Value(ck)};
+    op.set = {{customer::kAcctBal,
+               Value(bal - rng_.UniformInt(100, 50000) / 100.0)}};
+    Emit(txn, std::move(op));
+  }
+
+  const int64_t o = next_orderkey_++;
+  static const char* kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                       "4-NOT SPECIFIED", "5-LOW"};
+  static const char* kShipModes[7] = {"AIR", "FOB", "MAIL", "RAIL",
+                                      "REG AIR", "SHIP", "TRUCK"};
+  static const char* kShipInstructs[4] = {"COLLECT COD", "DELIVER IN PERSON",
+                                          "NONE", "TAKE BACK RETURN"};
+  int nlines = static_cast<int>(rng_.UniformInt(1, 7));
+  double total = 0.0;
+  std::vector<Operation> line_ops;
+  for (int ln = 1; ln <= nlines; ++ln) {
+    int64_t p = part_keys_[static_cast<size_t>(
+        rng_.UniformInt(0, parts_count_ - 1))];
+    int64_t i = rng_.UniformInt(0, 3);
+    int64_t s = PartSuppSupplier(p, i, suppliers_count_);
+    double qty = static_cast<double>(rng_.UniformInt(1, 50));
+    double price = (90000.0 + ((p / 10) % 20001) + 100.0 * (p % 1000)) / 100.0;
+    double ext = qty * price;
+    double disc = rng_.UniformInt(0, 10) / 100.0;
+    double tax = rng_.UniformInt(0, 8) / 100.0;
+    int64_t ship = today + rng_.UniformInt(1, 121);
+    int64_t commit = today + rng_.UniformInt(30, 90);
+    int64_t receipt = ship + rng_.UniformInt(1, 30);
+    total += ext * (1.0 + tax) * (1.0 - disc);
+    Operation op;
+    op.kind = Operation::Kind::kInsert;
+    op.table = "LINEITEM";
+    op.row = {Value(o), Value(p), Value(s), Value(int64_t{ln}), Value(qty),
+              Value(ext), Value(disc), Value(tax), Value("N"), Value("O"),
+              Value(ship), Value(commit), Value(receipt),
+              Value(kShipInstructs[rng_.UniformInt(0, 3)]),
+              Value(kShipModes[rng_.UniformInt(0, 6)]), Value(ship),
+              Value(receipt)};
+    line_ops.push_back(std::move(op));
+  }
+  Operation order_op;
+  order_op.kind = Operation::Kind::kInsert;
+  order_op.table = "ORDERS";
+  char clerk[24];
+  std::snprintf(clerk, sizeof(clerk), "Clerk#%09d",
+                static_cast<int>(rng_.UniformInt(1, 1000)));
+  order_op.row = {Value(o),
+                  Value(ck),
+                  Value("O"),
+                  Value(total),
+                  Value(today),
+                  Value(kPriorities[rng_.UniformInt(0, 4)]),
+                  Value(clerk),
+                  Value(int64_t{0}),
+                  Value(today),
+                  Value(Period::kForever),
+                  Value(today + 30),
+                  Value(Period::kForever)};
+  Emit(txn, std::move(order_op));
+  for (Operation& op : line_ops) {
+    lines_of_order_[o].push_back(op.row[lineitem::kLineNumber].AsInt());
+    Emit(txn, std::move(op));
+  }
+  order_keys_.push_back(o);
+  open_orders_.push_back(o);
+}
+
+bool HistoryGenerator::CancelOrder(HistoryTransaction* txn) {
+  if (open_orders_.empty()) return false;
+  size_t idx = static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(open_orders_.size()) - 1));
+  int64_t o = open_orders_[idx];
+  open_orders_[idx] = open_orders_.back();
+  open_orders_.pop_back();
+
+  for (int64_t ln : lines_of_order_[o]) {
+    Operation op;
+    op.kind = Operation::Kind::kDeleteCurrent;
+    op.table = "LINEITEM";
+    op.key = {Value(o), Value(ln)};
+    Emit(txn, std::move(op));
+  }
+  lines_of_order_.erase(o);
+  Operation op;
+  op.kind = Operation::Kind::kDeleteCurrent;
+  op.table = "ORDERS";
+  op.key = {Value(o)};
+  Emit(txn, std::move(op));
+  return true;
+}
+
+bool HistoryGenerator::DeliverOrder(HistoryTransaction* txn) {
+  if (open_orders_.empty()) return false;
+  size_t idx = static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(open_orders_.size()) - 1));
+  int64_t o = open_orders_[idx];
+  open_orders_[idx] = open_orders_.back();
+  open_orders_.pop_back();
+
+  // Delivery date: after the latest active-period begin of every current
+  // version, so the sequenced close below always leaves a remainder.
+  int64_t max_begin = Period::kBeginningOfTime;
+  for (const Row& v : orders_[{Value(o)}]) {
+    max_begin = std::max(max_begin, v[orders::kActiveBegin].AsInt());
+  }
+  int64_t d = std::max(max_begin + 1, TodayDays());
+
+  Operation op;
+  op.kind = Operation::Kind::kUpdateCurrent;
+  op.table = "ORDERS";
+  op.key = {Value(o)};
+  op.set = {{orders::kOrderStatus, Value("F")},
+            {orders::kReceivableBegin, Value(d)},
+            {orders::kReceivableEnd, Value(Period::kForever)}};
+  Emit(txn, std::move(op));
+  // Close the ACTIVE_TIME dimension with proper sequenced semantics: the
+  // order is no longer active from the delivery date on.
+  Operation close;
+  close.kind = Operation::Kind::kDeleteSequenced;
+  close.table = "ORDERS";
+  close.key = {Value(o)};
+  close.period_index = 0;
+  close.period = Period(d, Period::kForever);
+  Emit(txn, std::move(close));
+
+  // Only lines already shipped by the delivery date get their receipt
+  // confirmed; future-shipped lines keep their projected active period.
+  // This keeps LINEITEM strongly insert-dominated, as in Table 2.
+  for (int64_t ln : lines_of_order_[o]) {
+    auto it = lineitems_.find({Value(o), Value(ln)});
+    if (it == lineitems_.end()) continue;
+    int64_t lbegin = it->second.front()[lineitem::kActiveBegin].AsInt();
+    if (lbegin >= d) continue;
+    Operation lop;
+    lop.kind = Operation::Kind::kUpdateCurrent;
+    lop.table = "LINEITEM";
+    lop.key = {Value(o), Value(ln)};
+    lop.set = {{lineitem::kLineStatus, Value("F")},
+               {lineitem::kReceiptDate, Value(std::max(lbegin + 1, d))},
+               {lineitem::kActiveEnd, Value(std::max(lbegin + 1, d))}};
+    Emit(txn, std::move(lop));
+  }
+  delivered_unpaid_.push_back(o);
+  return true;
+}
+
+bool HistoryGenerator::ReceivePayment(HistoryTransaction* txn) {
+  if (delivered_unpaid_.empty()) return false;
+  size_t idx = static_cast<size_t>(rng_.UniformInt(
+      0, static_cast<int64_t>(delivered_unpaid_.size()) - 1));
+  int64_t o = delivered_unpaid_[idx];
+  delivered_unpaid_[idx] = delivered_unpaid_.back();
+  delivered_unpaid_.pop_back();
+
+  const Row& order = orders_[{Value(o)}].front();
+  int64_t recv_begin = order[orders::kReceivableBegin].AsInt();
+  int64_t d = std::max(recv_begin + 1, TodayDays());
+  double total = order[orders::kTotalPrice].AsDouble();
+  int64_t ck = order[orders::kCustKey].AsInt();
+
+  Operation op;
+  op.kind = Operation::Kind::kUpdateCurrent;
+  op.table = "ORDERS";
+  op.key = {Value(o)};
+  op.set = {{orders::kReceivableEnd, Value(d)}};
+  Emit(txn, std::move(op));
+
+  auto cit = customers_.find({Value(ck)});
+  if (cit != customers_.end()) {
+    double bal = cit->second.front()[customer::kAcctBal].AsDouble();
+    Operation cop;
+    cop.kind = Operation::Kind::kUpdateCurrent;
+    cop.table = "CUSTOMER";
+    cop.key = {Value(ck)};
+    cop.set = {{customer::kAcctBal, Value(bal + total / 100.0)}};
+    Emit(txn, std::move(cop));
+  }
+  return true;
+}
+
+bool HistoryGenerator::UpdateStock(HistoryTransaction* txn) {
+  if (partsupp_keys_.empty()) return false;
+  auto [p, s] = partsupp_keys_[static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(partsupp_keys_.size()) - 1))];
+  Operation op;
+  op.kind = Operation::Kind::kUpdateSequenced;
+  op.table = "PARTSUPP";
+  op.key = {Value(p), Value(s)};
+  op.period_index = 0;
+  op.period = Period(TodayDays(), Period::kForever);
+  op.set = {{partsupp::kAvailQty, Value(rng_.UniformInt(1, 9999))}};
+  Emit(txn, std::move(op));
+  return true;
+}
+
+bool HistoryGenerator::DelayAvailability(HistoryTransaction* txn) {
+  if (part_keys_.empty()) return false;
+  int64_t p = part_keys_[static_cast<size_t>(
+      rng_.UniformInt(0, parts_count_ - 1))];
+  const Row& part_row = parts_[{Value(p)}].front();
+  double price = part_row[part::kRetailPrice].AsDouble();
+  int64_t new_begin = TodayDays() + rng_.UniformInt(1, 90);
+  Operation op;
+  op.kind = Operation::Kind::kUpdateOverwrite;
+  op.table = "PART";
+  op.key = {Value(p)};
+  op.period_index = 0;
+  op.period = Period(new_begin, Period::kForever);
+  op.set = {{part::kRetailPrice,
+             Value(price * (1.0 + rng_.UniformInt(-3, 3) / 100.0))}};
+  Emit(txn, std::move(op));
+  return true;
+}
+
+bool HistoryGenerator::ChangePriceBySupplier(HistoryTransaction* txn) {
+  if (supplier_keys_.empty()) return false;
+  int64_t s = supplier_keys_[static_cast<size_t>(
+      rng_.UniformInt(0, suppliers_count_ - 1))];
+  auto it = parts_of_supplier_.find(s);
+  if (it == parts_of_supplier_.end() || it->second.empty()) return false;
+  int n = static_cast<int>(rng_.UniformInt(
+      1, std::min<int64_t>(3, static_cast<int64_t>(it->second.size()))));
+  for (int i = 0; i < n; ++i) {
+    int64_t p = it->second[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(it->second.size()) - 1))];
+    auto ps = partsupps_.find({Value(p), Value(s)});
+    if (ps == partsupps_.end()) continue;
+    double cost = ps->second.front()[partsupp::kSupplyCost].AsDouble();
+    // Up to +10% so that R7 ("raised by more than 7.5% in one update")
+    // has a non-empty, selective answer.
+    double factor = 1.0 + rng_.UniformInt(-50, 100) / 1000.0;
+    Operation op;
+    op.kind = Operation::Kind::kUpdateOverwrite;
+    op.table = "PARTSUPP";
+    op.key = {Value(p), Value(s)};
+    op.period_index = 0;
+    op.period = Period(TodayDays(), Period::kForever);
+    op.set = {{partsupp::kSupplyCost, Value(cost * factor)}};
+    Emit(txn, std::move(op));
+  }
+  return !txn->ops.empty();
+}
+
+bool HistoryGenerator::UpdateSupplier(HistoryTransaction* txn) {
+  if (supplier_keys_.empty()) return false;
+  int64_t s = supplier_keys_[static_cast<size_t>(
+      rng_.UniformInt(0, suppliers_count_ - 1))];
+  Operation op;
+  op.kind = Operation::Kind::kUpdateCurrent;
+  op.table = "SUPPLIER";
+  op.key = {Value(s)};
+  op.set = {{supplier::kAcctBal,
+             Value(rng_.UniformInt(-99999, 999999) / 100.0)}};
+  Emit(txn, std::move(op));
+  return true;
+}
+
+bool HistoryGenerator::ManipulateOrderData(HistoryTransaction* txn) {
+  static const char* kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                       "4-NOT SPECIFIED", "5-LOW"};
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    int64_t o = order_keys_[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(order_keys_.size()) - 1))];
+    auto it = orders_.find({Value(o)});
+    if (it == orders_.end()) continue;  // cancelled
+    const Row& order = it->second.front();
+    int64_t begin = order[orders::kActiveBegin].AsInt();
+    int64_t wb = begin + rng_.UniformInt(0, 30);
+    int64_t we = wb + rng_.UniformInt(1, 60);
+    Operation op;
+    op.kind = Operation::Kind::kUpdateOverwrite;
+    op.table = "ORDERS";
+    op.key = {Value(o)};
+    op.period_index = 0;
+    op.period = Period(wb, we);
+    op.set = {{orders::kOrderPriority,
+               Value(kPriorities[rng_.UniformInt(0, 4)])}};
+    Emit(txn, std::move(op));
+    return true;
+  }
+  return false;
+}
+
+History HistoryGenerator::Generate() {
+  History history;
+  const int64_t n_scenarios =
+      std::max<int64_t>(1, static_cast<int64_t>(config_.m * 1e6));
+  history.reserve(static_cast<size_t>(n_scenarios));
+  std::vector<double> probs = config_.scenario_weights.empty()
+                                  ? ScenarioProbabilities()
+                                  : config_.scenario_weights;
+  for (int64_t i = 0; i < n_scenarios; ++i) {
+    AdvanceClock();
+    HistoryTransaction txn;
+    bool done = false;
+    while (!done) {
+      txn.scenario = static_cast<Scenario>(rng_.WeightedChoice(probs));
+      txn.ops.clear();
+      switch (txn.scenario) {
+        case Scenario::kNewOrder:
+          NewOrder(&txn);
+          done = true;
+          break;
+        case Scenario::kCancelOrder:
+          done = CancelOrder(&txn);
+          break;
+        case Scenario::kDeliverOrder:
+          done = DeliverOrder(&txn);
+          break;
+        case Scenario::kReceivePayment:
+          done = ReceivePayment(&txn);
+          break;
+        case Scenario::kUpdateStock:
+          done = UpdateStock(&txn);
+          break;
+        case Scenario::kDelayAvailability:
+          done = DelayAvailability(&txn);
+          break;
+        case Scenario::kChangePriceBySupplier:
+          done = ChangePriceBySupplier(&txn);
+          break;
+        case Scenario::kUpdateSupplier:
+          done = UpdateSupplier(&txn);
+          break;
+        case Scenario::kManipulateOrderData:
+          done = ManipulateOrderData(&txn);
+          break;
+        case Scenario::kCount:
+          break;
+      }
+    }
+    ++stats_.scenario_counts[static_cast<size_t>(txn.scenario)];
+    ++stats_.total_transactions;
+    history.push_back(std::move(txn));
+  }
+  return history;
+}
+
+TpchData HistoryGenerator::EndState() const {
+  TpchData out;
+  out.region = region_rows_;
+  out.nation = nation_rows_;
+  auto dump = [](const VersionMap& state, std::vector<Row>* rows) {
+    for (const auto& [key, versions] : state) {
+      for (const Row& v : versions) rows->push_back(v);
+    }
+  };
+  dump(customers_, &out.customer);
+  dump(orders_, &out.orders);
+  dump(lineitems_, &out.lineitem);
+  dump(parts_, &out.part);
+  dump(partsupps_, &out.partsupp);
+  dump(suppliers_, &out.supplier);
+  return out;
+}
+
+Status CreateBiHTables(TemporalEngine& engine) {
+  for (const TableDef& def : BiHSchema()) {
+    BIH_RETURN_IF_ERROR(engine.CreateTable(def));
+  }
+  return Status::OK();
+}
+
+Status LoadInitialData(TemporalEngine& engine, const TpchData& data) {
+  // The whole version-0 population commits as one transaction, so every
+  // initial row shares the first system timestamp ("version 0").
+  engine.Begin();
+  for (const TableDef& def : BiHSchema()) {
+    for (const Row& row : data.TableRows(def.name)) {
+      BIH_RETURN_IF_ERROR(engine.Insert(def.name, row));
+    }
+  }
+  return engine.Commit();
+}
+
+Status ReplayHistory(TemporalEngine& engine, const History& history,
+                     size_t batch_size, std::vector<double>* latencies,
+                     std::vector<Scenario>* scenarios) {
+  if (batch_size == 0) batch_size = 1;
+  size_t i = 0;
+  while (i < history.size()) {
+    size_t end = std::min(history.size(), i + batch_size);
+    auto t0 = std::chrono::steady_clock::now();
+    engine.Begin();
+    for (size_t j = i; j < end; ++j) {
+      for (const Operation& op : history[j].ops) {
+        Status st;
+        switch (op.kind) {
+          case Operation::Kind::kInsert:
+            st = engine.Insert(op.table, op.row);
+            break;
+          case Operation::Kind::kUpdateCurrent:
+            st = engine.UpdateCurrent(op.table, op.key, op.set);
+            break;
+          case Operation::Kind::kUpdateSequenced:
+            st = engine.UpdateSequenced(op.table, op.key, op.period_index,
+                                        op.period, op.set);
+            break;
+          case Operation::Kind::kUpdateOverwrite:
+            st = engine.UpdateOverwrite(op.table, op.key, op.period_index,
+                                        op.period, op.set);
+            break;
+          case Operation::Kind::kDeleteCurrent:
+            st = engine.DeleteCurrent(op.table, op.key);
+            break;
+          case Operation::Kind::kDeleteSequenced:
+            st = engine.DeleteSequenced(op.table, op.key, op.period_index,
+                                        op.period);
+            break;
+        }
+        if (!st.ok()) return st;
+      }
+    }
+    BIH_RETURN_IF_ERROR(engine.Commit());
+    auto t1 = std::chrono::steady_clock::now();
+    if (latencies != nullptr) {
+      latencies->push_back(
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
+    if (scenarios != nullptr) {
+      scenarios->push_back(history[i].scenario);
+    }
+    i = end;
+  }
+  return Status::OK();
+}
+
+}  // namespace bih

@@ -1,0 +1,136 @@
+#ifndef TPCBIH_BIH_GENERATOR_H_
+#define TPCBIH_BIH_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bih/history.h"
+#include "common/rng.h"
+#include "engine/engine.h"
+#include "tpch/dbgen.h"
+
+namespace bih {
+
+struct GeneratorConfig {
+  // History scale m: 1.0 corresponds to one million update scenarios.
+  double m = 0.001;
+  uint64_t seed = 20130813;
+  // Optional override of the Table-1 scenario probabilities (same order as
+  // enum Scenario); empty = defaults. Used by ablation benches.
+  std::vector<double> scenario_weights;
+};
+
+// The Bitemporal Data Generator (Section 4.1): evolves a TPC-H version-0
+// population through the nine update scenarios, producing
+//  * the operation archive (one transaction per scenario execution),
+//  * empirical statistics (Tables 1 and 2),
+//  * the end-state snapshot ("latest version only" mode) used as the
+//    non-temporal baseline of the TPC-H experiments (Fig. 7).
+//
+// The generator keeps only the currently visible application-time versions
+// of every key in memory, like the paper's design; superseded versions are
+// final and live only in the emitted archive.
+class HistoryGenerator {
+ public:
+  HistoryGenerator(const TpchData& initial, GeneratorConfig config);
+
+  // Runs all scenarios and returns the archive. Call once.
+  History Generate();
+
+  const HistoryStats& stats() const { return stats_; }
+
+  // Current rows after the evolution (application-time versions expanded).
+  TpchData EndState() const;
+
+ private:
+  using Key = std::vector<Value>;
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      size_t h = 0x345678;
+      for (const Value& v : k) h = h * 1000003ULL ^ v.Hash();
+      return h;
+    }
+  };
+  struct KeyEq {
+    bool operator()(const Key& a, const Key& b) const {
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].Compare(b[i]) != 0) return false;
+      }
+      return true;
+    }
+  };
+  // Currently visible application-time versions of one key.
+  using VersionMap = std::unordered_map<Key, std::vector<Row>, KeyHash, KeyEq>;
+
+  // Scenario emitters; append to txn.ops and mutate the state.
+  void NewOrder(HistoryTransaction* txn);
+  bool CancelOrder(HistoryTransaction* txn);
+  bool DeliverOrder(HistoryTransaction* txn);
+  bool ReceivePayment(HistoryTransaction* txn);
+  bool UpdateStock(HistoryTransaction* txn);
+  bool DelayAvailability(HistoryTransaction* txn);
+  bool ChangePriceBySupplier(HistoryTransaction* txn);
+  bool UpdateSupplier(HistoryTransaction* txn);
+  bool ManipulateOrderData(HistoryTransaction* txn);
+
+  // State mutation mirroring each op kind, so the generator's view matches
+  // what engines will contain after replay.
+  void ApplyToState(VersionMap* table_state, const TableDef& def,
+                    const Operation& op);
+
+  // Emits an op into the transaction and applies it to local state.
+  void Emit(HistoryTransaction* txn, Operation op);
+
+  void CountOp(const Operation& op);
+
+  int64_t TodayDays() const { return app_today_.days(); }
+  void AdvanceClock();
+
+  Rng rng_;
+  GeneratorConfig config_;
+  HistoryStats stats_;
+
+  // Per-table current state.
+  VersionMap customers_, orders_, lineitems_, parts_, partsupps_, suppliers_;
+  std::vector<Row> region_rows_, nation_rows_;
+  // Lineitem keys grouped by order.
+  std::unordered_map<int64_t, std::vector<int64_t>> lines_of_order_;
+  // Partsupp (partkey, suppkey) pairs grouped by supplier.
+  std::unordered_map<int64_t, std::vector<int64_t>> parts_of_supplier_;
+
+  // Sampling pools.
+  std::vector<int64_t> customer_keys_, part_keys_, supplier_keys_,
+      order_keys_, open_orders_, delivered_unpaid_;
+  std::vector<std::pair<int64_t, int64_t>> partsupp_keys_;
+
+  int64_t next_custkey_ = 1;
+  int64_t next_orderkey_ = 1;
+  int64_t suppliers_count_ = 1;
+  int64_t parts_count_ = 1;
+
+  Date app_today_;
+  double day_accum_ = 0.0;
+  double days_per_scenario_ = 0.0;
+};
+
+// Replays the archive into an engine as individual transactions; scenarios
+// can be grouped into batches of `batch_size` (Fig. 13 knob). Returns the
+// per-transaction latencies in microseconds when `latencies` is non-null.
+Status ReplayHistory(TemporalEngine& engine, const History& history,
+                     size_t batch_size = 1,
+                     std::vector<double>* latencies = nullptr,
+                     std::vector<Scenario>* scenarios = nullptr);
+
+// Loads the version-0 population into an engine (one insert per row,
+// batched per table load like the real loaders).
+Status LoadInitialData(TemporalEngine& engine, const TpchData& data);
+
+// Creates all eight benchmark tables in the engine.
+Status CreateBiHTables(TemporalEngine& engine);
+
+}  // namespace bih
+
+#endif  // TPCBIH_BIH_GENERATOR_H_

@@ -1,0 +1,251 @@
+#include "bih/history.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bih {
+
+const char* ScenarioName(Scenario s) {
+  switch (s) {
+    case Scenario::kNewOrder:
+      return "New Order";
+    case Scenario::kCancelOrder:
+      return "Cancel Order";
+    case Scenario::kDeliverOrder:
+      return "Deliver Order";
+    case Scenario::kReceivePayment:
+      return "Receive Payment";
+    case Scenario::kUpdateStock:
+      return "Update Stock";
+    case Scenario::kDelayAvailability:
+      return "Delay Availability";
+    case Scenario::kChangePriceBySupplier:
+      return "Change Price by Supplier";
+    case Scenario::kUpdateSupplier:
+      return "Update Supplier";
+    case Scenario::kManipulateOrderData:
+      return "Manipulate Order Data";
+    case Scenario::kCount:
+      break;
+  }
+  return "?";
+}
+
+std::vector<double> ScenarioProbabilities() {
+  // Table 1. The OCR of the paper garbles some probabilities; these values
+  // are reconstructed to sum to 1.0 and to reproduce the Table-2 operation
+  // mix (LINEITEM insert-dominated, CUSTOMER update-dominated, PART/
+  // PARTSUPP update-only, SUPPLIER non-temporal only). See DESIGN.md.
+  return {
+      0.30,  // New Order (with new customer in half of the cases)
+      0.05,  // Cancel Order
+      0.25,  // Deliver Order
+      0.20,  // Receive Payment
+      0.05,  // Update Stock
+      0.05,  // Delay Availability
+      0.05,  // Change Price by Supplier
+      0.04,  // Update Supplier
+      0.01,  // Manipulate Order Data
+  };
+}
+
+namespace {
+
+// Archive format: one record per line.
+//  T <scenario>            -- transaction start
+//  O <kind> <table> <period_index> <begin> <end>  -- operation header
+//  R <n> <v>...            -- row payload (insert)
+//  K <n> <v>...            -- key values
+//  S <n> (<col> <v>)...    -- assignments
+// Values are encoded as one of: "N" (null), "I<int>", "D<double>",
+// "S<len>:<bytes>".
+
+void EncodeValue(const Value& v, std::string* out) {
+  if (v.is_null()) {
+    *out += "N";
+  } else if (v.is_int()) {
+    *out += "I" + std::to_string(v.AsInt());
+  } else if (v.is_double()) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "D%.17g", v.AsDouble());
+    *out += buf;
+  } else {
+    const std::string& s = v.AsString();
+    *out += "S" + std::to_string(s.size()) + ":" + s;
+  }
+  *out += " ";
+}
+
+// Parses one encoded value starting at *pos; advances *pos past it.
+bool DecodeValue(const std::string& line, size_t* pos, Value* out) {
+  if (*pos >= line.size()) return false;
+  char tag = line[*pos];
+  ++*pos;
+  if (tag == 'N') {
+    *out = Value::Null();
+    ++*pos;  // trailing space
+    return true;
+  }
+  size_t sp;
+  if (tag == 'I' || tag == 'D') {
+    sp = line.find(' ', *pos);
+    if (sp == std::string::npos) sp = line.size();
+    std::string tok = line.substr(*pos, sp - *pos);
+    if (tag == 'I') {
+      *out = Value(static_cast<int64_t>(std::strtoll(tok.c_str(), nullptr, 10)));
+    } else {
+      *out = Value(std::strtod(tok.c_str(), nullptr));
+    }
+    *pos = sp + 1;
+    return true;
+  }
+  if (tag == 'S') {
+    size_t colon = line.find(':', *pos);
+    if (colon == std::string::npos) return false;
+    size_t len = static_cast<size_t>(
+        std::strtoull(line.substr(*pos, colon - *pos).c_str(), nullptr, 10));
+    if (colon + 1 + len > line.size()) return false;
+    *out = Value(line.substr(colon + 1, len));
+    *pos = colon + 1 + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status SaveHistory(const History& history, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::Internal("cannot open " + path);
+  std::fprintf(f, "TPCBIH-ARCHIVE v1 %zu\n", history.size());
+  std::string buf;
+  for (const HistoryTransaction& txn : history) {
+    std::fprintf(f, "T %d\n", static_cast<int>(txn.scenario));
+    for (const Operation& op : txn.ops) {
+      std::fprintf(f, "O %d %s %d %" PRId64 " %" PRId64 "\n",
+                   static_cast<int>(op.kind), op.table.c_str(),
+                   op.period_index, op.period.begin, op.period.end);
+      if (op.kind == Operation::Kind::kInsert) {
+        buf.clear();
+        for (const Value& v : op.row) EncodeValue(v, &buf);
+        std::fprintf(f, "R %zu %s\n", op.row.size(), buf.c_str());
+      } else {
+        buf.clear();
+        for (const Value& v : op.key) EncodeValue(v, &buf);
+        std::fprintf(f, "K %zu %s\n", op.key.size(), buf.c_str());
+        buf.clear();
+        for (const ColumnAssignment& a : op.set) {
+          buf += std::to_string(a.column) + " ";
+          EncodeValue(a.value, &buf);
+        }
+        std::fprintf(f, "S %zu %s\n", op.set.size(), buf.c_str());
+      }
+    }
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Status LoadHistory(const std::string& path, History* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  out->clear();
+  char linebuf[1 << 16];
+  if (!std::fgets(linebuf, sizeof(linebuf), f)) {
+    std::fclose(f);
+    return Status::InvalidArgument("empty archive");
+  }
+  size_t declared = 0;
+  if (std::sscanf(linebuf, "TPCBIH-ARCHIVE v1 %zu", &declared) != 1) {
+    std::fclose(f);
+    return Status::InvalidArgument("bad archive header");
+  }
+  Operation* cur_op = nullptr;
+  while (std::fgets(linebuf, sizeof(linebuf), f)) {
+    std::string line(linebuf);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    if (line[0] == 'T') {
+      int scen = 0;
+      std::sscanf(line.c_str(), "T %d", &scen);
+      out->push_back(HistoryTransaction{static_cast<Scenario>(scen), {}});
+      cur_op = nullptr;
+    } else if (line[0] == 'O') {
+      if (out->empty()) {
+        std::fclose(f);
+        return Status::InvalidArgument("operation before transaction");
+      }
+      int kind = 0, period_index = 0;
+      char table[64];
+      long long b = 0, e = 0;
+      if (std::sscanf(line.c_str(), "O %d %63s %d %lld %lld", &kind, table,
+                      &period_index, &b, &e) != 5) {
+        std::fclose(f);
+        return Status::InvalidArgument("bad operation record: " + line);
+      }
+      Operation op;
+      op.kind = static_cast<Operation::Kind>(kind);
+      op.table = table;
+      op.period_index = period_index;
+      op.period = Period(b, e);
+      out->back().ops.push_back(std::move(op));
+      cur_op = &out->back().ops.back();
+    } else if (line[0] == 'R' || line[0] == 'K' || line[0] == 'S') {
+      if (cur_op == nullptr) {
+        std::fclose(f);
+        return Status::InvalidArgument("payload before operation");
+      }
+      size_t n = 0;
+      size_t pos = line.find(' ', 2);
+      if (pos == std::string::npos) {
+        std::fclose(f);
+        return Status::InvalidArgument("bad payload record");
+      }
+      n = static_cast<size_t>(
+          std::strtoull(line.substr(2, pos - 2).c_str(), nullptr, 10));
+      ++pos;
+      if (line[0] == 'R' || line[0] == 'K') {
+        std::vector<Value>& dst =
+            line[0] == 'R' ? cur_op->row : cur_op->key;
+        dst.clear();
+        dst.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          Value v;
+          if (!DecodeValue(line, &pos, &v)) {
+            std::fclose(f);
+            return Status::InvalidArgument("bad value in archive");
+          }
+          dst.push_back(std::move(v));
+        }
+      } else {
+        cur_op->set.clear();
+        cur_op->set.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          size_t sp = line.find(' ', pos);
+          if (sp == std::string::npos) {
+            std::fclose(f);
+            return Status::InvalidArgument("bad assignment in archive");
+          }
+          int col = std::atoi(line.substr(pos, sp - pos).c_str());
+          pos = sp + 1;
+          Value v;
+          if (!DecodeValue(line, &pos, &v)) {
+            std::fclose(f);
+            return Status::InvalidArgument("bad assignment value");
+          }
+          cur_op->set.push_back(ColumnAssignment{col, std::move(v)});
+        }
+      }
+    }
+  }
+  std::fclose(f);
+  if (out->size() != declared) {
+    return Status::InvalidArgument("archive truncated");
+  }
+  return Status::OK();
+}
+
+}  // namespace bih

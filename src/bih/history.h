@@ -1,0 +1,98 @@
+#ifndef TPCBIH_BIH_HISTORY_H_
+#define TPCBIH_BIH_HISTORY_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/period.h"
+#include "common/value.h"
+#include "temporal/sequenced.h"
+
+namespace bih {
+
+// One DML statement of the history, in engine-neutral form. The generator
+// archive is a sequence of transactions of these operations; the same
+// archive populates every engine (Section 4 of the paper).
+struct Operation {
+  enum class Kind {
+    kInsert,
+    kUpdateCurrent,     // non-temporal update: only system time moves
+    kUpdateSequenced,   // sequenced application-time update
+    kUpdateOverwrite,   // overwrite application-time update
+    kDeleteCurrent,
+    kDeleteSequenced,
+  };
+
+  Kind kind;
+  std::string table;
+  Row row;                      // kInsert payload
+  std::vector<Value> key;      // all other kinds
+  int period_index = 0;        // application-time dimension
+  Period period;               // sequenced/overwrite window
+  std::vector<ColumnAssignment> set;
+};
+
+// The nine update scenarios of Table 1.
+enum class Scenario {
+  kNewOrder = 0,
+  kCancelOrder,
+  kDeliverOrder,
+  kReceivePayment,
+  kUpdateStock,
+  kDelayAvailability,
+  kChangePriceBySupplier,
+  kUpdateSupplier,
+  kManipulateOrderData,
+  kCount,
+};
+
+const char* ScenarioName(Scenario s);
+
+// Scenario probabilities (Table 1). "New Order" internally selects a new
+// customer with probability 0.5 and an existing one otherwise.
+std::vector<double> ScenarioProbabilities();
+
+// One scenario execution = one transaction when replayed.
+struct HistoryTransaction {
+  Scenario scenario;
+  std::vector<Operation> ops;
+};
+
+using History = std::vector<HistoryTransaction>;
+
+// Operation category counters per table, the raw material of Table 2.
+struct TableOpStats {
+  int64_t app_insert = 0;
+  int64_t app_update = 0;
+  int64_t nontemporal_insert = 0;
+  int64_t nontemporal_update = 0;
+  int64_t deletes = 0;
+  int64_t overwrite_app = 0;
+
+  int64_t TotalOps() const {
+    return app_insert + app_update + nontemporal_insert + nontemporal_update +
+           deletes + overwrite_app;
+  }
+};
+
+struct HistoryStats {
+  std::array<int64_t, static_cast<size_t>(Scenario::kCount)> scenario_counts{};
+  std::map<std::string, TableOpStats> per_table;
+  int64_t total_transactions = 0;
+  int64_t total_operations = 0;
+};
+
+// --- Archive serialization (Section 4.1: the generator result is written
+// to a system-independent archive that every DBMS load reads back) --------
+
+// Writes the history to a file; line-oriented, versioned format.
+Status SaveHistory(const History& history, const std::string& path);
+// Reads an archive produced by SaveHistory.
+Status LoadHistory(const std::string& path, History* out);
+
+}  // namespace bih
+
+#endif  // TPCBIH_BIH_HISTORY_H_

@@ -1,0 +1,68 @@
+#include "catalog/schema.h"
+
+namespace bih {
+
+const char* ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt:
+      return "INT";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kString:
+      return "STRING";
+    case ColumnType::kDate:
+      return "DATE";
+    case ColumnType::kTimestamp:
+      return "TIMESTAMP";
+  }
+  return "?";
+}
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Schema::ColumnIndex(const std::string& name) const {
+  int i = FindColumn(name);
+  BIH_CHECK_MSG(i >= 0, "no column named " + name);
+  return i;
+}
+
+Schema Schema::Extend(const std::vector<Column>& extra) const {
+  std::vector<Column> cols = columns_;
+  cols.insert(cols.end(), extra.begin(), extra.end());
+  return Schema(std::move(cols));
+}
+
+Schema Schema::Project(const std::vector<int>& cols) const {
+  std::vector<Column> out;
+  out.reserve(cols.size());
+  for (int c : cols) out.push_back(columns_[static_cast<size_t>(c)]);
+  return Schema(std::move(out));
+}
+
+std::string Schema::ToString() const {
+  std::string s = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) s += ", ";
+    s += columns_[i].name;
+    s += " ";
+    s += ColumnTypeName(columns_[i].type);
+  }
+  s += ")";
+  return s;
+}
+
+int TableDef::FindAppPeriod(const std::string& period_name) const {
+  for (size_t i = 0; i < app_periods.size(); ++i) {
+    if (app_periods[i].name == period_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace bih

@@ -1,0 +1,79 @@
+#ifndef TPCBIH_CATALOG_SCHEMA_H_
+#define TPCBIH_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bih {
+
+enum class ColumnType {
+  kInt,        // 64-bit integer
+  kDouble,     // 64-bit float (DECIMAL columns are represented as double)
+  kString,     // variable-length character data
+  kDate,       // stored as int64 day number
+  kTimestamp,  // stored as int64 microseconds
+};
+
+const char* ColumnTypeName(ColumnType t);
+
+struct Column {
+  std::string name;
+  ColumnType type;
+};
+
+// Ordered list of named, typed columns. Column positions are stable and act
+// as the attribute identifiers everywhere in the executor.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  // Returns the position of `name`, or -1 if absent.
+  int FindColumn(const std::string& name) const;
+  // Like FindColumn but fatal on absence; use for statically known names.
+  int ColumnIndex(const std::string& name) const;
+
+  // Schema with `extra` columns appended (used by history-table layouts that
+  // extend the base schema with system-time attributes).
+  Schema Extend(const std::vector<Column>& extra) const;
+  // Schema consisting of the selected column positions.
+  Schema Project(const std::vector<int>& cols) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+// An application-time period: two date columns of the table delimiting
+// [begin, end). SQL:2011 `PERIOD FOR <name> (begin_col, end_col)`.
+struct AppPeriodDef {
+  std::string name;
+  int begin_col = -1;
+  int end_col = -1;
+};
+
+// Logical (user-facing) definition of a benchmark table: data columns,
+// primary key, zero or more application-time periods, and whether the table
+// is system-versioned. The engines decide the physical layout.
+struct TableDef {
+  std::string name;
+  Schema schema;
+  std::vector<int> primary_key;     // column positions forming the key
+  std::vector<AppPeriodDef> app_periods;
+  bool system_versioned = false;
+
+  bool HasAppTime() const { return !app_periods.empty(); }
+  // Position of the period named `name` within app_periods, or -1.
+  int FindAppPeriod(const std::string& period_name) const;
+};
+
+}  // namespace bih
+
+#endif  // TPCBIH_CATALOG_SCHEMA_H_

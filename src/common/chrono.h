@@ -1,0 +1,69 @@
+#ifndef TPCBIH_COMMON_CHRONO_H_
+#define TPCBIH_COMMON_CHRONO_H_
+
+#include <cstdint>
+#include <string>
+
+namespace bih {
+
+// Calendar date stored as days since 1970-01-01 (proleptic Gregorian).
+// TPC-H dates fall in [1992-01-01, 1998-12-31]; application-time periods in
+// the benchmark are date-granular, matching PERIOD(DATE) columns.
+class Date {
+ public:
+  Date() : days_(0) {}
+  explicit Date(int32_t days_since_epoch) : days_(days_since_epoch) {}
+
+  static Date FromYMD(int year, int month, int day);
+
+  int32_t days() const { return days_; }
+  void ToYMD(int* year, int* month, int* day) const;
+
+  Date AddDays(int32_t n) const { return Date(days_ + n); }
+  int32_t DaysUntil(Date other) const { return other.days_ - days_; }
+
+  // "YYYY-MM-DD".
+  std::string ToString() const;
+  // Parses "YYYY-MM-DD"; returns false on malformed input.
+  static bool Parse(const std::string& s, Date* out);
+
+  friend bool operator==(Date a, Date b) { return a.days_ == b.days_; }
+  friend auto operator<=>(Date a, Date b) { return a.days_ <=> b.days_; }
+
+ private:
+  int32_t days_;
+};
+
+// Transaction (system) time: microseconds since 1970-01-01 00:00:00 UTC.
+// System time in the engines is assigned from a logical commit clock, so
+// the absolute anchor only matters for formatting.
+class Timestamp {
+ public:
+  Timestamp() : micros_(0) {}
+  explicit Timestamp(int64_t micros_since_epoch) : micros_(micros_since_epoch) {}
+
+  static Timestamp FromDate(Date d) {
+    return Timestamp(int64_t{d.days()} * kMicrosPerDay);
+  }
+
+  int64_t micros() const { return micros_; }
+  Date ToDate() const { return Date(static_cast<int32_t>(micros_ / kMicrosPerDay)); }
+
+  Timestamp AddMicros(int64_t n) const { return Timestamp(micros_ + n); }
+
+  // "YYYY-MM-DD hh:mm:ss.uuuuuu".
+  std::string ToString() const;
+
+  friend bool operator==(Timestamp a, Timestamp b) { return a.micros_ == b.micros_; }
+  friend auto operator<=>(Timestamp a, Timestamp b) { return a.micros_ <=> b.micros_; }
+
+  static constexpr int64_t kMicrosPerSecond = 1000000;
+  static constexpr int64_t kMicrosPerDay = 86400LL * kMicrosPerSecond;
+
+ private:
+  int64_t micros_;
+};
+
+}  // namespace bih
+
+#endif  // TPCBIH_COMMON_CHRONO_H_

@@ -1,0 +1,22 @@
+#include "common/period.h"
+
+#include <cstdio>
+
+namespace bih {
+
+std::string Period::ToString() const {
+  char lo[24], hi[24];
+  if (begin == kBeginningOfTime) {
+    std::snprintf(lo, sizeof(lo), "-inf");
+  } else {
+    std::snprintf(lo, sizeof(lo), "%lld", static_cast<long long>(begin));
+  }
+  if (end == kForever) {
+    std::snprintf(hi, sizeof(hi), "inf");
+  } else {
+    std::snprintf(hi, sizeof(hi), "%lld", static_cast<long long>(end));
+  }
+  return std::string("[") + lo + ", " + hi + ")";
+}
+
+}  // namespace bih

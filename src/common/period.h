@@ -1,0 +1,60 @@
+#ifndef TPCBIH_COMMON_PERIOD_H_
+#define TPCBIH_COMMON_PERIOD_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace bih {
+
+// Half-open time interval [begin, end) over an abstract int64 time axis.
+// Application-time periods use Date::days() values; system-time periods use
+// Timestamp::micros() values (or logical commit numbers). `kForever` marks a
+// period that is still open ("until changed"), matching the NULL/9999-12-31
+// sentinels real systems use for the current version.
+struct Period {
+  static constexpr int64_t kForever = std::numeric_limits<int64_t>::max();
+  static constexpr int64_t kBeginningOfTime = std::numeric_limits<int64_t>::min();
+
+  int64_t begin = 0;
+  int64_t end = kForever;
+
+  Period() = default;
+  Period(int64_t b, int64_t e) : begin(b), end(e) {}
+
+  static Period From(int64_t b) { return Period(b, kForever); }
+  static Period All() { return Period(kBeginningOfTime, kForever); }
+
+  bool Valid() const { return begin < end; }
+  bool Empty() const { return begin >= end; }
+  bool IsOpenEnded() const { return end == kForever; }
+
+  // Point containment: t in [begin, end).
+  bool Contains(int64_t t) const { return begin <= t && t < end; }
+  // Interval containment.
+  bool Contains(const Period& other) const {
+    return begin <= other.begin && other.end <= end;
+  }
+  bool Overlaps(const Period& other) const {
+    return begin < other.end && other.begin < end;
+  }
+  // Allen's "meets": this ends exactly where other begins.
+  bool Meets(const Period& other) const { return end == other.begin; }
+
+  Period Intersect(const Period& other) const {
+    return Period(std::max(begin, other.begin), std::min(end, other.end));
+  }
+
+  int64_t Duration() const { return end - begin; }
+
+  friend bool operator==(const Period& a, const Period& b) {
+    return a.begin == b.begin && a.end == b.end;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace bih
+
+#endif  // TPCBIH_COMMON_PERIOD_H_

@@ -1,0 +1,56 @@
+#ifndef TPCBIH_COMMON_RNG_H_
+#define TPCBIH_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bih {
+
+// Deterministic pseudo-random number generator (xoshiro256** seeded via
+// splitmix64). All data generation in the benchmark flows through this class
+// so that a given (seed, scale) pair always produces bit-identical workloads,
+// which is what makes experiments repeatable across engines.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  // Raw 64 random bits.
+  uint64_t Next();
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Bernoulli draw with success probability p in [0, 1].
+  bool Bernoulli(double p);
+
+  // Index drawn according to `weights` (need not be normalized; all >= 0,
+  // sum > 0). Used for the update-scenario mix of Table 1.
+  size_t WeightedChoice(const std::vector<double>& weights);
+
+  // Exponentially distributed value with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Zipf-distributed integer in [1, n] with skew parameter `theta` in (0, 1).
+  // Used for non-uniform access patterns along the application time axis.
+  int64_t Zipf(int64_t n, double theta);
+
+ private:
+  uint64_t state_[4];
+  // Cached Zipf normalization constants, recomputed when (n, theta) change.
+  int64_t zipf_n_ = 0;
+  double zipf_theta_ = 0.0;
+  double zipf_zetan_ = 0.0;
+  double zipf_alpha_ = 0.0;
+  double zipf_eta_ = 0.0;
+};
+
+}  // namespace bih
+
+#endif  // TPCBIH_COMMON_RNG_H_

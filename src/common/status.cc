@@ -1,0 +1,30 @@
+#include "common/status.h"
+
+namespace bih {
+
+std::string Status::ToString() const {
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kInvalidArgument:
+      return "InvalidArgument: " + message_;
+    case Code::kNotFound:
+      return "NotFound: " + message_;
+    case Code::kAlreadyExists:
+      return "AlreadyExists: " + message_;
+    case Code::kOutOfRange:
+      return "OutOfRange: " + message_;
+    case Code::kUnimplemented:
+      return "Unimplemented: " + message_;
+    case Code::kInternal:
+      return "Internal: " + message_;
+  }
+  return "Unknown";
+}
+
+void FatalError(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "[%s:%d] %s\n", file, line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace bih

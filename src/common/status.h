@@ -1,0 +1,89 @@
+#ifndef TPCBIH_COMMON_STATUS_H_
+#define TPCBIH_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace bih {
+
+// Lightweight error propagation without exceptions. Mirrors the
+// absl::Status/arrow::Status pattern used by database codebases: functions
+// that can fail return a Status (or StatusOr-like pair) and callers decide
+// how to react.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kOutOfRange,
+    kUnimplemented,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(Code::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+// Terminates the process with a message when an internal invariant is
+// violated. Used for programming errors, not for data-dependent failures.
+[[noreturn]] void FatalError(const char* file, int line, const std::string& msg);
+
+#define BIH_CHECK(cond)                                               \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::bih::FatalError(__FILE__, __LINE__, "check failed: " #cond);  \
+    }                                                                 \
+  } while (0)
+
+#define BIH_CHECK_MSG(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::bih::FatalError(__FILE__, __LINE__,                             \
+                        std::string("check failed: " #cond ": ") + (msg)); \
+    }                                                                   \
+  } while (0)
+
+#define BIH_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::bih::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+}  // namespace bih
+
+#endif  // TPCBIH_COMMON_STATUS_H_

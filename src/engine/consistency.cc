@@ -1,0 +1,91 @@
+#include "engine/consistency.h"
+
+#include <algorithm>
+
+#include <map>
+
+#include "engine/scan_util.h"
+
+namespace bih {
+
+ConsistencyReport CheckBitemporalConsistency(TemporalEngine& engine,
+                                             const std::string& table,
+                                             bool check_app_overlap,
+                                             size_t max_violations) {
+  ConsistencyReport report;
+  const TableDef& def = engine.GetTableDef(table);
+  const int sys_from = def.schema.num_columns();
+  const int sys_to = sys_from + 1;
+
+  struct Version {
+    Period sys;
+    std::vector<Period> app;  // one per application-time dimension
+  };
+  struct KeyCmp {
+    bool operator()(const std::vector<Value>& a,
+                    const std::vector<Value>& b) const {
+      for (size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+        int c = a[i].Compare(b[i]);
+        if (c != 0) return c < 0;
+      }
+      return a.size() < b.size();
+    }
+  };
+  std::map<std::vector<Value>, std::vector<Version>, KeyCmp> by_key;
+
+  ScanRequest req;
+  req.table = table;
+  req.temporal.system_time = TemporalSelector::All();
+  req.temporal.app_time = TemporalSelector::All();
+  engine.Scan(req, [&](const Row& row) {
+    std::vector<Value> key;
+    for (int c : def.primary_key) key.push_back(row[static_cast<size_t>(c)]);
+    Version v;
+    v.sys = Period(row[static_cast<size_t>(sys_from)].AsInt(),
+                   row[static_cast<size_t>(sys_to)].AsInt());
+    for (const AppPeriodDef& ap : def.app_periods) {
+      v.app.emplace_back(row[static_cast<size_t>(ap.begin_col)].AsInt(),
+                         row[static_cast<size_t>(ap.end_col)].AsInt());
+    }
+    by_key[std::move(key)].push_back(std::move(v));
+    return true;
+  });
+
+  auto violate = [&](const std::vector<Value>& key, std::string msg) {
+    if (report.violations.size() < max_violations) {
+      report.violations.push_back(ConsistencyViolation{table, key, std::move(msg)});
+    }
+  };
+
+  for (const auto& [key, versions] : by_key) {
+    ++report.keys_checked;
+    for (const Version& v : versions) {
+      ++report.versions_checked;
+      if (!v.sys.Valid()) {
+        violate(key, "malformed system interval " + v.sys.ToString());
+      }
+      for (const Period& p : v.app) {
+        if (!p.Valid()) {
+          violate(key, "malformed application period " + p.ToString());
+        }
+      }
+    }
+    if (!check_app_overlap || def.app_periods.empty()) continue;
+    for (size_t i = 0; i < versions.size(); ++i) {
+      for (size_t j = i + 1; j < versions.size(); ++j) {
+        if (!versions[i].sys.Overlaps(versions[j].sys)) continue;
+        // Visible simultaneously in system time: the primary application
+        // period must not intersect.
+        if (versions[i].app[0].Overlaps(versions[j].app[0])) {
+          violate(key, "bitemporal overlap: sys " + versions[i].sys.ToString() +
+                           "/" + versions[j].sys.ToString() + " app " +
+                           versions[i].app[0].ToString() + "/" +
+                           versions[j].app[0].ToString());
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace bih

@@ -1,0 +1,45 @@
+#ifndef TPCBIH_ENGINE_CONSISTENCY_H_
+#define TPCBIH_ENGINE_CONSISTENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace bih {
+
+// Bitemporal consistency checking (the "non-trivial aspects such as
+// (temporal) consistency" of Section 4). For every key of a table the
+// checker verifies, over the full stored history:
+//
+//  1. No bitemporal overlap: two versions of one key must never be visible
+//     at the same system instant with intersecting application periods —
+//     a fact may have only one value per (system, application) coordinate.
+//  2. Well-formed periods: application begin < end, system begin < end.
+//  3. Exactly the versions with an open system interval are the currently
+//     visible ones the engine reports.
+struct ConsistencyViolation {
+  std::string table;
+  std::vector<Value> key;
+  std::string message;
+};
+
+struct ConsistencyReport {
+  size_t keys_checked = 0;
+  size_t versions_checked = 0;
+  std::vector<ConsistencyViolation> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+// Checks one table. `check_app_overlap` can be disabled for tables whose
+// workload manipulates period columns as plain data (the benchmark's
+// ORDERS/LINEITEM delivery updates), where transient overlaps are allowed.
+ConsistencyReport CheckBitemporalConsistency(TemporalEngine& engine,
+                                             const std::string& table,
+                                             bool check_app_overlap = true,
+                                             size_t max_violations = 20);
+
+}  // namespace bih
+
+#endif  // TPCBIH_ENGINE_CONSISTENCY_H_

@@ -1,0 +1,175 @@
+#ifndef TPCBIH_ENGINE_ENGINE_H_
+#define TPCBIH_ENGINE_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/chrono.h"
+#include "common/value.h"
+#include "temporal/clock.h"
+#include "temporal/sequenced.h"
+#include "temporal/temporal.h"
+
+namespace bih {
+
+// Index structure choices offered by the tuning experiments (Section 5.1).
+enum class IndexType { kBTree, kRTree, kHash };
+
+// Which physical partition of a table an index is built on. Engines without
+// a current/history split treat kCurrent/kHistory as the single table.
+enum class PartitionSel { kCurrent, kHistory };
+
+// A tuning index request. `columns` are positions in the table's *scan
+// schema* (user columns followed by the two system-time columns, see
+// TemporalEngine::ScanSchema). For kRTree the columns must name one or two
+// (begin, end) period column pairs.
+struct IndexSpec {
+  std::string table;
+  PartitionSel partition = PartitionSel::kCurrent;
+  std::vector<int> columns;
+  IndexType type = IndexType::kBTree;
+  std::string name;
+};
+
+// One table access issued by a benchmark query.
+struct ScanRequest {
+  std::string table;
+  TemporalScanSpec temporal;
+  // Equality constraints on scan-schema columns (typically the primary key).
+  std::vector<std::pair<int, Value>> equals;
+  // Optional range constraint lo <= col <= hi; a null Value leaves the side
+  // unbounded. Used by the value-in-time queries (K6).
+  int range_col = -1;
+  Value range_lo;
+  Value range_hi;
+  // Columns the consumer will read; empty means all. Column-store engines
+  // only guarantee the projected columns are populated in emitted rows.
+  std::vector<int> projection;
+};
+
+// Execution counters for the last Scan; the tests assert plan shape (which
+// partitions were touched, whether an index was chosen) and the benches
+// report them next to timings.
+struct ExecStats {
+  uint64_t rows_examined = 0;
+  uint64_t rows_output = 0;
+  int partitions_touched = 0;
+  bool used_index = false;
+  std::string index_name;
+  bool touched_history = false;
+};
+
+// Per-table size information (Section 5.2 architecture analysis).
+struct TableStats {
+  size_t current_rows = 0;
+  size_t history_rows = 0;
+  size_t pending_undo = 0;  // System B only
+};
+
+using RowCallback = std::function<bool(const Row&)>;
+
+// Abstract bitemporal storage engine. The four implementations reproduce
+// the four anonymized systems of the paper (see DESIGN.md for the mapping).
+//
+// Scan output layout ("scan schema"): the user columns of the table
+// definition in order, then SYS_TIME_START and SYS_TIME_END (timestamps).
+// Application-time periods are ordinary user columns per the TableDef.
+class TemporalEngine {
+ public:
+  virtual ~TemporalEngine() = default;
+
+  virtual std::string name() const = 0;
+
+  // True when the engine natively supports application-time periods.
+  // Engines without native support (Systems C and D) still store the period
+  // columns as plain data; sequenced DML is then emulated client-side by
+  // the engine wrapper, mirroring how the paper ports the workload.
+  virtual bool native_app_time() const { return true; }
+
+  // --- DDL -----------------------------------------------------------
+  virtual Status CreateTable(const TableDef& def) = 0;
+  virtual Status CreateIndex(const IndexSpec& spec) = 0;
+  virtual Status DropIndexes(const std::string& table) = 0;
+
+  virtual const TableDef& GetTableDef(const std::string& table) const = 0;
+  virtual Schema ScanSchema(const std::string& table) const = 0;
+  virtual bool HasTable(const std::string& table) const = 0;
+
+  // --- Transactions ----------------------------------------------------
+  // DML statements outside Begin/Commit auto-commit individually. Batched
+  // statements share one commit timestamp (the Fig. 13 batch-size knob).
+  virtual void Begin();
+  virtual Status Commit();
+
+  // --- DML -------------------------------------------------------------
+  virtual Status Insert(const std::string& table, Row row) = 0;
+
+  // Bulk load with explicit system-time periods appended to each row
+  // (arity = user columns + 2). Only engines without engine-managed system
+  // time accept this (System D); others return Unimplemented, which is the
+  // paper's reason history loading must replay individual transactions.
+  virtual Status BulkLoad(const std::string& table, std::vector<Row> rows);
+
+  // Updates every currently visible version of `key` (non-temporal update:
+  // only the system time moves).
+  virtual Status UpdateCurrent(const std::string& table,
+                               const std::vector<Value>& key,
+                               const std::vector<ColumnAssignment>& set) = 0;
+
+  // SEQUENCED VALIDTIME UPDATE over `period` of application time dimension
+  // `period_index`.
+  virtual Status UpdateSequenced(const std::string& table,
+                                 const std::vector<Value>& key,
+                                 int period_index, const Period& period,
+                                 const std::vector<ColumnAssignment>& set) = 0;
+
+  // Overwrite semantics (Table 2 "Overwrite App.Time"): replaces the
+  // overlapped range with a single new version spanning exactly `period`.
+  virtual Status UpdateOverwrite(const std::string& table,
+                                 const std::vector<Value>& key,
+                                 int period_index, const Period& period,
+                                 const std::vector<ColumnAssignment>& set) = 0;
+
+  // Deletes every currently visible version of `key`.
+  virtual Status DeleteCurrent(const std::string& table,
+                               const std::vector<Value>& key) = 0;
+
+  virtual Status DeleteSequenced(const std::string& table,
+                                 const std::vector<Value>& key,
+                                 int period_index, const Period& period) = 0;
+
+  // --- Query -----------------------------------------------------------
+  virtual void Scan(const ScanRequest& req, const RowCallback& cb) = 0;
+
+  const ExecStats& last_stats() const { return stats_; }
+  virtual TableStats GetTableStats(const std::string& table) const = 0;
+
+  // Engine-maintenance hook: System C's delta->main merge; no-op elsewhere.
+  virtual void Maintain() {}
+
+  Timestamp Now() const { return clock_.Now(); }
+
+ protected:
+  // Commit timestamp for the mutation being executed; allocates a new tick
+  // in auto-commit mode and reuses the transaction stamp inside Begin/Commit.
+  Timestamp MutationTime();
+
+  CommitClock clock_;
+  bool in_txn_ = false;
+  Timestamp txn_time_;
+  ExecStats stats_;
+};
+
+// Factory: engines named "A".."D" (architecture letter as in the paper).
+std::unique_ptr<TemporalEngine> MakeEngine(const std::string& letter);
+
+// All four architecture letters, in paper order.
+const std::vector<std::string>& AllEngineLetters();
+
+}  // namespace bih
+
+#endif  // TPCBIH_ENGINE_ENGINE_H_

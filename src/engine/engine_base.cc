@@ -1,0 +1,53 @@
+#include "engine/engine.h"
+
+#include "engine/system_a.h"
+#include "engine/system_b.h"
+#include "engine/system_c.h"
+#include "engine/system_d.h"
+
+namespace bih {
+
+void TemporalEngine::Begin() {
+  BIH_CHECK_MSG(!in_txn_, "nested transactions are not supported");
+  in_txn_ = true;
+  txn_time_ = clock_.NextCommit();
+}
+
+Status TemporalEngine::Commit() {
+  BIH_CHECK_MSG(in_txn_, "Commit without Begin");
+  in_txn_ = false;
+  return Status::OK();
+}
+
+Timestamp TemporalEngine::MutationTime() {
+  return in_txn_ ? txn_time_ : clock_.NextCommit();
+}
+
+Status TemporalEngine::BulkLoad(const std::string& table,
+                                std::vector<Row> rows) {
+  (void)table;
+  (void)rows;
+  // Engines with engine-managed system time cannot accept explicit
+  // timestamps; the history generator must replay transactions instead
+  // (Section 4.2 of the paper).
+  return Status::Unimplemented(
+      "bulk load with explicit system time requires an engine without "
+      "native system versioning");
+}
+
+std::unique_ptr<TemporalEngine> MakeEngine(const std::string& letter) {
+  if (letter == "A") return std::make_unique<SystemAEngine>();
+  if (letter == "B") return std::make_unique<SystemBEngine>();
+  if (letter == "C") return std::make_unique<SystemCEngine>();
+  if (letter == "D") return std::make_unique<SystemDEngine>();
+  BIH_CHECK_MSG(false, "unknown engine letter: " + letter);
+  return nullptr;
+}
+
+const std::vector<std::string>& AllEngineLetters() {
+  static const std::vector<std::string>* letters =
+      new std::vector<std::string>{"A", "B", "C", "D"};
+  return *letters;
+}
+
+}  // namespace bih

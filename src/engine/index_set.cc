@@ -1,0 +1,318 @@
+#include "engine/index_set.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace bih {
+
+void IndexSet::AddIndex(
+    const IndexSpec& spec,
+    const std::function<void(const std::function<void(RowId, const Row&)>&)>&
+        for_each_row) {
+  IndexInfo info;
+  info.spec = spec;
+  switch (spec.type) {
+    case IndexType::kBTree:
+      info.btree = std::make_unique<BTreeIndex>();
+      break;
+    case IndexType::kRTree:
+      BIH_CHECK_MSG(spec.columns.size() == 2 || spec.columns.size() == 4,
+                    "R-tree index needs one or two (begin,end) column pairs");
+      info.rtree = std::make_unique<RTreeIndex>();
+      break;
+    case IndexType::kHash:
+      info.hash = std::make_unique<HashIndex>();
+      break;
+  }
+  indexes_.push_back(std::move(info));
+  IndexInfo& added = indexes_.back();
+  for_each_row([&](RowId rid, const Row& row) {
+    if (added.btree) added.btree->Insert(KeyFor(added, row), rid);
+    if (added.rtree) added.rtree->Insert(RectFor(added, row), rid);
+    if (added.hash) added.hash->Insert(KeyFor(added, row), rid);
+  });
+}
+
+IndexKey IndexSet::KeyFor(const IndexInfo& info, const Row& row) {
+  IndexKey key;
+  key.reserve(info.spec.columns.size());
+  for (int c : info.spec.columns) key.push_back(row[static_cast<size_t>(c)]);
+  return key;
+}
+
+Rect IndexSet::RectFor(const IndexInfo& info, const Row& row) {
+  auto period_at = [&](size_t i) {
+    const Value& b = row[static_cast<size_t>(info.spec.columns[i])];
+    const Value& e = row[static_cast<size_t>(info.spec.columns[i + 1])];
+    return Period(b.is_null() ? Period::kBeginningOfTime : b.AsInt(),
+                  e.is_null() ? Period::kForever : e.AsInt());
+  };
+  if (info.spec.columns.size() == 2) return Rect::FromPeriod(period_at(0));
+  return Rect::FromPeriods(period_at(0), period_at(2));
+}
+
+void IndexSet::OnInsert(const Row& row, RowId rid) {
+  for (IndexInfo& info : indexes_) {
+    if (info.btree) info.btree->Insert(KeyFor(info, row), rid);
+    if (info.rtree) info.rtree->Insert(RectFor(info, row), rid);
+    if (info.hash) info.hash->Insert(KeyFor(info, row), rid);
+  }
+}
+
+void IndexSet::OnDelete(const Row& row, RowId rid) {
+  for (IndexInfo& info : indexes_) {
+    if (info.btree) info.btree->Erase(KeyFor(info, row), rid);
+    if (info.rtree) info.rtree->Erase(RectFor(info, row), rid);
+    if (info.hash) info.hash->Erase(KeyFor(info, row), rid);
+  }
+}
+
+void IndexSet::OnUpdate(const Row& old_row, const Row& new_row, RowId rid) {
+  OnDelete(old_row, rid);
+  OnInsert(new_row, rid);
+}
+
+double IndexSet::EstimateFraction(const BTreeIndex& bt, const IndexKey& prefix,
+                                  const Value& lo, const Value& hi) {
+  if (!prefix.empty()) {
+    // An equality prefix on leading columns (typically a key) is assumed
+    // selective; commercial optimizers treat unique-ish prefixes the same.
+    return 0.0;
+  }
+  IndexKey first, last;
+  if (!bt.FirstKey(&first) || !bt.LastKey(&last)) return 0.0;
+  const Value& vmin = first[0];
+  const Value& vmax = last[0];
+  if (vmin.is_null() || vmax.is_null() || vmin.is_string()) return 1.0;
+  double dmin = vmin.AsDouble(), dmax = vmax.AsDouble();
+  if (dmax <= dmin) return 1.0;
+  double qlo = lo.is_null() ? dmin : std::max(dmin, lo.AsDouble());
+  double qhi = hi.is_null() ? dmax : std::min(dmax, hi.AsDouble());
+  if (qhi < qlo) return 0.0;
+  return (qhi - qlo) / (dmax - dmin);
+}
+
+namespace {
+
+// Internal representation of a candidate index plan.
+struct CandidatePlan {
+  enum class Kind { kHashLookup, kBTree, kRTree };
+  Kind kind;
+  size_t index_pos = 0;
+  IndexKey prefix;       // equality values on leading B-tree columns
+  Value lo, hi;          // inclusive bound on the next column (null = open)
+  bool has_bound = false;
+  Rect rect{{0, 0}, {0, 0}};
+  int score = 0;
+};
+
+// Maps a temporal selector to an inclusive [lo, hi] bound on the period
+// *begin* column: begin <= t for AS OF t; begin < end' for ranges.
+bool BoundFromSelector(const TemporalSelector& sel, Value* lo, Value* hi) {
+  switch (sel.kind) {
+    case TemporalSelector::Kind::kPoint:
+      *lo = Value::Null();
+      *hi = Value(sel.point);
+      return true;
+    case TemporalSelector::Kind::kRange:
+      *lo = Value::Null();
+      *hi = Value(sel.range.end - 1);
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Query rectangle for one dimension of an R-tree period index.
+bool RectDimFromSelector(const TemporalSelector& sel, int64_t* lo,
+                         int64_t* hi) {
+  switch (sel.kind) {
+    case TemporalSelector::Kind::kPoint:
+      *lo = sel.point;
+      *hi = sel.point;
+      return true;
+    case TemporalSelector::Kind::kRange:
+      *lo = sel.range.begin;
+      *hi = sel.range.end - 1;
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool IndexSet::TryIndexAccess(const ScanRequest& req, const TemporalCols& tc,
+                              size_t partition_rows, std::string* index_name,
+                              const std::function<bool(RowId)>& emit) const {
+  (void)partition_rows;
+  CandidatePlan best;
+  bool have_best = false;
+
+  for (size_t pos = 0; pos < indexes_.size(); ++pos) {
+    const IndexInfo& info = indexes_[pos];
+    const auto& cols = info.spec.columns;
+
+    if (info.hash) {
+      // Usable only with equality on every indexed column.
+      IndexKey key(cols.size());
+      size_t matched = 0;
+      for (size_t i = 0; i < cols.size(); ++i) {
+        for (const auto& [c, v] : req.equals) {
+          if (c == cols[i]) {
+            key[i] = v;
+            ++matched;
+            break;
+          }
+        }
+      }
+      if (matched == cols.size() && !cols.empty()) {
+        CandidatePlan p;
+        p.kind = CandidatePlan::Kind::kHashLookup;
+        p.index_pos = pos;
+        p.prefix = std::move(key);
+        p.score = 1000 + static_cast<int>(cols.size()) * 10;
+        if (!have_best || p.score > best.score) {
+          best = std::move(p);
+          have_best = true;
+        }
+      }
+      continue;
+    }
+
+    if (info.btree) {
+      CandidatePlan p;
+      p.kind = CandidatePlan::Kind::kBTree;
+      p.index_pos = pos;
+      size_t j = 0;
+      for (; j < cols.size(); ++j) {
+        const Value* eq = nullptr;
+        for (const auto& [c, v] : req.equals) {
+          if (c == cols[j]) {
+            eq = &v;
+            break;
+          }
+        }
+        if (eq == nullptr) break;
+        p.prefix.push_back(*eq);
+      }
+      if (j < cols.size()) {
+        // Try a bound on the first non-equality column.
+        int bcol = cols[j];
+        if (bcol == req.range_col &&
+            (!req.range_lo.is_null() || !req.range_hi.is_null())) {
+          p.lo = req.range_lo;
+          p.hi = req.range_hi;
+          p.has_bound = true;
+        } else if (bcol == tc.sys_from) {
+          p.has_bound = BoundFromSelector(req.temporal.system_time, &p.lo, &p.hi);
+        } else if (bcol == tc.app_begin) {
+          p.has_bound = BoundFromSelector(req.temporal.app_time, &p.lo, &p.hi);
+        }
+      }
+      if (p.prefix.empty() && !p.has_bound) continue;  // unusable
+      double fraction =
+          EstimateFraction(*info.btree, p.prefix, p.lo, p.hi);
+      if (fraction > kSelectivityThreshold) continue;  // scan is cheaper
+      p.score = static_cast<int>(p.prefix.size()) * 100 +
+                (p.has_bound ? 50 : 0) +
+                static_cast<int>((1.0 - fraction) * 10);
+      if (!have_best || p.score > best.score) {
+        best = std::move(p);
+        have_best = true;
+      }
+      continue;
+    }
+
+    if (info.rtree) {
+      // Build the query rectangle from the matching temporal dimensions.
+      int64_t xlo = std::numeric_limits<int64_t>::min();
+      int64_t xhi = std::numeric_limits<int64_t>::max();
+      int64_t ylo = 0, yhi = 0;
+      bool x_bound = false, y_bound = false;
+      auto dim_selector = [&](int bcol) -> const TemporalSelector* {
+        if (bcol == tc.app_begin) return &req.temporal.app_time;
+        if (bcol == tc.sys_from) return &req.temporal.system_time;
+        return nullptr;
+      };
+      const TemporalSelector* sx = dim_selector(cols[0]);
+      if (sx != nullptr) x_bound = RectDimFromSelector(*sx, &xlo, &xhi);
+      if (cols.size() == 4) {
+        const TemporalSelector* sy = dim_selector(cols[2]);
+        if (sy != nullptr) y_bound = RectDimFromSelector(*sy, &ylo, &yhi);
+        if (!y_bound) {
+          ylo = std::numeric_limits<int64_t>::min();
+          yhi = std::numeric_limits<int64_t>::max();
+        }
+      }
+      if (!x_bound && !y_bound) continue;
+      // Selectivity estimate from the root bounding box on the x dimension.
+      Rect bounds;
+      if (info.rtree->Bounds(&bounds) && x_bound) {
+        double span = static_cast<double>(bounds.max[0]) -
+                      static_cast<double>(bounds.min[0]);
+        if (span > 0) {
+          double qspan = std::min<double>(static_cast<double>(xhi),
+                                          static_cast<double>(bounds.max[0])) -
+                         std::max<double>(static_cast<double>(xlo),
+                                          static_cast<double>(bounds.min[0]));
+          // Overlap predicates also match every period starting before the
+          // window that is still open, so this underestimates; weigh it in.
+          if (qspan / span > kSelectivityThreshold) continue;
+        }
+      }
+      CandidatePlan p;
+      p.kind = CandidatePlan::Kind::kRTree;
+      p.index_pos = pos;
+      p.rect = Rect{{xlo, ylo}, {xhi, yhi}};
+      p.score = 30;  // GiST scans cost more than B-trees; prefer B-trees
+      if (!have_best || p.score > best.score) {
+        best = std::move(p);
+        have_best = true;
+      }
+      continue;
+    }
+  }
+
+  if (!have_best) return false;
+  const IndexInfo& chosen = indexes_[best.index_pos];
+  *index_name = chosen.spec.name;
+
+  switch (best.kind) {
+    case CandidatePlan::Kind::kHashLookup:
+      chosen.hash->Lookup(best.prefix, emit);
+      return true;
+    case CandidatePlan::Kind::kRTree:
+      chosen.rtree->Search(best.rect,
+                           [&](const Rect&, RowId rid) { return emit(rid); });
+      return true;
+    case CandidatePlan::Kind::kBTree: {
+      IndexKey lo_key = best.prefix;
+      if (best.has_bound && !best.lo.is_null()) lo_key.push_back(best.lo);
+      const size_t plen = best.prefix.size();
+      chosen.btree->ScanRange(
+          lo_key, {}, [&](const IndexKey& key, RowId rid) {
+            // Stop when the equality prefix no longer matches...
+            for (size_t i = 0; i < plen; ++i) {
+              if (key[i].Compare(best.prefix[i]) != 0) return false;
+            }
+            // ...or the bound column exceeds the upper bound.
+            if (best.has_bound && !best.hi.is_null() && key.size() > plen &&
+                key[plen].Compare(best.hi) > 0) {
+              return false;
+            }
+            return emit(rid);
+          });
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> IndexSet::index_names() const {
+  std::vector<std::string> names;
+  for (const IndexInfo& info : indexes_) names.push_back(info.spec.name);
+  return names;
+}
+
+}  // namespace bih

@@ -1,0 +1,76 @@
+#ifndef TPCBIH_ENGINE_INDEX_SET_H_
+#define TPCBIH_ENGINE_INDEX_SET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/scan_util.h"
+#include "storage/btree_index.h"
+#include "storage/hash_index.h"
+#include "storage/rtree_index.h"
+
+namespace bih {
+
+// The secondary indexes of one physical partition, with a rule-based access
+// path chooser. The chooser mirrors what the paper observed in the
+// commercial optimizers: index plans are only selected when the estimated
+// selectivity is high ("once the result becomes small enough relative to
+// the original size, an index-based plan is used", Section 5.3.3); for
+// broad temporal predicates the systems fall back to table scans.
+class IndexSet {
+ public:
+  // Fraction of the partition an index access may target before the planner
+  // prefers a table scan.
+  static constexpr double kSelectivityThreshold = 0.25;
+
+  bool empty() const { return indexes_.empty(); }
+  void Clear() { indexes_.clear(); }
+
+  // Registers an index and builds it by scanning existing rows through
+  // `for_each_row` (scan-schema rows with stable row ids).
+  void AddIndex(
+      const IndexSpec& spec,
+      const std::function<void(const std::function<void(RowId, const Row&)>&)>&
+          for_each_row);
+
+  // DML maintenance. Rows are scan-schema rows.
+  void OnInsert(const Row& row, RowId rid);
+  void OnDelete(const Row& row, RowId rid);
+  // In-place update: delete + insert with the same row id.
+  void OnUpdate(const Row& old_row, const Row& new_row, RowId rid);
+
+  // Attempts to serve the request from one index. On success, emits
+  // candidate row ids (residual predicates remain the caller's job),
+  // stores the chosen index name and returns true. `partition_rows` feeds
+  // the selectivity estimate.
+  bool TryIndexAccess(const ScanRequest& req, const TemporalCols& tc,
+                      size_t partition_rows, std::string* index_name,
+                      const std::function<bool(RowId)>& emit) const;
+
+  std::vector<std::string> index_names() const;
+
+ private:
+  struct IndexInfo {
+    IndexSpec spec;
+    std::unique_ptr<BTreeIndex> btree;
+    std::unique_ptr<RTreeIndex> rtree;
+    std::unique_ptr<HashIndex> hash;
+  };
+
+  static IndexKey KeyFor(const IndexInfo& info, const Row& row);
+  static Rect RectFor(const IndexInfo& info, const Row& row);
+
+  // Estimated fraction of entries a one-sided/two-sided bound on the first
+  // key column selects, from the index's key extremes. Returns 1.0 when no
+  // estimate is possible.
+  static double EstimateFraction(const BTreeIndex& bt, const IndexKey& prefix,
+                                 const Value& lo, const Value& hi);
+
+  std::vector<IndexInfo> indexes_;
+};
+
+}  // namespace bih
+
+#endif  // TPCBIH_ENGINE_INDEX_SET_H_

@@ -1,0 +1,41 @@
+#ifndef TPCBIH_ENGINE_SCAN_UTIL_H_
+#define TPCBIH_ENGINE_SCAN_UTIL_H_
+
+#include "catalog/schema.h"
+#include "common/value.h"
+#include "engine/engine.h"
+#include "temporal/temporal.h"
+
+namespace bih {
+
+// Positions of the temporal columns inside a scan-schema row. `app_begin`/
+// `app_end` are -1 for tables without application time (or when the request
+// does not constrain it).
+struct TemporalCols {
+  int sys_from = -1;
+  int sys_to = -1;
+  int app_begin = -1;
+  int app_end = -1;
+};
+
+// Derives the temporal column positions for `def` under the scan schema
+// (user columns + sys_from + sys_to) and the requested app period.
+TemporalCols ResolveTemporalCols(const TableDef& def, int app_period_index);
+
+// Extracts the system-time period of a scan-schema row.
+Period RowSystemPeriod(const Row& row, const TemporalCols& tc);
+
+// Extracts the application-time period; requires app columns present.
+Period RowAppPeriod(const Row& row, const TemporalCols& tc);
+
+// Full temporal qualification of a row under the request's selectors.
+// `now` is the engine's current system time in micros.
+bool MatchesTemporal(const Row& row, const TemporalScanSpec& spec,
+                     const TemporalCols& tc, int64_t now);
+
+// Non-temporal residual predicates (equality list + range constraint).
+bool MatchesConstraints(const Row& row, const ScanRequest& req);
+
+}  // namespace bih
+
+#endif  // TPCBIH_ENGINE_SCAN_UTIL_H_

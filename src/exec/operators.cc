@@ -1,0 +1,346 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+namespace bih {
+
+Rows ScanAll(TemporalEngine& engine, const ScanRequest& req) {
+  Rows out;
+  engine.Scan(req, [&](const Row& row) {
+    out.push_back(row);
+    return true;
+  });
+  return out;
+}
+
+Rows FilterRows(const Rows& in, const ExprPtr& pred) {
+  Rows out;
+  for (const Row& row : in) {
+    if (pred->Test(row)) out.push_back(row);
+  }
+  return out;
+}
+
+Rows ProjectRows(const Rows& in, const std::vector<ExprPtr>& exprs) {
+  Rows out;
+  out.reserve(in.size());
+  for (const Row& row : in) {
+    Row r;
+    r.reserve(exprs.size());
+    for (const ExprPtr& e : exprs) r.push_back(e->Eval(row));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+namespace {
+
+struct RowKeyHash {
+  size_t operator()(const Row& key) const {
+    size_t h = 0x345678;
+    for (const Value& v : key) h = h * 1000003ULL ^ v.Hash();
+    return h;
+  }
+};
+struct RowKeyEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].Compare(b[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+Row KeyOf(const Row& row, const std::vector<int>& cols) {
+  Row key;
+  key.reserve(cols.size());
+  for (int c : cols) key.push_back(row[static_cast<size_t>(c)]);
+  return key;
+}
+
+}  // namespace
+
+Rows HashJoinRows(const Rows& left, const Rows& right,
+                  const std::vector<int>& left_keys,
+                  const std::vector<int>& right_keys, size_t right_width,
+                  JoinType type, const ExprPtr& residual) {
+  BIH_CHECK(left_keys.size() == right_keys.size());
+  std::unordered_map<Row, std::vector<const Row*>, RowKeyHash, RowKeyEq> ht;
+  ht.reserve(right.size());
+  for (const Row& r : right) {
+    Row key = KeyOf(r, right_keys);
+    bool null_key = false;
+    for (const Value& v : key) null_key |= v.is_null();
+    if (null_key) continue;  // NULL never matches in equi-joins
+    ht[std::move(key)].push_back(&r);
+  }
+  Rows out;
+  for (const Row& l : left) {
+    Row key = KeyOf(l, left_keys);
+    bool null_key = false;
+    for (const Value& v : key) null_key |= v.is_null();
+    auto it = null_key ? ht.end() : ht.find(key);
+    bool matched = false;
+    if (it != ht.end()) {
+      for (const Row* r : it->second) {
+        Row joined = l;
+        joined.insert(joined.end(), r->begin(), r->end());
+        if (residual != nullptr && !residual->Test(joined)) continue;
+        matched = true;
+        out.push_back(std::move(joined));
+      }
+    }
+    if (!matched && type == JoinType::kLeftOuter) {
+      Row joined = l;
+      joined.resize(joined.size() + right_width, Value::Null());
+      out.push_back(std::move(joined));
+    }
+  }
+  return out;
+}
+
+Rows MergeJoinRows(Rows left, Rows right, const std::vector<int>& left_keys,
+                   const std::vector<int>& right_keys,
+                   const ExprPtr& residual) {
+  BIH_CHECK(left_keys.size() == right_keys.size());
+  auto cmp_keys = [](const Row& a, const std::vector<int>& acols, const Row& b,
+                     const std::vector<int>& bcols) {
+    for (size_t i = 0; i < acols.size(); ++i) {
+      int c = a[static_cast<size_t>(acols[i])].Compare(
+          b[static_cast<size_t>(bcols[i])]);
+      if (c != 0) return c;
+    }
+    return 0;
+  };
+  std::sort(left.begin(), left.end(), [&](const Row& a, const Row& b) {
+    return cmp_keys(a, left_keys, b, left_keys) < 0;
+  });
+  std::sort(right.begin(), right.end(), [&](const Row& a, const Row& b) {
+    return cmp_keys(a, right_keys, b, right_keys) < 0;
+  });
+  Rows out;
+  size_t li = 0, ri = 0;
+  while (li < left.size() && ri < right.size()) {
+    int c = cmp_keys(left[li], left_keys, right[ri], right_keys);
+    if (c < 0) {
+      ++li;
+      continue;
+    }
+    if (c > 0) {
+      ++ri;
+      continue;
+    }
+    // Find the equal-key runs on both sides.
+    size_t lend = li + 1, rend = ri + 1;
+    while (lend < left.size() &&
+           cmp_keys(left[lend], left_keys, left[li], left_keys) == 0) {
+      ++lend;
+    }
+    while (rend < right.size() &&
+           cmp_keys(right[rend], right_keys, right[ri], right_keys) == 0) {
+      ++rend;
+    }
+    // NULL keys never join.
+    bool null_key = false;
+    for (int k : left_keys) {
+      null_key |= left[li][static_cast<size_t>(k)].is_null();
+    }
+    if (!null_key) {
+      for (size_t i = li; i < lend; ++i) {
+        for (size_t j = ri; j < rend; ++j) {
+          Row joined = left[i];
+          joined.insert(joined.end(), right[j].begin(), right[j].end());
+          if (residual != nullptr && !residual->Test(joined)) continue;
+          out.push_back(std::move(joined));
+        }
+      }
+    }
+    li = lend;
+    ri = rend;
+  }
+  return out;
+}
+
+Rows IndexNestedLoopJoin(TemporalEngine& engine, const Rows& left,
+                         const std::vector<int>& left_keys,
+                         const std::string& table,
+                         const std::vector<int>& table_keys,
+                         const TemporalScanSpec& spec,
+                         const ExprPtr& residual) {
+  BIH_CHECK(left_keys.size() == table_keys.size());
+  Rows out;
+  for (const Row& l : left) {
+    ScanRequest req;
+    req.table = table;
+    req.temporal = spec;
+    bool null_key = false;
+    for (size_t i = 0; i < left_keys.size(); ++i) {
+      const Value& v = l[static_cast<size_t>(left_keys[i])];
+      null_key |= v.is_null();
+      req.equals.emplace_back(table_keys[i], v);
+    }
+    if (null_key) continue;
+    engine.Scan(req, [&](const Row& r) {
+      Row joined = l;
+      joined.insert(joined.end(), r.begin(), r.end());
+      if (residual == nullptr || residual->Test(joined)) {
+        out.push_back(std::move(joined));
+      }
+      return true;
+    });
+  }
+  return out;
+}
+
+namespace {
+
+struct AggState {
+  double sum = 0.0;
+  int64_t count = 0;
+  bool has = false;
+  Value min, max;
+  std::set<std::string> distinct;
+};
+
+}  // namespace
+
+Rows HashAggregateRows(const Rows& in, const std::vector<int>& group_cols,
+                       const std::vector<AggSpec>& aggs) {
+  std::unordered_map<Row, std::vector<AggState>, RowKeyHash, RowKeyEq> groups;
+  std::vector<Row> group_order;  // deterministic output order (first seen)
+  for (const Row& row : in) {
+    Row key = KeyOf(row, group_cols);
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      it = groups.emplace(key, std::vector<AggState>(aggs.size())).first;
+      group_order.push_back(key);
+    }
+    std::vector<AggState>& st = it->second;
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      const AggSpec& a = aggs[i];
+      if (a.kind == AggKind::kCount && a.expr == nullptr) {
+        ++st[i].count;
+        continue;
+      }
+      Value v = a.expr->Eval(row);
+      if (v.is_null()) continue;  // SQL aggregates skip NULLs
+      AggState& s = st[i];
+      switch (a.kind) {
+        case AggKind::kSum:
+        case AggKind::kAvg:
+          s.sum += v.AsDouble();
+          ++s.count;
+          break;
+        case AggKind::kCount:
+          ++s.count;
+          break;
+        case AggKind::kMin:
+          if (!s.has || v.Compare(s.min) < 0) s.min = v;
+          s.has = true;
+          break;
+        case AggKind::kMax:
+          if (!s.has || v.Compare(s.max) > 0) s.max = v;
+          s.has = true;
+          break;
+        case AggKind::kCountDistinct:
+          s.distinct.insert(v.ToString());
+          break;
+      }
+    }
+  }
+  if (group_cols.empty() && groups.empty()) {
+    groups.emplace(Row{}, std::vector<AggState>(aggs.size()));
+    group_order.push_back(Row{});
+  }
+  Rows out;
+  out.reserve(group_order.size());
+  for (const Row& key : group_order) {
+    const std::vector<AggState>& st = groups[key];
+    Row r = key;
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      const AggState& s = st[i];
+      switch (aggs[i].kind) {
+        case AggKind::kSum:
+          r.push_back(s.count == 0 ? Value::Null() : Value(s.sum));
+          break;
+        case AggKind::kAvg:
+          r.push_back(s.count == 0 ? Value::Null()
+                                   : Value(s.sum / static_cast<double>(s.count)));
+          break;
+        case AggKind::kCount:
+          r.push_back(Value(s.count));
+          break;
+        case AggKind::kMin:
+          r.push_back(s.has ? s.min : Value::Null());
+          break;
+        case AggKind::kMax:
+          r.push_back(s.has ? s.max : Value::Null());
+          break;
+        case AggKind::kCountDistinct:
+          r.push_back(Value(static_cast<int64_t>(s.distinct.size())));
+          break;
+      }
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+Rows SortRows(Rows in, const std::vector<SortKey>& keys) {
+  std::stable_sort(in.begin(), in.end(), [&](const Row& a, const Row& b) {
+    for (const SortKey& k : keys) {
+      int c = a[static_cast<size_t>(k.column)].Compare(
+          b[static_cast<size_t>(k.column)]);
+      if (c != 0) return k.ascending ? c < 0 : c > 0;
+    }
+    return false;
+  });
+  return in;
+}
+
+Rows LimitRows(Rows in, size_t n) {
+  if (in.size() > n) in.resize(n);
+  return in;
+}
+
+Rows DistinctRows(const Rows& in) {
+  std::unordered_map<Row, bool, RowKeyHash, RowKeyEq> seen;
+  Rows out;
+  for (const Row& r : in) {
+    if (seen.emplace(r, true).second) out.push_back(r);
+  }
+  return out;
+}
+
+std::string FormatRows(const Rows& rows, const std::vector<std::string>& names,
+                       size_t max_rows) {
+  std::string s;
+  if (!names.empty()) {
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (i) s += " | ";
+      s += names[i];
+    }
+    s += "\n";
+    s.append(s.size() - 1, '-');
+    s += "\n";
+  }
+  size_t shown = 0;
+  for (const Row& r : rows) {
+    if (shown++ >= max_rows) {
+      s += "... (" + std::to_string(rows.size() - max_rows) + " more)\n";
+      break;
+    }
+    for (size_t i = 0; i < r.size(); ++i) {
+      if (i) s += " | ";
+      s += r[i].ToString();
+    }
+    s += "\n";
+  }
+  return s;
+}
+
+}  // namespace bih

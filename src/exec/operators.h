@@ -1,0 +1,86 @@
+#ifndef TPCBIH_EXEC_OPERATORS_H_
+#define TPCBIH_EXEC_OPERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "exec/expr.h"
+
+namespace bih {
+
+// Materialized relational operators. The benchmark runs single queries over
+// moderate row counts, so full materialization between operators keeps the
+// implementation honest and easy to verify; the storage engines carry the
+// architecture-specific costs the paper measures.
+using Rows = std::vector<Row>;
+
+// Materializes a temporal scan.
+Rows ScanAll(TemporalEngine& engine, const ScanRequest& req);
+
+Rows FilterRows(const Rows& in, const ExprPtr& pred);
+
+Rows ProjectRows(const Rows& in, const std::vector<ExprPtr>& exprs);
+
+enum class JoinType { kInner, kLeftOuter };
+
+// Hash join on equality of the given key columns. For kLeftOuter,
+// unmatched left rows are padded with NULLs for the right side.
+Rows HashJoinRows(const Rows& left, const Rows& right,
+                  const std::vector<int>& left_keys,
+                  const std::vector<int>& right_keys, size_t right_width,
+                  JoinType type = JoinType::kInner,
+                  const ExprPtr& residual = nullptr);
+
+// Sort-merge equi-join: sorts both inputs by their key columns and merges,
+// emitting the cross product of equal-key runs. Same output as the hash
+// join (inner, modulo order); the algorithm System B's temporal
+// reconstruction relies on.
+Rows MergeJoinRows(Rows left, Rows right, const std::vector<int>& left_keys,
+                   const std::vector<int>& right_keys,
+                   const ExprPtr& residual = nullptr);
+
+// Index-nested-loop join: for every left row, probes `table` through the
+// engine with equality on (probe key columns -> table columns) under the
+// given temporal coordinates. This is the plan shape commercial optimizers
+// pick for selective joins — and abandon on temporal tables (Fig. 7).
+Rows IndexNestedLoopJoin(TemporalEngine& engine, const Rows& left,
+                         const std::vector<int>& left_keys,
+                         const std::string& table,
+                         const std::vector<int>& table_keys,
+                         const TemporalScanSpec& spec,
+                         const ExprPtr& residual = nullptr);
+
+enum class AggKind { kSum, kCount, kAvg, kMin, kMax, kCountDistinct };
+
+struct AggSpec {
+  AggKind kind;
+  // Aggregated expression; ignored for kCount with expr == nullptr (COUNT(*)).
+  ExprPtr expr;
+};
+
+// Hash aggregation: output rows are group columns followed by one column
+// per aggregate, in spec order. With empty `group_cols`, produces exactly
+// one row (global aggregate), even over empty input (SQL semantics).
+Rows HashAggregateRows(const Rows& in, const std::vector<int>& group_cols,
+                       const std::vector<AggSpec>& aggs);
+
+struct SortKey {
+  int column;
+  bool ascending = true;
+};
+
+Rows SortRows(Rows in, const std::vector<SortKey>& keys);
+
+Rows LimitRows(Rows in, size_t n);
+
+// Removes duplicate rows (SELECT DISTINCT).
+Rows DistinctRows(const Rows& in);
+
+// Pretty-prints rows for the examples (column names optional).
+std::string FormatRows(const Rows& rows, const std::vector<std::string>& names,
+                       size_t max_rows = 20);
+
+}  // namespace bih
+
+#endif  // TPCBIH_EXEC_OPERATORS_H_

@@ -1,0 +1,107 @@
+#ifndef TPCBIH_SQL_AST_H_
+#define TPCBIH_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "temporal/temporal.h"
+
+namespace bih {
+namespace sql {
+
+// Unbound expression tree produced by the parser; the executor binds column
+// references to positions after the FROM clause is resolved.
+struct SqlExpr;
+using SqlExprPtr = std::shared_ptr<SqlExpr>;
+
+struct SqlExpr {
+  enum class Kind {
+    kColumn,    // [qualifier.]name
+    kLiteral,
+    kBinary,    // op in {+,-,*,/,=,<>,<,<=,>,>=,AND,OR}
+    kUnary,     // NOT
+    kLike,      // column LIKE 'pattern' (leading/trailing % only)
+    kBetween,   // x BETWEEN a AND b
+    kAggregate, // SUM/AVG/COUNT/MIN/MAX(expr) or COUNT(*)
+    kStar,      // '*' inside COUNT(*)
+  };
+
+  Kind kind;
+  // kColumn:
+  std::string qualifier;  // table alias; empty when unqualified
+  std::string name;
+  // kLiteral:
+  Value literal;
+  // kBinary / kUnary / kLike / kBetween:
+  std::string op;
+  std::vector<SqlExprPtr> children;
+  // kAggregate:
+  std::string func;  // uppercased
+};
+
+// One SELECT-list item.
+struct SelectItem {
+  SqlExprPtr expr;   // null for a bare '*'
+  std::string alias; // empty = derived name
+};
+
+// A table reference with optional temporal clauses.
+struct TableRef {
+  std::string table;
+  std::string alias;  // defaults to the table name
+  // Parsed FOR SYSTEM_TIME / FOR BUSINESS_TIME clauses.
+  TemporalSelector system_time;
+  TemporalSelector app_time;
+  std::string app_period;  // optional explicit period name
+  bool has_app_clause = false;
+};
+
+struct Join {
+  TableRef table;
+  SqlExprPtr on;
+};
+
+struct OrderItem {
+  SqlExprPtr expr;
+  bool ascending = true;
+};
+
+// Temporal DML (SQL:2011): INSERT INTO t VALUES (...); UPDATE/DELETE with
+// an optional FOR PORTION OF <period> FROM t1 TO t2 clause mapping to the
+// SEQUENCED model.
+struct DmlStatement {
+  enum class Kind { kInsert, kUpdate, kDelete };
+  Kind kind;
+  std::string table;
+  // kInsert: one row of constant expressions.
+  std::vector<SqlExprPtr> values;
+  // kUpdate: SET assignments (constant expressions).
+  std::vector<std::pair<std::string, SqlExprPtr>> assignments;
+  // kUpdate/kDelete: row filter; null = all current rows.
+  SqlExprPtr where;
+  // FOR PORTION OF clause.
+  bool has_portion = false;
+  std::string portion_period;  // empty = the table's first period
+  int64_t portion_from = 0;
+  int64_t portion_to = 0;
+};
+
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  bool distinct = false;
+  bool select_star = false;
+  TableRef from;
+  std::vector<Join> joins;
+  SqlExprPtr where;            // may be null
+  std::vector<SqlExprPtr> group_by;
+  SqlExprPtr having;           // may be null
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;          // -1 = no limit
+};
+
+}  // namespace sql
+}  // namespace bih
+
+#endif  // TPCBIH_SQL_AST_H_

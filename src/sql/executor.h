@@ -1,0 +1,37 @@
+#ifndef TPCBIH_SQL_EXECUTOR_H_
+#define TPCBIH_SQL_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "exec/operators.h"
+#include "sql/ast.h"
+
+namespace bih {
+namespace sql {
+
+struct SqlResult {
+  std::vector<std::string> columns;
+  Rows rows;
+};
+
+// Binds and executes a parsed statement against an engine.
+Status ExecuteSelect(TemporalEngine& engine, const SelectStatement& stmt,
+                     SqlResult* out);
+
+// Executes a parsed DML statement; `out` reports the number of affected
+// keys in a single-row result. Assignments and inserted values must be
+// constant expressions (the engine applies one value set per key).
+Status ExecuteDml(TemporalEngine& engine, const DmlStatement& stmt,
+                  SqlResult* out);
+
+// Parses + executes in one step; dispatches on the leading keyword
+// (SELECT vs INSERT/UPDATE/DELETE).
+Status ExecuteSql(TemporalEngine& engine, const std::string& text,
+                  SqlResult* out);
+
+}  // namespace sql
+}  // namespace bih
+
+#endif  // TPCBIH_SQL_EXECUTOR_H_

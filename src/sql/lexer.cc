@@ -1,0 +1,102 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace bih {
+namespace sql {
+
+Status Tokenize(const std::string& input, std::vector<Token>* out) {
+  out->clear();
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      // Line comment.
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      tok.type = TokenType::kIdent;
+      tok.text = input.substr(i, j - i);
+      for (char& ch : tok.text) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i;
+      bool seen_dot = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       (input[j] == '.' && !seen_dot))) {
+        seen_dot |= input[j] == '.';
+        ++j;
+      }
+      tok.type = TokenType::kNumber;
+      tok.text = input.substr(i, j - i);
+      i = j;
+    } else if (c == '\'') {
+      std::string s;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (input[j] == '\'') {
+          if (j + 1 < n && input[j + 1] == '\'') {
+            s += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        s += input[j++];
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(i));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(s);
+      i = j;
+    } else {
+      // Two-character operators first.
+      if (i + 1 < n) {
+        std::string two = input.substr(i, 2);
+        if (two == "<>" || two == "<=" || two == ">=" || two == "!=") {
+          tok.type = TokenType::kSymbol;
+          tok.text = two == "!=" ? "<>" : two;
+          out->push_back(tok);
+          i += 2;
+          continue;
+        }
+      }
+      static const std::string kSingles = "(),*+-/=<>.;";
+      if (kSingles.find(c) == std::string::npos) {
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "' at offset " + std::to_string(i));
+      }
+      tok.type = TokenType::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+    }
+    out->push_back(std::move(tok));
+  }
+  out->push_back(Token{TokenType::kEnd, "", n});
+  return Status::OK();
+}
+
+}  // namespace sql
+}  // namespace bih

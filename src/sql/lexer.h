@@ -1,0 +1,33 @@
+#ifndef TPCBIH_SQL_LEXER_H_
+#define TPCBIH_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bih {
+namespace sql {
+
+enum class TokenType {
+  kIdent,    // identifier or keyword (case-insensitive)
+  kNumber,   // integer or decimal literal
+  kString,   // '...' literal (with '' escaping)
+  kSymbol,   // punctuation / operator: ( ) , * + - / = <> < <= > >= .
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;   // keywords uppercased; symbols verbatim
+  size_t offset = 0;  // position in the input, for error messages
+};
+
+// Splits a SQL string into tokens. Returns InvalidArgument on malformed
+// input (unterminated string, stray character).
+Status Tokenize(const std::string& input, std::vector<Token>* out);
+
+}  // namespace sql
+}  // namespace bih
+
+#endif  // TPCBIH_SQL_LEXER_H_

@@ -1,0 +1,44 @@
+#ifndef TPCBIH_SQL_PARSER_H_
+#define TPCBIH_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace bih {
+namespace sql {
+
+// Parses one temporal SELECT statement. Supported grammar (a pragmatic
+// subset of SQL:2011's temporal extensions):
+//
+//   SELECT <expr [AS name], ...> | *
+//   FROM <table> [FOR SYSTEM_TIME AS OF <t> | FROM <t1> TO <t2> | ALL]
+//                [FOR BUSINESS_TIME [<period>] AS OF <t> | FROM..TO | ALL]
+//                [<alias>]
+//   [JOIN <table> [temporal clauses] [<alias>] ON <expr>]...
+//   [WHERE <expr>] [GROUP BY <expr>, ...] [HAVING <expr>]
+//   [ORDER BY <expr> [ASC|DESC], ...] [LIMIT <n>]
+//
+// Time literals: a bare number (micros for system time, day number for
+// business time), DATE 'YYYY-MM-DD', or TIMESTAMP 'YYYY-MM-DD[ hh:mm:ss]'.
+// Expressions: arithmetic, comparisons, AND/OR/NOT, BETWEEN,
+// LIKE 'x%'/'%x%'/'%x' and the aggregates SUM/AVG/COUNT/MIN/MAX.
+Status ParseSelect(const std::string& input, SelectStatement* out);
+
+// Parses one DML statement:
+//   INSERT INTO <table> VALUES (<literal>, ...)
+//   UPDATE <table> [FOR PORTION OF <period> FROM <t1> TO <t2>]
+//     SET <col> = <literal expr>, ... [WHERE <expr>]
+//   DELETE FROM <table> [FOR PORTION OF <period> FROM <t1> TO <t2>]
+//     [WHERE <expr>]
+// FOR PORTION OF maps to the SEQUENCED application-time model.
+Status ParseDml(const std::string& input, DmlStatement* out);
+
+// True when the statement starts with INSERT/UPDATE/DELETE.
+bool LooksLikeDml(const std::string& input);
+
+}  // namespace sql
+}  // namespace bih
+
+#endif  // TPCBIH_SQL_PARSER_H_

@@ -1,0 +1,280 @@
+#include "storage/btree_index.h"
+
+#include <algorithm>
+
+namespace bih {
+
+namespace {
+constexpr size_t kMaxEntries = 64;  // fanout; split threshold for both levels
+}  // namespace
+
+int CompareKeys(const IndexKey& a, const IndexKey& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+struct BTreeIndex::LeafEntry {
+  IndexKey key;
+  RowId rid;
+};
+
+struct BTreeIndex::Node {
+  bool is_leaf;
+  Node* parent = nullptr;
+  // Leaf payload.
+  std::vector<LeafEntry> entries;
+  Node* next = nullptr;  // leaf chain for range scans
+  Node* prev = nullptr;
+  // Internal payload: children.size() == separators.size() + 1. Child i
+  // holds keys < separators[i]; child i+1 holds keys >= separators[i].
+  std::vector<IndexKey> separators;
+  std::vector<Node*> children;
+
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+};
+
+namespace {
+
+// (key, rid) pair ordering used throughout: by key, then by row id so that
+// duplicate keys have a deterministic total order.
+int CompareEntry(const IndexKey& key, RowId rid, const IndexKey& ekey,
+                 RowId erid) {
+  int c = CompareKeys(key, ekey);
+  if (c != 0) return c;
+  if (rid == erid) return 0;
+  return rid < erid ? -1 : 1;
+}
+
+}  // namespace
+
+BTreeIndex::BTreeIndex() {
+  root_ = new Node(/*leaf=*/true);
+  first_leaf_ = root_;
+}
+
+BTreeIndex::~BTreeIndex() {
+  std::function<void(Node*)> destroy = [&](Node* node) {
+    if (!node->is_leaf) {
+      for (auto* c : node->children) destroy(c);
+    }
+    delete node;
+  };
+  destroy(root_);
+}
+
+BTreeIndex::Node* BTreeIndex::FindLeaf(const IndexKey& key, RowId rid) const {
+  // Descends to the leftmost leaf that can contain `key`. On equality with a
+  // separator we go left, because equal keys may span a node boundary and
+  // scans walk the leaf chain forward from the found position.
+  (void)rid;
+  Node* n = root_;
+  while (!n->is_leaf) {
+    size_t i = 0;
+    while (i < n->separators.size()) {
+      if (CompareKeys(key, n->separators[i]) <= 0) break;
+      ++i;
+    }
+    n = n->children[i];
+  }
+  return n;
+}
+
+void BTreeIndex::Insert(const IndexKey& key, RowId rid) {
+  Node* leaf = FindLeaf(key, rid);
+  InsertIntoLeaf(leaf, LeafEntry{key, rid});
+  ++size_;
+}
+
+void BTreeIndex::InsertIntoLeaf(Node* leaf, LeafEntry entry) {
+  auto it = std::upper_bound(
+      leaf->entries.begin(), leaf->entries.end(), entry,
+      [](const LeafEntry& a, const LeafEntry& b) {
+        return CompareEntry(a.key, a.rid, b.key, b.rid) < 0;
+      });
+  leaf->entries.insert(it, std::move(entry));
+  if (leaf->entries.size() > kMaxEntries) SplitLeaf(leaf);
+}
+
+void BTreeIndex::SplitLeaf(Node* leaf) {
+  auto* right = new Node(/*leaf=*/true);
+  size_t mid = leaf->entries.size() / 2;
+  right->entries.assign(std::make_move_iterator(leaf->entries.begin() + mid),
+                        std::make_move_iterator(leaf->entries.end()));
+  leaf->entries.resize(mid);
+  right->next = leaf->next;
+  if (right->next) right->next->prev = right;
+  right->prev = leaf;
+  leaf->next = right;
+  InsertIntoParent(leaf, right->entries.front().key, right);
+}
+
+void BTreeIndex::SplitInternal(Node* node) {
+  auto* right = new Node(/*leaf=*/false);
+  size_t mid = node->separators.size() / 2;
+  IndexKey up = std::move(node->separators[mid]);
+  right->separators.assign(
+      std::make_move_iterator(node->separators.begin() + mid + 1),
+      std::make_move_iterator(node->separators.end()));
+  right->children.assign(node->children.begin() + mid + 1,
+                         node->children.end());
+  for (auto* c : right->children) c->parent = right;
+  node->separators.resize(mid);
+  node->children.resize(mid + 1);
+  InsertIntoParent(node, std::move(up), right);
+}
+
+void BTreeIndex::InsertIntoParent(Node* left, IndexKey sep, Node* right) {
+  if (left->parent == nullptr) {
+    auto* new_root = new Node(/*leaf=*/false);
+    new_root->separators.push_back(std::move(sep));
+    new_root->children.push_back(left);
+    new_root->children.push_back(right);
+    left->parent = new_root;
+    right->parent = new_root;
+    root_ = new_root;
+    return;
+  }
+  Node* parent = left->parent;
+  right->parent = parent;
+  size_t pos = 0;
+  while (pos < parent->children.size() && parent->children[pos] != left) ++pos;
+  BIH_CHECK(pos < parent->children.size());
+  parent->separators.insert(parent->separators.begin() + pos, std::move(sep));
+  parent->children.insert(parent->children.begin() + pos + 1, right);
+  if (parent->separators.size() > kMaxEntries) SplitInternal(parent);
+}
+
+bool BTreeIndex::Erase(const IndexKey& key, RowId rid) {
+  Node* leaf = FindLeaf(key, rid);
+  // Equal keys may continue in subsequent leaves; walk the chain.
+  for (Node* n = leaf; n != nullptr; n = n->next) {
+    for (size_t i = 0; i < n->entries.size(); ++i) {
+      int c = CompareKeys(n->entries[i].key, key);
+      if (c > 0) return false;
+      if (c == 0 && n->entries[i].rid == rid) {
+        n->entries.erase(n->entries.begin() + static_cast<long>(i));
+        --size_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void BTreeIndex::ScanRange(
+    const IndexKey& lo, const IndexKey& hi,
+    const std::function<bool(const IndexKey&, RowId)>& fn) const {
+  Node* n;
+  size_t start = 0;
+  if (lo.empty()) {
+    n = first_leaf_;
+  } else {
+    n = FindLeaf(lo, 0);
+    // The first qualifying entry may be in this leaf or later ones.
+    while (n && start >= n->entries.size()) {
+      n = n->next;
+      start = 0;
+    }
+    if (n) {
+      auto it = std::lower_bound(n->entries.begin(), n->entries.end(), lo,
+                                 [](const LeafEntry& e, const IndexKey& k) {
+                                   return CompareKeys(e.key, k) < 0;
+                                 });
+      start = static_cast<size_t>(it - n->entries.begin());
+    }
+  }
+  for (; n != nullptr; n = n->next, start = 0) {
+    for (size_t i = start; i < n->entries.size(); ++i) {
+      const LeafEntry& e = n->entries[i];
+      if (!hi.empty() && CompareKeys(e.key, hi) >= 0) return;
+      if (!fn(e.key, e.rid)) return;
+    }
+  }
+}
+
+void BTreeIndex::ScanPrefix(
+    const IndexKey& prefix,
+    const std::function<bool(const IndexKey&, RowId)>& fn) const {
+  ScanRange(prefix, {}, [&](const IndexKey& key, RowId rid) {
+    // Stop once the prefix no longer matches.
+    if (key.size() < prefix.size()) return false;
+    for (size_t i = 0; i < prefix.size(); ++i) {
+      if (key[i].Compare(prefix[i]) != 0) return false;
+    }
+    return fn(key, rid);
+  });
+}
+
+void BTreeIndex::Lookup(const IndexKey& key,
+                        const std::function<bool(RowId)>& fn) const {
+  ScanPrefix(key, [&](const IndexKey& k, RowId rid) {
+    if (k.size() != key.size()) return true;  // longer key, same prefix
+    return fn(rid);
+  });
+}
+
+bool BTreeIndex::FirstKey(IndexKey* out) const {
+  for (Node* n = first_leaf_; n != nullptr; n = n->next) {
+    if (!n->entries.empty()) {
+      *out = n->entries.front().key;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool BTreeIndex::LastKey(IndexKey* out) const {
+  Node* n = root_;
+  while (!n->is_leaf) n = n->children.back();
+  // Lazy deletion can leave trailing empty leaves; walk back if needed.
+  while (n != nullptr && n->entries.empty()) n = n->prev;
+  if (n == nullptr) return false;
+  *out = n->entries.back().key;
+  return true;
+}
+
+int BTreeIndex::height() const {
+  int h = 1;
+  for (Node* n = root_; !n->is_leaf; n = n->children[0]) ++h;
+  return h;
+}
+
+bool BTreeIndex::CheckInvariants() const {
+  // Key ordering along the leaf chain. (Within a run of equal keys the row
+  // id order is only guaranteed within one leaf; the index is a multimap and
+  // scans never rely on cross-leaf rid order.)
+  const LeafEntry* prev = nullptr;
+  size_t count = 0;
+  for (Node* n = first_leaf_; n != nullptr; n = n->next) {
+    BIH_CHECK(n->is_leaf);
+    for (const LeafEntry& e : n->entries) {
+      if (prev != nullptr && CompareKeys(prev->key, e.key) > 0) {
+        return false;
+      }
+      prev = &e;
+      ++count;
+    }
+  }
+  if (count != size_) return false;
+  // Separator sanity on internal nodes.
+  std::function<bool(Node*)> check = [&](Node* n) -> bool {
+    if (n->is_leaf) return true;
+    if (n->children.size() != n->separators.size() + 1) return false;
+    for (size_t i = 0; i + 1 < n->separators.size(); ++i) {
+      if (CompareKeys(n->separators[i], n->separators[i + 1]) > 0) return false;
+    }
+    for (auto* c : n->children) {
+      if (c->parent != n) return false;
+      if (!check(c)) return false;
+    }
+    return true;
+  };
+  return check(root_);
+}
+
+}  // namespace bih

@@ -1,0 +1,81 @@
+#ifndef TPCBIH_STORAGE_BTREE_INDEX_H_
+#define TPCBIH_STORAGE_BTREE_INDEX_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/value.h"
+#include "storage/row_table.h"
+
+namespace bih {
+
+// Composite index key: values of the indexed columns in index order.
+using IndexKey = std::vector<Value>;
+
+// Lexicographic comparison; a strict prefix orders before its extensions.
+int CompareKeys(const IndexKey& a, const IndexKey& b);
+
+// In-memory B+-tree multimap from composite keys to row ids.
+//
+// Duplicates are allowed; entries are (key, row id) pairs ordered by key
+// then row id. Deletion removes entries without merging underfull nodes —
+// the same lazy strategy PostgreSQL's nbtree uses — because the benchmark
+// workload is insert/append heavy and never bulk-deletes from an index.
+class BTreeIndex {
+ public:
+  BTreeIndex();
+  ~BTreeIndex();
+
+  BTreeIndex(const BTreeIndex&) = delete;
+  BTreeIndex& operator=(const BTreeIndex&) = delete;
+
+  void Insert(const IndexKey& key, RowId rid);
+
+  // Removes one (key, rid) entry. Returns false if it was not present.
+  bool Erase(const IndexKey& key, RowId rid);
+
+  // Visits entries with lo <= key < hi in key order. fn returning false
+  // stops the scan (Top-N early exit). Either bound may be empty ({}): an
+  // empty lo means "from the beginning", an empty hi means "to the end".
+  void ScanRange(const IndexKey& lo, const IndexKey& hi,
+                 const std::function<bool(const IndexKey&, RowId)>& fn) const;
+
+  // Visits all entries whose key starts with `prefix`.
+  void ScanPrefix(const IndexKey& prefix,
+                  const std::function<bool(const IndexKey&, RowId)>& fn) const;
+
+  // Visits entries with key exactly equal to `key`.
+  void Lookup(const IndexKey& key,
+              const std::function<bool(RowId)>& fn) const;
+
+  size_t size() const { return size_; }
+  int height() const;
+
+  // Smallest/largest key in the index; false when empty. Used by the access
+  // path chooser's selectivity estimate.
+  bool FirstKey(IndexKey* out) const;
+  bool LastKey(IndexKey* out) const;
+
+  // Internal invariant check used by tests: key order within and across
+  // nodes, child separation, and leaf chain consistency.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct LeafEntry;
+
+  Node* FindLeaf(const IndexKey& key, RowId rid) const;
+  void InsertIntoLeaf(Node* leaf, LeafEntry entry);
+  void SplitLeaf(Node* leaf);
+  void SplitInternal(Node* node);
+  void InsertIntoParent(Node* left, IndexKey sep, Node* right);
+
+  Node* root_;
+  Node* first_leaf_;
+  size_t size_ = 0;
+};
+
+}  // namespace bih
+
+#endif  // TPCBIH_STORAGE_BTREE_INDEX_H_

@@ -1,0 +1,35 @@
+#include "storage/row_table.h"
+
+namespace bih {
+
+RowId RowTable::Append(Row row) {
+  BIH_CHECK_MSG(static_cast<int>(row.size()) == schema_.num_columns(),
+                "row arity mismatch for " + schema_.ToString());
+  rows_.push_back(std::move(row));
+  deleted_.push_back(0);
+  ++live_count_;
+  return rows_.size() - 1;
+}
+
+void RowTable::Delete(RowId id) {
+  BIH_CHECK(id < rows_.size());
+  if (!deleted_[id]) {
+    deleted_[id] = 1;
+    --live_count_;
+  }
+}
+
+void RowTable::Scan(const std::function<bool(RowId, const Row&)>& fn) const {
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (deleted_[id]) continue;
+    if (!fn(id, rows_[id])) return;
+  }
+}
+
+void RowTable::Clear() {
+  rows_.clear();
+  deleted_.clear();
+  live_count_ = 0;
+}
+
+}  // namespace bih

@@ -1,0 +1,63 @@
+#ifndef TPCBIH_STORAGE_ROW_TABLE_H_
+#define TPCBIH_STORAGE_ROW_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/value.h"
+
+namespace bih {
+
+using RowId = uint64_t;
+constexpr RowId kInvalidRowId = ~RowId{0};
+
+// Append-mostly row store segment. Row ids are stable positions; deletion
+// marks a tombstone that scans skip. This models the heap table of a
+// disk-based RDBMS (Systems A, B, D) at the granularity the benchmark
+// observes: full scans, point reads via an index, in-place updates.
+class RowTable {
+ public:
+  explicit RowTable(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  RowId Append(Row row);
+
+  // Number of live (non-deleted) rows.
+  size_t LiveCount() const { return live_count_; }
+  // Total slots including tombstones; the upper bound for row ids.
+  size_t SlotCount() const { return rows_.size(); }
+
+  bool IsLive(RowId id) const {
+    return id < rows_.size() && !deleted_[id];
+  }
+
+  const Row& Get(RowId id) const {
+    BIH_CHECK(id < rows_.size());
+    return rows_[id];
+  }
+  Row* GetMutable(RowId id) {
+    BIH_CHECK(id < rows_.size() && !deleted_[id]);
+    return &rows_[id];
+  }
+
+  void Delete(RowId id);
+
+  // Invokes fn for every live row in insertion order. Returning false from
+  // fn stops the scan early (used for Top-N early exit).
+  void Scan(const std::function<bool(RowId, const Row&)>& fn) const;
+
+  void Clear();
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<uint8_t> deleted_;
+  size_t live_count_ = 0;
+};
+
+}  // namespace bih
+
+#endif  // TPCBIH_STORAGE_ROW_TABLE_H_

@@ -1,0 +1,286 @@
+#include "storage/rtree_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bih {
+
+namespace {
+constexpr size_t kMaxNodeEntries = 32;
+
+double SpanOf(int64_t lo, int64_t hi) {
+  return static_cast<double>(hi) - static_cast<double>(lo);
+}
+}  // namespace
+
+void Rect::Expand(const Rect& o) {
+  min[0] = std::min(min[0], o.min[0]);
+  min[1] = std::min(min[1], o.min[1]);
+  max[0] = std::max(max[0], o.max[0]);
+  max[1] = std::max(max[1], o.max[1]);
+}
+
+double Rect::HalfPerimeter() const {
+  return SpanOf(min[0], max[0]) + SpanOf(min[1], max[1]);
+}
+
+struct RTreeIndex::Entry {
+  Rect rect;
+  RowId rid;
+};
+
+struct RTreeIndex::Node {
+  bool is_leaf;
+  Node* parent = nullptr;
+  Rect mbr{{0, 0}, {-1, -1}};  // invalid until first entry
+  std::vector<Entry> entries;    // leaf payload
+  std::vector<Node*> children;   // internal payload
+
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+
+  size_t Count() const { return is_leaf ? entries.size() : children.size(); }
+
+  void RecomputeMbr() {
+    bool first = true;
+    auto add = [&](const Rect& r) {
+      if (first) {
+        mbr = r;
+        first = false;
+      } else {
+        mbr.Expand(r);
+      }
+    };
+    if (is_leaf) {
+      for (const Entry& e : entries) add(e.rect);
+    } else {
+      for (const Node* c : children) add(c->mbr);
+    }
+  }
+};
+
+RTreeIndex::RTreeIndex() { root_ = new Node(/*leaf=*/true); }
+
+RTreeIndex::~RTreeIndex() {
+  std::function<void(Node*)> destroy = [&](Node* n) {
+    for (auto* c : n->children) destroy(c);
+    delete n;
+  };
+  destroy(root_);
+}
+
+RTreeIndex::Node* RTreeIndex::ChooseLeaf(const Rect& rect) const {
+  Node* n = root_;
+  while (!n->is_leaf) {
+    // Least-enlargement heuristic.
+    Node* best = nullptr;
+    double best_delta = 0.0, best_size = 0.0;
+    for (Node* c : n->children) {
+      Rect grown = c->mbr;
+      grown.Expand(rect);
+      double delta = grown.HalfPerimeter() - c->mbr.HalfPerimeter();
+      double sz = c->mbr.HalfPerimeter();
+      if (best == nullptr || delta < best_delta ||
+          (delta == best_delta && sz < best_size)) {
+        best = c;
+        best_delta = delta;
+        best_size = sz;
+      }
+    }
+    n = best;
+  }
+  return n;
+}
+
+void RTreeIndex::Insert(const Rect& rect, RowId rid) {
+  Node* leaf = ChooseLeaf(rect);
+  leaf->entries.push_back(Entry{rect, rid});
+  if (leaf->Count() == 1) {
+    leaf->mbr = rect;
+  } else {
+    leaf->mbr.Expand(rect);
+  }
+  AdjustUpward(leaf);
+  if (leaf->Count() > kMaxNodeEntries) SplitNode(leaf);
+  ++size_;
+}
+
+void RTreeIndex::AdjustUpward(Node* node) {
+  for (Node* p = node->parent; p != nullptr; p = p->parent) {
+    Rect before = p->mbr;
+    p->mbr.Expand(node->mbr);
+    if (before.Contains(p->mbr) && p->mbr.Contains(before)) break;
+    node = p;
+  }
+}
+
+void RTreeIndex::SplitNode(Node* node) {
+  // Quadratic split: pick the two seeds wasting the most area together,
+  // then greedily assign the remainder.
+  auto rect_of = [&](size_t i) -> const Rect& {
+    return node->is_leaf ? node->entries[i].rect : node->children[i]->mbr;
+  };
+  size_t n = node->Count();
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -1.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      Rect combo = rect_of(i);
+      combo.Expand(rect_of(j));
+      double waste = combo.HalfPerimeter() - rect_of(i).HalfPerimeter() -
+                     rect_of(j).HalfPerimeter();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  auto* right = new Node(node->is_leaf);
+  right->parent = node->parent;
+  std::vector<size_t> to_left{seed_a}, to_right{seed_b};
+  Rect left_mbr = rect_of(seed_a), right_mbr = rect_of(seed_b);
+  for (size_t i = 0; i < n; ++i) {
+    if (i == seed_a || i == seed_b) continue;
+    Rect gl = left_mbr;
+    gl.Expand(rect_of(i));
+    Rect gr = right_mbr;
+    gr.Expand(rect_of(i));
+    double dl = gl.HalfPerimeter() - left_mbr.HalfPerimeter();
+    double dr = gr.HalfPerimeter() - right_mbr.HalfPerimeter();
+    // Keep the groups balanced enough to satisfy the min-fill invariant.
+    bool go_left;
+    if (to_left.size() >= n - kMaxNodeEntries / 4) {
+      go_left = false;
+    } else if (to_right.size() >= n - kMaxNodeEntries / 4) {
+      go_left = true;
+    } else {
+      go_left = dl <= dr;
+    }
+    if (go_left) {
+      to_left.push_back(i);
+      left_mbr = gl;
+    } else {
+      to_right.push_back(i);
+      right_mbr = gr;
+    }
+  }
+
+  if (node->is_leaf) {
+    std::vector<Entry> left_entries, right_entries;
+    for (size_t i : to_left) left_entries.push_back(std::move(node->entries[i]));
+    for (size_t i : to_right) right_entries.push_back(std::move(node->entries[i]));
+    node->entries = std::move(left_entries);
+    right->entries = std::move(right_entries);
+  } else {
+    std::vector<Node*> left_children, right_children;
+    for (size_t i : to_left) left_children.push_back(node->children[i]);
+    for (size_t i : to_right) right_children.push_back(node->children[i]);
+    node->children = std::move(left_children);
+    right->children = std::move(right_children);
+    for (Node* c : right->children) c->parent = right;
+  }
+  node->RecomputeMbr();
+  right->RecomputeMbr();
+
+  if (node->parent == nullptr) {
+    auto* new_root = new Node(/*leaf=*/false);
+    new_root->children = {node, right};
+    node->parent = new_root;
+    right->parent = new_root;
+    new_root->RecomputeMbr();
+    root_ = new_root;
+    return;
+  }
+  Node* parent = node->parent;
+  parent->children.push_back(right);
+  parent->RecomputeMbr();
+  AdjustUpward(parent);
+  if (parent->Count() > kMaxNodeEntries) SplitNode(parent);
+}
+
+bool RTreeIndex::Erase(const Rect& rect, RowId rid) {
+  bool erased = false;
+  std::function<bool(Node*)> walk = [&](Node* n) -> bool {
+    if (!n->mbr.Intersects(rect) && n->Count() > 0) return true;
+    if (n->is_leaf) {
+      for (size_t i = 0; i < n->entries.size(); ++i) {
+        if (n->entries[i].rid == rid && n->entries[i].rect.Contains(rect) &&
+            rect.Contains(n->entries[i].rect)) {
+          n->entries.erase(n->entries.begin() + static_cast<long>(i));
+          n->RecomputeMbr();
+          erased = true;
+          return false;
+        }
+      }
+      return true;
+    }
+    for (Node* c : n->children) {
+      if (!walk(c)) {
+        n->RecomputeMbr();
+        return false;
+      }
+    }
+    return true;
+  };
+  walk(root_);
+  if (erased) --size_;
+  return erased;
+}
+
+void RTreeIndex::Search(
+    const Rect& query,
+    const std::function<bool(const Rect&, RowId)>& fn) const {
+  std::function<bool(const Node*)> walk = [&](const Node* n) -> bool {
+    if (n->Count() == 0) return true;
+    if (!n->mbr.Intersects(query)) return true;
+    if (n->is_leaf) {
+      for (const Entry& e : n->entries) {
+        if (e.rect.Intersects(query)) {
+          if (!fn(e.rect, e.rid)) return false;
+        }
+      }
+      return true;
+    }
+    for (const Node* c : n->children) {
+      if (!walk(c)) return false;
+    }
+    return true;
+  };
+  walk(root_);
+}
+
+bool RTreeIndex::Bounds(Rect* out) const {
+  if (size_ == 0) return false;
+  *out = root_->mbr;
+  return true;
+}
+
+int RTreeIndex::height() const {
+  int h = 1;
+  for (Node* n = root_; !n->is_leaf; n = n->children[0]) ++h;
+  return h;
+}
+
+bool RTreeIndex::CheckInvariants() const {
+  size_t count = 0;
+  std::function<bool(const Node*)> check = [&](const Node* n) -> bool {
+    if (n->is_leaf) {
+      for (const Entry& e : n->entries) {
+        ++count;
+        if (!n->mbr.Contains(e.rect)) return false;
+      }
+      return true;
+    }
+    for (const Node* c : n->children) {
+      if (c->parent != n) return false;
+      if (!n->mbr.Contains(c->mbr)) return false;
+      if (!check(c)) return false;
+    }
+    return true;
+  };
+  if (!check(root_)) return false;
+  return count == size_;
+}
+
+}  // namespace bih

@@ -1,0 +1,89 @@
+#ifndef TPCBIH_STORAGE_RTREE_INDEX_H_
+#define TPCBIH_STORAGE_RTREE_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/period.h"
+#include "storage/row_table.h"
+
+namespace bih {
+
+// Axis-aligned rectangle over the (application time, system time) plane, or
+// degenerate (1-D) for single-dimension period indexes. Closed box in the
+// internal representation; period semantics (half-open) are mapped by the
+// caller via end-1.
+struct Rect {
+  int64_t min[2];
+  int64_t max[2];
+
+  static Rect FromPeriod(const Period& p) {
+    // 1-D period as a flat box; the second axis is a constant.
+    return Rect{{p.begin, 0}, {p.end - 1, 0}};
+  }
+  static Rect FromPeriods(const Period& x, const Period& y) {
+    return Rect{{x.begin, y.begin}, {x.end - 1, y.end - 1}};
+  }
+  static Rect Point(int64_t x, int64_t y) { return Rect{{x, y}, {x, y}}; }
+
+  bool Intersects(const Rect& o) const {
+    return min[0] <= o.max[0] && o.min[0] <= max[0] && min[1] <= o.max[1] &&
+           o.min[1] <= max[1];
+  }
+  bool Contains(const Rect& o) const {
+    return min[0] <= o.min[0] && o.max[0] <= max[0] && min[1] <= o.min[1] &&
+           o.max[1] <= max[1];
+  }
+  void Expand(const Rect& o);
+  // Area with saturation; used only to pick split partners, so precision
+  // loss at the infinity sentinels is harmless.
+  double HalfPerimeter() const;
+};
+
+// In-memory R-tree (the R-tree instantiation of a GiST, which is how
+// PostgreSQL exposes period indexing — Section 2.5 of the paper). Quadratic
+// split per Guttman's original algorithm.
+class RTreeIndex {
+ public:
+  RTreeIndex();
+  ~RTreeIndex();
+
+  RTreeIndex(const RTreeIndex&) = delete;
+  RTreeIndex& operator=(const RTreeIndex&) = delete;
+
+  void Insert(const Rect& rect, RowId rid);
+
+  // Removes one (rect, rid) entry; returns false if absent. The tree is not
+  // re-condensed (history indexes in the workload are append-only).
+  bool Erase(const Rect& rect, RowId rid);
+
+  // Visits entries whose rectangle intersects `query`. fn returning false
+  // stops the search.
+  void Search(const Rect& query,
+              const std::function<bool(const Rect&, RowId)>& fn) const;
+
+  size_t size() const { return size_; }
+  int height() const;
+
+  // Bounding box of all entries; false when empty.
+  bool Bounds(Rect* out) const;
+
+  // Checks bounding-box containment invariants; used by tests.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct Entry;
+
+  Node* ChooseLeaf(const Rect& rect) const;
+  void SplitNode(Node* node);
+  void AdjustUpward(Node* node);
+
+  Node* root_;
+  size_t size_ = 0;
+};
+
+}  // namespace bih
+
+#endif  // TPCBIH_STORAGE_RTREE_INDEX_H_

@@ -1,0 +1,37 @@
+#ifndef TPCBIH_TEMPORAL_CLOCK_H_
+#define TPCBIH_TEMPORAL_CLOCK_H_
+
+#include <cstdint>
+
+#include "common/chrono.h"
+
+namespace bih {
+
+// Monotonic commit clock issuing system-time timestamps. Real systems stamp
+// versions with the wall-clock commit time; the benchmark needs the clock to
+// be deterministic and strictly increasing per transaction, so we advance a
+// logical microsecond counter anchored at a fixed epoch instead of reading
+// the host clock.
+class CommitClock {
+ public:
+  // The anchor is 1995-06-17, inside the TPC-H order date range, so that
+  // formatted system times look plausible next to application times.
+  CommitClock()
+      : now_(Timestamp::FromDate(Date::FromYMD(1995, 6, 17)).micros()) {}
+  explicit CommitClock(Timestamp start) : now_(start.micros()) {}
+
+  // Timestamp for the next committing transaction; each call advances time.
+  Timestamp NextCommit() { return Timestamp(now_ += kTickMicros); }
+
+  // Current time without advancing (reads, "CURRENT" semantics).
+  Timestamp Now() const { return Timestamp(now_); }
+
+  static constexpr int64_t kTickMicros = 1000;  // 1ms between commits
+
+ private:
+  int64_t now_;
+};
+
+}  // namespace bih
+
+#endif  // TPCBIH_TEMPORAL_CLOCK_H_

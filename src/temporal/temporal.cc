@@ -1,0 +1,20 @@
+#include "temporal/temporal.h"
+
+namespace bih {
+
+std::string TemporalSelector::ToString() const {
+  switch (kind) {
+    case Kind::kImplicitCurrent:
+      return "CURRENT";
+    case Kind::kPoint:
+      return "AS OF " + std::to_string(point);
+    case Kind::kRange:
+      return "FROM " + std::to_string(range.begin) + " TO " +
+             std::to_string(range.end);
+    case Kind::kAll:
+      return "ALL";
+  }
+  return "?";
+}
+
+}  // namespace bih

@@ -1,0 +1,95 @@
+#ifndef TPCBIH_TEMPORAL_TEMPORAL_H_
+#define TPCBIH_TEMPORAL_TEMPORAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/period.h"
+
+namespace bih {
+
+// How a query pins one time dimension. Mirrors the options SQL:2011 offers:
+//  - kImplicitCurrent: the dimension is not mentioned at all. For system
+//    time this is the "implicit current" case of Section 5.3.5: engines with
+//    a current/history split may answer from the current partition alone.
+//  - kPoint: AS OF <t>  (time travel).
+//  - kRange: FROM <t1> TO <t2>  (slice).
+//  - kAll: the full axis (e.g., the ALL query / non-sequenced access).
+struct TemporalSelector {
+  enum class Kind { kImplicitCurrent, kPoint, kRange, kAll };
+
+  Kind kind = Kind::kImplicitCurrent;
+  int64_t point = 0;   // valid when kind == kPoint
+  Period range;        // valid when kind == kRange
+
+  static TemporalSelector ImplicitCurrent() { return {}; }
+  static TemporalSelector AsOf(int64_t t) {
+    TemporalSelector s;
+    s.kind = Kind::kPoint;
+    s.point = t;
+    return s;
+  }
+  static TemporalSelector Between(int64_t from, int64_t to) {
+    TemporalSelector s;
+    s.kind = Kind::kRange;
+    s.range = Period(from, to);
+    return s;
+  }
+  static TemporalSelector All() {
+    TemporalSelector s;
+    s.kind = Kind::kAll;
+    return s;
+  }
+
+  // True when a version valid over `valid` qualifies under this selector,
+  // given `now` as the current point of the axis.
+  bool Matches(const Period& valid, int64_t now) const {
+    switch (kind) {
+      case Kind::kImplicitCurrent:
+        return valid.Contains(now);
+      case Kind::kPoint:
+        return valid.Contains(point);
+      case Kind::kRange:
+        return valid.Overlaps(range);
+      case Kind::kAll:
+        return true;
+    }
+    return false;
+  }
+
+  std::string ToString() const;
+};
+
+// Full temporal coordinates for a table access: one selector per dimension.
+// `app_period_index` picks among multiple application-time periods (ORDERS
+// has two: ACTIVE_TIME and RECEIVABLE_TIME).
+struct TemporalScanSpec {
+  TemporalSelector system_time;
+  TemporalSelector app_time;
+  int app_period_index = 0;
+
+  static TemporalScanSpec Current() { return {}; }
+  static TemporalScanSpec SystemAsOf(int64_t t) {
+    TemporalScanSpec s;
+    s.system_time = TemporalSelector::AsOf(t);
+    return s;
+  }
+  static TemporalScanSpec AppAsOf(int64_t t, int period_index = 0) {
+    TemporalScanSpec s;
+    s.app_time = TemporalSelector::AsOf(t);
+    s.app_period_index = period_index;
+    return s;
+  }
+  static TemporalScanSpec BothAsOf(int64_t sys, int64_t app,
+                                   int period_index = 0) {
+    TemporalScanSpec s;
+    s.system_time = TemporalSelector::AsOf(sys);
+    s.app_time = TemporalSelector::AsOf(app);
+    s.app_period_index = period_index;
+    return s;
+  }
+};
+
+}  // namespace bih
+
+#endif  // TPCBIH_TEMPORAL_TEMPORAL_H_

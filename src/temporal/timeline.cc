@@ -1,0 +1,143 @@
+#include "temporal/timeline.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace bih {
+
+std::vector<TimelineSlice> TemporalAggregate(std::vector<TimelineEntry> entries,
+                                             TemporalAggKind kind) {
+  struct Event {
+    int64_t at;
+    bool open;
+    size_t entry;
+  };
+  std::vector<Event> events;
+  events.reserve(entries.size() * 2);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].period.Empty()) continue;
+    events.push_back({entries[i].period.begin, true, i});
+    if (!entries[i].period.IsOpenEnded()) {
+      events.push_back({entries[i].period.end, false, i});
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.open < b.open;  // process closes before opens at equal time
+  });
+
+  std::vector<TimelineSlice> out;
+  double sum = 0.0;
+  int64_t count = 0;
+  // Multiset of active values for kMax/kMin.
+  std::multiset<double> active;
+  const bool needs_order =
+      kind == TemporalAggKind::kMax || kind == TemporalAggKind::kMin;
+
+  auto aggregate_now = [&]() -> double {
+    switch (kind) {
+      case TemporalAggKind::kSum:
+        return sum;
+      case TemporalAggKind::kCount:
+        return static_cast<double>(count);
+      case TemporalAggKind::kAvg:
+        return count == 0 ? 0.0 : sum / static_cast<double>(count);
+      case TemporalAggKind::kMax:
+        return active.empty() ? 0.0 : *active.rbegin();
+      case TemporalAggKind::kMin:
+        return active.empty() ? 0.0 : *active.begin();
+    }
+    return 0.0;
+  };
+
+  size_t i = 0;
+  int64_t prev_at = 0;
+  bool have_prev = false;
+  while (i < events.size()) {
+    int64_t at = events[i].at;
+    if (have_prev && count > 0 && prev_at < at) {
+      out.push_back(TimelineSlice{Period(prev_at, at), aggregate_now(), count});
+    }
+    while (i < events.size() && events[i].at == at) {
+      const Event& e = events[i];
+      double v = entries[e.entry].value;
+      if (e.open) {
+        sum += v;
+        ++count;
+        if (needs_order) active.insert(v);
+      } else {
+        sum -= v;
+        --count;
+        if (needs_order) active.erase(active.find(v));
+      }
+      ++i;
+    }
+    prev_at = at;
+    have_prev = true;
+  }
+  // Entries open-ended at kForever produce a final slice to infinity.
+  if (count > 0) {
+    out.push_back(
+        TimelineSlice{Period(prev_at, Period::kForever), aggregate_now(), count});
+  }
+  return out;
+}
+
+void IntervalJoin(
+    const std::vector<Period>& left, const std::vector<Period>& right,
+    const std::function<void(size_t, size_t, const Period&)>& fn) {
+  // Sort both sides by begin; sweep the merged begin order keeping an active
+  // list per side pruned lazily by end.
+  std::vector<size_t> lorder(left.size()), rorder(right.size());
+  for (size_t i = 0; i < left.size(); ++i) lorder[i] = i;
+  for (size_t i = 0; i < right.size(); ++i) rorder[i] = i;
+  std::sort(lorder.begin(), lorder.end(), [&](size_t a, size_t b) {
+    return left[a].begin < left[b].begin;
+  });
+  std::sort(rorder.begin(), rorder.end(), [&](size_t a, size_t b) {
+    return right[a].begin < right[b].begin;
+  });
+
+  // Active sets ordered by end for pruning.
+  std::multimap<int64_t, size_t> lactive, ractive;
+  size_t li = 0, ri = 0;
+  while (li < lorder.size() || ri < rorder.size()) {
+    bool take_left;
+    if (li >= lorder.size()) {
+      take_left = false;
+    } else if (ri >= rorder.size()) {
+      take_left = true;
+    } else {
+      take_left = left[lorder[li]].begin <= right[rorder[ri]].begin;
+    }
+    if (take_left) {
+      size_t idx = lorder[li++];
+      const Period& p = left[idx];
+      if (p.Empty()) continue;
+      // Drop right intervals that ended at or before p.begin.
+      while (!ractive.empty() && ractive.begin()->first <= p.begin) {
+        ractive.erase(ractive.begin());
+      }
+      for (const auto& [end, ridx] : ractive) {
+        Period overlap = p.Intersect(right[ridx]);
+        if (overlap.Valid()) fn(idx, ridx, overlap);
+      }
+      lactive.emplace(p.end, idx);
+    } else {
+      size_t idx = rorder[ri++];
+      const Period& p = right[idx];
+      if (p.Empty()) continue;
+      while (!lactive.empty() && lactive.begin()->first <= p.begin) {
+        lactive.erase(lactive.begin());
+      }
+      for (const auto& [end, lidx] : lactive) {
+        Period overlap = left[lidx].Intersect(p);
+        if (overlap.Valid()) fn(lidx, idx, overlap);
+      }
+      ractive.emplace(p.end, idx);
+    }
+  }
+}
+
+}  // namespace bih

@@ -1,0 +1,52 @@
+#ifndef TPCBIH_TEMPORAL_TIMELINE_H_
+#define TPCBIH_TEMPORAL_TIMELINE_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/period.h"
+#include "common/value.h"
+
+namespace bih {
+
+// Algorithms over sets of timestamped intervals. These implement the
+// temporal operators SQL:2011 lacks (Section 3.3 of the paper): temporal
+// aggregation (R3) and temporal joins (R5, B3 correlation variants). The
+// sweep produces a result row per change point, the paper's definition of
+// temporal aggregation.
+
+// One interval-stamped input value.
+struct TimelineEntry {
+  Period period;
+  double value = 0.0;
+  // Optional group key for grouped variants; empty = single group.
+  Value group;
+};
+
+enum class TemporalAggKind { kSum, kCount, kAvg, kMax, kMin };
+
+// Aggregated value over a constancy interval of the timeline.
+struct TimelineSlice {
+  Period period;   // maximal interval where the aggregate is constant
+  double value;    // aggregate over entries active in this interval
+  int64_t count;   // number of active entries
+};
+
+// Computes aggregate(entries active at t) for every maximal interval with a
+// constant active set. Event sweep over interval boundaries: O(n log n).
+// Intervals with an empty active set are omitted. kMax/kMin recompute from
+// the active multiset; kSum/kCount/kAvg are maintained incrementally.
+std::vector<TimelineSlice> TemporalAggregate(std::vector<TimelineEntry> entries,
+                                             TemporalAggKind kind);
+
+// Interval overlap join: calls fn(left index, right index, overlap) for all
+// pairs whose periods intersect. Plane-sweep over sorted boundaries with an
+// active list: O(n log n + output). Join predicates on values are applied by
+// the caller inside fn.
+void IntervalJoin(const std::vector<Period>& left,
+                  const std::vector<Period>& right,
+                  const std::function<void(size_t, size_t, const Period&)>& fn);
+
+}  // namespace bih
+
+#endif  // TPCBIH_TEMPORAL_TIMELINE_H_

@@ -1,0 +1,104 @@
+#include "temporal/timeline_index.h"
+
+#include <algorithm>
+
+namespace bih {
+
+void TimelineIndex::Add(uint32_t version_id, const Period& period) {
+  BIH_CHECK_MSG(!finalized_, "TimelineIndex::Add after Finalize");
+  if (period.Empty()) return;
+  max_id_ = std::max(max_id_, version_id);
+  events_.push_back(Event{period.begin, version_id, true});
+  if (!period.IsOpenEnded()) {
+    events_.push_back(Event{period.end, version_id, false});
+  }
+}
+
+void TimelineIndex::Finalize() {
+  BIH_CHECK_MSG(!finalized_, "TimelineIndex already finalized");
+  finalized_ = true;
+  std::sort(events_.begin(), events_.end(), [](const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    // Invalidations before activations at the same instant (half-open
+    // periods: a version ending at t is not visible at t).
+    if (a.open != b.open) return !a.open && b.open;
+    return a.version < b.version;
+  });
+  const size_t words = (static_cast<size_t>(max_id_) >> 6) + 1;
+  std::vector<uint64_t> bits(words, 0);
+  // Checkpoint 0: empty set before any event.
+  checkpoints_.push_back(Checkpoint{Period::kBeginningOfTime, 0, bits});
+  size_t since_checkpoint = 0;
+  for (size_t i = 0; i < events_.size(); ++i) {
+    SetBit(&bits, events_[i].version, events_[i].open);
+    ++since_checkpoint;
+    // Checkpoint at the next boundary between distinct times once enough
+    // events accumulated, so a replay never re-applies same-time events.
+    if (since_checkpoint >= checkpoint_interval_ && i + 1 < events_.size() &&
+        events_[i].at != events_[i + 1].at) {
+      checkpoints_.push_back(Checkpoint{events_[i + 1].at, i + 1, bits});
+      since_checkpoint = 0;
+    }
+  }
+}
+
+void TimelineIndex::VisitActiveAt(
+    int64_t t, const std::function<bool(uint32_t)>& fn) const {
+  BIH_CHECK_MSG(finalized_, "TimelineIndex not finalized");
+  // Last checkpoint whose position is at or before t.
+  size_t lo = 0, hi = checkpoints_.size();
+  while (lo + 1 < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (checkpoints_[mid].at <= t) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const Checkpoint& cp = checkpoints_[lo];
+  std::vector<uint64_t> bits = cp.bits;
+  for (size_t i = cp.event_index; i < events_.size() && events_[i].at <= t;
+       ++i) {
+    SetBit(&bits, events_[i].version, events_[i].open);
+  }
+  for (size_t w = 0; w < bits.size(); ++w) {
+    uint64_t word = bits[w];
+    while (word != 0) {
+      int bit = __builtin_ctzll(word);
+      word &= word - 1;
+      if (!fn(static_cast<uint32_t>(w * 64 + static_cast<size_t>(bit)))) {
+        return;
+      }
+    }
+  }
+}
+
+void TimelineIndex::SweepIntervals(
+    const std::function<bool(const Delta&)>& fn) const {
+  BIH_CHECK_MSG(finalized_, "TimelineIndex not finalized");
+  std::vector<uint32_t> activated, deactivated;
+  size_t i = 0;
+  int64_t active_count = 0;
+  while (i < events_.size()) {
+    int64_t at = events_[i].at;
+    activated.clear();
+    deactivated.clear();
+    while (i < events_.size() && events_[i].at == at) {
+      if (events_[i].open) {
+        activated.push_back(events_[i].version);
+      } else {
+        deactivated.push_back(events_[i].version);
+      }
+      ++i;
+    }
+    active_count += static_cast<int64_t>(activated.size()) -
+                    static_cast<int64_t>(deactivated.size());
+    int64_t next = i < events_.size() ? events_[i].at : Period::kForever;
+    if (active_count > 0 || !deactivated.empty()) {
+      Delta d{Period(at, next), &activated, &deactivated};
+      if (!fn(d)) return;
+    }
+  }
+}
+
+}  // namespace bih

@@ -1,0 +1,258 @@
+#include "tpch/dbgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/period.h"
+#include "common/rng.h"
+
+namespace bih {
+
+namespace {
+
+const char* kRegions[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                           "MIDDLE EAST"};
+const char* kNations[25] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN",
+    "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+// region of nation i, per the TPC-H seed data.
+const int kNationRegion[25] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                               4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+
+const char* kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                            "HOUSEHOLD", "MACHINERY"};
+const char* kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                              "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[7] = {"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP",
+                             "TRUCK"};
+const char* kShipInstructs[4] = {"COLLECT COD", "DELIVER IN PERSON", "NONE",
+                                 "TAKE BACK RETURN"};
+const char* kContainers[8] = {"BAG", "BOX", "CAN", "CASE", "DRUM", "JAR",
+                              "PKG", "PACK"};
+const char* kContainerSizes[5] = {"SM", "MED", "LG", "JUMBO", "WRAP"};
+const char* kPartNameWords[16] = {
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "blanched",
+    "blue",   "blush",   "brown",      "burlywood", "chartreuse", "chiffon",
+    "chocolate", "coral", "cornflower"};
+const char* kTypes1[6] = {"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                          "PROMO"};
+const char* kTypes2[5] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                          "BRUSHED"};
+const char* kTypes3[5] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kNoise[12] = {"carefully", "quickly", "furiously", "slyly",
+                          "blithely", "daringly", "express", "regular",
+                          "ironic",   "final",   "bold",     "pending"};
+
+std::string PadKey(const char* prefix, int64_t key, int width) {
+  std::string num = std::to_string(key);
+  std::string out = prefix;
+  out.append(static_cast<size_t>(std::max(0, width - static_cast<int>(num.size()))),
+             '0');
+  out += num;
+  return out;
+}
+
+std::string RandomComment(Rng* rng) {
+  std::string s;
+  int words = static_cast<int>(rng->UniformInt(3, 7));
+  for (int i = 0; i < words; ++i) {
+    if (i) s += ' ';
+    s += kNoise[rng->UniformInt(0, 11)];
+  }
+  return s;
+}
+
+std::string RandomPhone(Rng* rng, int64_t nationkey) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%02d-%03d-%03d-%04d",
+                static_cast<int>(nationkey + 10),
+                static_cast<int>(rng->UniformInt(100, 999)),
+                static_cast<int>(rng->UniformInt(100, 999)),
+                static_cast<int>(rng->UniformInt(1000, 9999)));
+  return buf;
+}
+
+std::string RandomAddress(Rng* rng) {
+  static const char* kAlpha = "abcdefghijklmnopqrstuvwxyz0123456789 ,";
+  int len = static_cast<int>(rng->UniformInt(10, 30));
+  std::string s;
+  s.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) s += kAlpha[rng->UniformInt(0, 37)];
+  return s;
+}
+
+double RetailPrice(int64_t p) {
+  return (90000.0 + ((p / 10) % 20001) + 100.0 * (p % 1000)) / 100.0;
+}
+
+}  // namespace
+
+const std::vector<Row>& TpchData::TableRows(const std::string& name) const {
+  if (name == "REGION") return region;
+  if (name == "NATION") return nation;
+  if (name == "SUPPLIER") return supplier;
+  if (name == "PART") return part;
+  if (name == "PARTSUPP") return partsupp;
+  if (name == "CUSTOMER") return customer;
+  if (name == "ORDERS") return orders;
+  BIH_CHECK_MSG(name == "LINEITEM", "unknown table " + name);
+  return lineitem;
+}
+
+TpchCardinalities CardinalitiesFor(double scale) {
+  auto at_least_one = [](double v) {
+    return std::max<int64_t>(1, static_cast<int64_t>(std::llround(v)));
+  };
+  TpchCardinalities c;
+  c.suppliers = at_least_one(10000 * scale);
+  c.parts = at_least_one(200000 * scale);
+  c.partsupps = c.parts * 4;
+  c.customers = at_least_one(150000 * scale);
+  c.orders = at_least_one(1500000 * scale);
+  return c;
+}
+
+TpchData GenerateTpch(const TpchConfig& config) {
+  Rng rng(config.seed);
+  TpchData data;
+  const TpchCardinalities card = CardinalitiesFor(config.scale);
+  const Date start = tpch_dates::kStart;
+  const Date current = tpch_dates::kCurrent;
+  const Date last_order = tpch_dates::kLastOrder;
+  const int32_t order_span = start.DaysUntil(last_order);
+
+  // REGION / NATION: fixed seed data.
+  for (int64_t r = 0; r < 5; ++r) {
+    data.region.push_back(
+        {Value(r), Value(kRegions[r]), Value(RandomComment(&rng))});
+  }
+  for (int64_t n = 0; n < 25; ++n) {
+    data.nation.push_back({Value(n), Value(kNations[n]),
+                           Value(int64_t{kNationRegion[n]}),
+                           Value(RandomComment(&rng))});
+  }
+
+  // SUPPLIER.
+  for (int64_t s = 1; s <= card.suppliers; ++s) {
+    int64_t nk = rng.UniformInt(0, 24);
+    data.supplier.push_back({Value(s), Value(PadKey("Supplier#", s, 9)),
+                             Value(RandomAddress(&rng)), Value(nk),
+                             Value(RandomPhone(&rng, nk)),
+                             Value(rng.UniformInt(-99999, 999999) / 100.0)});
+  }
+
+  // PART. Availability begins are skewed toward recent dates (Zipf) so the
+  // application-time axis is non-uniform, as the benchmark requires.
+  const int32_t avail_span = start.DaysUntil(current);
+  for (int64_t p = 1; p <= card.parts; ++p) {
+    std::string name;
+    for (int w = 0; w < 3; ++w) {
+      if (w) name += ' ';
+      name += kPartNameWords[rng.UniformInt(0, 15)];
+    }
+    std::string type = std::string(kTypes1[rng.UniformInt(0, 5)]) + " " +
+                       kTypes2[rng.UniformInt(0, 4)] + " " +
+                       kTypes3[rng.UniformInt(0, 4)];
+    std::string container = std::string(kContainerSizes[rng.UniformInt(0, 4)]) +
+                            " " + kContainers[rng.UniformInt(0, 7)];
+    int64_t skew = rng.Zipf(avail_span, 0.7);
+    Date avail = current.AddDays(static_cast<int32_t>(-skew));
+    data.part.push_back(
+        {Value(p), Value(name), Value(PadKey("Manufacturer#", 1 + p % 5, 1)),
+         Value(PadKey("Brand#", (1 + p % 5) * 10 + 1 + (p / 5) % 5, 2)),
+         Value(type), Value(rng.UniformInt(1, 50)), Value(container),
+         Value(RetailPrice(p)), Value(avail), Value(Period::kForever)});
+  }
+
+  // PARTSUPP: four suppliers per part, spec key derivation.
+  for (int64_t p = 1; p <= card.parts; ++p) {
+    for (int64_t i = 0; i < 4; ++i) {
+      int64_t s = PartSuppSupplier(p, i, card.suppliers);
+      int64_t skew = rng.Zipf(avail_span, 0.5);
+      Date valid = current.AddDays(static_cast<int32_t>(-skew));
+      data.partsupp.push_back({Value(p), Value(s),
+                               Value(rng.UniformInt(1, 9999)),
+                               Value(rng.UniformInt(100, 100000) / 100.0),
+                               Value(valid), Value(Period::kForever)});
+    }
+  }
+
+  // CUSTOMER.
+  for (int64_t c = 1; c <= card.customers; ++c) {
+    int64_t nk = rng.UniformInt(0, 24);
+    Date visible =
+        start.AddDays(static_cast<int32_t>(rng.UniformInt(0, avail_span)));
+    data.customer.push_back(
+        {Value(c), Value(PadKey("Customer#", c, 9)), Value(RandomAddress(&rng)),
+         Value(nk), Value(RandomPhone(&rng, nk)),
+         Value(rng.UniformInt(-99999, 999999) / 100.0),
+         Value(kSegments[rng.UniformInt(0, 4)]), Value(visible),
+         Value(Period::kForever)});
+  }
+
+  // ORDERS + LINEITEM. Only two thirds of the customers place orders.
+  for (int64_t o = 1; o <= card.orders; ++o) {
+    int64_t ck;
+    do {
+      ck = rng.UniformInt(1, card.customers);
+    } while (card.customers > 3 && ck % 3 == 0);
+    Date odate =
+        start.AddDays(static_cast<int32_t>(rng.UniformInt(0, order_span)));
+    int nlines = static_cast<int>(rng.UniformInt(1, 7));
+    double total = 0.0;
+    Date max_receipt = odate;
+    int f_count = 0;
+    std::vector<Row> lines;
+    for (int ln = 1; ln <= nlines; ++ln) {
+      int64_t p = rng.UniformInt(1, card.parts);
+      int64_t i = rng.UniformInt(0, 3);
+      int64_t s = PartSuppSupplier(p, i, card.suppliers);
+      double qty = static_cast<double>(rng.UniformInt(1, 50));
+      double extprice = qty * RetailPrice(p);
+      double disc = rng.UniformInt(0, 10) / 100.0;
+      double tax = rng.UniformInt(0, 8) / 100.0;
+      Date ship = odate.AddDays(static_cast<int32_t>(rng.UniformInt(1, 121)));
+      Date commit = odate.AddDays(static_cast<int32_t>(rng.UniformInt(30, 90)));
+      Date receipt = ship.AddDays(static_cast<int32_t>(rng.UniformInt(1, 30)));
+      const char* lstatus = ship <= current ? "F" : "O";
+      const char* rflag =
+          receipt <= current ? (rng.Bernoulli(0.5) ? "R" : "A") : "N";
+      if (*lstatus == 'F') ++f_count;
+      if (max_receipt < receipt) max_receipt = receipt;
+      total += extprice * (1.0 + tax) * (1.0 - disc);
+      lines.push_back({Value(o), Value(p), Value(s), Value(int64_t{ln}),
+                       Value(qty), Value(extprice), Value(disc), Value(tax),
+                       Value(rflag), Value(lstatus), Value(ship),
+                       Value(commit), Value(receipt),
+                       Value(kShipInstructs[rng.UniformInt(0, 3)]),
+                       Value(kShipModes[rng.UniformInt(0, 6)]), Value(ship),
+                       Value(receipt)});
+    }
+    const char* ostatus =
+        f_count == nlines ? "F" : (f_count == 0 ? "O" : "P");
+    // ACTIVE_TIME runs from order placement until full delivery; open for
+    // orders still in flight. RECEIVABLE_TIME follows delivery until the
+    // payment arrives; open until then.
+    bool delivered = *ostatus == 'F';
+    Value active_end = delivered ? Value(max_receipt.AddDays(1))
+                                 : Value(Period::kForever);
+    Value recv_begin = Value(max_receipt.AddDays(1));
+    Value recv_end =
+        delivered ? Value(max_receipt.AddDays(
+                        1 + static_cast<int32_t>(rng.UniformInt(10, 60))))
+                  : Value(Period::kForever);
+    data.orders.push_back(
+        {Value(o), Value(ck), Value(ostatus), Value(total), Value(odate),
+         Value(kPriorities[rng.UniformInt(0, 4)]),
+         Value(PadKey("Clerk#", rng.UniformInt(1, std::max<int64_t>(
+                                                      1, card.orders / 1000)),
+                      9)),
+         Value(int64_t{0}), Value(odate), active_end, recv_begin, recv_end});
+    for (Row& line : lines) data.lineitem.push_back(std::move(line));
+  }
+  return data;
+}
+
+}  // namespace bih

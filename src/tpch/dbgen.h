@@ -1,0 +1,70 @@
+#ifndef TPCBIH_TPCH_DBGEN_H_
+#define TPCBIH_TPCH_DBGEN_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/chrono.h"
+#include "common/value.h"
+#include "tpch/schema.h"
+
+namespace bih {
+
+// Fixed calendar anchors from the TPC-H specification.
+namespace tpch_dates {
+inline const Date kStart = Date::FromYMD(1992, 1, 1);
+inline const Date kCurrent = Date::FromYMD(1995, 6, 17);
+inline const Date kLastOrder = Date::FromYMD(1998, 8, 2);
+inline const Date kEnd = Date::FromYMD(1998, 12, 31);
+}  // namespace tpch_dates
+
+struct TpchConfig {
+  // TPC-H scale factor h: 1.0 corresponds to the standard ~8.66 M rows.
+  double scale = 0.01;
+  uint64_t seed = 19920101;
+};
+
+// Version-0 population of all eight tables, rows in user-schema order.
+struct TpchData {
+  std::vector<Row> region;
+  std::vector<Row> nation;
+  std::vector<Row> supplier;
+  std::vector<Row> part;
+  std::vector<Row> partsupp;
+  std::vector<Row> customer;
+  std::vector<Row> orders;
+  std::vector<Row> lineitem;
+
+  size_t TotalRows() const {
+    return region.size() + nation.size() + supplier.size() + part.size() +
+           partsupp.size() + customer.size() + orders.size() + lineitem.size();
+  }
+  const std::vector<Row>& TableRows(const std::string& name) const;
+};
+
+// dbgen equivalent: deterministic for a given config. Application-time
+// periods are derived from the date attributes of the data itself
+// (Section 4.1): LINEITEM/ORDERS from ship/receipt dates, the reference
+// tables from skewed registration dates, which gives the application axis
+// the non-uniform distribution the benchmark wants.
+TpchData GenerateTpch(const TpchConfig& config);
+
+// Cardinalities at a given scale factor (before order/lineitem variance).
+struct TpchCardinalities {
+  int64_t suppliers, parts, partsupps, customers, orders;
+};
+TpchCardinalities CardinalitiesFor(double scale);
+
+// The i-th (0..3) supplier of a part. Follows the spec's stride derivation,
+// adjusted so the four suppliers stay distinct at the tiny scale factors
+// this repository benches with (the spec formula assumes S >= 80).
+inline int64_t PartSuppSupplier(int64_t partkey, int64_t i,
+                                int64_t suppliers) {
+  int64_t stride = std::max<int64_t>(1, suppliers / 4);
+  return (partkey + i * stride) % suppliers + 1;
+}
+
+}  // namespace bih
+
+#endif  // TPCBIH_TPCH_DBGEN_H_

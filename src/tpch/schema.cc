@@ -1,0 +1,160 @@
+#include "tpch/schema.h"
+
+namespace bih {
+
+namespace {
+constexpr ColumnType kInt = ColumnType::kInt;
+constexpr ColumnType kDouble = ColumnType::kDouble;
+constexpr ColumnType kString = ColumnType::kString;
+constexpr ColumnType kDate = ColumnType::kDate;
+}  // namespace
+
+TableDef RegionDef() {
+  TableDef def;
+  def.name = "REGION";
+  def.schema = Schema({{"R_REGIONKEY", kInt}, {"R_NAME", kString},
+                       {"R_COMMENT", kString}});
+  def.primary_key = {region::kRegionKey};
+  def.system_versioned = false;
+  return def;
+}
+
+TableDef NationDef() {
+  TableDef def;
+  def.name = "NATION";
+  def.schema = Schema({{"N_NATIONKEY", kInt},
+                       {"N_NAME", kString},
+                       {"N_REGIONKEY", kInt},
+                       {"N_COMMENT", kString}});
+  def.primary_key = {nation::kNationKey};
+  def.system_versioned = false;
+  return def;
+}
+
+TableDef SupplierDef() {
+  TableDef def;
+  def.name = "SUPPLIER";
+  def.schema = Schema({{"S_SUPPKEY", kInt},
+                       {"S_NAME", kString},
+                       {"S_ADDRESS", kString},
+                       {"S_NATIONKEY", kInt},
+                       {"S_PHONE", kString},
+                       {"S_ACCTBAL", kDouble}});
+  def.primary_key = {supplier::kSuppKey};
+  // Degenerate temporal table: the system time doubles as the application
+  // time (paper Section 3.1); no explicit application period columns.
+  def.system_versioned = true;
+  return def;
+}
+
+TableDef PartDef() {
+  TableDef def;
+  def.name = "PART";
+  def.schema = Schema({{"P_PARTKEY", kInt},
+                       {"P_NAME", kString},
+                       {"P_MFGR", kString},
+                       {"P_BRAND", kString},
+                       {"P_TYPE", kString},
+                       {"P_SIZE", kInt},
+                       {"P_CONTAINER", kString},
+                       {"P_RETAILPRICE", kDouble},
+                       {"P_AVAIL_BEGIN", kDate},
+                       {"P_AVAIL_END", kDate}});
+  def.primary_key = {part::kPartKey};
+  def.app_periods = {
+      {"AVAILABILITY_TIME", part::kAvailBegin, part::kAvailEnd}};
+  def.system_versioned = true;
+  return def;
+}
+
+TableDef PartSuppDef() {
+  TableDef def;
+  def.name = "PARTSUPP";
+  def.schema = Schema({{"PS_PARTKEY", kInt},
+                       {"PS_SUPPKEY", kInt},
+                       {"PS_AVAILQTY", kInt},
+                       {"PS_SUPPLYCOST", kDouble},
+                       {"PS_VALID_BEGIN", kDate},
+                       {"PS_VALID_END", kDate}});
+  def.primary_key = {partsupp::kPartKey, partsupp::kSuppKey};
+  def.app_periods = {
+      {"VALIDITY_TIME", partsupp::kValidBegin, partsupp::kValidEnd}};
+  def.system_versioned = true;
+  return def;
+}
+
+TableDef CustomerDef() {
+  TableDef def;
+  def.name = "CUSTOMER";
+  def.schema = Schema({{"C_CUSTKEY", kInt},
+                       {"C_NAME", kString},
+                       {"C_ADDRESS", kString},
+                       {"C_NATIONKEY", kInt},
+                       {"C_PHONE", kString},
+                       {"C_ACCTBAL", kDouble},
+                       {"C_MKTSEGMENT", kString},
+                       {"C_VISIBLE_BEGIN", kDate},
+                       {"C_VISIBLE_END", kDate}});
+  def.primary_key = {customer::kCustKey};
+  def.app_periods = {
+      {"VISIBLE_TIME", customer::kVisibleBegin, customer::kVisibleEnd}};
+  def.system_versioned = true;
+  return def;
+}
+
+TableDef OrdersDef() {
+  TableDef def;
+  def.name = "ORDERS";
+  def.schema = Schema({{"O_ORDERKEY", kInt},
+                       {"O_CUSTKEY", kInt},
+                       {"O_ORDERSTATUS", kString},
+                       {"O_TOTALPRICE", kDouble},
+                       {"O_ORDERDATE", kDate},
+                       {"O_ORDERPRIORITY", kString},
+                       {"O_CLERK", kString},
+                       {"O_SHIPPRIORITY", kInt},
+                       {"O_ACTIVE_BEGIN", kDate},
+                       {"O_ACTIVE_END", kDate},
+                       {"O_RECEIVABLE_BEGIN", kDate},
+                       {"O_RECEIVABLE_END", kDate}});
+  def.primary_key = {orders::kOrderKey};
+  def.app_periods = {
+      {"ACTIVE_TIME", orders::kActiveBegin, orders::kActiveEnd},
+      {"RECEIVABLE_TIME", orders::kReceivableBegin, orders::kReceivableEnd}};
+  def.system_versioned = true;
+  return def;
+}
+
+TableDef LineitemDef() {
+  TableDef def;
+  def.name = "LINEITEM";
+  def.schema = Schema({{"L_ORDERKEY", kInt},
+                       {"L_PARTKEY", kInt},
+                       {"L_SUPPKEY", kInt},
+                       {"L_LINENUMBER", kInt},
+                       {"L_QUANTITY", kDouble},
+                       {"L_EXTENDEDPRICE", kDouble},
+                       {"L_DISCOUNT", kDouble},
+                       {"L_TAX", kDouble},
+                       {"L_RETURNFLAG", kString},
+                       {"L_LINESTATUS", kString},
+                       {"L_SHIPDATE", kDate},
+                       {"L_COMMITDATE", kDate},
+                       {"L_RECEIPTDATE", kDate},
+                       {"L_SHIPINSTRUCT", kString},
+                       {"L_SHIPMODE", kString},
+                       {"L_ACTIVE_BEGIN", kDate},
+                       {"L_ACTIVE_END", kDate}});
+  def.primary_key = {lineitem::kOrderKey, lineitem::kLineNumber};
+  def.app_periods = {
+      {"ACTIVE_TIME", lineitem::kActiveBegin, lineitem::kActiveEnd}};
+  def.system_versioned = true;
+  return def;
+}
+
+std::vector<TableDef> BiHSchema() {
+  return {RegionDef(),   NationDef(), SupplierDef(), PartDef(),
+          PartSuppDef(), CustomerDef(), OrdersDef(),  LineitemDef()};
+}
+
+}  // namespace bih

@@ -1,0 +1,73 @@
+#ifndef TPCBIH_TPCH_SCHEMA_H_
+#define TPCBIH_TPCH_SCHEMA_H_
+
+#include <vector>
+
+#include "catalog/schema.h"
+
+namespace bih {
+
+// The TPC-BiH schema (paper Figure 1): the TPC-H tables extended with
+// application-time periods and system versioning.
+//  * REGION and NATION stay unversioned (they rarely change).
+//  * SUPPLIER is the degenerate table: system time only.
+//  * PART, PARTSUPP, CUSTOMER, LINEITEM are bitemporal with one
+//    application-time period each.
+//  * ORDERS carries two application times: ACTIVE_TIME and RECEIVABLE_TIME.
+// Application-time periods appear as pairs of DATE columns; system time is
+// engine-managed.
+
+// Column positions, in user-schema order. Grouped per table for readability.
+namespace region {
+constexpr int kRegionKey = 0, kName = 1, kComment = 2;
+}
+namespace nation {
+constexpr int kNationKey = 0, kName = 1, kRegionKey = 2, kComment = 3;
+}
+namespace supplier {
+constexpr int kSuppKey = 0, kName = 1, kAddress = 2, kNationKey = 3,
+              kPhone = 4, kAcctBal = 5;
+}
+namespace part {
+constexpr int kPartKey = 0, kName = 1, kMfgr = 2, kBrand = 3, kType = 4,
+              kSize = 5, kContainer = 6, kRetailPrice = 7, kAvailBegin = 8,
+              kAvailEnd = 9;
+}
+namespace partsupp {
+constexpr int kPartKey = 0, kSuppKey = 1, kAvailQty = 2, kSupplyCost = 3,
+              kValidBegin = 4, kValidEnd = 5;
+}
+namespace customer {
+constexpr int kCustKey = 0, kName = 1, kAddress = 2, kNationKey = 3,
+              kPhone = 4, kAcctBal = 5, kMktSegment = 6, kVisibleBegin = 7,
+              kVisibleEnd = 8;
+}
+namespace orders {
+constexpr int kOrderKey = 0, kCustKey = 1, kOrderStatus = 2, kTotalPrice = 3,
+              kOrderDate = 4, kOrderPriority = 5, kClerk = 6,
+              kShipPriority = 7, kActiveBegin = 8, kActiveEnd = 9,
+              kReceivableBegin = 10, kReceivableEnd = 11;
+}
+namespace lineitem {
+constexpr int kOrderKey = 0, kPartKey = 1, kSuppKey = 2, kLineNumber = 3,
+              kQuantity = 4, kExtendedPrice = 5, kDiscount = 6, kTax = 7,
+              kReturnFlag = 8, kLineStatus = 9, kShipDate = 10,
+              kCommitDate = 11, kReceiptDate = 12, kShipInstruct = 13,
+              kShipMode = 14, kActiveBegin = 15, kActiveEnd = 16;
+}
+
+TableDef RegionDef();
+TableDef NationDef();
+TableDef SupplierDef();
+TableDef PartDef();
+TableDef PartSuppDef();
+TableDef CustomerDef();
+TableDef OrdersDef();
+TableDef LineitemDef();
+
+// All eight table definitions in load order (referenced tables first).
+std::vector<TableDef> BiHSchema();
+
+}  // namespace bih
+
+#endif  // TPCBIH_TPCH_SCHEMA_H_

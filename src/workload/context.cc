@@ -1,0 +1,180 @@
+#include "workload/context.h"
+
+#include <algorithm>
+#include <map>
+
+#include "tpch/schema.h"
+
+namespace bih {
+
+std::unique_ptr<TemporalEngine> LoadEngine(const std::string& letter,
+                                           const TpchData& initial,
+                                           const History& history,
+                                           size_t batch_size,
+                                           std::vector<double>* latencies,
+                                           std::vector<Scenario>* scenarios) {
+  std::unique_ptr<TemporalEngine> engine = MakeEngine(letter);
+  Status st = CreateBiHTables(*engine);
+  BIH_CHECK_MSG(st.ok(), st.ToString());
+  st = LoadInitialData(*engine, initial);
+  BIH_CHECK_MSG(st.ok(), st.ToString());
+  st = ReplayHistory(*engine, history, batch_size, latencies, scenarios);
+  BIH_CHECK_MSG(st.ok(), st.ToString());
+  // Bring the storage to its steady state (System C: delta/main merge and
+  // history relocation, like the merges a column store runs after loading).
+  engine->Maintain();
+  return engine;
+}
+
+WorkloadContext BuildWorkload(const WorkloadConfig& config) {
+  WorkloadContext ctx;
+  ctx.initial = GenerateTpch({config.h, config.seed});
+  GeneratorConfig gcfg;
+  gcfg.m = config.m;
+  gcfg.seed = config.seed + 1;
+  HistoryGenerator gen(ctx.initial, gcfg);
+  ctx.history = gen.Generate();
+  ctx.stats = gen.stats();
+  ctx.end_state = gen.EndState();
+
+  ctx.engine = MakeEngine(config.engine_letter);
+  Status st = CreateBiHTables(*ctx.engine);
+  BIH_CHECK_MSG(st.ok(), st.ToString());
+  st = LoadInitialData(*ctx.engine, ctx.initial);
+  BIH_CHECK_MSG(st.ok(), st.ToString());
+  ctx.sys_v0 = ctx.engine->Now();
+
+  const size_t half = ctx.history.size() / 2;
+  History first(ctx.history.begin(), ctx.history.begin() + half);
+  History second(ctx.history.begin() + half, ctx.history.end());
+  st = ReplayHistory(*ctx.engine, first, config.batch_size);
+  BIH_CHECK_MSG(st.ok(), st.ToString());
+  ctx.sys_mid = ctx.engine->Now();
+  st = ReplayHistory(*ctx.engine, second, config.batch_size);
+  BIH_CHECK_MSG(st.ok(), st.ToString());
+  ctx.sys_end = ctx.engine->Now();
+  ctx.engine->Maintain();
+
+  // Application-time anchors: the evolution advances application time from
+  // the TPC-H "current date" to the end of 1998.
+  ctx.app_early = tpch_dates::kCurrent.AddDays(1).days();
+  ctx.app_late = tpch_dates::kEnd.days() - 1;
+  ctx.app_mid = (ctx.app_early + ctx.app_late) / 2;
+
+  // Hot keys: the customer and order with the most history operations.
+  std::map<int64_t, int64_t> cust_ops, order_ops;
+  for (const HistoryTransaction& txn : ctx.history) {
+    for (const Operation& op : txn.ops) {
+      if (op.table == "CUSTOMER" &&
+          op.kind != Operation::Kind::kInsert) {
+        ++cust_ops[op.key[0].AsInt()];
+      } else if (op.table == "ORDERS" &&
+                 op.kind != Operation::Kind::kInsert) {
+        ++order_ops[op.key[0].AsInt()];
+      }
+    }
+  }
+  for (const auto& [k, n] : cust_ops) {
+    if (n > cust_ops[ctx.hot_custkey]) ctx.hot_custkey = k;
+  }
+  for (const auto& [k, n] : order_ops) {
+    if (n > order_ops[ctx.hot_orderkey]) ctx.hot_orderkey = k;
+  }
+  return ctx;
+}
+
+std::unique_ptr<TemporalEngine> LoadBaseline(const TpchData& snapshot) {
+  std::unique_ptr<TemporalEngine> engine = MakeEngine("D");
+  Status st = CreateBiHTables(*engine);
+  BIH_CHECK_MSG(st.ok(), st.ToString());
+  st = LoadInitialData(*engine, snapshot);
+  BIH_CHECK_MSG(st.ok(), st.ToString());
+  return engine;
+}
+
+Status ApplyIndexSetting(TemporalEngine& engine, IndexSetting setting,
+                         IndexType type) {
+  if (setting == IndexSetting::kNone) return Status::OK();
+  for (const TableDef& def : BiHSchema()) {
+    const int sys_from = def.schema.num_columns();
+    const int sys_to = sys_from + 1;
+    auto add = [&](PartitionSel part, std::vector<int> cols, IndexType t,
+                   const std::string& suffix) -> Status {
+      IndexSpec spec;
+      spec.table = def.name;
+      spec.partition = part;
+      spec.columns = std::move(cols);
+      spec.type = t;
+      spec.name = def.name + "_" + suffix;
+      Status st = engine.CreateIndex(spec);
+      // Engines legitimately refuse some structures (e.g. R-trees outside
+      // System D); tuning simply skips those.
+      if (!st.ok() && st.code() != Status::Code::kUnimplemented) return st;
+      return Status::OK();
+    };
+    switch (setting) {
+      case IndexSetting::kTime: {
+        if (def.HasAppTime()) {
+          for (const AppPeriodDef& ap : def.app_periods) {
+            if (type == IndexType::kRTree) {
+              BIH_RETURN_IF_ERROR(add(PartitionSel::kCurrent,
+                                      {ap.begin_col, ap.end_col}, type,
+                                      "gist_app_" + ap.name));
+              BIH_RETURN_IF_ERROR(add(PartitionSel::kHistory,
+                                      {ap.begin_col, ap.end_col}, type,
+                                      "gist_app_hist_" + ap.name));
+            } else {
+              BIH_RETURN_IF_ERROR(add(PartitionSel::kCurrent, {ap.begin_col},
+                                      type, "app_" + ap.name));
+              BIH_RETURN_IF_ERROR(add(PartitionSel::kHistory, {ap.begin_col},
+                                      type, "app_hist_" + ap.name));
+            }
+          }
+        }
+        if (def.system_versioned) {
+          if (type == IndexType::kRTree) {
+            BIH_RETURN_IF_ERROR(add(PartitionSel::kHistory,
+                                    {sys_from, sys_to}, type, "gist_sys_hist"));
+          } else {
+            BIH_RETURN_IF_ERROR(
+                add(PartitionSel::kHistory, {sys_from}, type, "sys_hist"));
+          }
+        }
+        break;
+      }
+      case IndexSetting::kKeyTime: {
+        std::vector<int> cols = def.primary_key;
+        cols.push_back(sys_from);
+        BIH_RETURN_IF_ERROR(
+            add(PartitionSel::kHistory, cols, IndexType::kBTree, "key_sys_hist"));
+        BIH_RETURN_IF_ERROR(add(PartitionSel::kCurrent, def.primary_key,
+                                IndexType::kBTree, "key_cur"));
+        break;
+      }
+      case IndexSetting::kValue: {
+        if (def.name == "CUSTOMER") {
+          BIH_RETURN_IF_ERROR(add(PartitionSel::kCurrent,
+                                  {def.schema.ColumnIndex("C_ACCTBAL")},
+                                  IndexType::kBTree, "val_acctbal"));
+          BIH_RETURN_IF_ERROR(add(PartitionSel::kHistory,
+                                  {def.schema.ColumnIndex("C_ACCTBAL")},
+                                  IndexType::kBTree, "val_acctbal_hist"));
+        }
+        if (def.name == "ORDERS") {
+          BIH_RETURN_IF_ERROR(add(PartitionSel::kCurrent,
+                                  {def.schema.ColumnIndex("O_TOTALPRICE")},
+                                  IndexType::kBTree, "val_totalprice"));
+          BIH_RETURN_IF_ERROR(add(PartitionSel::kHistory,
+                                  {def.schema.ColumnIndex("O_TOTALPRICE")},
+                                  IndexType::kBTree, "val_totalprice_hist"));
+        }
+        break;
+      }
+      case IndexSetting::kNone:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace bih

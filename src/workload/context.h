@@ -1,0 +1,77 @@
+#ifndef TPCBIH_WORKLOAD_CONTEXT_H_
+#define TPCBIH_WORKLOAD_CONTEXT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bih/generator.h"
+#include "engine/engine.h"
+#include "tpch/dbgen.h"
+
+namespace bih {
+
+// A loaded benchmark instance: one engine populated with version 0 plus the
+// evolved history, together with the interesting time coordinates the
+// queries parameterize over (Section 4: the benchmarking service records
+// temporal metadata such as the system-time interval of the generator run).
+struct WorkloadContext {
+  std::unique_ptr<TemporalEngine> engine;
+
+  // System-time anchors.
+  Timestamp sys_v0;    // right after the initial load ("version 0")
+  Timestamp sys_mid;   // middle of the history evolution
+  Timestamp sys_end;   // after the full history (current)
+
+  // Application-time anchors (day numbers).
+  int64_t app_early = 0;  // before most of the evolution
+  int64_t app_mid = 0;
+  int64_t app_late = 0;   // end of the evolution window
+
+  // The customer with the most versions (K queries) and an order with a
+  // long history.
+  int64_t hot_custkey = 1;
+  int64_t hot_orderkey = 1;
+
+  // Kept for building non-temporal baselines and for verification.
+  TpchData initial;
+  History history;
+  HistoryStats stats;
+  TpchData end_state;
+
+  TemporalEngine& eng() const { return *engine; }
+};
+
+struct WorkloadConfig {
+  std::string engine_letter = "A";
+  double h = 0.002;  // TPC-H scale
+  double m = 0.002;  // history scale (millions of scenarios)
+  uint64_t seed = 42;
+  size_t batch_size = 1;
+};
+
+// Generates data + history once and loads them into a fresh engine.
+WorkloadContext BuildWorkload(const WorkloadConfig& config);
+
+// Loads the same pre-generated data/history into another engine letter,
+// so engine comparisons use identical input (the archive pattern of
+// Section 4.2).
+std::unique_ptr<TemporalEngine> LoadEngine(const std::string& letter,
+                                           const TpchData& initial,
+                                           const History& history,
+                                           size_t batch_size = 1,
+                                           std::vector<double>* latencies = nullptr,
+                                           std::vector<Scenario>* scenarios = nullptr);
+
+// Builds a non-temporal baseline engine (System D layout, no history)
+// holding `snapshot` — used for the Fig. 7 slowdown ratios.
+std::unique_ptr<TemporalEngine> LoadBaseline(const TpchData& snapshot);
+
+// Applies index tuning settings from Section 5.1.
+enum class IndexSetting { kNone, kTime, kKeyTime, kValue };
+Status ApplyIndexSetting(TemporalEngine& engine, IndexSetting setting,
+                         IndexType type = IndexType::kBTree);
+
+}  // namespace bih
+
+#endif  // TPCBIH_WORKLOAD_CONTEXT_H_

@@ -1,0 +1,583 @@
+#include "workload/queries.h"
+
+#include <algorithm>
+#include <map>
+
+#include "tpch/schema.h"
+
+namespace bih {
+
+namespace {
+
+int SysFromCol(TemporalEngine& engine, const std::string& table) {
+  return engine.GetTableDef(table).schema.num_columns();
+}
+
+TemporalScanSpec AllVersions() {
+  TemporalScanSpec spec;
+  spec.system_time = TemporalSelector::All();
+  spec.app_time = TemporalSelector::All();
+  return spec;
+}
+
+Rows AggregateAvgCount(TemporalEngine& engine, const ScanRequest& req,
+                       int value_col) {
+  double sum = 0.0;
+  int64_t n = 0;
+  engine.Scan(req, [&](const Row& row) {
+    const Value& v = row[static_cast<size_t>(value_col)];
+    if (!v.is_null()) {
+      sum += v.AsDouble();
+      ++n;
+    }
+    return true;
+  });
+  return {Row{n == 0 ? Value::Null() : Value(sum / static_cast<double>(n)),
+              Value(n)}};
+}
+
+}  // namespace
+
+Rows QueryAll(TemporalEngine& engine) {
+  ScanRequest req;
+  req.table = "ORDERS";
+  req.temporal = AllVersions();
+  req.projection = {orders::kTotalPrice};
+  return AggregateAvgCount(engine, req, orders::kTotalPrice);
+}
+
+Rows T1(TemporalEngine& engine, const TemporalScanSpec& spec) {
+  ScanRequest req;
+  req.table = "PARTSUPP";
+  req.temporal = spec;
+  req.projection = {partsupp::kSupplyCost};
+  return AggregateAvgCount(engine, req, partsupp::kSupplyCost);
+}
+
+Rows T2(TemporalEngine& engine, const TemporalScanSpec& spec) {
+  ScanRequest req;
+  req.table = "ORDERS";
+  req.temporal = spec;
+  req.projection = {orders::kTotalPrice};
+  return AggregateAvgCount(engine, req, orders::kTotalPrice);
+}
+
+Rows T3(TemporalEngine& engine, int64_t app_t1, int64_t app_t2) {
+  ScanRequest req;
+  req.table = "CUSTOMER";
+  req.temporal = TemporalScanSpec::AppAsOf(app_t1);
+  req.projection = {customer::kCustKey, customer::kAcctBal};
+  Rows first = ScanAll(engine, req);
+  req.temporal = TemporalScanSpec::AppAsOf(app_t2);
+  Rows second = ScanAll(engine, req);
+  const size_t width = first.empty()
+                           ? static_cast<size_t>(
+                                 SysFromCol(engine, "CUSTOMER") + 2)
+                           : first[0].size();
+  Rows joined = HashJoinRows(first, second, {customer::kCustKey},
+                             {customer::kCustKey}, width);
+  const int bal2 = static_cast<int>(width) + customer::kAcctBal;
+  Rows changed = FilterRows(
+      joined, Ne(Col(customer::kAcctBal), Col(bal2)));
+  return ProjectRows(changed, {Col(customer::kCustKey),
+                               Col(customer::kAcctBal), Col(bal2)});
+}
+
+Rows T4(TemporalEngine& engine, const TemporalScanSpec& spec, size_t n) {
+  ScanRequest req;
+  req.table = "ORDERS";
+  req.temporal = spec;
+  Rows out;
+  engine.Scan(req, [&](const Row& row) {
+    out.push_back(row);
+    return out.size() < n;  // early stop
+  });
+  return out;
+}
+
+Rows T6AppPointSysAll(TemporalEngine& engine, int64_t app_point) {
+  TemporalScanSpec spec;
+  spec.system_time = TemporalSelector::All();
+  spec.app_time = TemporalSelector::AsOf(app_point);
+  return T2(engine, spec);
+}
+
+Rows T6SysPointAppAll(TemporalEngine& engine, Timestamp sys_point) {
+  TemporalScanSpec spec;
+  spec.system_time = TemporalSelector::AsOf(sys_point.micros());
+  spec.app_time = TemporalSelector::All();
+  return T2(engine, spec);
+}
+
+Rows T7Implicit(TemporalEngine& engine) {
+  return T2(engine, TemporalScanSpec::Current());
+}
+
+Rows T7Explicit(TemporalEngine& engine) {
+  return T2(engine, TemporalScanSpec::SystemAsOf(engine.Now().micros()));
+}
+
+Rows T8SimulatedAppPoint(TemporalEngine& engine, int64_t app_point,
+                         const TemporalSelector& sys) {
+  // The application-time constraint travels as plain predicates evaluated
+  // by the client, never as a temporal clause (no index, no pruning).
+  ScanRequest req;
+  req.table = "ORDERS";
+  req.temporal.system_time = sys;
+  req.projection = {orders::kTotalPrice, orders::kActiveBegin,
+                    orders::kActiveEnd};
+  double sum = 0.0;
+  int64_t n = 0;
+  engine.Scan(req, [&](const Row& row) {
+    const Value& b = row[orders::kActiveBegin];
+    const Value& e = row[orders::kActiveEnd];
+    if (b.is_null() || e.is_null()) return true;
+    if (b.AsInt() <= app_point && app_point < e.AsInt()) {
+      sum += row[orders::kTotalPrice].AsDouble();
+      ++n;
+    }
+    return true;
+  });
+  return {Row{n == 0 ? Value::Null() : Value(sum / static_cast<double>(n)),
+              Value(n)}};
+}
+
+Rows T9SimulatedAppSlice(TemporalEngine& engine, int64_t app_point) {
+  return T8SimulatedAppPoint(engine, app_point, TemporalSelector::All());
+}
+
+namespace {
+
+ScanRequest CustomerKeyRequest(int64_t custkey, const TemporalScanSpec& spec) {
+  ScanRequest req;
+  req.table = "CUSTOMER";
+  req.temporal = spec;
+  req.equals = {{customer::kCustKey, Value(custkey)}};
+  return req;
+}
+
+}  // namespace
+
+Rows K1(TemporalEngine& engine, int64_t custkey, const TemporalScanSpec& spec) {
+  Rows rows = ScanAll(engine, CustomerKeyRequest(custkey, spec));
+  const int sys_from = SysFromCol(engine, "CUSTOMER");
+  return SortRows(std::move(rows), {{sys_from, true}});
+}
+
+Rows K2(TemporalEngine& engine, int64_t custkey, const TemporalScanSpec& spec) {
+  return K1(engine, custkey, spec);
+}
+
+Rows K3(TemporalEngine& engine, int64_t custkey, const TemporalScanSpec& spec) {
+  ScanRequest req = CustomerKeyRequest(custkey, spec);
+  req.projection = {customer::kAcctBal};
+  Rows rows = ScanAll(engine, req);
+  const int sys_from = SysFromCol(engine, "CUSTOMER");
+  rows = SortRows(std::move(rows), {{sys_from, true}});
+  return ProjectRows(rows, {Col(customer::kAcctBal), Col(sys_from)});
+}
+
+Rows K4(TemporalEngine& engine, int64_t custkey, const TemporalScanSpec& spec,
+        size_t n) {
+  Rows rows = ScanAll(engine, CustomerKeyRequest(custkey, spec));
+  const int sys_from = SysFromCol(engine, "CUSTOMER");
+  rows = SortRows(std::move(rows), {{sys_from, false}});
+  return LimitRows(std::move(rows), n);
+}
+
+Rows K5(TemporalEngine& engine, int64_t custkey, const TemporalScanSpec& spec) {
+  // Correlated formulation: find the newest version, then re-scan for the
+  // newest version strictly older than it — two key accesses, like the SQL.
+  const int sys_from = SysFromCol(engine, "CUSTOMER");
+  int64_t latest = Period::kBeginningOfTime;
+  engine.Scan(CustomerKeyRequest(custkey, spec), [&](const Row& row) {
+    latest = std::max(latest, row[static_cast<size_t>(sys_from)].AsInt());
+    return true;
+  });
+  Row best;
+  int64_t best_from = Period::kBeginningOfTime;
+  engine.Scan(CustomerKeyRequest(custkey, spec), [&](const Row& row) {
+    int64_t from = row[static_cast<size_t>(sys_from)].AsInt();
+    if (from < latest && from > best_from) {
+      best_from = from;
+      best = row;
+    }
+    return true;
+  });
+  Rows out;
+  if (!best.empty()) out.push_back(std::move(best));
+  return out;
+}
+
+Rows K6(TemporalEngine& engine, double lo, Value hi,
+        const TemporalScanSpec& spec) {
+  ScanRequest req;
+  req.table = "CUSTOMER";
+  req.temporal = spec;
+  req.range_col = customer::kAcctBal;
+  req.range_lo = Value(lo);
+  req.range_hi = std::move(hi);
+  Rows rows = ScanAll(engine, req);
+  return SortRows(std::move(rows), {{customer::kCustKey, true}});
+}
+
+Rows R1(TemporalEngine& engine) {
+  // Two temporal evaluations of ORDERS joined on the key with the system
+  // intervals meeting: each joined pair is one state transition.
+  ScanRequest req;
+  req.table = "ORDERS";
+  req.temporal.system_time = TemporalSelector::All();
+  req.projection = {orders::kOrderKey, orders::kOrderStatus};
+  Rows h1 = ScanAll(engine, req);
+  Rows h2 = ScanAll(engine, req);
+  const int sys_from = SysFromCol(engine, "ORDERS");
+  const int sys_to = sys_from + 1;
+  const int w = sys_from + 2;
+  ExprPtr meets = And(Eq(Col(sys_to), Col(w + sys_from)),
+                      Ne(Col(orders::kOrderStatus), Col(w + orders::kOrderStatus)));
+  Rows joined = HashJoinRows(h1, h2, {orders::kOrderKey}, {orders::kOrderKey},
+                             static_cast<size_t>(w), JoinType::kInner, meets);
+  return ProjectRows(joined,
+                     {Col(orders::kOrderKey), Col(orders::kOrderStatus),
+                      Col(w + orders::kOrderStatus), Col(w + sys_from)});
+}
+
+Rows R2(TemporalEngine& engine) {
+  ScanRequest req;
+  req.table = "ORDERS";
+  req.temporal.system_time = TemporalSelector::All();
+  req.projection = {orders::kOrderKey, orders::kOrderStatus};
+  Rows h = ScanAll(engine, req);
+  const int sys_from = SysFromCol(engine, "ORDERS");
+  const int sys_to = sys_from + 1;
+  const int64_t now = engine.Now().micros();
+  // Duration spent in the open state, per order.
+  std::map<int64_t, int64_t> dur;
+  for (const Row& row : h) {
+    if (row[orders::kOrderStatus].AsString() != "O") continue;
+    int64_t b = row[static_cast<size_t>(sys_from)].AsInt();
+    int64_t e = row[static_cast<size_t>(sys_to)].AsInt();
+    if (e == Period::kForever) e = now;
+    dur[row[orders::kOrderKey].AsInt()] += e - b;
+  }
+  Rows out;
+  for (const auto& [k, d] : dur) out.push_back({Value(k), Value(d)});
+  return out;
+}
+
+Rows R3(TemporalEngine& engine, TemporalAggKind kind, bool naive) {
+  ScanRequest req;
+  req.table = "ORDERS";
+  req.temporal.system_time = TemporalSelector::All();
+  req.projection = {orders::kTotalPrice};
+  const int sys_from = SysFromCol(engine, "ORDERS");
+  const int sys_to = sys_from + 1;
+
+  if (!naive) {
+    // Timeline sweep — the dedicated temporal-aggregation operator the
+    // paper finds missing from all systems (cf. the Timeline Index work).
+    std::vector<TimelineEntry> entries;
+    engine.Scan(req, [&](const Row& row) {
+      TimelineEntry e;
+      e.period = Period(row[static_cast<size_t>(sys_from)].AsInt(),
+                        row[static_cast<size_t>(sys_to)].AsInt());
+      e.value = row[orders::kTotalPrice].AsDouble();
+      entries.push_back(e);
+      return true;
+    });
+    std::vector<TimelineSlice> slices = TemporalAggregate(std::move(entries), kind);
+    Rows out;
+    out.reserve(slices.size());
+    for (const TimelineSlice& s : slices) {
+      out.push_back({Value(s.period.begin), Value(s.period.end),
+                     Value(s.value), Value(s.count)});
+    }
+    return out;
+  }
+
+  // Naive SQL:2011 formulation: project all interval boundaries, then for
+  // each boundary re-evaluate the aggregate over the versions active there.
+  // This is the "rather costly join over the time interval boundaries
+  // followed by a grouping" of Section 3.3 — quadratic, hence the orders-of-
+  // magnitude blowup of Fig. 14.
+  Rows versions = ScanAll(engine, req);
+  std::vector<int64_t> boundaries;
+  for (const Row& row : versions) {
+    boundaries.push_back(row[static_cast<size_t>(sys_from)].AsInt());
+    int64_t e = row[static_cast<size_t>(sys_to)].AsInt();
+    if (e != Period::kForever) boundaries.push_back(e);
+  }
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+  Rows out;
+  for (int64_t b : boundaries) {
+    double sum = 0.0, mn = 0.0, mx = 0.0;
+    int64_t count = 0;
+    for (const Row& row : versions) {
+      int64_t vb = row[static_cast<size_t>(sys_from)].AsInt();
+      int64_t ve = row[static_cast<size_t>(sys_to)].AsInt();
+      if (vb <= b && b < ve) {
+        double v = row[orders::kTotalPrice].AsDouble();
+        if (count == 0) {
+          mn = mx = v;
+        } else {
+          mn = std::min(mn, v);
+          mx = std::max(mx, v);
+        }
+        sum += v;
+        ++count;
+      }
+    }
+    if (count == 0) continue;
+    double value = 0.0;
+    switch (kind) {
+      case TemporalAggKind::kSum:
+        value = sum;
+        break;
+      case TemporalAggKind::kCount:
+        value = static_cast<double>(count);
+        break;
+      case TemporalAggKind::kAvg:
+        value = sum / static_cast<double>(count);
+        break;
+      case TemporalAggKind::kMax:
+        value = mx;
+        break;
+      case TemporalAggKind::kMin:
+        value = mn;
+        break;
+    }
+    out.push_back({Value(b), Value(value), Value(count)});
+  }
+  return out;
+}
+
+Rows R4(TemporalEngine& engine, size_t top_n) {
+  // The SQL accesses PARTSUPP twice (min and max sub-selects); mirror that.
+  ScanRequest req;
+  req.table = "PARTSUPP";
+  req.temporal = AllVersions();
+  req.projection = {partsupp::kPartKey, partsupp::kSuppKey,
+                    partsupp::kAvailQty};
+  Rows pass1 = ScanAll(engine, req);
+  Rows pass2 = ScanAll(engine, req);
+  Rows mins = HashAggregateRows(
+      pass1, {partsupp::kPartKey, partsupp::kSuppKey},
+      {{AggKind::kMin, Col(partsupp::kAvailQty)}});
+  Rows maxs = HashAggregateRows(
+      pass2, {partsupp::kPartKey, partsupp::kSuppKey},
+      {{AggKind::kMax, Col(partsupp::kAvailQty)}});
+  Rows joined = HashJoinRows(mins, maxs, {0, 1}, {0, 1}, 3);
+  // (p, s, min, p, s, max) -> (p, s, max-min)
+  Rows diffs = ProjectRows(joined, {Col(0), Col(1), Sub(Col(5), Col(2))});
+  diffs = SortRows(std::move(diffs), {{2, true}, {0, true}, {1, true}});
+  return LimitRows(std::move(diffs), top_n);
+}
+
+Rows R5(TemporalEngine& engine, double balance_lim, double price_lim) {
+  ScanRequest creq;
+  creq.table = "CUSTOMER";
+  creq.temporal.system_time = TemporalSelector::All();
+  creq.projection = {customer::kCustKey, customer::kAcctBal};
+  Rows cust = ScanAll(engine, creq);
+  const int c_sys_from = SysFromCol(engine, "CUSTOMER");
+  cust = FilterRows(cust, Lt(Col(customer::kAcctBal), Lit(balance_lim)));
+
+  ScanRequest oreq;
+  oreq.table = "ORDERS";
+  oreq.temporal.system_time = TemporalSelector::All();
+  oreq.projection = {orders::kCustKey, orders::kTotalPrice};
+  Rows ords = ScanAll(engine, oreq);
+  const int o_sys_from = SysFromCol(engine, "ORDERS");
+  ords = FilterRows(ords, Gt(Col(orders::kTotalPrice), Lit(price_lim)));
+
+  const int cw = c_sys_from + 2;
+  // Overlap of the two system-time intervals.
+  ExprPtr overlap =
+      And(Lt(Col(c_sys_from), Col(cw + o_sys_from + 1)),
+          Lt(Col(cw + o_sys_from), Col(c_sys_from + 1)));
+  Rows joined =
+      HashJoinRows(cust, ords, {customer::kCustKey}, {orders::kCustKey},
+                   static_cast<size_t>(o_sys_from + 2), JoinType::kInner,
+                   overlap);
+  Rows keys = ProjectRows(joined, {Col(customer::kCustKey)});
+  return DistinctRows(keys);
+}
+
+Rows R6(TemporalEngine& engine) {
+  // Temporal aggregation + join: per nation, number of (order version,
+  // customer version) pairs whose system intervals overlap.
+  ScanRequest creq;
+  creq.table = "CUSTOMER";
+  creq.temporal.system_time = TemporalSelector::All();
+  creq.projection = {customer::kCustKey, customer::kNationKey};
+  Rows cust = ScanAll(engine, creq);
+  const int c_sys_from = SysFromCol(engine, "CUSTOMER");
+
+  ScanRequest oreq;
+  oreq.table = "ORDERS";
+  oreq.temporal.system_time = TemporalSelector::All();
+  oreq.projection = {orders::kCustKey};
+  Rows ords = ScanAll(engine, oreq);
+  const int o_sys_from = SysFromCol(engine, "ORDERS");
+
+  const int cw = c_sys_from + 2;
+  ExprPtr overlap =
+      And(Lt(Col(c_sys_from), Col(cw + o_sys_from + 1)),
+          Lt(Col(cw + o_sys_from), Col(c_sys_from + 1)));
+  Rows joined =
+      HashJoinRows(cust, ords, {customer::kCustKey}, {orders::kCustKey},
+                   static_cast<size_t>(o_sys_from + 2), JoinType::kInner,
+                   overlap);
+  return HashAggregateRows(joined, {customer::kNationKey},
+                           {{AggKind::kCount, nullptr}});
+}
+
+Rows R7(TemporalEngine& engine, double pct) {
+  ScanRequest req;
+  req.table = "PARTSUPP";
+  req.temporal.system_time = TemporalSelector::All();
+  req.projection = {partsupp::kPartKey, partsupp::kSuppKey,
+                    partsupp::kSupplyCost};
+  const int sys_from = SysFromCol(engine, "PARTSUPP");
+  Rows rows = ScanAll(engine, req);
+  // Previous-version correlation for every key: order each key's versions
+  // by system time and compare successive supply costs.
+  struct Ver {
+    int64_t from;
+    double cost;
+  };
+  std::map<std::pair<int64_t, int64_t>, std::vector<Ver>> by_key;
+  for (const Row& row : rows) {
+    by_key[{row[partsupp::kPartKey].AsInt(), row[partsupp::kSuppKey].AsInt()}]
+        .push_back(Ver{row[static_cast<size_t>(sys_from)].AsInt(),
+                       row[partsupp::kSupplyCost].AsDouble()});
+  }
+  const double factor = 1.0 + pct / 100.0;
+  Rows out;
+  for (auto& [key, vers] : by_key) {
+    std::sort(vers.begin(), vers.end(),
+              [](const Ver& a, const Ver& b) { return a.from < b.from; });
+    for (size_t i = 1; i < vers.size(); ++i) {
+      if (vers[i - 1].cost > 0 && vers[i].cost > vers[i - 1].cost * factor) {
+        out.push_back({Value(key.second), Value(key.first),
+                       Value(vers[i].cost / vers[i - 1].cost)});
+      }
+    }
+  }
+  return DistinctRows(ProjectRows(out, {Col(0)}));
+}
+
+Rows B3(TemporalEngine& engine, int variant, int64_t partkey,
+        int64_t app_point, Timestamp sys_past) {
+  // Table 3 coordinates: application in {Point, Correlation, Agnostic},
+  // system in {Point/Current, Point/Past, Correlation, Agnostic}.
+  enum class App { kPoint, kCorr, kAgnostic };
+  enum class Sys { kCurrent, kPast, kCorr, kAgnostic };
+  App app;
+  Sys sys;
+  switch (variant) {
+    case 0:   // non-temporal baseline: plain self-join on current data
+      app = App::kAgnostic;
+      sys = Sys::kCurrent;
+      break;
+    case 1:
+      app = App::kPoint;
+      sys = Sys::kCurrent;
+      break;
+    case 2:
+      app = App::kPoint;
+      sys = Sys::kPast;
+      break;
+    case 3:
+      app = App::kCorr;
+      sys = Sys::kCurrent;
+      break;
+    case 4:
+      app = App::kPoint;
+      sys = Sys::kCorr;
+      break;
+    case 5:
+      app = App::kCorr;
+      sys = Sys::kCorr;
+      break;
+    case 6:
+      app = App::kAgnostic;
+      sys = Sys::kCurrent;
+      break;
+    case 7:
+      app = App::kAgnostic;
+      sys = Sys::kPast;
+      break;
+    case 8:
+      app = App::kAgnostic;
+      sys = Sys::kCorr;
+      break;
+    case 9:
+      app = App::kPoint;
+      sys = Sys::kAgnostic;
+      break;
+    case 10:
+      app = App::kCorr;
+      sys = Sys::kAgnostic;
+      break;
+    default:
+      app = App::kAgnostic;
+      sys = Sys::kAgnostic;
+      break;
+  }
+
+  TemporalScanSpec spec;
+  switch (sys) {
+    case Sys::kCurrent:
+      spec.system_time = TemporalSelector::ImplicitCurrent();
+      break;
+    case Sys::kPast:
+      spec.system_time = TemporalSelector::AsOf(sys_past.micros());
+      break;
+    case Sys::kCorr:
+    case Sys::kAgnostic:
+      spec.system_time = TemporalSelector::All();
+      break;
+  }
+  switch (app) {
+    case App::kPoint:
+      spec.app_time = TemporalSelector::AsOf(app_point);
+      break;
+    case App::kCorr:
+    case App::kAgnostic:
+      spec.app_time = TemporalSelector::All();
+      break;
+  }
+
+  ScanRequest left;
+  left.table = "PARTSUPP";
+  left.temporal = spec;
+  left.equals = {{partsupp::kPartKey, Value(partkey)}};
+  Rows ps1 = ScanAll(engine, left);
+
+  ScanRequest right = left;
+  right.equals.clear();
+  Rows ps2 = ScanAll(engine, right);
+
+  const int sys_from = SysFromCol(engine, "PARTSUPP");
+  const int w = sys_from + 2;
+  ExprPtr residual = nullptr;
+  if (app == App::kCorr) {
+    residual = And(Lt(Col(partsupp::kValidBegin), Col(w + partsupp::kValidEnd)),
+                   Lt(Col(w + partsupp::kValidBegin), Col(partsupp::kValidEnd)));
+  }
+  if (sys == Sys::kCorr) {
+    ExprPtr sys_overlap = And(Lt(Col(sys_from), Col(w + sys_from + 1)),
+                              Lt(Col(w + sys_from), Col(sys_from + 1)));
+    residual = residual == nullptr ? sys_overlap : And(residual, sys_overlap);
+  }
+  Rows joined =
+      HashJoinRows(ps1, ps2, {partsupp::kSuppKey}, {partsupp::kSuppKey},
+                   static_cast<size_t>(w), JoinType::kInner, residual);
+  Rows parts = ProjectRows(joined, {Col(w + partsupp::kPartKey)});
+  return SortRows(DistinctRows(parts), {{0, true}});
+}
+
+}  // namespace bih

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "exec/expr.h"
+#include "exec/operators.h"
+
+namespace bih {
+namespace {
+
+Row R(std::initializer_list<Value> vals) { return Row(vals); }
+
+TEST(ExprTest, ArithmeticIntAndDouble) {
+  Row row{Value(int64_t{6}), Value(7.0)};
+  EXPECT_EQ(13, Add(Col(0), Col(1))->Eval(row).AsDouble());
+  EXPECT_EQ(42.0, Mul(Col(0), Col(1))->Eval(row).AsDouble());
+  EXPECT_EQ(12, Add(Col(0), Col(0))->Eval(row).AsInt());
+  EXPECT_DOUBLE_EQ(6.0 / 7.0, Div(Col(0), Col(1))->Eval(row).AsDouble());
+}
+
+TEST(ExprTest, DivisionByZeroIsNull) {
+  Row row{Value(1.0), Value(0.0)};
+  EXPECT_TRUE(Div(Col(0), Col(1))->Eval(row).is_null());
+}
+
+TEST(ExprTest, Comparisons) {
+  Row row{Value(int64_t{5}), Value(int64_t{7})};
+  EXPECT_EQ(1, Lt(Col(0), Col(1))->Eval(row).AsInt());
+  EXPECT_EQ(0, Gt(Col(0), Col(1))->Eval(row).AsInt());
+  EXPECT_EQ(1, Ne(Col(0), Col(1))->Eval(row).AsInt());
+  EXPECT_EQ(1, Le(Col(0), Col(0))->Eval(row).AsInt());
+}
+
+TEST(ExprTest, NullPropagationInFilters) {
+  Row row{Value::Null(), Value(int64_t{1})};
+  EXPECT_TRUE(Eq(Col(0), Col(1))->Eval(row).is_null());
+  EXPECT_FALSE(Eq(Col(0), Col(1))->Test(row));  // NULL -> filtered out
+  EXPECT_TRUE(IsNull(Col(0))->Test(row));
+  EXPECT_FALSE(IsNull(Col(1))->Test(row));
+}
+
+TEST(ExprTest, BooleanShortCircuit) {
+  Row row{Value(int64_t{1}), Value(int64_t{0})};
+  EXPECT_EQ(1, Or(Col(0), Col(1))->Eval(row).AsInt());
+  EXPECT_EQ(0, And(Col(0), Col(1))->Eval(row).AsInt());
+  EXPECT_EQ(1, Not(Col(1))->Eval(row).AsInt());
+}
+
+TEST(ExprTest, StringPredicates) {
+  Row row{Value("PROMO BRUSHED STEEL")};
+  EXPECT_TRUE(StartsWith(Col(0), Lit("PROMO"))->Test(row));
+  EXPECT_FALSE(StartsWith(Col(0), Lit("STEEL"))->Test(row));
+  EXPECT_TRUE(Contains(Col(0), Lit("BRUSHED"))->Test(row));
+  EXPECT_FALSE(Contains(Col(0), Lit("POLISHED"))->Test(row));
+}
+
+TEST(ExprTest, BetweenAndYear) {
+  Row row{Value(Date::FromYMD(1994, 5, 3))};
+  EXPECT_EQ(1994, YearOf(Col(0))->Eval(row).AsInt());
+  EXPECT_TRUE(Between(Col(0), Lit(Value(Date::FromYMD(1994, 1, 1))),
+                      Lit(Value(Date::FromYMD(1994, 12, 31))))
+                  ->Test(row));
+}
+
+TEST(OperatorsTest, FilterAndProject) {
+  Rows in{R({Value(int64_t{1}), Value(2.0)}), R({Value(int64_t{5}), Value(3.0)})};
+  Rows f = FilterRows(in, Gt(Col(0), Lit(int64_t{2})));
+  ASSERT_EQ(1u, f.size());
+  Rows p = ProjectRows(f, {Mul(Col(1), Lit(2.0))});
+  EXPECT_DOUBLE_EQ(6.0, p[0][0].AsDouble());
+}
+
+TEST(OperatorsTest, HashJoinInner) {
+  Rows left{R({Value(int64_t{1}), Value("a")}), R({Value(int64_t{2}), Value("b")}),
+            R({Value(int64_t{3}), Value("c")})};
+  Rows right{R({Value(int64_t{2}), Value(20.0)}),
+             R({Value(int64_t{2}), Value(21.0)}),
+             R({Value(int64_t{3}), Value(30.0)})};
+  Rows out = HashJoinRows(left, right, {0}, {0}, 2);
+  ASSERT_EQ(3u, out.size());
+  for (const Row& r : out) {
+    EXPECT_EQ(0, r[0].Compare(r[2]));
+    EXPECT_EQ(4u, r.size());
+  }
+}
+
+TEST(OperatorsTest, HashJoinLeftOuterPadsNulls) {
+  Rows left{R({Value(int64_t{1})}), R({Value(int64_t{2})})};
+  Rows right{R({Value(int64_t{2}), Value("x")})};
+  Rows out = HashJoinRows(left, right, {0}, {0}, 2, JoinType::kLeftOuter);
+  ASSERT_EQ(2u, out.size());
+  const Row& unmatched = out[0][0].AsInt() == 1 ? out[0] : out[1];
+  EXPECT_TRUE(unmatched[1].is_null());
+  EXPECT_TRUE(unmatched[2].is_null());
+}
+
+TEST(OperatorsTest, HashJoinResidualPredicate) {
+  Rows left{R({Value(int64_t{1}), Value(int64_t{10})})};
+  Rows right{R({Value(int64_t{1}), Value(int64_t{5})}),
+             R({Value(int64_t{1}), Value(int64_t{20})})};
+  Rows out = HashJoinRows(left, right, {0}, {0}, 2, JoinType::kInner,
+                          Lt(Col(1), Col(3)));
+  ASSERT_EQ(1u, out.size());
+  EXPECT_EQ(20, out[0][3].AsInt());
+}
+
+TEST(OperatorsTest, NullKeysNeverJoin) {
+  Rows left{R({Value::Null(), Value(int64_t{1})})};
+  Rows right{R({Value::Null(), Value(int64_t{2})})};
+  EXPECT_TRUE(HashJoinRows(left, right, {0}, {0}, 2).empty());
+}
+
+TEST(OperatorsTest, AggregateKinds) {
+  Rows in{R({Value("g"), Value(1.0)}), R({Value("g"), Value(3.0)}),
+          R({Value("h"), Value(5.0)}), R({Value("g"), Value(3.0)})};
+  Rows out = HashAggregateRows(
+      in, {0},
+      {{AggKind::kSum, Col(1)},
+       {AggKind::kAvg, Col(1)},
+       {AggKind::kMin, Col(1)},
+       {AggKind::kMax, Col(1)},
+       {AggKind::kCount, nullptr},
+       {AggKind::kCountDistinct, Col(1)}});
+  out = SortRows(std::move(out), {{0, true}});
+  ASSERT_EQ(2u, out.size());
+  EXPECT_DOUBLE_EQ(7.0, out[0][1].AsDouble());
+  EXPECT_DOUBLE_EQ(7.0 / 3.0, out[0][2].AsDouble());
+  EXPECT_DOUBLE_EQ(1.0, out[0][3].AsDouble());
+  EXPECT_DOUBLE_EQ(3.0, out[0][4].AsDouble());
+  EXPECT_EQ(3, out[0][5].AsInt());
+  EXPECT_EQ(2, out[0][6].AsInt());
+}
+
+TEST(OperatorsTest, GlobalAggregateOnEmptyInput) {
+  Rows out = HashAggregateRows({}, {}, {{AggKind::kCount, nullptr},
+                                        {AggKind::kSum, Col(0)}});
+  ASSERT_EQ(1u, out.size());
+  EXPECT_EQ(0, out[0][0].AsInt());
+  EXPECT_TRUE(out[0][1].is_null());  // SUM over nothing is NULL
+}
+
+TEST(OperatorsTest, AggregateSkipsNulls) {
+  Rows in{R({Value(1.0)}), R({Value::Null()})};
+  Rows out = HashAggregateRows(in, {}, {{AggKind::kCount, Col(0)},
+                                        {AggKind::kAvg, Col(0)}});
+  EXPECT_EQ(1, out[0][0].AsInt());
+  EXPECT_DOUBLE_EQ(1.0, out[0][1].AsDouble());
+}
+
+TEST(OperatorsTest, SortMultiKeyAndStability) {
+  Rows in{R({Value(int64_t{1}), Value("b")}), R({Value(int64_t{2}), Value("a")}),
+          R({Value(int64_t{1}), Value("a")})};
+  Rows out = SortRows(in, {{0, true}, {1, false}});
+  EXPECT_EQ("b", out[0][1].AsString());
+  EXPECT_EQ("a", out[1][1].AsString());
+  EXPECT_EQ(2, out[2][0].AsInt());
+}
+
+TEST(OperatorsTest, LimitAndDistinct) {
+  Rows in{R({Value(int64_t{1})}), R({Value(int64_t{1})}), R({Value(int64_t{2})})};
+  EXPECT_EQ(2u, LimitRows(in, 2).size());
+  EXPECT_EQ(2u, DistinctRows(in).size());
+  EXPECT_EQ(3u, LimitRows(in, 99).size());
+}
+
+TEST(OperatorsTest, FormatRowsTruncates) {
+  Rows in;
+  for (int i = 0; i < 30; ++i) in.push_back(R({Value(int64_t{i})}));
+  std::string s = FormatRows(in, {"n"}, 5);
+  EXPECT_NE(std::string::npos, s.find("25 more"));
+}
+
+}  // namespace
+}  // namespace bih

@@ -1,0 +1,258 @@
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "bih/generator.h"
+#include "bih/history.h"
+#include "tpch/schema.h"
+#include "workload/context.h"
+
+namespace bih {
+namespace {
+
+class HistoryGenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TpchConfig tcfg;
+    tcfg.scale = 0.001;
+    tcfg.seed = 5;
+    initial_ = new TpchData(GenerateTpch(tcfg));
+    GeneratorConfig gcfg;
+    gcfg.m = 0.003;  // 3000 scenarios
+    gcfg.seed = 6;
+    gen_ = new HistoryGenerator(*initial_, gcfg);
+    history_ = new History(gen_->Generate());
+  }
+  static void TearDownTestSuite() {
+    delete history_;
+    delete gen_;
+    delete initial_;
+  }
+  static TpchData* initial_;
+  static HistoryGenerator* gen_;
+  static History* history_;
+};
+
+TpchData* HistoryGenTest::initial_ = nullptr;
+HistoryGenerator* HistoryGenTest::gen_ = nullptr;
+History* HistoryGenTest::history_ = nullptr;
+
+TEST_F(HistoryGenTest, TransactionCountMatchesScale) {
+  EXPECT_EQ(3000u, history_->size());
+  EXPECT_EQ(3000, gen_->stats().total_transactions);
+}
+
+TEST_F(HistoryGenTest, ScenarioMixFollowsTable1) {
+  // Table 1 probabilities within sampling tolerance.
+  const HistoryStats& st = gen_->stats();
+  std::vector<double> probs = ScenarioProbabilities();
+  for (size_t i = 0; i < probs.size(); ++i) {
+    double got = static_cast<double>(st.scenario_counts[i]) / 3000.0;
+    EXPECT_NEAR(probs[i], got, 0.03)
+        << ScenarioName(static_cast<Scenario>(i));
+  }
+}
+
+TEST_F(HistoryGenTest, Table2OperationShape) {
+  const auto& per_table = gen_->stats().per_table;
+  // NATION and REGION are never touched.
+  EXPECT_EQ(0u, per_table.count("NATION"));
+  EXPECT_EQ(0u, per_table.count("REGION"));
+  // SUPPLIER: only non-temporal updates (degenerate table).
+  const TableOpStats& sup = per_table.at("SUPPLIER");
+  EXPECT_GT(sup.nontemporal_update, 0);
+  EXPECT_EQ(sup.TotalOps(), sup.nontemporal_update);
+  // PART and PARTSUPP receive only updates, never inserts or deletes.
+  for (const char* t : {"PART", "PARTSUPP"}) {
+    const TableOpStats& st = per_table.at(t);
+    EXPECT_EQ(0, st.app_insert + st.nontemporal_insert) << t;
+    EXPECT_EQ(0, st.deletes) << t;
+    EXPECT_GT(st.app_update + st.overwrite_app, 0) << t;
+  }
+  // PART, PARTSUPP, CUSTOMER(no), ORDERS see overwrites (Table 2 flags).
+  EXPECT_GT(per_table.at("PART").overwrite_app, 0);
+  EXPECT_GT(per_table.at("PARTSUPP").overwrite_app, 0);
+  EXPECT_GT(per_table.at("ORDERS").overwrite_app, 0);
+  // LINEITEM is insert-dominated (> 60 percent of insert+update+delete).
+  const TableOpStats& li = per_table.at("LINEITEM");
+  // CUSTOMER is update-dominated (> 70 percent).
+  const TableOpStats& cu = per_table.at("CUSTOMER");
+  double li_ins = static_cast<double>(li.app_insert + li.nontemporal_insert);
+  EXPECT_GT(li_ins / static_cast<double>(li.TotalOps()), 0.55);
+  double cu_upd =
+      static_cast<double>(cu.app_update + cu.nontemporal_update);
+  EXPECT_GT(cu_upd / static_cast<double>(cu.TotalOps()), 0.65);
+  // ORDERS sees a mix of inserts, updates and deletes.
+  const TableOpStats& ord = per_table.at("ORDERS");
+  EXPECT_GT(ord.app_insert, 0);
+  EXPECT_GT(ord.app_update + ord.nontemporal_update, 0);
+  EXPECT_GT(ord.deletes, 0);
+}
+
+TEST_F(HistoryGenTest, DeterministicForSeed) {
+  GeneratorConfig gcfg;
+  gcfg.m = 0.003;
+  gcfg.seed = 6;
+  HistoryGenerator again(*initial_, gcfg);
+  History h2 = again.Generate();
+  ASSERT_EQ(history_->size(), h2.size());
+  for (size_t i = 0; i < history_->size(); ++i) {
+    ASSERT_EQ((*history_)[i].scenario, h2[i].scenario) << i;
+    ASSERT_EQ((*history_)[i].ops.size(), h2[i].ops.size()) << i;
+  }
+}
+
+TEST_F(HistoryGenTest, ReplayMatchesEndStateOnEveryEngine) {
+  TpchData end = gen_->EndState();
+  // Count current rows per table from the generator's own state.
+  for (const std::string& letter : AllEngineLetters()) {
+    auto engine = LoadEngine(letter, *initial_, *history_);
+    for (const TableDef& def : BiHSchema()) {
+      ScanRequest req;
+      req.table = def.name;
+      size_t n = 0;
+      engine->Scan(req, [&](const Row&) {
+        ++n;
+        return true;
+      });
+      EXPECT_EQ(end.TableRows(def.name).size(), n)
+          << def.name << " on engine " << letter;
+    }
+  }
+}
+
+TEST_F(HistoryGenTest, ReplayBalancesMatchEndState) {
+  TpchData end = gen_->EndState();
+  std::map<int64_t, double> want;
+  for (const Row& r : end.customer) {
+    want[r[customer::kCustKey].AsInt()] = r[customer::kAcctBal].AsDouble();
+  }
+  auto engine = LoadEngine("A", *initial_, *history_);
+  ScanRequest req;
+  req.table = "CUSTOMER";
+  engine->Scan(req, [&](const Row& r) {
+    auto it = want.find(r[customer::kCustKey].AsInt());
+    EXPECT_TRUE(it != want.end());
+    if (it != want.end()) {
+      EXPECT_DOUBLE_EQ(it->second, r[customer::kAcctBal].AsDouble());
+    }
+    return true;
+  });
+}
+
+TEST_F(HistoryGenTest, BatchingPreservesFinalState) {
+  auto one = LoadEngine("A", *initial_, *history_, 1);
+  auto batched = LoadEngine("A", *initial_, *history_, 64);
+  for (const TableDef& def : BiHSchema()) {
+    TableStats a = one->GetTableStats(def.name);
+    TableStats b = batched->GetTableStats(def.name);
+    EXPECT_EQ(a.current_rows, b.current_rows) << def.name;
+    // Larger transactions absorb intra-batch churn (same-timestamp version
+    // chains are not retained), so batching can only shrink the history —
+    // the storage effect of Fig. 13 the paper alludes to.
+    EXPECT_LE(b.history_rows + b.pending_undo, a.history_rows + a.pending_undo)
+        << def.name;
+  }
+}
+
+TEST_F(HistoryGenTest, ArchiveRoundTrip) {
+  std::string path = ::testing::TempDir() + "/bih_archive_test.txt";
+  ASSERT_TRUE(SaveHistory(*history_, path).ok());
+  History loaded;
+  ASSERT_TRUE(LoadHistory(path, &loaded).ok());
+  ASSERT_EQ(history_->size(), loaded.size());
+  for (size_t i = 0; i < history_->size(); ++i) {
+    const HistoryTransaction& a = (*history_)[i];
+    const HistoryTransaction& b = loaded[i];
+    ASSERT_EQ(a.scenario, b.scenario);
+    ASSERT_EQ(a.ops.size(), b.ops.size());
+    for (size_t j = 0; j < a.ops.size(); ++j) {
+      const Operation& x = a.ops[j];
+      const Operation& y = b.ops[j];
+      ASSERT_EQ(x.kind, y.kind);
+      ASSERT_EQ(x.table, y.table);
+      ASSERT_EQ(x.period_index, y.period_index);
+      ASSERT_EQ(x.period, y.period);
+      ASSERT_EQ(x.row.size(), y.row.size());
+      for (size_t c = 0; c < x.row.size(); ++c) {
+        ASSERT_EQ(0, x.row[c].Compare(y.row[c])) << i << "/" << j << "/" << c;
+      }
+      ASSERT_EQ(x.key.size(), y.key.size());
+      for (size_t c = 0; c < x.key.size(); ++c) {
+        ASSERT_EQ(0, x.key[c].Compare(y.key[c]));
+      }
+      ASSERT_EQ(x.set.size(), y.set.size());
+      for (size_t c = 0; c < x.set.size(); ++c) {
+        ASSERT_EQ(x.set[c].column, y.set[c].column);
+        ASSERT_EQ(0, x.set[c].value.Compare(y.set[c].value));
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(HistoryGenTest, LoadHistoryRejectsGarbage) {
+  std::string path = ::testing::TempDir() + "/bih_bad_archive.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "not an archive\n");
+  std::fclose(f);
+  History loaded;
+  EXPECT_FALSE(LoadHistory(path, &loaded).ok());
+  EXPECT_FALSE(LoadHistory("/nonexistent/path", &loaded).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(HistoryGenTest, AppTimeAdvancesThroughHistory) {
+  // Later transactions use later application dates: compare the insert
+  // dates of the first and last NEW_ORDER transactions.
+  int64_t first_date = -1, last_date = -1;
+  for (const HistoryTransaction& txn : *history_) {
+    if (txn.scenario != Scenario::kNewOrder) continue;
+    for (const Operation& op : txn.ops) {
+      if (op.table == "ORDERS" && op.kind == Operation::Kind::kInsert) {
+        int64_t d = op.row[orders::kOrderDate].AsInt();
+        if (first_date < 0) first_date = d;
+        last_date = d;
+      }
+    }
+  }
+  ASSERT_GE(first_date, 0);
+  EXPECT_GT(last_date, first_date);
+  EXPECT_LE(last_date, tpch_dates::kEnd.days());
+}
+
+TEST_F(HistoryGenTest, HistoryGrowthRatios) {
+  // CUSTOMER and SUPPLIER accumulate proportionally more history per tuple
+  // than ORDERS and LINEITEM (Section 3.2).
+  const auto& pt = gen_->stats().per_table;
+  auto ratio = [&](const char* table, size_t tuples) {
+    return static_cast<double>(pt.at(table).TotalOps()) /
+           static_cast<double>(tuples);
+  };
+  double cust = ratio("CUSTOMER", initial_->customer.size());
+  double sup = ratio("SUPPLIER", initial_->supplier.size());
+  double ord = ratio("ORDERS", initial_->orders.size());
+  double li = ratio("LINEITEM", initial_->lineitem.size());
+  EXPECT_GT(cust, ord);
+  EXPECT_GT(sup, li);
+}
+
+TEST(ScenarioTest, ProbabilitiesSumToOne) {
+  double sum = 0;
+  for (double p : ScenarioProbabilities()) sum += p;
+  EXPECT_NEAR(1.0, sum, 1e-9);
+  EXPECT_EQ(static_cast<size_t>(Scenario::kCount),
+            ScenarioProbabilities().size());
+}
+
+TEST(ScenarioTest, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (int i = 0; i < static_cast<int>(Scenario::kCount); ++i) {
+    EXPECT_TRUE(names.insert(ScenarioName(static_cast<Scenario>(i))).second);
+  }
+}
+
+}  // namespace
+}  // namespace bih

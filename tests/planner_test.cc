@@ -1,0 +1,306 @@
+// Tests for the engine-side plumbing: temporal predicate resolution
+// (scan_util) and the rule-based access-path chooser (index_set), plus
+// multi-application-time tables (ORDERS has two periods).
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "engine/index_set.h"
+#include "engine/scan_util.h"
+#include "tpch/schema.h"
+
+namespace bih {
+namespace {
+
+TEST(ScanUtilTest, ResolveTemporalColsForOrders) {
+  TableDef def = OrdersDef();
+  TemporalCols tc0 = ResolveTemporalCols(def, 0);
+  EXPECT_EQ(orders::kActiveBegin, tc0.app_begin);
+  EXPECT_EQ(orders::kActiveEnd, tc0.app_end);
+  EXPECT_EQ(def.schema.num_columns(), tc0.sys_from);
+  TemporalCols tc1 = ResolveTemporalCols(def, 1);
+  EXPECT_EQ(orders::kReceivableBegin, tc1.app_begin);
+  EXPECT_EQ(orders::kReceivableEnd, tc1.app_end);
+}
+
+TEST(ScanUtilTest, ResolveTemporalColsForDegenerateTable) {
+  TemporalCols tc = ResolveTemporalCols(SupplierDef(), 0);
+  EXPECT_EQ(-1, tc.app_begin);
+  EXPECT_EQ(-1, tc.app_end);
+}
+
+TEST(ScanUtilTest, NullSystemColumnsMapToOpenPeriod) {
+  Row row{Value(int64_t{1}), Value::Null(), Value::Null()};
+  TemporalCols tc;
+  tc.sys_from = 1;
+  tc.sys_to = 2;
+  Period p = RowSystemPeriod(row, tc);
+  EXPECT_EQ(Period::kBeginningOfTime, p.begin);
+  EXPECT_EQ(Period::kForever, p.end);
+}
+
+TEST(ScanUtilTest, MatchesConstraintsRange) {
+  Row row{Value(int64_t{5}), Value(2.5)};
+  ScanRequest req;
+  req.range_col = 1;
+  req.range_lo = Value(2.0);
+  req.range_hi = Value(3.0);
+  EXPECT_TRUE(MatchesConstraints(row, req));
+  req.range_lo = Value(2.6);
+  EXPECT_FALSE(MatchesConstraints(row, req));
+  req.range_lo = Value::Null();  // open lower bound
+  req.range_hi = Value(2.4);
+  EXPECT_FALSE(MatchesConstraints(row, req));
+}
+
+// ---- IndexSet access-path selection -------------------------------------
+
+class IndexSetTest : public ::testing::Test {
+ protected:
+  // Rows: {key, value, app_begin, app_end, sys_from, sys_to}; 1000 of them
+  // with sys_from spread over [0, 1000).
+  void SetUp() override {
+    for (RowId r = 0; r < 1000; ++r) {
+      int64_t key = static_cast<int64_t>(r % 100);
+      rows_.push_back({Value(key), Value(double(r % 37)),
+                       Value(int64_t(r % 200)), Value(int64_t(r % 200 + 50)),
+                       Value(int64_t(r)), Value(Period::kForever)});
+    }
+    tc_.app_begin = 2;
+    tc_.app_end = 3;
+    tc_.sys_from = 4;
+    tc_.sys_to = 5;
+  }
+
+  void Build(IndexSpec spec) {
+    set_.AddIndex(spec, [&](const std::function<void(RowId, const Row&)>& fn) {
+      for (RowId r = 0; r < rows_.size(); ++r) fn(r, rows_[r]);
+    });
+  }
+
+  // Runs the chooser; returns emitted row ids (empty optional = no index).
+  bool Try(const ScanRequest& req, std::set<RowId>* out,
+           std::string* name = nullptr) {
+    std::string n;
+    bool used = set_.TryIndexAccess(req, tc_, rows_.size(), &n,
+                                    [&](RowId rid) {
+                                      out->insert(rid);
+                                      return true;
+                                    });
+    if (name != nullptr) *name = n;
+    return used;
+  }
+
+  std::vector<Row> rows_;
+  IndexSet set_;
+  TemporalCols tc_;
+};
+
+TEST_F(IndexSetTest, KeyEqualityUsesBTree) {
+  IndexSpec spec;
+  spec.columns = {0};
+  spec.type = IndexType::kBTree;
+  spec.name = "key_btree";
+  Build(spec);
+  ScanRequest req;
+  req.equals = {{0, Value(int64_t{7})}};
+  std::set<RowId> got;
+  std::string name;
+  ASSERT_TRUE(Try(req, &got, &name));
+  EXPECT_EQ("key_btree", name);
+  EXPECT_EQ(10u, got.size());  // 1000 rows, 100 keys
+  for (RowId r : got) EXPECT_EQ(7, rows_[r][0].AsInt());
+}
+
+TEST_F(IndexSetTest, SelectiveTimePointUsesIndexBroadOneDoesNot) {
+  IndexSpec spec;
+  spec.columns = {4};  // sys_from
+  spec.type = IndexType::kBTree;
+  spec.name = "sys_btree";
+  Build(spec);
+  // Selective: sys_from <= 50 covers 5% of entries.
+  ScanRequest req;
+  req.temporal.system_time = TemporalSelector::AsOf(50);
+  std::set<RowId> got;
+  ASSERT_TRUE(Try(req, &got));
+  EXPECT_EQ(51u, got.size());
+  // Broad: sys_from <= 900 covers 90% -> the chooser prefers a table scan.
+  req.temporal.system_time = TemporalSelector::AsOf(900);
+  got.clear();
+  EXPECT_FALSE(Try(req, &got));
+}
+
+TEST_F(IndexSetTest, CompositeKeyTimeIndexCombinesEqualityAndBound) {
+  IndexSpec spec;
+  spec.columns = {0, 4};  // (key, sys_from)
+  spec.type = IndexType::kBTree;
+  spec.name = "key_sys";
+  Build(spec);
+  ScanRequest req;
+  req.equals = {{0, Value(int64_t{7})}};
+  req.temporal.system_time = TemporalSelector::AsOf(500);
+  std::set<RowId> got;
+  ASSERT_TRUE(Try(req, &got));
+  // key 7 appears at rows 7, 107, ..., 907; bound keeps sys_from <= 500.
+  EXPECT_EQ(5u, got.size());
+  for (RowId r : got) {
+    EXPECT_EQ(7, rows_[r][0].AsInt());
+    EXPECT_LE(rows_[r][4].AsInt(), 500);
+  }
+}
+
+TEST_F(IndexSetTest, ValueRangeSelectivityGate) {
+  IndexSpec spec;
+  spec.columns = {1};  // value in [0, 36]
+  spec.type = IndexType::kBTree;
+  spec.name = "value_btree";
+  Build(spec);
+  ScanRequest req;
+  req.range_col = 1;
+  req.range_lo = Value(35.0);
+  req.range_hi = Value(36.0);  // ~5% of the domain
+  std::set<RowId> got;
+  ASSERT_TRUE(Try(req, &got));
+  for (RowId r : got) EXPECT_GE(rows_[r][1].AsDouble(), 35.0);
+  // Non-selective range: skipped.
+  req.range_lo = Value(1.0);
+  req.range_hi = Value::Null();
+  got.clear();
+  EXPECT_FALSE(Try(req, &got));
+}
+
+TEST_F(IndexSetTest, HashIndexRequiresFullEquality) {
+  IndexSpec spec;
+  spec.columns = {0, 1};
+  spec.type = IndexType::kHash;
+  spec.name = "hash";
+  Build(spec);
+  ScanRequest req;
+  req.equals = {{0, Value(int64_t{7})}};  // prefix only
+  std::set<RowId> got;
+  EXPECT_FALSE(Try(req, &got));
+  req.equals = {{0, Value(int64_t{7})}, {1, Value(7.0)}};
+  std::string name;
+  ASSERT_TRUE(Try(req, &got, &name));
+  EXPECT_EQ("hash", name);
+  for (RowId r : got) {
+    EXPECT_EQ(7, rows_[r][0].AsInt());
+    EXPECT_DOUBLE_EQ(7.0, rows_[r][1].AsDouble());
+  }
+}
+
+TEST_F(IndexSetTest, RTreePeriodIndexServesSelectivePoints) {
+  IndexSpec spec;
+  spec.columns = {2, 3};  // app period
+  spec.type = IndexType::kRTree;
+  spec.name = "gist";
+  Build(spec);
+  ScanRequest req;
+  req.temporal.app_time = TemporalSelector::AsOf(5);
+  std::set<RowId> got;
+  std::string name;
+  ASSERT_TRUE(Try(req, &got, &name));
+  EXPECT_EQ("gist", name);
+  for (RowId r : got) {
+    EXPECT_LE(rows_[r][2].AsInt(), 5);
+    EXPECT_GT(rows_[r][3].AsInt(), 5);
+  }
+  EXPECT_FALSE(got.empty());
+}
+
+TEST_F(IndexSetTest, MaintenanceKeepsIndexInSync) {
+  IndexSpec spec;
+  spec.columns = {0};
+  spec.type = IndexType::kBTree;
+  spec.name = "key";
+  Build(spec);
+  Row extra{Value(int64_t{7}), Value(0.0), Value(int64_t{0}),
+            Value(int64_t{10}), Value(int64_t{5000}), Value(Period::kForever)};
+  rows_.push_back(extra);
+  set_.OnInsert(extra, 1000);
+  set_.OnDelete(rows_[7], 7);  // remove one key-7 row
+  ScanRequest req;
+  req.equals = {{0, Value(int64_t{7})}};
+  std::set<RowId> got;
+  ASSERT_TRUE(Try(req, &got));
+  EXPECT_EQ(10u, got.size());  // 10 - 1 + 1
+  EXPECT_TRUE(got.count(1000));
+  EXPECT_FALSE(got.count(7));
+}
+
+// ---- multiple application times on one table ----------------------------
+
+class MultiPeriodTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MultiPeriodTest, OrdersReceivableTimeIsQueryable) {
+  auto engine = MakeEngine(GetParam());
+  ASSERT_TRUE(engine->CreateTable(OrdersDef()).ok());
+  // An order active [100, 200) and receivable [200, 260).
+  Row order{Value(int64_t{1}), Value(int64_t{1}), Value("F"), Value(1000.0),
+            Value(int64_t{100}), Value("1-URGENT"), Value("Clerk#1"),
+            Value(int64_t{0}), Value(int64_t{100}), Value(int64_t{200}),
+            Value(int64_t{200}), Value(int64_t{260})};
+  ASSERT_TRUE(engine->Insert("ORDERS", order).ok());
+
+  auto count_at = [&](int period_index, int64_t t) {
+    ScanRequest req;
+    req.table = "ORDERS";
+    req.temporal = TemporalScanSpec::AppAsOf(t, period_index);
+    int n = 0;
+    engine->Scan(req, [&](const Row&) {
+      ++n;
+      return true;
+    });
+    return n;
+  };
+  // ACTIVE_TIME (period 0).
+  EXPECT_EQ(1, count_at(0, 150));
+  EXPECT_EQ(0, count_at(0, 250));
+  // RECEIVABLE_TIME (period 1).
+  EXPECT_EQ(0, count_at(1, 150));
+  EXPECT_EQ(1, count_at(1, 250));
+  EXPECT_EQ(0, count_at(1, 300));
+}
+
+TEST_P(MultiPeriodTest, SequencedUpdateOnSecondPeriod) {
+  auto engine = MakeEngine(GetParam());
+  ASSERT_TRUE(engine->CreateTable(OrdersDef()).ok());
+  Row order{Value(int64_t{1}), Value(int64_t{1}), Value("F"), Value(1000.0),
+            Value(int64_t{100}), Value("1-URGENT"), Value("Clerk#1"),
+            Value(int64_t{0}), Value(int64_t{100}), Value(int64_t{200}),
+            Value(int64_t{200}), Value(int64_t{300})};
+  ASSERT_TRUE(engine->Insert("ORDERS", order).ok());
+  // Sequenced update over the receivable dimension only.
+  ASSERT_TRUE(engine->UpdateSequenced("ORDERS", {Value(int64_t{1})},
+                                      /*period_index=*/1, Period(250, 300),
+                                      {{orders::kTotalPrice, Value(900.0)}})
+                  .ok());
+  ScanRequest req;
+  req.table = "ORDERS";
+  req.temporal = TemporalScanSpec::AppAsOf(270, 1);
+  double price = 0;
+  int n = 0;
+  engine->Scan(req, [&](const Row& row) {
+    price = row[orders::kTotalPrice].AsDouble();
+    ++n;
+    return true;
+  });
+  EXPECT_EQ(1, n);
+  EXPECT_DOUBLE_EQ(900.0, price);
+  // The active dimension still has the full period (and both splits match
+  // an ACTIVE_TIME point query).
+  req.temporal = TemporalScanSpec::AppAsOf(150, 0);
+  n = 0;
+  engine->Scan(req, [&](const Row&) {
+    ++n;
+    return true;
+  });
+  EXPECT_EQ(2, n);  // split into receivable [200,250) and [250,300) versions
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, MultiPeriodTest,
+                         ::testing::Values("A", "B", "C", "D"));
+
+}  // namespace
+}  // namespace bih

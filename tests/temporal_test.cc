@@ -1,0 +1,282 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "temporal/clock.h"
+#include "temporal/sequenced.h"
+#include "temporal/temporal.h"
+#include "temporal/timeline.h"
+
+namespace bih {
+namespace {
+
+// A two-column row: value + [begin, end) period in columns 1 and 2.
+Row V(double value, int64_t b, int64_t e) {
+  return {Value(value), Value(b), Value(e)};
+}
+
+constexpr int kB = 1, kE = 2;
+
+TEST(SequencedUpdateTest, FullOverlapReplacesValue) {
+  std::vector<Row> versions{V(1.0, 10, 20)};
+  SequencedOps ops = PlanSequencedUpdate(versions, kB, kE, Period(0, 100),
+                                         {{0, Value(9.0)}});
+  ASSERT_EQ(1u, ops.to_close.size());
+  ASSERT_EQ(1u, ops.to_insert.size());
+  EXPECT_DOUBLE_EQ(9.0, ops.to_insert[0][0].AsDouble());
+  EXPECT_EQ(Period(10, 20), RowPeriod(ops.to_insert[0], kB, kE));
+}
+
+TEST(SequencedUpdateTest, PartialOverlapSplitsIntoThree) {
+  std::vector<Row> versions{V(1.0, 10, 30)};
+  SequencedOps ops = PlanSequencedUpdate(versions, kB, kE, Period(15, 25),
+                                         {{0, Value(9.0)}});
+  ASSERT_EQ(1u, ops.to_close.size());
+  ASSERT_EQ(3u, ops.to_insert.size());
+  EXPECT_EQ(Period(10, 15), RowPeriod(ops.to_insert[0], kB, kE));
+  EXPECT_DOUBLE_EQ(1.0, ops.to_insert[0][0].AsDouble());
+  EXPECT_EQ(Period(15, 25), RowPeriod(ops.to_insert[1], kB, kE));
+  EXPECT_DOUBLE_EQ(9.0, ops.to_insert[1][0].AsDouble());
+  EXPECT_EQ(Period(25, 30), RowPeriod(ops.to_insert[2], kB, kE));
+  EXPECT_DOUBLE_EQ(1.0, ops.to_insert[2][0].AsDouble());
+}
+
+TEST(SequencedUpdateTest, NonOverlappingVersionUntouched) {
+  std::vector<Row> versions{V(1.0, 10, 20), V(2.0, 40, 50)};
+  SequencedOps ops = PlanSequencedUpdate(versions, kB, kE, Period(12, 18),
+                                         {{0, Value(9.0)}});
+  ASSERT_EQ(1u, ops.to_close.size());
+  EXPECT_EQ(0u, ops.to_close[0]);
+}
+
+TEST(SequencedUpdateTest, OpenEndedVersionSplit) {
+  std::vector<Row> versions{V(1.0, 10, Period::kForever)};
+  SequencedOps ops = PlanSequencedUpdate(
+      versions, kB, kE, Period(20, Period::kForever), {{0, Value(9.0)}});
+  ASSERT_EQ(2u, ops.to_insert.size());
+  EXPECT_EQ(Period(10, 20), RowPeriod(ops.to_insert[0], kB, kE));
+  EXPECT_EQ(Period(20, Period::kForever),
+            RowPeriod(ops.to_insert[1], kB, kE));
+  EXPECT_DOUBLE_EQ(9.0, ops.to_insert[1][0].AsDouble());
+}
+
+TEST(SequencedDeleteTest, RemovesOverlapKeepsLeftovers) {
+  std::vector<Row> versions{V(1.0, 10, 30)};
+  SequencedOps ops = PlanSequencedDelete(versions, kB, kE, Period(15, 25));
+  ASSERT_EQ(1u, ops.to_close.size());
+  ASSERT_EQ(2u, ops.to_insert.size());
+  EXPECT_EQ(Period(10, 15), RowPeriod(ops.to_insert[0], kB, kE));
+  EXPECT_EQ(Period(25, 30), RowPeriod(ops.to_insert[1], kB, kE));
+}
+
+TEST(SequencedDeleteTest, FullDeleteLeavesNothing) {
+  std::vector<Row> versions{V(1.0, 10, 30)};
+  SequencedOps ops = PlanSequencedDelete(versions, kB, kE, Period(0, 100));
+  EXPECT_EQ(1u, ops.to_close.size());
+  EXPECT_TRUE(ops.to_insert.empty());
+}
+
+TEST(OverwriteUpdateTest, MergesOverlappedIntoSingleWindow) {
+  std::vector<Row> versions{V(1.0, 10, 20), V(2.0, 20, 30)};
+  SequencedOps ops = PlanOverwriteUpdate(versions, kB, kE, Period(15, 25),
+                                         {{0, Value(9.0)}});
+  EXPECT_EQ(2u, ops.to_close.size());
+  // Leftovers [10,15) and [25,30) plus one merged version [15,25).
+  ASSERT_EQ(3u, ops.to_insert.size());
+  const Row& merged = ops.to_insert.back();
+  EXPECT_EQ(Period(15, 25), RowPeriod(merged, kB, kE));
+  EXPECT_DOUBLE_EQ(9.0, merged[0].AsDouble());
+}
+
+TEST(OverwriteUpdateTest, NoOverlapIsNoOp) {
+  std::vector<Row> versions{V(1.0, 10, 20)};
+  SequencedOps ops = PlanOverwriteUpdate(versions, kB, kE, Period(50, 60),
+                                         {{0, Value(9.0)}});
+  EXPECT_TRUE(ops.to_close.empty());
+  EXPECT_TRUE(ops.to_insert.empty());
+}
+
+// Property: after applying a sequenced update, the union of periods covered
+// by the resulting versions equals the union before (updates never create
+// or destroy coverage), and values inside the window changed.
+struct SequencedPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SequencedPropertyTest, CoverageIsPreserved) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 9);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Non-overlapping input versions.
+    std::vector<Row> versions;
+    int64_t cursor = rng.UniformInt(0, 10);
+    for (int i = 0; i < 4; ++i) {
+      int64_t b = cursor + rng.UniformInt(0, 5);
+      int64_t e = b + rng.UniformInt(1, 10);
+      versions.push_back(V(double(i), b, e));
+      cursor = e;
+    }
+    int64_t wb = rng.UniformInt(0, 40);
+    Period window(wb, wb + rng.UniformInt(1, 20));
+    SequencedOps ops = PlanSequencedUpdate(versions, kB, kE, window,
+                                           {{0, Value(99.0)}});
+    // Rebuild the resulting version set.
+    std::vector<Row> result;
+    for (size_t i = 0; i < versions.size(); ++i) {
+      if (std::find(ops.to_close.begin(), ops.to_close.end(), i) ==
+          ops.to_close.end()) {
+        result.push_back(versions[i]);
+      }
+    }
+    for (const Row& r : ops.to_insert) result.push_back(r);
+    // Point-by-point: coverage identical; value changed exactly inside the
+    // window.
+    for (int64_t t = 0; t < 70; ++t) {
+      double before = -1, after = -1;
+      for (const Row& v : versions) {
+        if (RowPeriod(v, kB, kE).Contains(t)) before = v[0].AsDouble();
+      }
+      for (const Row& v : result) {
+        if (RowPeriod(v, kB, kE).Contains(t)) after = v[0].AsDouble();
+      }
+      if (before < 0) {
+        EXPECT_LT(after, 0) << "t=" << t;
+      } else if (window.Contains(t)) {
+        EXPECT_DOUBLE_EQ(99.0, after) << "t=" << t;
+      } else {
+        EXPECT_DOUBLE_EQ(before, after) << "t=" << t;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SequencedPropertyTest,
+                         ::testing::Values(1, 2, 3));
+
+TEST(TemporalSelectorTest, Matching) {
+  Period valid(10, 20);
+  EXPECT_TRUE(TemporalSelector::AsOf(15).Matches(valid, 100));
+  EXPECT_FALSE(TemporalSelector::AsOf(20).Matches(valid, 100));
+  EXPECT_TRUE(TemporalSelector::Between(18, 25).Matches(valid, 100));
+  EXPECT_FALSE(TemporalSelector::Between(20, 25).Matches(valid, 100));
+  EXPECT_TRUE(TemporalSelector::All().Matches(valid, 100));
+  EXPECT_FALSE(TemporalSelector::ImplicitCurrent().Matches(valid, 100));
+  EXPECT_TRUE(TemporalSelector::ImplicitCurrent().Matches(valid, 15));
+}
+
+TEST(TimelineTest, CountSweepSimple) {
+  std::vector<TimelineEntry> entries{
+      {Period(0, 10), 1.0, {}},
+      {Period(5, 15), 2.0, {}},
+  };
+  auto slices = TemporalAggregate(entries, TemporalAggKind::kCount);
+  ASSERT_EQ(3u, slices.size());
+  EXPECT_EQ(Period(0, 5), slices[0].period);
+  EXPECT_EQ(1, slices[0].count);
+  EXPECT_EQ(Period(5, 10), slices[1].period);
+  EXPECT_EQ(2, slices[1].count);
+  EXPECT_EQ(Period(10, 15), slices[2].period);
+  EXPECT_EQ(1, slices[2].count);
+}
+
+TEST(TimelineTest, OpenEndedEntriesReachForever) {
+  std::vector<TimelineEntry> entries{{Period(5, Period::kForever), 3.0, {}}};
+  auto slices = TemporalAggregate(entries, TemporalAggKind::kSum);
+  ASSERT_EQ(1u, slices.size());
+  EXPECT_EQ(Period(5, Period::kForever), slices[0].period);
+  EXPECT_DOUBLE_EQ(3.0, slices[0].value);
+}
+
+struct TimelinePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimelinePropertyTest, AgreesWithBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 77);
+  for (TemporalAggKind kind :
+       {TemporalAggKind::kSum, TemporalAggKind::kCount, TemporalAggKind::kAvg,
+        TemporalAggKind::kMax, TemporalAggKind::kMin}) {
+    std::vector<TimelineEntry> entries;
+    for (int i = 0; i < 60; ++i) {
+      int64_t b = rng.UniformInt(0, 100);
+      entries.push_back(
+          {Period(b, b + rng.UniformInt(1, 30)),
+           static_cast<double>(rng.UniformInt(1, 100)), {}});
+    }
+    auto slices = TemporalAggregate(entries, kind);
+    // Evaluate the aggregate directly at each slice midpoint-ish point.
+    for (const TimelineSlice& s : slices) {
+      int64_t t = s.period.begin;
+      double sum = 0, mn = 0, mx = 0;
+      int64_t count = 0;
+      for (const TimelineEntry& e : entries) {
+        if (e.period.Contains(t)) {
+          if (count == 0) mn = mx = e.value;
+          mn = std::min(mn, e.value);
+          mx = std::max(mx, e.value);
+          sum += e.value;
+          ++count;
+        }
+      }
+      ASSERT_GT(count, 0);
+      EXPECT_EQ(count, s.count) << "t=" << t;
+      double expect = 0;
+      switch (kind) {
+        case TemporalAggKind::kSum: expect = sum; break;
+        case TemporalAggKind::kCount: expect = double(count); break;
+        case TemporalAggKind::kAvg: expect = sum / double(count); break;
+        case TemporalAggKind::kMax: expect = mx; break;
+        case TemporalAggKind::kMin: expect = mn; break;
+      }
+      EXPECT_NEAR(expect, s.value, 1e-9) << "t=" << t;
+    }
+    // Slices are disjoint and ordered.
+    for (size_t i = 1; i < slices.size(); ++i) {
+      EXPECT_LE(slices[i - 1].period.end, slices[i].period.begin);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimelinePropertyTest, ::testing::Values(1, 2));
+
+TEST(IntervalJoinTest, MatchesBruteForce) {
+  Rng rng(123);
+  std::vector<Period> left, right;
+  for (int i = 0; i < 80; ++i) {
+    int64_t b = rng.UniformInt(0, 100);
+    left.emplace_back(b, b + rng.UniformInt(1, 20));
+    b = rng.UniformInt(0, 100);
+    right.emplace_back(b, b + rng.UniformInt(1, 20));
+  }
+  std::set<std::pair<size_t, size_t>> expect, got;
+  for (size_t i = 0; i < left.size(); ++i) {
+    for (size_t j = 0; j < right.size(); ++j) {
+      if (left[i].Overlaps(right[j])) expect.insert({i, j});
+    }
+  }
+  IntervalJoin(left, right, [&](size_t l, size_t r, const Period& overlap) {
+    EXPECT_TRUE(overlap.Valid());
+    EXPECT_TRUE(left[l].Contains(overlap.begin));
+    got.insert({l, r});
+  });
+  EXPECT_EQ(expect, got);
+}
+
+TEST(IntervalJoinTest, OpenEndedPeriods) {
+  std::vector<Period> left{Period(0, Period::kForever)};
+  std::vector<Period> right{Period(100, 200), Period(50, 60)};
+  int matches = 0;
+  IntervalJoin(left, right, [&](size_t, size_t, const Period&) { ++matches; });
+  EXPECT_EQ(2, matches);
+}
+
+TEST(CommitClockTest, MonotonicAndDeterministic) {
+  CommitClock a, b;
+  Timestamp prev = a.Now();
+  for (int i = 0; i < 10; ++i) {
+    Timestamp t = a.NextCommit();
+    EXPECT_GT(t, prev);
+    prev = t;
+    EXPECT_EQ(t, b.NextCommit());
+  }
+}
+
+}  // namespace
+}  // namespace bih

@@ -1,0 +1,127 @@
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "temporal/timeline_index.h"
+
+namespace bih {
+namespace {
+
+TEST(TimelineIndexTest, BasicTimeTravel) {
+  TimelineIndex idx(4);
+  idx.Add(0, Period(10, 20));
+  idx.Add(1, Period(15, Period::kForever));
+  idx.Add(2, Period(0, 5));
+  idx.Finalize();
+  auto active_at = [&](int64_t t) {
+    std::set<uint32_t> s;
+    idx.VisitActiveAt(t, [&](uint32_t v) {
+      s.insert(v);
+      return true;
+    });
+    return s;
+  };
+  EXPECT_EQ((std::set<uint32_t>{2}), active_at(0));
+  EXPECT_EQ((std::set<uint32_t>{}), active_at(5));  // half-open end
+  EXPECT_EQ((std::set<uint32_t>{0}), active_at(10));
+  EXPECT_EQ((std::set<uint32_t>{0, 1}), active_at(17));
+  EXPECT_EQ((std::set<uint32_t>{1}), active_at(20));
+  EXPECT_EQ((std::set<uint32_t>{1}), active_at(1'000'000));
+}
+
+TEST(TimelineIndexTest, EmptyAndDegenerate) {
+  TimelineIndex idx;
+  idx.Add(7, Period(5, 5));  // empty period: ignored
+  idx.Finalize();
+  int n = 0;
+  idx.VisitActiveAt(5, [&](uint32_t) {
+    ++n;
+    return true;
+  });
+  EXPECT_EQ(0, n);
+  EXPECT_EQ(0u, idx.event_count());
+}
+
+struct TimelineIndexModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimelineIndexModelTest, MatchesBruteForceAcrossCheckpointSizes) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  std::vector<Period> periods;
+  for (uint32_t v = 0; v < 500; ++v) {
+    int64_t b = rng.UniformInt(0, 1000);
+    periods.emplace_back(
+        b, rng.Bernoulli(0.2) ? Period::kForever : b + rng.UniformInt(1, 300));
+  }
+  for (size_t interval : {size_t{8}, size_t{64}, size_t{100000}}) {
+    TimelineIndex idx(interval);
+    for (uint32_t v = 0; v < periods.size(); ++v) idx.Add(v, periods[v]);
+    idx.Finalize();
+    for (int trial = 0; trial < 60; ++trial) {
+      int64_t t = rng.UniformInt(-5, 1400);
+      std::set<uint32_t> expect, got;
+      for (uint32_t v = 0; v < periods.size(); ++v) {
+        if (periods[v].Contains(t)) expect.insert(v);
+      }
+      idx.VisitActiveAt(t, [&](uint32_t v) {
+        got.insert(v);
+        return true;
+      });
+      ASSERT_EQ(expect, got) << "t=" << t << " interval=" << interval;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimelineIndexModelTest,
+                         ::testing::Values(1, 2, 3));
+
+TEST(TimelineIndexTest, SweepDeltasReconstructCounts) {
+  Rng rng(9);
+  std::vector<Period> periods;
+  for (uint32_t v = 0; v < 300; ++v) {
+    int64_t b = rng.UniformInt(0, 500);
+    periods.emplace_back(b, b + rng.UniformInt(1, 100));
+  }
+  TimelineIndex idx(32);
+  for (uint32_t v = 0; v < periods.size(); ++v) idx.Add(v, periods[v]);
+  idx.Finalize();
+  int64_t running = 0;
+  idx.SweepIntervals([&](const TimelineIndex::Delta& d) {
+    running += static_cast<int64_t>(d.activated->size()) -
+               static_cast<int64_t>(d.deactivated->size());
+    // The running count equals a brute-force count at the interval start.
+    int64_t expect = 0;
+    for (const Period& p : periods) {
+      if (p.Contains(d.interval.begin)) ++expect;
+    }
+    EXPECT_EQ(expect, running) << "at " << d.interval.begin;
+    return true;
+  });
+  EXPECT_EQ(0, running);  // all closed periods eventually deactivate
+}
+
+TEST(TimelineIndexTest, CheckpointsBoundReplayWork) {
+  TimelineIndex idx(16);
+  for (uint32_t v = 0; v < 10000; ++v) {
+    idx.Add(v, Period(v, v + 5));
+  }
+  idx.Finalize();
+  EXPECT_GT(idx.checkpoint_count(), 100u);
+  // Spot-check correctness near the end (worst case for replay).
+  std::set<uint32_t> got;
+  idx.VisitActiveAt(9999, [&](uint32_t v) {
+    got.insert(v);
+    return true;
+  });
+  EXPECT_EQ((std::set<uint32_t>{9995, 9996, 9997, 9998, 9999}), got);
+}
+
+TEST(TimelineIndexTest, AddAfterFinalizeAborts) {
+  TimelineIndex idx;
+  idx.Finalize();
+  EXPECT_DEATH(idx.Add(0, Period(0, 1)), "Finalize");
+}
+
+}  // namespace
+}  // namespace bih

@@ -1,0 +1,119 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "workload/queries.h"
+#include "workload/tpch_queries.h"
+
+namespace bih {
+namespace {
+
+Rows Canonical(Rows rows) {
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    for (size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  });
+  return rows;
+}
+
+void ExpectRowsEq(const Rows& a, const Rows& b, const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size()) << what;
+    for (size_t c = 0; c < a[i].size(); ++c) {
+      const Value& x = a[i][c];
+      const Value& y = b[i][c];
+      if (x.is_double() || y.is_double()) {
+        ASSERT_EQ(x.is_null(), y.is_null()) << what;
+        if (!x.is_null()) {
+          double dx = x.AsDouble(), dy = y.AsDouble();
+          double tol = 1e-6 * std::max({1.0, std::fabs(dx), std::fabs(dy)});
+          ASSERT_NEAR(dx, dy, tol) << what << " row " << i << " col " << c;
+        }
+      } else {
+        ASSERT_EQ(0, x.Compare(y)) << what << " row " << i << " col " << c;
+      }
+    }
+  }
+}
+
+class TpchQueriesTest : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    if (ctx_ != nullptr) return;
+    WorkloadConfig cfg;
+    cfg.engine_letter = "A";
+    cfg.h = 0.001;
+    cfg.m = 0.001;
+    cfg.seed = 99;
+    ctx_ = new WorkloadContext(BuildWorkload(cfg));
+    others_ = new std::vector<std::unique_ptr<TemporalEngine>>();
+    for (const std::string letter : {"B", "C", "D"}) {
+      others_->push_back(LoadEngine(letter, ctx_->initial, ctx_->history));
+    }
+    baseline_ = LoadBaseline(ctx_->end_state).release();
+  }
+
+  static WorkloadContext* ctx_;
+  static std::vector<std::unique_ptr<TemporalEngine>>* others_;
+  static TemporalEngine* baseline_;
+};
+
+WorkloadContext* TpchQueriesTest::ctx_ = nullptr;
+std::vector<std::unique_ptr<TemporalEngine>>* TpchQueriesTest::others_ = nullptr;
+TemporalEngine* TpchQueriesTest::baseline_ = nullptr;
+
+// Every query, on every engine, under three temporal coordinates; engines
+// must agree pairwise.
+TEST_P(TpchQueriesTest, EnginesAgree) {
+  const int q = GetParam();
+  const std::vector<TemporalScanSpec> specs = {
+      TemporalScanSpec::Current(),
+      TemporalScanSpec::AppAsOf(ctx_->app_mid),
+      TemporalScanSpec::SystemAsOf(ctx_->sys_v0.micros()),
+  };
+  const char* names[] = {"current", "app-tt", "sys-tt"};
+  for (size_t s = 0; s < specs.size(); ++s) {
+    Rows ref = Canonical(TpchQuery(q, *ctx_->engine, specs[s]));
+    for (size_t i = 0; i < others_->size(); ++i) {
+      Rows got = Canonical(TpchQuery(q, *(*others_)[i], specs[s]));
+      ExpectRowsEq(ref, got, std::string("Q") + std::to_string(q) + " " +
+                                 names[s] + " engine " +
+                                 std::to_string(i + 1));
+    }
+  }
+}
+
+// The current-time temporal answer must equal the non-temporal baseline
+// answer (they see the same data).
+TEST_P(TpchQueriesTest, CurrentMatchesBaseline) {
+  const int q = GetParam();
+  Rows temporal =
+      Canonical(TpchQuery(q, *ctx_->engine, TemporalScanSpec::Current()));
+  Rows base = Canonical(TpchQuery(q, *baseline_, TemporalScanSpec::Current()));
+  ExpectRowsEq(temporal, base, "Q" + std::to_string(q) + " vs baseline");
+}
+
+// System time travel to version 0 must see exactly the initial data: verify
+// against a baseline loaded with the untouched dbgen output.
+TEST_P(TpchQueriesTest, SystemTimeTravelSeesVersionZero) {
+  const int q = GetParam();
+  static TemporalEngine* v0_baseline = nullptr;
+  if (v0_baseline == nullptr) {
+    v0_baseline = LoadBaseline(ctx_->initial).release();
+  }
+  Rows traveled = Canonical(
+      TpchQuery(q, *ctx_->engine,
+                TemporalScanSpec::SystemAsOf(ctx_->sys_v0.micros())));
+  Rows v0 = Canonical(TpchQuery(q, *v0_baseline, TemporalScanSpec::Current()));
+  ExpectRowsEq(traveled, v0, "Q" + std::to_string(q) + " vs v0");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TpchQueriesTest, ::testing::Range(1, 23));
+
+}  // namespace
+}  // namespace bih

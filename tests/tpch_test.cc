@@ -1,0 +1,214 @@
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tpch/dbgen.h"
+#include "tpch/schema.h"
+
+namespace bih {
+namespace {
+
+class TpchGenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TpchConfig cfg;
+    cfg.scale = 0.002;
+    cfg.seed = 11;
+    data_ = new TpchData(GenerateTpch(cfg));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static TpchData* data_;
+};
+
+TpchData* TpchGenTest::data_ = nullptr;
+
+TEST_F(TpchGenTest, Cardinalities) {
+  TpchCardinalities card = CardinalitiesFor(0.002);
+  EXPECT_EQ(5u, data_->region.size());
+  EXPECT_EQ(25u, data_->nation.size());
+  EXPECT_EQ(static_cast<size_t>(card.suppliers), data_->supplier.size());
+  EXPECT_EQ(static_cast<size_t>(card.parts), data_->part.size());
+  EXPECT_EQ(static_cast<size_t>(card.partsupps), data_->partsupp.size());
+  EXPECT_EQ(static_cast<size_t>(card.customers), data_->customer.size());
+  EXPECT_EQ(static_cast<size_t>(card.orders), data_->orders.size());
+  // 1..7 lineitems per order.
+  EXPECT_GE(data_->lineitem.size(), data_->orders.size());
+  EXPECT_LE(data_->lineitem.size(), data_->orders.size() * 7);
+}
+
+TEST_F(TpchGenTest, Deterministic) {
+  TpchConfig cfg;
+  cfg.scale = 0.002;
+  cfg.seed = 11;
+  TpchData again = GenerateTpch(cfg);
+  ASSERT_EQ(data_->orders.size(), again.orders.size());
+  for (size_t i = 0; i < data_->orders.size(); ++i) {
+    for (size_t c = 0; c < data_->orders[i].size(); ++c) {
+      ASSERT_EQ(0, data_->orders[i][c].Compare(again.orders[i][c]));
+    }
+  }
+}
+
+TEST_F(TpchGenTest, RowAritiesMatchSchema) {
+  for (const TableDef& def : BiHSchema()) {
+    for (const Row& row : data_->TableRows(def.name)) {
+      ASSERT_EQ(static_cast<size_t>(def.schema.num_columns()), row.size())
+          << def.name;
+    }
+  }
+}
+
+TEST_F(TpchGenTest, KeysAreDenseAndUnique) {
+  std::set<int64_t> custkeys, orderkeys;
+  for (const Row& r : data_->customer) {
+    EXPECT_TRUE(custkeys.insert(r[customer::kCustKey].AsInt()).second);
+  }
+  for (const Row& r : data_->orders) {
+    EXPECT_TRUE(orderkeys.insert(r[orders::kOrderKey].AsInt()).second);
+  }
+  EXPECT_EQ(1, *custkeys.begin());
+  EXPECT_EQ(static_cast<int64_t>(custkeys.size()), *custkeys.rbegin());
+}
+
+TEST_F(TpchGenTest, OrderDatesInSpecRange) {
+  for (const Row& r : data_->orders) {
+    Date d = r[orders::kOrderDate].AsDate();
+    EXPECT_GE(d, tpch_dates::kStart);
+    EXPECT_LE(d, tpch_dates::kLastOrder);
+  }
+}
+
+TEST_F(TpchGenTest, LineitemDateOrdering) {
+  for (const Row& r : data_->lineitem) {
+    Date ship = r[lineitem::kShipDate].AsDate();
+    Date receipt = r[lineitem::kReceiptDate].AsDate();
+    EXPECT_LT(ship, receipt);
+    // ACTIVE_TIME derived from ship/receipt dates (Section 4.1).
+    EXPECT_EQ(ship.days(), r[lineitem::kActiveBegin].AsInt());
+    EXPECT_EQ(receipt.days(), r[lineitem::kActiveEnd].AsInt());
+  }
+}
+
+TEST_F(TpchGenTest, LineitemStatusConsistent) {
+  for (const Row& r : data_->lineitem) {
+    Date ship = r[lineitem::kShipDate].AsDate();
+    const std::string& status = r[lineitem::kLineStatus].AsString();
+    EXPECT_EQ(ship <= tpch_dates::kCurrent ? "F" : "O", status);
+  }
+}
+
+TEST_F(TpchGenTest, OrderStatusAggregatesLineStatus) {
+  std::map<int64_t, std::pair<int, int>> counts;  // order -> (F, total)
+  for (const Row& r : data_->lineitem) {
+    auto& [f, total] = counts[r[lineitem::kOrderKey].AsInt()];
+    f += r[lineitem::kLineStatus].AsString() == "F" ? 1 : 0;
+    ++total;
+  }
+  for (const Row& r : data_->orders) {
+    const auto& [f, total] = counts[r[orders::kOrderKey].AsInt()];
+    const std::string& status = r[orders::kOrderStatus].AsString();
+    if (f == total) {
+      EXPECT_EQ("F", status);
+    } else if (f == 0) {
+      EXPECT_EQ("O", status);
+    } else {
+      EXPECT_EQ("P", status);
+    }
+  }
+}
+
+TEST_F(TpchGenTest, TotalPriceMatchesLineitems) {
+  std::map<int64_t, double> totals;
+  for (const Row& r : data_->lineitem) {
+    totals[r[lineitem::kOrderKey].AsInt()] +=
+        r[lineitem::kExtendedPrice].AsDouble() *
+        (1.0 + r[lineitem::kTax].AsDouble()) *
+        (1.0 - r[lineitem::kDiscount].AsDouble());
+  }
+  for (const Row& r : data_->orders) {
+    EXPECT_NEAR(totals[r[orders::kOrderKey].AsInt()],
+                r[orders::kTotalPrice].AsDouble(), 1e-6);
+  }
+}
+
+TEST_F(TpchGenTest, ForeignKeysResolve) {
+  std::set<int64_t> partkeys, suppkeys, custkeys;
+  for (const Row& r : data_->part) partkeys.insert(r[part::kPartKey].AsInt());
+  for (const Row& r : data_->supplier) {
+    suppkeys.insert(r[supplier::kSuppKey].AsInt());
+  }
+  for (const Row& r : data_->customer) {
+    custkeys.insert(r[customer::kCustKey].AsInt());
+  }
+  for (const Row& r : data_->partsupp) {
+    EXPECT_TRUE(partkeys.count(r[partsupp::kPartKey].AsInt()));
+    EXPECT_TRUE(suppkeys.count(r[partsupp::kSuppKey].AsInt()));
+  }
+  for (const Row& r : data_->orders) {
+    EXPECT_TRUE(custkeys.count(r[orders::kCustKey].AsInt()));
+  }
+  for (const Row& r : data_->lineitem) {
+    EXPECT_TRUE(partkeys.count(r[lineitem::kPartKey].AsInt()));
+    EXPECT_TRUE(suppkeys.count(r[lineitem::kSuppKey].AsInt()));
+  }
+}
+
+TEST_F(TpchGenTest, PartsuppHasFourSuppliersPerPart) {
+  std::map<int64_t, std::set<int64_t>> supps;
+  for (const Row& r : data_->partsupp) {
+    supps[r[partsupp::kPartKey].AsInt()].insert(
+        r[partsupp::kSuppKey].AsInt());
+  }
+  for (const auto& [p, s] : supps) EXPECT_EQ(4u, s.size()) << "part " << p;
+}
+
+TEST_F(TpchGenTest, AppTimeBeginsAreSkewed) {
+  // The Zipf skew should concentrate PART availability begins close to the
+  // current date (non-uniform application-time distribution).
+  int64_t recent = 0;
+  const int64_t cutoff = tpch_dates::kCurrent.AddDays(-180).days();
+  for (const Row& r : data_->part) {
+    if (r[part::kAvailBegin].AsInt() >= cutoff) ++recent;
+  }
+  // 180 days is ~14% of the range; skew should put well over half there.
+  EXPECT_GT(recent, static_cast<int64_t>(data_->part.size()) / 2);
+}
+
+TEST_F(TpchGenTest, ScaleIsLinear) {
+  TpchConfig small;
+  small.scale = 0.001;
+  TpchData half = GenerateTpch(small);
+  EXPECT_NEAR(static_cast<double>(data_->orders.size()),
+              2.0 * static_cast<double>(half.orders.size()),
+              static_cast<double>(half.orders.size()) * 0.1);
+}
+
+TEST(TpchSchemaTest, TemporalAnnotations) {
+  EXPECT_FALSE(RegionDef().system_versioned);
+  EXPECT_FALSE(NationDef().system_versioned);
+  EXPECT_TRUE(SupplierDef().system_versioned);
+  EXPECT_TRUE(SupplierDef().app_periods.empty());  // degenerate table
+  EXPECT_EQ(1, static_cast<int>(CustomerDef().app_periods.size()));
+  EXPECT_EQ(2, static_cast<int>(OrdersDef().app_periods.size()));
+  EXPECT_EQ(0, OrdersDef().FindAppPeriod("ACTIVE_TIME"));
+  EXPECT_EQ(1, OrdersDef().FindAppPeriod("RECEIVABLE_TIME"));
+  EXPECT_EQ(-1, OrdersDef().FindAppPeriod("NOPE"));
+}
+
+TEST(TpchSchemaTest, ColumnConstantsMatchSchema) {
+  EXPECT_EQ(customer::kAcctBal,
+            CustomerDef().schema.ColumnIndex("C_ACCTBAL"));
+  EXPECT_EQ(orders::kTotalPrice,
+            OrdersDef().schema.ColumnIndex("O_TOTALPRICE"));
+  EXPECT_EQ(lineitem::kShipDate,
+            LineitemDef().schema.ColumnIndex("L_SHIPDATE"));
+  EXPECT_EQ(partsupp::kSupplyCost,
+            PartSuppDef().schema.ColumnIndex("PS_SUPPLYCOST"));
+}
+
+}  // namespace
+}  // namespace bih

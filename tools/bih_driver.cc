@@ -1,0 +1,297 @@
+// TPC-BiH benchmark driver — the command-line face of the library,
+// mirroring the paper's Benchmarking Service workflow: generate an
+// archive, load it into an engine, run query suites, or fire ad-hoc SQL.
+//
+//   bih_driver generate --h 0.01 --m 0.01 --out history.bih
+//   bih_driver load     --engine B --h 0.01 --m 0.01 [--batch 10]
+//   bih_driver run      --engine A --h 0.005 --m 0.005 [--suite T|K|R|B|all]
+//   bih_driver sql      --engine C --h 0.002 --m 0.002 "SELECT ..."
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "engine/consistency.h"
+#include "sql/executor.h"
+#include "workload/context.h"
+#include "workload/queries.h"
+#include "workload/tpch_queries.h"
+
+namespace bih {
+namespace {
+
+struct Args {
+  std::string command;
+  std::string engine = "A";
+  double h = 0.002;
+  double m = 0.002;
+  uint64_t seed = 42;
+  size_t batch = 1;
+  std::string out = "history.bih";
+  std::string suite = "all";
+  std::string sql;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 2) return false;
+  args->command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--engine") {
+      const char* v = next("--engine");
+      if (!v) return false;
+      args->engine = v;
+    } else if (a == "--h") {
+      const char* v = next("--h");
+      if (!v) return false;
+      args->h = std::atof(v);
+    } else if (a == "--m") {
+      const char* v = next("--m");
+      if (!v) return false;
+      args->m = std::atof(v);
+    } else if (a == "--seed") {
+      const char* v = next("--seed");
+      if (!v) return false;
+      args->seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--batch") {
+      const char* v = next("--batch");
+      if (!v) return false;
+      args->batch = std::strtoull(v, nullptr, 10);
+    } else if (a == "--out") {
+      const char* v = next("--out");
+      if (!v) return false;
+      args->out = v;
+    } else if (a == "--suite") {
+      const char* v = next("--suite");
+      if (!v) return false;
+      args->suite = v;
+    } else if (args->command == "sql" && args->sql.empty()) {
+      args->sql = a;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  bih_driver generate --h H --m M [--seed S] [--out FILE]\n"
+      "  bih_driver load     --engine A|B|C|D --h H --m M [--batch N]\n"
+      "  bih_driver run      --engine A|B|C|D --h H --m M [--suite "
+      "T|K|R|B|all]\n"
+      "  bih_driver sql      --engine A|B|C|D --h H --m M \"SELECT ...\"\n"
+      "  bih_driver verify   --engine A|B|C|D --h H --m M\n");
+  return 2;
+}
+
+template <typename Fn>
+double MeasureMs(Fn&& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+int Generate(const Args& args) {
+  std::printf("generating TPC-H version 0 (h=%.4f)...\n", args.h);
+  TpchData initial = GenerateTpch({args.h, args.seed});
+  std::printf("  %zu initial rows\n", initial.TotalRows());
+  GeneratorConfig gcfg;
+  gcfg.m = args.m;
+  gcfg.seed = args.seed + 1;
+  HistoryGenerator gen(initial, gcfg);
+  History history;
+  double gen_ms = MeasureMs([&] { history = gen.Generate(); });
+  const HistoryStats& st = gen.stats();
+  std::printf("  %lld transactions / %lld operations in %.1f ms\n",
+              static_cast<long long>(st.total_transactions),
+              static_cast<long long>(st.total_operations), gen_ms);
+  for (size_t i = 0; i < st.scenario_counts.size(); ++i) {
+    std::printf("    %-26s %8lld\n", ScenarioName(static_cast<Scenario>(i)),
+                static_cast<long long>(st.scenario_counts[i]));
+  }
+  Status s = SaveHistory(history, args.out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("archive written to %s\n", args.out.c_str());
+  return 0;
+}
+
+int Load(const Args& args) {
+  TpchData initial = GenerateTpch({args.h, args.seed});
+  GeneratorConfig gcfg;
+  gcfg.m = args.m;
+  gcfg.seed = args.seed + 1;
+  HistoryGenerator gen(initial, gcfg);
+  History history = gen.Generate();
+  std::printf("loading System %s (h=%.4f, m=%.4f, batch=%zu)...\n",
+              args.engine.c_str(), args.h, args.m, args.batch);
+  std::unique_ptr<TemporalEngine> engine;
+  double ms = MeasureMs([&] {
+    engine = LoadEngine(args.engine, initial, history, args.batch);
+  });
+  std::printf("loaded in %.1f ms\n\n%-10s %12s %12s %12s\n", ms, "table",
+              "current", "history", "undo");
+  for (const TableDef& def : BiHSchema()) {
+    TableStats ts = engine->GetTableStats(def.name);
+    std::printf("%-10s %12zu %12zu %12zu\n", def.name.c_str(),
+                ts.current_rows, ts.history_rows, ts.pending_undo);
+  }
+  return 0;
+}
+
+int RunSuites(const Args& args) {
+  WorkloadConfig cfg;
+  cfg.engine_letter = args.engine;
+  cfg.h = args.h;
+  cfg.m = args.m;
+  cfg.seed = args.seed;
+  cfg.batch_size = args.batch;
+  std::printf("building workload (h=%.4f, m=%.4f) on System %s...\n", args.h,
+              args.m, args.engine.c_str());
+  WorkloadContext ctx = BuildWorkload(cfg);
+  TemporalEngine& e = ctx.eng();
+  auto report = [&](const char* name, double ms) {
+    std::printf("  %-34s %10.3f ms  (%llu rows examined)\n", name, ms,
+                static_cast<unsigned long long>(e.last_stats().rows_examined));
+  };
+  bool all = args.suite == "all";
+  if (all || args.suite == "T") {
+    std::printf("time travel (T):\n");
+    report("ALL", MeasureMs([&] { QueryAll(e); }));
+    report("T1 point-point",
+           MeasureMs([&] {
+             T1(e, TemporalScanSpec::BothAsOf(ctx.sys_mid.micros(),
+                                              ctx.app_mid));
+           }));
+    report("T2 point-point",
+           MeasureMs([&] {
+             T2(e, TemporalScanSpec::BothAsOf(ctx.sys_mid.micros(),
+                                              ctx.app_mid));
+           }));
+    report("T6 app slice",
+           MeasureMs([&] { T6AppPointSysAll(e, ctx.app_mid); }));
+    report("T6 sys slice",
+           MeasureMs([&] { T6SysPointAppAll(e, ctx.sys_mid); }));
+    report("T7 implicit", MeasureMs([&] { T7Implicit(e); }));
+    report("T7 explicit", MeasureMs([&] { T7Explicit(e); }));
+  }
+  if (all || args.suite == "K") {
+    std::printf("pure-key / audit (K):\n");
+    TemporalScanSpec full;
+    full.system_time = TemporalSelector::All();
+    full.app_time = TemporalSelector::All();
+    report("K1 full history",
+           MeasureMs([&] { K1(e, ctx.hot_custkey, full); }));
+    report("K4 top-3", MeasureMs([&] { K4(e, ctx.hot_custkey, full, 3); }));
+    report("K5 previous version",
+           MeasureMs([&] { K5(e, ctx.hot_custkey, full); }));
+    report("K6 value trace",
+           MeasureMs([&] { K6(e, 9900.0, Value(), full); }));
+  }
+  if (all || args.suite == "R") {
+    std::printf("range-timeslice (R):\n");
+    report("R1 state changes", MeasureMs([&] { R1(e); }));
+    report("R2 state durations", MeasureMs([&] { R2(e); }));
+    report("R3 temporal agg (timeline)",
+           MeasureMs([&] { R3(e, TemporalAggKind::kCount, false); }));
+    report("R4 stock differences", MeasureMs([&] { R4(e, 10); }));
+    report("R5 temporal join",
+           MeasureMs([&] { R5(e, 5000.0, 100000.0); }));
+    report("R7 price raises", MeasureMs([&] { R7(e, 7.5); }));
+  }
+  if (all || args.suite == "B") {
+    std::printf("bitemporal dimensions (B3):\n");
+    const int64_t pk = 55 % static_cast<int64_t>(ctx.initial.part.size()) + 1;
+    for (int v = 1; v <= 11; ++v) {
+      std::string name = "B3." + std::to_string(v);
+      report(name.c_str(), MeasureMs([&] {
+               B3(e, v, pk, ctx.app_mid, ctx.sys_mid);
+             }));
+    }
+  }
+  if (all || args.suite == "H") {
+    std::printf("temporal TPC-H (H):\n");
+    for (int q = 1; q <= 22; ++q) {
+      std::string name = "Q" + std::to_string(q) + " sys-TT";
+      report(name.c_str(), MeasureMs([&] {
+               TpchQuery(q, e, TemporalScanSpec::SystemAsOf(
+                                   ctx.sys_v0.micros()));
+             }));
+    }
+  }
+  return 0;
+}
+
+int RunSql(const Args& args) {
+  if (args.sql.empty()) return Usage();
+  WorkloadConfig cfg;
+  cfg.engine_letter = args.engine;
+  cfg.h = args.h;
+  cfg.m = args.m;
+  WorkloadContext ctx = BuildWorkload(cfg);
+  sql::SqlResult result;
+  double ms = 0;
+  Status st;
+  ms = MeasureMs([&] { st = sql::ExecuteSql(ctx.eng(), args.sql, &result); });
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s(%zu rows in %.2f ms)\n",
+              FormatRows(result.rows, result.columns, 50).c_str(),
+              result.rows.size(), ms);
+  return 0;
+}
+
+int Verify(const Args& args) {
+  WorkloadConfig cfg;
+  cfg.engine_letter = args.engine;
+  cfg.h = args.h;
+  cfg.m = args.m;
+  cfg.seed = args.seed;
+  std::printf("building workload (h=%.4f, m=%.4f) on System %s...\n", args.h,
+              args.m, args.engine.c_str());
+  WorkloadContext ctx = BuildWorkload(cfg);
+  int bad = 0;
+  for (const TableDef& def : BiHSchema()) {
+    ConsistencyReport r = CheckBitemporalConsistency(ctx.eng(), def.name);
+    std::printf("%-10s keys=%7zu versions=%8zu %s\n", def.name.c_str(),
+                r.keys_checked, r.versions_checked,
+                r.ok() ? "OK" : "VIOLATIONS");
+    for (const ConsistencyViolation& v : r.violations) {
+      std::printf("  key=%s: %s\n", v.key[0].ToString().c_str(),
+                  v.message.c_str());
+      ++bad;
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bih
+
+int main(int argc, char** argv) {
+  bih::Args args;
+  if (!bih::ParseArgs(argc, argv, &args)) return bih::Usage();
+  if (args.command == "generate") return bih::Generate(args);
+  if (args.command == "load") return bih::Load(args);
+  if (args.command == "run") return bih::RunSuites(args);
+  if (args.command == "sql") return bih::RunSql(args);
+  if (args.command == "verify") return bih::Verify(args);
+  return bih::Usage();
+}
