@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_timeline.cc" "bench/CMakeFiles/bench_ablation_timeline.dir/bench_ablation_timeline.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_timeline.dir/bench_ablation_timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/bih_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/bih/CMakeFiles/bih_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/bih_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/bih_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/bih_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/bih_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/bih_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/bih_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bih_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_key_version.dir/bench_fig10_key_version.cc.o"
+  "CMakeFiles/bench_fig10_key_version.dir/bench_fig10_key_version.cc.o.d"
+  "bench_fig10_key_version"
+  "bench_fig10_key_version.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_key_version.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

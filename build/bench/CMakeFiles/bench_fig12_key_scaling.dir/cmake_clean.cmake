@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_key_scaling.dir/bench_fig12_key_scaling.cc.o"
+  "CMakeFiles/bench_fig12_key_scaling.dir/bench_fig12_key_scaling.cc.o.d"
+  "bench_fig12_key_scaling"
+  "bench_fig12_key_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_key_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_range_timeslice.dir/bench_fig14_range_timeslice.cc.o"
+  "CMakeFiles/bench_fig14_range_timeslice.dir/bench_fig14_range_timeslice.cc.o.d"
+  "bench_fig14_range_timeslice"
+  "bench_fig14_range_timeslice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_range_timeslice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_bitemporal.dir/bench_fig15_bitemporal.cc.o"
+  "CMakeFiles/bench_fig15_bitemporal.dir/bench_fig15_bitemporal.cc.o.d"
+  "bench_fig15_bitemporal"
+  "bench_fig15_bitemporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_bitemporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_loading.dir/bench_fig16_loading.cc.o"
+  "CMakeFiles/bench_fig16_loading.dir/bench_fig16_loading.cc.o.d"
+  "bench_fig16_loading"
+  "bench_fig16_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

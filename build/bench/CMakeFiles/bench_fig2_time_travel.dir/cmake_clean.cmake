@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_time_travel.dir/bench_fig2_time_travel.cc.o"
+  "CMakeFiles/bench_fig2_time_travel.dir/bench_fig2_time_travel.cc.o.d"
+  "bench_fig2_time_travel"
+  "bench_fig2_time_travel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_time_travel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

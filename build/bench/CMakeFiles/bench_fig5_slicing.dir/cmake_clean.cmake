@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_slicing.dir/bench_fig5_slicing.cc.o"
+  "CMakeFiles/bench_fig5_slicing.dir/bench_fig5_slicing.cc.o.d"
+  "bench_fig5_slicing"
+  "bench_fig5_slicing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_slicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_implicit_explicit.dir/bench_fig6_implicit_explicit.cc.o"
+  "CMakeFiles/bench_fig6_implicit_explicit.dir/bench_fig6_implicit_explicit.cc.o.d"
+  "bench_fig6_implicit_explicit"
+  "bench_fig6_implicit_explicit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_implicit_explicit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

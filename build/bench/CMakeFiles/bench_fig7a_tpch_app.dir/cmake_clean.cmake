@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7a_tpch_app.dir/bench_fig7a_tpch_app.cc.o"
+  "CMakeFiles/bench_fig7a_tpch_app.dir/bench_fig7a_tpch_app.cc.o.d"
+  "bench_fig7a_tpch_app"
+  "bench_fig7a_tpch_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7a_tpch_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7b_tpch_sys.dir/bench_fig7b_tpch_sys.cc.o"
+  "CMakeFiles/bench_fig7b_tpch_sys.dir/bench_fig7b_tpch_sys.cc.o.d"
+  "bench_fig7b_tpch_sys"
+  "bench_fig7b_tpch_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b_tpch_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_key_full.dir/bench_fig8_key_full.cc.o"
+  "CMakeFiles/bench_fig8_key_full.dir/bench_fig8_key_full.cc.o.d"
+  "bench_fig8_key_full"
+  "bench_fig8_key_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_key_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

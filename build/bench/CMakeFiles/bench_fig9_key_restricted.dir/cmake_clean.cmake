@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_key_restricted.dir/bench_fig9_key_restricted.cc.o"
+  "CMakeFiles/bench_fig9_key_restricted.dir/bench_fig9_key_restricted.cc.o.d"
+  "bench_fig9_key_restricted"
+  "bench_fig9_key_restricted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_key_restricted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

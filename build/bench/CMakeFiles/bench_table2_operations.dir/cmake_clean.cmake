@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_operations.dir/bench_table2_operations.cc.o"
+  "CMakeFiles/bench_table2_operations.dir/bench_table2_operations.cc.o.d"
+  "bench_table2_operations"
+  "bench_table2_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bih/generator.cc" "src/bih/CMakeFiles/bih_history.dir/generator.cc.o" "gcc" "src/bih/CMakeFiles/bih_history.dir/generator.cc.o.d"
+  "/root/repo/src/bih/history.cc" "src/bih/CMakeFiles/bih_history.dir/history.cc.o" "gcc" "src/bih/CMakeFiles/bih_history.dir/history.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/bih_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/bih_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/bih_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bih_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/bih_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/bih_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

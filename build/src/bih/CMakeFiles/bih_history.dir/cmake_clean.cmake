@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bih_history.dir/generator.cc.o"
+  "CMakeFiles/bih_history.dir/generator.cc.o.d"
+  "CMakeFiles/bih_history.dir/history.cc.o"
+  "CMakeFiles/bih_history.dir/history.cc.o.d"
+  "libbih_history.a"
+  "libbih_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bih_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

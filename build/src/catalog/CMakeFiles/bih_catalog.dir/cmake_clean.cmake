@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bih_catalog.dir/schema.cc.o"
+  "CMakeFiles/bih_catalog.dir/schema.cc.o.d"
+  "libbih_catalog.a"
+  "libbih_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bih_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

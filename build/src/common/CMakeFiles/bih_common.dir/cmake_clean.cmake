@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bih_common.dir/chrono.cc.o"
+  "CMakeFiles/bih_common.dir/chrono.cc.o.d"
+  "CMakeFiles/bih_common.dir/period.cc.o"
+  "CMakeFiles/bih_common.dir/period.cc.o.d"
+  "CMakeFiles/bih_common.dir/rng.cc.o"
+  "CMakeFiles/bih_common.dir/rng.cc.o.d"
+  "CMakeFiles/bih_common.dir/status.cc.o"
+  "CMakeFiles/bih_common.dir/status.cc.o.d"
+  "CMakeFiles/bih_common.dir/value.cc.o"
+  "CMakeFiles/bih_common.dir/value.cc.o.d"
+  "libbih_common.a"
+  "libbih_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bih_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/consistency.cc" "src/engine/CMakeFiles/bih_engine.dir/consistency.cc.o" "gcc" "src/engine/CMakeFiles/bih_engine.dir/consistency.cc.o.d"
+  "/root/repo/src/engine/engine_base.cc" "src/engine/CMakeFiles/bih_engine.dir/engine_base.cc.o" "gcc" "src/engine/CMakeFiles/bih_engine.dir/engine_base.cc.o.d"
+  "/root/repo/src/engine/index_set.cc" "src/engine/CMakeFiles/bih_engine.dir/index_set.cc.o" "gcc" "src/engine/CMakeFiles/bih_engine.dir/index_set.cc.o.d"
+  "/root/repo/src/engine/scan_util.cc" "src/engine/CMakeFiles/bih_engine.dir/scan_util.cc.o" "gcc" "src/engine/CMakeFiles/bih_engine.dir/scan_util.cc.o.d"
+  "/root/repo/src/engine/system_a.cc" "src/engine/CMakeFiles/bih_engine.dir/system_a.cc.o" "gcc" "src/engine/CMakeFiles/bih_engine.dir/system_a.cc.o.d"
+  "/root/repo/src/engine/system_b.cc" "src/engine/CMakeFiles/bih_engine.dir/system_b.cc.o" "gcc" "src/engine/CMakeFiles/bih_engine.dir/system_b.cc.o.d"
+  "/root/repo/src/engine/system_c.cc" "src/engine/CMakeFiles/bih_engine.dir/system_c.cc.o" "gcc" "src/engine/CMakeFiles/bih_engine.dir/system_c.cc.o.d"
+  "/root/repo/src/engine/system_d.cc" "src/engine/CMakeFiles/bih_engine.dir/system_d.cc.o" "gcc" "src/engine/CMakeFiles/bih_engine.dir/system_d.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/temporal/CMakeFiles/bih_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/bih_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/bih_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bih_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

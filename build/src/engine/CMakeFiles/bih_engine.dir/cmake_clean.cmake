@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bih_engine.dir/consistency.cc.o"
+  "CMakeFiles/bih_engine.dir/consistency.cc.o.d"
+  "CMakeFiles/bih_engine.dir/engine_base.cc.o"
+  "CMakeFiles/bih_engine.dir/engine_base.cc.o.d"
+  "CMakeFiles/bih_engine.dir/index_set.cc.o"
+  "CMakeFiles/bih_engine.dir/index_set.cc.o.d"
+  "CMakeFiles/bih_engine.dir/scan_util.cc.o"
+  "CMakeFiles/bih_engine.dir/scan_util.cc.o.d"
+  "CMakeFiles/bih_engine.dir/system_a.cc.o"
+  "CMakeFiles/bih_engine.dir/system_a.cc.o.d"
+  "CMakeFiles/bih_engine.dir/system_b.cc.o"
+  "CMakeFiles/bih_engine.dir/system_b.cc.o.d"
+  "CMakeFiles/bih_engine.dir/system_c.cc.o"
+  "CMakeFiles/bih_engine.dir/system_c.cc.o.d"
+  "CMakeFiles/bih_engine.dir/system_d.cc.o"
+  "CMakeFiles/bih_engine.dir/system_d.cc.o.d"
+  "libbih_engine.a"
+  "libbih_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bih_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/expr.cc" "src/exec/CMakeFiles/bih_exec.dir/expr.cc.o" "gcc" "src/exec/CMakeFiles/bih_exec.dir/expr.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/exec/CMakeFiles/bih_exec.dir/operators.cc.o" "gcc" "src/exec/CMakeFiles/bih_exec.dir/operators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/bih_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bih_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/bih_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/bih_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/bih_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

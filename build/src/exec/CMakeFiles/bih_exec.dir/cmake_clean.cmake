@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bih_exec.dir/expr.cc.o"
+  "CMakeFiles/bih_exec.dir/expr.cc.o.d"
+  "CMakeFiles/bih_exec.dir/operators.cc.o"
+  "CMakeFiles/bih_exec.dir/operators.cc.o.d"
+  "libbih_exec.a"
+  "libbih_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bih_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bih_sql.dir/executor.cc.o"
+  "CMakeFiles/bih_sql.dir/executor.cc.o.d"
+  "CMakeFiles/bih_sql.dir/lexer.cc.o"
+  "CMakeFiles/bih_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/bih_sql.dir/parser.cc.o"
+  "CMakeFiles/bih_sql.dir/parser.cc.o.d"
+  "libbih_sql.a"
+  "libbih_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bih_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

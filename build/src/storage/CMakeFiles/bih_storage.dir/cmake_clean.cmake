@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bih_storage.dir/btree_index.cc.o"
+  "CMakeFiles/bih_storage.dir/btree_index.cc.o.d"
+  "CMakeFiles/bih_storage.dir/column_table.cc.o"
+  "CMakeFiles/bih_storage.dir/column_table.cc.o.d"
+  "CMakeFiles/bih_storage.dir/hash_index.cc.o"
+  "CMakeFiles/bih_storage.dir/hash_index.cc.o.d"
+  "CMakeFiles/bih_storage.dir/row_table.cc.o"
+  "CMakeFiles/bih_storage.dir/row_table.cc.o.d"
+  "CMakeFiles/bih_storage.dir/rtree_index.cc.o"
+  "CMakeFiles/bih_storage.dir/rtree_index.cc.o.d"
+  "libbih_storage.a"
+  "libbih_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bih_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

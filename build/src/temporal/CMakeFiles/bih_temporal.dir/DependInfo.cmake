@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/temporal/sequenced.cc" "src/temporal/CMakeFiles/bih_temporal.dir/sequenced.cc.o" "gcc" "src/temporal/CMakeFiles/bih_temporal.dir/sequenced.cc.o.d"
+  "/root/repo/src/temporal/temporal.cc" "src/temporal/CMakeFiles/bih_temporal.dir/temporal.cc.o" "gcc" "src/temporal/CMakeFiles/bih_temporal.dir/temporal.cc.o.d"
+  "/root/repo/src/temporal/timeline.cc" "src/temporal/CMakeFiles/bih_temporal.dir/timeline.cc.o" "gcc" "src/temporal/CMakeFiles/bih_temporal.dir/timeline.cc.o.d"
+  "/root/repo/src/temporal/timeline_index.cc" "src/temporal/CMakeFiles/bih_temporal.dir/timeline_index.cc.o" "gcc" "src/temporal/CMakeFiles/bih_temporal.dir/timeline_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bih_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/bih_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

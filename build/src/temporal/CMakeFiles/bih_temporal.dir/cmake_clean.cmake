@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bih_temporal.dir/sequenced.cc.o"
+  "CMakeFiles/bih_temporal.dir/sequenced.cc.o.d"
+  "CMakeFiles/bih_temporal.dir/temporal.cc.o"
+  "CMakeFiles/bih_temporal.dir/temporal.cc.o.d"
+  "CMakeFiles/bih_temporal.dir/timeline.cc.o"
+  "CMakeFiles/bih_temporal.dir/timeline.cc.o.d"
+  "CMakeFiles/bih_temporal.dir/timeline_index.cc.o"
+  "CMakeFiles/bih_temporal.dir/timeline_index.cc.o.d"
+  "libbih_temporal.a"
+  "libbih_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bih_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

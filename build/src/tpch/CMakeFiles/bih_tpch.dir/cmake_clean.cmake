@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bih_tpch.dir/dbgen.cc.o"
+  "CMakeFiles/bih_tpch.dir/dbgen.cc.o.d"
+  "CMakeFiles/bih_tpch.dir/schema.cc.o"
+  "CMakeFiles/bih_tpch.dir/schema.cc.o.d"
+  "libbih_tpch.a"
+  "libbih_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bih_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

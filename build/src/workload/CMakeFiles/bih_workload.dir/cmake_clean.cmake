@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bih_workload.dir/context.cc.o"
+  "CMakeFiles/bih_workload.dir/context.cc.o.d"
+  "CMakeFiles/bih_workload.dir/queries.cc.o"
+  "CMakeFiles/bih_workload.dir/queries.cc.o.d"
+  "CMakeFiles/bih_workload.dir/tpch_queries.cc.o"
+  "CMakeFiles/bih_workload.dir/tpch_queries.cc.o.d"
+  "libbih_workload.a"
+  "libbih_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bih_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbih_workload.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archive_replay_test.dir/archive_replay_test.cc.o"
+  "CMakeFiles/archive_replay_test.dir/archive_replay_test.cc.o.d"
+  "archive_replay_test"
+  "archive_replay_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archive_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

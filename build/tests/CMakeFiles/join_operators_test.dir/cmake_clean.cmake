@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_operators_test.dir/join_operators_test.cc.o"
+  "CMakeFiles/join_operators_test.dir/join_operators_test.cc.o.d"
+  "join_operators_test"
+  "join_operators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_operators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

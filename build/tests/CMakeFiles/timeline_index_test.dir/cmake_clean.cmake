@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeline_index_test.dir/timeline_index_test.cc.o"
+  "CMakeFiles/timeline_index_test.dir/timeline_index_test.cc.o.d"
+  "timeline_index_test"
+  "timeline_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeline_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bih_driver.dir/bih_driver.cc.o"
+  "CMakeFiles/bih_driver.dir/bih_driver.cc.o.d"
+  "bih_driver"
+  "bih_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bih_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
