@@ -117,7 +117,9 @@ bool DecodeValue(const std::string& line, size_t* pos, Value* out) {
 
 Status SaveHistory(const History& history, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return Status::Internal("cannot open " + path);
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
   std::fprintf(f, "TPCBIH-ARCHIVE v1 %zu\n", history.size());
   std::string buf;
   for (const HistoryTransaction& txn : history) {
@@ -143,7 +145,11 @@ Status SaveHistory(const History& history, const std::string& path) {
       }
     }
   }
-  std::fclose(f);
+  bool write_error = std::ferror(f) != 0;
+  write_error |= std::fclose(f) != 0;
+  if (write_error) {
+    return Status::IoError("short write to " + path);
+  }
   return Status::OK();
 }
 
@@ -152,17 +158,26 @@ Status LoadHistory(const std::string& path, History* out) {
   if (f == nullptr) return Status::NotFound("cannot open " + path);
   out->clear();
   char linebuf[1 << 16];
-  if (!std::fgets(linebuf, sizeof(linebuf), f)) {
+  size_t lineno = 0;
+  // Every malformed record is reported with its 1-based line number so a
+  // corrupt multi-megabyte archive is debuggable.
+  auto fail = [&](const std::string& what) {
     std::fclose(f);
-    return Status::InvalidArgument("empty archive");
+    return Status::InvalidArgument(path + " line " + std::to_string(lineno) +
+                                   ": " + what);
+  };
+  if (!std::fgets(linebuf, sizeof(linebuf), f)) {
+    ++lineno;
+    return fail("empty archive");
   }
+  ++lineno;
   size_t declared = 0;
   if (std::sscanf(linebuf, "TPCBIH-ARCHIVE v1 %zu", &declared) != 1) {
-    std::fclose(f);
-    return Status::InvalidArgument("bad archive header");
+    return fail("bad archive header");
   }
   Operation* cur_op = nullptr;
   while (std::fgets(linebuf, sizeof(linebuf), f)) {
+    ++lineno;
     std::string line(linebuf);
     while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
       line.pop_back();
@@ -170,21 +185,26 @@ Status LoadHistory(const std::string& path, History* out) {
     if (line.empty()) continue;
     if (line[0] == 'T') {
       int scen = 0;
-      std::sscanf(line.c_str(), "T %d", &scen);
+      if (std::sscanf(line.c_str(), "T %d", &scen) != 1 || scen < 0 ||
+          scen >= static_cast<int>(Scenario::kCount)) {
+        return fail("bad transaction record: " + line);
+      }
       out->push_back(HistoryTransaction{static_cast<Scenario>(scen), {}});
       cur_op = nullptr;
     } else if (line[0] == 'O') {
       if (out->empty()) {
-        std::fclose(f);
-        return Status::InvalidArgument("operation before transaction");
+        return fail("operation before transaction");
       }
       int kind = 0, period_index = 0;
       char table[64];
       long long b = 0, e = 0;
       if (std::sscanf(line.c_str(), "O %d %63s %d %lld %lld", &kind, table,
                       &period_index, &b, &e) != 5) {
-        std::fclose(f);
-        return Status::InvalidArgument("bad operation record: " + line);
+        return fail("bad operation record: " + line);
+      }
+      if (kind < static_cast<int>(Operation::Kind::kInsert) ||
+          kind > static_cast<int>(Operation::Kind::kDeleteSequenced)) {
+        return fail("bad operation kind " + std::to_string(kind));
       }
       Operation op;
       op.kind = static_cast<Operation::Kind>(kind);
@@ -195,17 +215,21 @@ Status LoadHistory(const std::string& path, History* out) {
       cur_op = &out->back().ops.back();
     } else if (line[0] == 'R' || line[0] == 'K' || line[0] == 'S') {
       if (cur_op == nullptr) {
-        std::fclose(f);
-        return Status::InvalidArgument("payload before operation");
+        return fail("payload before operation");
       }
       size_t n = 0;
       size_t pos = line.find(' ', 2);
       if (pos == std::string::npos) {
-        std::fclose(f);
-        return Status::InvalidArgument("bad payload record");
+        return fail("bad payload record");
       }
       n = static_cast<size_t>(
           std::strtoull(line.substr(2, pos - 2).c_str(), nullptr, 10));
+      // Each encoded value occupies at least two characters, so a count
+      // past half the line length is corruption, not data (and would
+      // otherwise drive a huge reserve()).
+      if (n > line.size() / 2 + 1) {
+        return fail("implausible payload count " + std::to_string(n));
+      }
       ++pos;
       if (line[0] == 'R' || line[0] == 'K') {
         std::vector<Value>& dst =
@@ -215,8 +239,8 @@ Status LoadHistory(const std::string& path, History* out) {
         for (size_t i = 0; i < n; ++i) {
           Value v;
           if (!DecodeValue(line, &pos, &v)) {
-            std::fclose(f);
-            return Status::InvalidArgument("bad value in archive");
+            return fail("bad value " + std::to_string(i + 1) + " of " +
+                        std::to_string(n));
           }
           dst.push_back(std::move(v));
         }
@@ -226,24 +250,32 @@ Status LoadHistory(const std::string& path, History* out) {
         for (size_t i = 0; i < n; ++i) {
           size_t sp = line.find(' ', pos);
           if (sp == std::string::npos) {
-            std::fclose(f);
-            return Status::InvalidArgument("bad assignment in archive");
+            return fail("bad assignment " + std::to_string(i + 1) + " of " +
+                        std::to_string(n));
           }
           int col = std::atoi(line.substr(pos, sp - pos).c_str());
           pos = sp + 1;
           Value v;
           if (!DecodeValue(line, &pos, &v)) {
-            std::fclose(f);
-            return Status::InvalidArgument("bad assignment value");
+            return fail("bad assignment value " + std::to_string(i + 1));
           }
           cur_op->set.push_back(ColumnAssignment{col, std::move(v)});
         }
       }
+    } else {
+      return fail("unknown record type '" + line.substr(0, 1) + "'");
     }
   }
+  bool read_error = std::ferror(f) != 0;
   std::fclose(f);
+  if (read_error) {
+    return Status::IoError("read error in " + path + " near line " +
+                           std::to_string(lineno));
+  }
   if (out->size() != declared) {
-    return Status::InvalidArgument("archive truncated");
+    return Status::InvalidArgument(
+        path + ": archive truncated (" + std::to_string(out->size()) + " of " +
+        std::to_string(declared) + " transactions)");
   }
   return Status::OK();
 }

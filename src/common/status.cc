@@ -18,6 +18,8 @@ std::string Status::ToString() const {
       return "Unimplemented: " + message_;
     case Code::kInternal:
       return "Internal: " + message_;
+    case Code::kIoError:
+      return "IoError: " + message_;
   }
   return "Unknown";
 }

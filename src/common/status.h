@@ -22,6 +22,7 @@ class Status {
     kOutOfRange,
     kUnimplemented,
     kInternal,
+    kIoError,
   };
 
   Status() : code_(Code::kOk) {}
@@ -46,6 +47,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

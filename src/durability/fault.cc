@@ -1,0 +1,119 @@
+#include "durability/fault.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace bih {
+
+FaultInjector FaultInjector::FailNth(uint64_t n) {
+  FaultInjector fi;
+  fi.mode_ = Mode::kFailWrite;
+  fi.trigger_write_ = n;
+  return fi;
+}
+
+FaultInjector FaultInjector::TornNth(uint64_t n, size_t keep_bytes) {
+  FaultInjector fi;
+  fi.mode_ = Mode::kTornWrite;
+  fi.trigger_write_ = n;
+  fi.keep_bytes_ = keep_bytes;
+  return fi;
+}
+
+FaultInjector FaultInjector::FlipByteNth(uint64_t n, size_t offset,
+                                         uint8_t mask) {
+  FaultInjector fi;
+  fi.mode_ = Mode::kFlipByte;
+  fi.trigger_write_ = n;
+  fi.flip_offset_ = offset;
+  fi.flip_mask_ = mask == 0 ? 0x01 : mask;
+  return fi;
+}
+
+FaultInjector FaultInjector::FromEnv(const char* var) {
+  const char* v = std::getenv(var);
+  if (v == nullptr || *v == '\0') return FaultInjector();
+  char mode[8] = {0};
+  unsigned long long n = 0, extra = 0;
+  if (std::sscanf(v, "%7[a-z]:%llu:%llu", mode, &n, &extra) >= 2 && n > 0) {
+    if (std::strcmp(mode, "fail") == 0) return FailNth(n);
+    if (std::strcmp(mode, "torn") == 0) {
+      return TornNth(n, static_cast<size_t>(extra));
+    }
+    if (std::strcmp(mode, "flip") == 0) {
+      return FlipByteNth(n, static_cast<size_t>(extra));
+    }
+  }
+  return FaultInjector();
+}
+
+FaultInjector FaultInjector::FromSeed(uint64_t seed, uint64_t max_write) {
+  // splitmix64 steps; any fixed mixing works, it only has to be stable.
+  auto next = [&seed]() {
+    seed += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = seed;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  if (max_write == 0) max_write = 1;
+  uint64_t trigger = 1 + next() % max_write;
+  switch (next() % 3) {
+    case 0:
+      return FailNth(trigger);
+    case 1:
+      return TornNth(trigger, static_cast<size_t>(next() % 64));
+    default:
+      return FlipByteNth(trigger, static_cast<size_t>(next() % 256),
+                         static_cast<uint8_t>(1u << (next() % 8)));
+  }
+}
+
+FaultInjector::Action FaultInjector::OnWrite(uint64_t write_index,
+                                             size_t frame_len) {
+  Action a;
+  if (crashed_) {
+    a.fail = true;
+    return a;
+  }
+  if (mode_ == Mode::kNone || write_index != trigger_write_) return a;
+  triggered_ = true;
+  switch (mode_) {
+    case Mode::kFailWrite:
+      crashed_ = true;
+      a.fail = true;
+      break;
+    case Mode::kTornWrite:
+      crashed_ = true;
+      a.torn = true;
+      a.keep_bytes = keep_bytes_ < frame_len ? keep_bytes_ : frame_len;
+      break;
+    case Mode::kFlipByte:
+      a.flip = true;
+      a.flip_offset = frame_len == 0 ? 0 : flip_offset_ % frame_len;
+      a.flip_mask = flip_mask_;
+      break;
+    case Mode::kNone:
+      break;
+  }
+  return a;
+}
+
+std::string FaultInjector::ToString() const {
+  switch (mode_) {
+    case Mode::kNone:
+      return "none";
+    case Mode::kFailWrite:
+      return "fail:" + std::to_string(trigger_write_);
+    case Mode::kTornWrite:
+      return "torn:" + std::to_string(trigger_write_) + ":" +
+             std::to_string(keep_bytes_);
+    case Mode::kFlipByte:
+      return "flip:" + std::to_string(trigger_write_) + ":" +
+             std::to_string(flip_offset_);
+  }
+  return "?";
+}
+
+}  // namespace bih

@@ -1,0 +1,77 @@
+#ifndef TPCBIH_DURABILITY_FAULT_H_
+#define TPCBIH_DURABILITY_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace bih {
+
+// Deterministic fault injection for the WAL's physical record writes.
+//
+// The injector is consulted once per framed record the writer is about to
+// append. It can let the write pass, fail it outright (as if the disk
+// returned EIO), persist only a prefix of the frame (a torn write: the
+// classic crash-mid-append), or flip one byte of the frame before it lands
+// (silent media corruption). After a fail/torn trigger the injector is
+// "crashed": every later write fails, modeling a process that never comes
+// back between the fault and recovery.
+//
+// All decisions are a pure function of the plan and the write counter, so a
+// given configuration reproduces the same byte stream every run; the CI
+// crash sweep relies on this.
+class FaultInjector {
+ public:
+  enum class Mode { kNone, kFailWrite, kTornWrite, kFlipByte };
+
+  struct Action {
+    bool fail = false;          // drop the frame, return kIoError
+    bool torn = false;          // persist only keep_bytes, then crash
+    size_t keep_bytes = 0;      // prefix length for a torn write
+    bool flip = false;          // XOR one byte of the frame
+    size_t flip_offset = 0;
+    uint8_t flip_mask = 0x01;
+  };
+
+  FaultInjector() = default;
+
+  // Fail the nth frame write (1-based) and every one after it.
+  static FaultInjector FailNth(uint64_t n);
+  // Persist only `keep_bytes` of the nth frame, then crash. keep_bytes
+  // beyond the frame length persists the whole frame (the fault degrades
+  // to a clean crash after the record).
+  static FaultInjector TornNth(uint64_t n, size_t keep_bytes);
+  // Flip `mask` into byte `offset` of the nth frame (offset is clamped to
+  // the frame). The write itself succeeds; corruption is only discovered
+  // by CRC at recovery time.
+  static FaultInjector FlipByteNth(uint64_t n, size_t offset,
+                                   uint8_t mask = 0x01);
+  // Parses BIH_FAULT ("fail:N" | "torn:N:KEEP" | "flip:N:OFF") from the
+  // environment; returns a no-op injector when unset or malformed.
+  static FaultInjector FromEnv(const char* var = "BIH_FAULT");
+  // Derives a pseudo-random plan from a seed: mode, trigger write in
+  // [1, max_write] and torn/flip parameters are all functions of the seed.
+  static FaultInjector FromSeed(uint64_t seed, uint64_t max_write);
+
+  // Called by the WAL writer before appending frame number `write_index`
+  // (1-based) of `frame_len` bytes.
+  Action OnWrite(uint64_t write_index, size_t frame_len);
+
+  Mode mode() const { return mode_; }
+  uint64_t trigger_write() const { return trigger_write_; }
+  bool triggered() const { return triggered_; }
+  std::string ToString() const;
+
+ private:
+  Mode mode_ = Mode::kNone;
+  uint64_t trigger_write_ = 0;  // 1-based frame index of the fault
+  size_t keep_bytes_ = 0;
+  size_t flip_offset_ = 0;
+  uint8_t flip_mask_ = 0x01;
+  bool triggered_ = false;
+  bool crashed_ = false;
+};
+
+}  // namespace bih
+
+#endif  // TPCBIH_DURABILITY_FAULT_H_

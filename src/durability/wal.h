@@ -1,0 +1,136 @@
+#ifndef TPCBIH_DURABILITY_WAL_H_
+#define TPCBIH_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/period.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "durability/fault.h"
+#include "temporal/sequenced.h"
+
+namespace bih {
+
+// Binary write-ahead log shared by all four engines. The log is engine-
+// neutral: it records logical mutations (the same vocabulary as the archive
+// Operation) together with the commit timestamp the engine assigned, so
+// replaying it into a fresh engine of any architecture reproduces the exact
+// bitemporal state — including system-time coordinates.
+//
+// File layout: an 8-byte magic ("BIHWAL01"), then framed records:
+//
+//   [u32 payload_len][u32 crc32(payload)][payload]
+//
+// payload = u8 kind, u8 flags, i64 commit_ts, kind-specific body. Strings
+// are u32 length + bytes, values are 1-byte-tagged (null/int/double/str).
+// A record with flags bit kInTxn set is only durable once a later kCommit
+// record closes its transaction; recovery discards an unterminated batch,
+// which is how a crash between Begin and the Commit flush loses exactly the
+// uncommitted suffix and nothing else.
+
+// CRC-32 (IEEE 802.3 polynomial, reflected). Exposed so tests can craft
+// deliberately corrupt frames.
+uint32_t WalCrc32(const uint8_t* data, size_t n);
+
+struct WalRecord {
+  enum class Kind : uint8_t {
+    kCreateTable = 1,
+    kInsert = 2,
+    kUpdateCurrent = 3,
+    kUpdateSequenced = 4,
+    kUpdateOverwrite = 5,
+    kDeleteCurrent = 6,
+    kDeleteSequenced = 7,
+    kBulkLoad = 8,
+    kCommit = 9,  // closes the open transaction's records
+  };
+  static constexpr uint8_t kInTxn = 0x01;  // flags bit
+
+  Kind kind = Kind::kCommit;
+  uint8_t flags = 0;
+  int64_t ts = 0;  // commit timestamp (micros); 0 for DDL
+
+  std::string table;                    // all DML kinds
+  TableDef def;                         // kCreateTable
+  Row row;                              // kInsert
+  std::vector<Row> rows;                // kBulkLoad
+  std::vector<Value> key;               // update/delete kinds
+  int period_index = 0;                 // sequenced kinds
+  Period period;                        // sequenced kinds
+  std::vector<ColumnAssignment> set;    // update kinds
+
+  bool in_txn() const { return (flags & kInTxn) != 0; }
+};
+
+// Serializes `rec` into the payload encoding (no frame header).
+void EncodeWalRecord(const WalRecord& rec, std::string* out);
+// Parses a payload produced by EncodeWalRecord.
+Status DecodeWalRecord(const uint8_t* data, size_t n, WalRecord* out);
+
+// Appends framed records to a log file. Writes go through the optional
+// FaultInjector; once a write fails, the writer is dead and every further
+// Append returns kIoError (the in-memory engine state is then ahead of the
+// durable state, exactly like a real crash).
+class WalWriter {
+ public:
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Creates/truncates the log at `path` and writes the magic. The injector
+  // (optional) is borrowed and must outlive the writer.
+  static Status Open(const std::string& path, FaultInjector* fault,
+                     std::unique_ptr<WalWriter>* out);
+
+  Status Append(const WalRecord& rec);
+  // Pushes buffered bytes to the OS (the durability point of a commit).
+  Status Flush();
+
+  const std::string& path() const { return path_; }
+  uint64_t records_written() const { return records_written_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  WalWriter(std::string path, std::FILE* f, FaultInjector* fault)
+      : path_(std::move(path)), file_(f), fault_(fault) {}
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  FaultInjector* fault_ = nullptr;  // not owned
+  uint64_t records_written_ = 0;
+  uint64_t bytes_written_ = 0;
+  bool dead_ = false;
+  // Scratch space reused across Append calls; at steady state appending a
+  // record allocates nothing (this keeps the logging tax on the Fig. 16
+  // loading path well under 2x).
+  std::string payload_buf_;
+  std::string frame_buf_;
+};
+
+// Result of scanning a log file up to the first torn or corrupt frame.
+struct WalScanResult {
+  std::vector<WalRecord> records;  // the valid prefix
+  uint64_t bytes_total = 0;        // file size
+  uint64_t bytes_salvaged = 0;     // offset just past the last valid record
+  bool tail_dropped = false;       // trailing garbage was ignored
+  std::string tail_reason;         // why the tail was cut (empty when clean)
+};
+
+// Reads every valid record of `path`. A bad magic is an error; a torn or
+// CRC-corrupt tail is NOT — the valid prefix is returned and the tail
+// described in `out` (graceful degradation; the caller decides whether to
+// TruncateWalTail the file).
+Status ScanWal(const std::string& path, WalScanResult* out);
+
+// Truncates `path` to `bytes`, discarding a corrupt tail found by ScanWal
+// so future appends extend a clean log.
+Status TruncateWalTail(const std::string& path, uint64_t bytes);
+
+}  // namespace bih
+
+#endif  // TPCBIH_DURABILITY_WAL_H_

@@ -10,6 +10,7 @@
 #include "catalog/schema.h"
 #include "common/chrono.h"
 #include "common/value.h"
+#include "durability/wal.h"
 #include "temporal/clock.h"
 #include "temporal/sequenced.h"
 #include "temporal/temporal.h"
@@ -78,6 +79,11 @@ using RowCallback = std::function<bool(const Row&)>;
 // Scan output layout ("scan schema"): the user columns of the table
 // definition in order, then SYS_TIME_START and SYS_TIME_END (timestamps).
 // Application-time periods are ordinary user columns per the TableDef.
+//
+// DDL and DML are template methods: the public non-virtual entry points
+// allocate the commit timestamp, dispatch to the per-engine Do* virtuals,
+// and mirror every successful mutation to the attached write-ahead log —
+// so all four architectures gain durability without engine-specific code.
 class TemporalEngine {
  public:
   virtual ~TemporalEngine() = default;
@@ -91,7 +97,7 @@ class TemporalEngine {
   virtual bool native_app_time() const { return true; }
 
   // --- DDL -----------------------------------------------------------
-  virtual Status CreateTable(const TableDef& def) = 0;
+  Status CreateTable(const TableDef& def);
   virtual Status CreateIndex(const IndexSpec& spec) = 0;
   virtual Status DropIndexes(const std::string& table) = 0;
 
@@ -102,45 +108,64 @@ class TemporalEngine {
   // --- Transactions ----------------------------------------------------
   // DML statements outside Begin/Commit auto-commit individually. Batched
   // statements share one commit timestamp (the Fig. 13 batch-size knob).
-  virtual void Begin();
-  virtual Status Commit();
+  // With a WAL attached, a batch is durable only once Commit has flushed
+  // its records plus a commit marker; auto-commit statements flush
+  // individually.
+  void Begin();
+  Status Commit();
 
   // --- DML -------------------------------------------------------------
-  virtual Status Insert(const std::string& table, Row row) = 0;
+  Status Insert(const std::string& table, Row row);
 
   // Bulk load with explicit system-time periods appended to each row
   // (arity = user columns + 2). Only engines without engine-managed system
   // time accept this (System D); others return Unimplemented, which is the
   // paper's reason history loading must replay individual transactions.
-  virtual Status BulkLoad(const std::string& table, std::vector<Row> rows);
+  Status BulkLoad(const std::string& table, std::vector<Row> rows);
 
   // Updates every currently visible version of `key` (non-temporal update:
   // only the system time moves).
-  virtual Status UpdateCurrent(const std::string& table,
-                               const std::vector<Value>& key,
-                               const std::vector<ColumnAssignment>& set) = 0;
+  Status UpdateCurrent(const std::string& table, const std::vector<Value>& key,
+                       const std::vector<ColumnAssignment>& set);
 
   // SEQUENCED VALIDTIME UPDATE over `period` of application time dimension
   // `period_index`.
-  virtual Status UpdateSequenced(const std::string& table,
-                                 const std::vector<Value>& key,
-                                 int period_index, const Period& period,
-                                 const std::vector<ColumnAssignment>& set) = 0;
+  Status UpdateSequenced(const std::string& table,
+                         const std::vector<Value>& key, int period_index,
+                         const Period& period,
+                         const std::vector<ColumnAssignment>& set);
 
   // Overwrite semantics (Table 2 "Overwrite App.Time"): replaces the
   // overlapped range with a single new version spanning exactly `period`.
-  virtual Status UpdateOverwrite(const std::string& table,
-                                 const std::vector<Value>& key,
-                                 int period_index, const Period& period,
-                                 const std::vector<ColumnAssignment>& set) = 0;
+  Status UpdateOverwrite(const std::string& table,
+                         const std::vector<Value>& key, int period_index,
+                         const Period& period,
+                         const std::vector<ColumnAssignment>& set);
 
   // Deletes every currently visible version of `key`.
-  virtual Status DeleteCurrent(const std::string& table,
-                               const std::vector<Value>& key) = 0;
+  Status DeleteCurrent(const std::string& table,
+                       const std::vector<Value>& key);
 
-  virtual Status DeleteSequenced(const std::string& table,
-                                 const std::vector<Value>& key,
-                                 int period_index, const Period& period) = 0;
+  Status DeleteSequenced(const std::string& table,
+                         const std::vector<Value>& key, int period_index,
+                         const Period& period);
+
+  // --- Durability ------------------------------------------------------
+  // Opens (creating/truncating) a write-ahead log at `path`; from here on
+  // every committed mutation — DDL included — is mirrored to it. `fault`
+  // (optional, borrowed) injects deterministic write failures for crash
+  // testing. When a log write fails, the mutating call returns kIoError:
+  // the in-memory state is then ahead of the durable state, exactly as in
+  // a crashed process, and recovery from the log yields the state at the
+  // last durable commit.
+  Status EnableWal(const std::string& path, FaultInjector* fault = nullptr);
+  Status AttachWal(std::unique_ptr<WalWriter> wal);
+  WalWriter* wal() const { return wal_.get(); }
+
+  // Applies one logged mutation at its original commit timestamp, keeping
+  // the engine clock ahead of it; crash recovery only (engine/recovery.h).
+  // Never mirrored to an attached WAL.
+  Status ApplyWalRecord(const WalRecord& rec);
 
   // --- Query -----------------------------------------------------------
   virtual void Scan(const ScanRequest& req, const RowCallback& cb) = 0;
@@ -154,14 +179,52 @@ class TemporalEngine {
   Timestamp Now() const { return clock_.Now(); }
 
  protected:
-  // Commit timestamp for the mutation being executed; allocates a new tick
-  // in auto-commit mode and reuses the transaction stamp inside Begin/Commit.
-  Timestamp MutationTime();
+  // Per-engine implementations of the public template methods above. They
+  // must not allocate commit timestamps themselves: MutationTime() returns
+  // the stamp chosen by the dispatching wrapper (or, during recovery, the
+  // original stamp recorded in the log).
+  virtual Status DoCreateTable(const TableDef& def) = 0;
+  virtual Status DoInsert(const std::string& table, Row row) = 0;
+  virtual Status DoBulkLoad(const std::string& table, std::vector<Row> rows);
+  virtual Status DoUpdateCurrent(const std::string& table,
+                                 const std::vector<Value>& key,
+                                 const std::vector<ColumnAssignment>& set) = 0;
+  virtual Status DoUpdateSequenced(
+      const std::string& table, const std::vector<Value>& key,
+      int period_index, const Period& period,
+      const std::vector<ColumnAssignment>& set) = 0;
+  virtual Status DoUpdateOverwrite(
+      const std::string& table, const std::vector<Value>& key,
+      int period_index, const Period& period,
+      const std::vector<ColumnAssignment>& set) = 0;
+  virtual Status DoDeleteCurrent(const std::string& table,
+                                 const std::vector<Value>& key) = 0;
+  virtual Status DoDeleteSequenced(const std::string& table,
+                                   const std::vector<Value>& key,
+                                   int period_index, const Period& period) = 0;
+
+  // Commit timestamp for the mutation being executed, as allocated by the
+  // dispatching wrapper: a fresh tick in auto-commit mode, the transaction
+  // stamp inside Begin/Commit, the logged stamp during recovery.
+  Timestamp MutationTime() const { return mutation_time_; }
 
   CommitClock clock_;
   bool in_txn_ = false;
   Timestamp txn_time_;
   ExecStats stats_;
+
+ private:
+  // Allocates the stamp MutationTime() hands to the Do* layer.
+  void AllocateMutationTime() {
+    mutation_time_ = in_txn_ ? txn_time_ : clock_.NextCommit();
+  }
+  // Mirrors a successful mutation to the WAL: buffered inside a
+  // transaction, appended + flushed immediately in auto-commit mode.
+  Status LogMutation(WalRecord rec);
+
+  Timestamp mutation_time_;
+  std::unique_ptr<WalWriter> wal_;
+  std::vector<WalRecord> txn_wal_;
 };
 
 // Factory: engines named "A".."D" (architecture letter as in the paper).

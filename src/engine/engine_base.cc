@@ -11,20 +11,224 @@ void TemporalEngine::Begin() {
   BIH_CHECK_MSG(!in_txn_, "nested transactions are not supported");
   in_txn_ = true;
   txn_time_ = clock_.NextCommit();
+  txn_wal_.clear();
 }
 
 Status TemporalEngine::Commit() {
   BIH_CHECK_MSG(in_txn_, "Commit without Begin");
   in_txn_ = false;
-  return Status::OK();
+  if (wal_ == nullptr || txn_wal_.empty()) {
+    txn_wal_.clear();
+    return Status::OK();
+  }
+  // The batch becomes durable atomically: its records followed by a commit
+  // marker, then one flush. A crash anywhere before the marker lands makes
+  // recovery discard the whole batch.
+  Status st;
+  for (const WalRecord& rec : txn_wal_) {
+    st = wal_->Append(rec);
+    if (!st.ok()) break;
+  }
+  if (st.ok()) {
+    WalRecord commit;
+    commit.kind = WalRecord::Kind::kCommit;
+    commit.ts = txn_time_.micros();
+    st = wal_->Append(commit);
+  }
+  txn_wal_.clear();
+  if (!st.ok()) return st;
+  return wal_->Flush();
 }
 
-Timestamp TemporalEngine::MutationTime() {
-  return in_txn_ ? txn_time_ : clock_.NextCommit();
+Status TemporalEngine::LogMutation(WalRecord rec) {
+  if (in_txn_) {
+    rec.flags |= WalRecord::kInTxn;
+    txn_wal_.push_back(std::move(rec));
+    return Status::OK();
+  }
+  BIH_RETURN_IF_ERROR(wal_->Append(rec));
+  return wal_->Flush();
+}
+
+Status TemporalEngine::CreateTable(const TableDef& def) {
+  Status st = DoCreateTable(def);
+  if (st.ok() && wal_ != nullptr) {
+    WalRecord rec;
+    rec.kind = WalRecord::Kind::kCreateTable;
+    rec.def = def;
+    BIH_RETURN_IF_ERROR(LogMutation(std::move(rec)));
+  }
+  return st;
+}
+
+Status TemporalEngine::Insert(const std::string& table, Row row) {
+  AllocateMutationTime();
+  WalRecord rec;
+  if (wal_ != nullptr) {
+    rec.kind = WalRecord::Kind::kInsert;
+    rec.ts = MutationTime().micros();
+    rec.table = table;
+    rec.row = row;
+  }
+  Status st = DoInsert(table, std::move(row));
+  if (st.ok() && wal_ != nullptr) {
+    BIH_RETURN_IF_ERROR(LogMutation(std::move(rec)));
+  }
+  return st;
 }
 
 Status TemporalEngine::BulkLoad(const std::string& table,
                                 std::vector<Row> rows) {
+  WalRecord rec;
+  if (wal_ != nullptr) {
+    rec.kind = WalRecord::Kind::kBulkLoad;
+    rec.table = table;
+    rec.rows = rows;
+  }
+  Status st = DoBulkLoad(table, std::move(rows));
+  if (st.ok() && wal_ != nullptr) {
+    BIH_RETURN_IF_ERROR(LogMutation(std::move(rec)));
+  }
+  return st;
+}
+
+Status TemporalEngine::UpdateCurrent(const std::string& table,
+                                     const std::vector<Value>& key,
+                                     const std::vector<ColumnAssignment>& set) {
+  AllocateMutationTime();
+  Status st = DoUpdateCurrent(table, key, set);
+  if (st.ok() && wal_ != nullptr) {
+    WalRecord rec;
+    rec.kind = WalRecord::Kind::kUpdateCurrent;
+    rec.ts = MutationTime().micros();
+    rec.table = table;
+    rec.key = key;
+    rec.set = set;
+    BIH_RETURN_IF_ERROR(LogMutation(std::move(rec)));
+  }
+  return st;
+}
+
+Status TemporalEngine::UpdateSequenced(
+    const std::string& table, const std::vector<Value>& key, int period_index,
+    const Period& period, const std::vector<ColumnAssignment>& set) {
+  AllocateMutationTime();
+  Status st = DoUpdateSequenced(table, key, period_index, period, set);
+  if (st.ok() && wal_ != nullptr) {
+    WalRecord rec;
+    rec.kind = WalRecord::Kind::kUpdateSequenced;
+    rec.ts = MutationTime().micros();
+    rec.table = table;
+    rec.key = key;
+    rec.period_index = period_index;
+    rec.period = period;
+    rec.set = set;
+    BIH_RETURN_IF_ERROR(LogMutation(std::move(rec)));
+  }
+  return st;
+}
+
+Status TemporalEngine::UpdateOverwrite(
+    const std::string& table, const std::vector<Value>& key, int period_index,
+    const Period& period, const std::vector<ColumnAssignment>& set) {
+  AllocateMutationTime();
+  Status st = DoUpdateOverwrite(table, key, period_index, period, set);
+  if (st.ok() && wal_ != nullptr) {
+    WalRecord rec;
+    rec.kind = WalRecord::Kind::kUpdateOverwrite;
+    rec.ts = MutationTime().micros();
+    rec.table = table;
+    rec.key = key;
+    rec.period_index = period_index;
+    rec.period = period;
+    rec.set = set;
+    BIH_RETURN_IF_ERROR(LogMutation(std::move(rec)));
+  }
+  return st;
+}
+
+Status TemporalEngine::DeleteCurrent(const std::string& table,
+                                     const std::vector<Value>& key) {
+  AllocateMutationTime();
+  Status st = DoDeleteCurrent(table, key);
+  if (st.ok() && wal_ != nullptr) {
+    WalRecord rec;
+    rec.kind = WalRecord::Kind::kDeleteCurrent;
+    rec.ts = MutationTime().micros();
+    rec.table = table;
+    rec.key = key;
+    BIH_RETURN_IF_ERROR(LogMutation(std::move(rec)));
+  }
+  return st;
+}
+
+Status TemporalEngine::DeleteSequenced(const std::string& table,
+                                       const std::vector<Value>& key,
+                                       int period_index, const Period& period) {
+  AllocateMutationTime();
+  Status st = DoDeleteSequenced(table, key, period_index, period);
+  if (st.ok() && wal_ != nullptr) {
+    WalRecord rec;
+    rec.kind = WalRecord::Kind::kDeleteSequenced;
+    rec.ts = MutationTime().micros();
+    rec.table = table;
+    rec.key = key;
+    rec.period_index = period_index;
+    rec.period = period;
+    BIH_RETURN_IF_ERROR(LogMutation(std::move(rec)));
+  }
+  return st;
+}
+
+Status TemporalEngine::EnableWal(const std::string& path,
+                                 FaultInjector* fault) {
+  std::unique_ptr<WalWriter> wal;
+  BIH_RETURN_IF_ERROR(WalWriter::Open(path, fault, &wal));
+  return AttachWal(std::move(wal));
+}
+
+Status TemporalEngine::AttachWal(std::unique_ptr<WalWriter> wal) {
+  if (in_txn_) {
+    return Status::InvalidArgument("cannot attach a WAL inside a transaction");
+  }
+  wal_ = std::move(wal);
+  txn_wal_.clear();
+  return Status::OK();
+}
+
+Status TemporalEngine::ApplyWalRecord(const WalRecord& rec) {
+  mutation_time_ = Timestamp(rec.ts);
+  if (clock_.Now().micros() < rec.ts) {
+    clock_ = CommitClock(Timestamp(rec.ts));
+  }
+  switch (rec.kind) {
+    case WalRecord::Kind::kCreateTable:
+      return DoCreateTable(rec.def);
+    case WalRecord::Kind::kInsert:
+      return DoInsert(rec.table, rec.row);
+    case WalRecord::Kind::kBulkLoad:
+      return DoBulkLoad(rec.table, rec.rows);
+    case WalRecord::Kind::kUpdateCurrent:
+      return DoUpdateCurrent(rec.table, rec.key, rec.set);
+    case WalRecord::Kind::kUpdateSequenced:
+      return DoUpdateSequenced(rec.table, rec.key, rec.period_index,
+                               rec.period, rec.set);
+    case WalRecord::Kind::kUpdateOverwrite:
+      return DoUpdateOverwrite(rec.table, rec.key, rec.period_index,
+                               rec.period, rec.set);
+    case WalRecord::Kind::kDeleteCurrent:
+      return DoDeleteCurrent(rec.table, rec.key);
+    case WalRecord::Kind::kDeleteSequenced:
+      return DoDeleteSequenced(rec.table, rec.key, rec.period_index,
+                               rec.period);
+    case WalRecord::Kind::kCommit:
+      return Status::OK();
+  }
+  return Status::Internal("unhandled wal record kind");
+}
+
+Status TemporalEngine::DoBulkLoad(const std::string& table,
+                                  std::vector<Row> rows) {
   (void)table;
   (void)rows;
   // Engines with engine-managed system time cannot accept explicit

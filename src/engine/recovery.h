@@ -1,0 +1,40 @@
+#ifndef TPCBIH_ENGINE_RECOVERY_H_
+#define TPCBIH_ENGINE_RECOVERY_H_
+
+#include <memory>
+#include <string>
+
+#include "durability/wal.h"
+#include "engine/engine.h"
+
+namespace bih {
+
+// Outcome of replaying a write-ahead log into a fresh engine.
+struct RecoveryReport {
+  uint64_t records_total = 0;    // valid records found in the log
+  uint64_t records_applied = 0;  // DDL + DML records replayed
+  uint64_t txns_committed = 0;   // durable points (auto-commits + batches)
+  uint64_t ops_dropped = 0;      // valid records discarded: unterminated txn
+  uint64_t bytes_total = 0;      // log file size
+  uint64_t bytes_salvaged = 0;   // prefix kept after torn/corrupt-tail cut
+  bool tail_dropped = false;     // the log ended in a torn/corrupt frame
+  std::string tail_reason;       // why the tail was cut (empty when clean)
+  int64_t last_commit_ts = 0;    // commit stamp of the last durable point
+
+  std::string ToString() const;
+};
+
+// Replays the log at `wal_path` into a fresh engine of architecture
+// `letter`, reproducing the exact bitemporal state at the last durable
+// commit — identical commit timestamps included, so time-travel queries
+// against the recovered engine agree with the original. A torn or corrupt
+// tail (detected by framing/CRC) and an unterminated trailing transaction
+// are cleanly dropped and accounted for in `report`; both out-params are
+// filled even on failure.
+Status RecoverEngine(const std::string& letter, const std::string& wal_path,
+                     std::unique_ptr<TemporalEngine>* out,
+                     RecoveryReport* report);
+
+}  // namespace bih
+
+#endif  // TPCBIH_ENGINE_RECOVERY_H_

@@ -21,7 +21,7 @@ const SystemAEngine::Table* SystemAEngine::Find(const std::string& name) const {
   return it == tables_.end() ? nullptr : &it->second;
 }
 
-Status SystemAEngine::CreateTable(const TableDef& def) {
+Status SystemAEngine::DoCreateTable(const TableDef& def) {
   if (tables_.count(def.name)) {
     return Status::AlreadyExists("table " + def.name);
   }
@@ -115,7 +115,7 @@ void SystemAEngine::MoveToHistory(Table* t, RowId rid, Timestamp ts) {
   t->history_indexes.OnInsert(t->history.Get(hid), hid);
 }
 
-Status SystemAEngine::Insert(const std::string& table, Row row) {
+Status SystemAEngine::DoInsert(const std::string& table, Row row) {
   Table* t = Find(table);
   if (t == nullptr) return Status::NotFound("table " + table);
   if (static_cast<int>(row.size()) != t->def.schema.num_columns()) {
@@ -125,7 +125,7 @@ Status SystemAEngine::Insert(const std::string& table, Row row) {
   return Status::OK();
 }
 
-Status SystemAEngine::UpdateCurrent(const std::string& table,
+Status SystemAEngine::DoUpdateCurrent(const std::string& table,
                                     const std::vector<Value>& key,
                                     const std::vector<ColumnAssignment>& set) {
   Table* t = Find(table);
@@ -186,21 +186,21 @@ Status SystemAEngine::ApplySequenced(const std::string& table,
   return Status::OK();
 }
 
-Status SystemAEngine::UpdateSequenced(const std::string& table,
+Status SystemAEngine::DoUpdateSequenced(const std::string& table,
                                       const std::vector<Value>& key,
                                       int period_index, const Period& period,
                                       const std::vector<ColumnAssignment>& set) {
   return ApplySequenced(table, key, period_index, period, set, 0);
 }
 
-Status SystemAEngine::UpdateOverwrite(const std::string& table,
+Status SystemAEngine::DoUpdateOverwrite(const std::string& table,
                                       const std::vector<Value>& key,
                                       int period_index, const Period& period,
                                       const std::vector<ColumnAssignment>& set) {
   return ApplySequenced(table, key, period_index, period, set, 2);
 }
 
-Status SystemAEngine::DeleteCurrent(const std::string& table,
+Status SystemAEngine::DoDeleteCurrent(const std::string& table,
                                     const std::vector<Value>& key) {
   Table* t = Find(table);
   if (t == nullptr) return Status::NotFound("table " + table);
@@ -211,7 +211,7 @@ Status SystemAEngine::DeleteCurrent(const std::string& table,
   return Status::OK();
 }
 
-Status SystemAEngine::DeleteSequenced(const std::string& table,
+Status SystemAEngine::DoDeleteSequenced(const std::string& table,
                                       const std::vector<Value>& key,
                                       int period_index, const Period& period) {
   return ApplySequenced(table, key, period_index, period, {}, 1);

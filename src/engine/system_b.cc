@@ -30,7 +30,7 @@ const SystemBEngine::Table* SystemBEngine::Find(const std::string& name) const {
   return it == tables_.end() ? nullptr : &it->second;
 }
 
-Status SystemBEngine::CreateTable(const TableDef& def) {
+Status SystemBEngine::DoCreateTable(const TableDef& def) {
   if (tables_.count(def.name)) {
     return Status::AlreadyExists("table " + def.name);
   }
@@ -172,7 +172,7 @@ void SystemBEngine::FlushUndo(Table* t) {
   }
 }
 
-Status SystemBEngine::Insert(const std::string& table, Row row) {
+Status SystemBEngine::DoInsert(const std::string& table, Row row) {
   Table* t = Find(table);
   if (t == nullptr) return Status::NotFound("table " + table);
   if (static_cast<int>(row.size()) != t->def.schema.num_columns()) {
@@ -183,7 +183,7 @@ Status SystemBEngine::Insert(const std::string& table, Row row) {
   return Status::OK();
 }
 
-Status SystemBEngine::UpdateCurrent(const std::string& table,
+Status SystemBEngine::DoUpdateCurrent(const std::string& table,
                                     const std::vector<Value>& key,
                                     const std::vector<ColumnAssignment>& set) {
   Table* t = Find(table);
@@ -254,21 +254,21 @@ Status SystemBEngine::ApplySequenced(const std::string& table,
   return Status::OK();
 }
 
-Status SystemBEngine::UpdateSequenced(const std::string& table,
+Status SystemBEngine::DoUpdateSequenced(const std::string& table,
                                       const std::vector<Value>& key,
                                       int period_index, const Period& period,
                                       const std::vector<ColumnAssignment>& set) {
   return ApplySequenced(table, key, period_index, period, set, 0);
 }
 
-Status SystemBEngine::UpdateOverwrite(const std::string& table,
+Status SystemBEngine::DoUpdateOverwrite(const std::string& table,
                                       const std::vector<Value>& key,
                                       int period_index, const Period& period,
                                       const std::vector<ColumnAssignment>& set) {
   return ApplySequenced(table, key, period_index, period, set, 2);
 }
 
-Status SystemBEngine::DeleteCurrent(const std::string& table,
+Status SystemBEngine::DoDeleteCurrent(const std::string& table,
                                     const std::vector<Value>& key) {
   Table* t = Find(table);
   if (t == nullptr) return Status::NotFound("table " + table);
@@ -284,7 +284,7 @@ Status SystemBEngine::DeleteCurrent(const std::string& table,
   return Status::OK();
 }
 
-Status SystemBEngine::DeleteSequenced(const std::string& table,
+Status SystemBEngine::DoDeleteSequenced(const std::string& table,
                                       const std::vector<Value>& key,
                                       int period_index, const Period& period) {
   return ApplySequenced(table, key, period_index, period, {}, 1);

@@ -25,7 +25,7 @@ const SystemCEngine::Table* SystemCEngine::Find(const std::string& name) const {
   return it == tables_.end() ? nullptr : &it->second;
 }
 
-Status SystemCEngine::CreateTable(const TableDef& def) {
+Status SystemCEngine::DoCreateTable(const TableDef& def) {
   if (tables_.count(def.name)) {
     return Status::AlreadyExists("table " + def.name);
   }
@@ -151,7 +151,7 @@ void SystemCEngine::Maintain() {
   for (auto& [name, t] : tables_) MergeTable(&t);
 }
 
-Status SystemCEngine::Insert(const std::string& table, Row row) {
+Status SystemCEngine::DoInsert(const std::string& table, Row row) {
   Table* t = Find(table);
   if (t == nullptr) return Status::NotFound("table " + table);
   if (static_cast<int>(row.size()) != t->def.schema.num_columns()) {
@@ -162,7 +162,7 @@ Status SystemCEngine::Insert(const std::string& table, Row row) {
   return Status::OK();
 }
 
-Status SystemCEngine::UpdateCurrent(const std::string& table,
+Status SystemCEngine::DoUpdateCurrent(const std::string& table,
                                     const std::vector<Value>& key,
                                     const std::vector<ColumnAssignment>& set) {
   Table* t = Find(table);
@@ -232,21 +232,21 @@ Status SystemCEngine::ApplySequenced(const std::string& table,
   return Status::OK();
 }
 
-Status SystemCEngine::UpdateSequenced(const std::string& table,
+Status SystemCEngine::DoUpdateSequenced(const std::string& table,
                                       const std::vector<Value>& key,
                                       int period_index, const Period& period,
                                       const std::vector<ColumnAssignment>& set) {
   return ApplySequenced(table, key, period_index, period, set, 0);
 }
 
-Status SystemCEngine::UpdateOverwrite(const std::string& table,
+Status SystemCEngine::DoUpdateOverwrite(const std::string& table,
                                       const std::vector<Value>& key,
                                       int period_index, const Period& period,
                                       const std::vector<ColumnAssignment>& set) {
   return ApplySequenced(table, key, period_index, period, set, 2);
 }
 
-Status SystemCEngine::DeleteCurrent(const std::string& table,
+Status SystemCEngine::DoDeleteCurrent(const std::string& table,
                                     const std::vector<Value>& key) {
   Table* t = Find(table);
   if (t == nullptr) return Status::NotFound("table " + table);
@@ -260,7 +260,7 @@ Status SystemCEngine::DeleteCurrent(const std::string& table,
   return Status::OK();
 }
 
-Status SystemCEngine::DeleteSequenced(const std::string& table,
+Status SystemCEngine::DoDeleteSequenced(const std::string& table,
                                       const std::vector<Value>& key,
                                       int period_index, const Period& period) {
   return ApplySequenced(table, key, period_index, period, {}, 1);

@@ -21,7 +21,7 @@ const SystemDEngine::Table* SystemDEngine::Find(const std::string& name) const {
   return it == tables_.end() ? nullptr : &it->second;
 }
 
-Status SystemDEngine::CreateTable(const TableDef& def) {
+Status SystemDEngine::DoCreateTable(const TableDef& def) {
   if (tables_.count(def.name)) {
     return Status::AlreadyExists("table " + def.name);
   }
@@ -93,7 +93,7 @@ void SystemDEngine::CloseVersion(Table* t, RowId rid, Timestamp ts) {
   t->indexes.OnUpdate(old_row, *row, rid);
 }
 
-Status SystemDEngine::Insert(const std::string& table, Row row) {
+Status SystemDEngine::DoInsert(const std::string& table, Row row) {
   Table* t = Find(table);
   if (t == nullptr) return Status::NotFound("table " + table);
   if (static_cast<int>(row.size()) != t->def.schema.num_columns()) {
@@ -103,7 +103,7 @@ Status SystemDEngine::Insert(const std::string& table, Row row) {
   return Status::OK();
 }
 
-Status SystemDEngine::BulkLoad(const std::string& table,
+Status SystemDEngine::DoBulkLoad(const std::string& table,
                                std::vector<Row> rows) {
   Table* t = Find(table);
   if (t == nullptr) return Status::NotFound("table " + table);
@@ -123,7 +123,7 @@ Status SystemDEngine::BulkLoad(const std::string& table,
   return Status::OK();
 }
 
-Status SystemDEngine::UpdateCurrent(const std::string& table,
+Status SystemDEngine::DoUpdateCurrent(const std::string& table,
                                     const std::vector<Value>& key,
                                     const std::vector<ColumnAssignment>& set) {
   Table* t = Find(table);
@@ -191,21 +191,21 @@ Status SystemDEngine::ApplySequenced(const std::string& table,
   return Status::OK();
 }
 
-Status SystemDEngine::UpdateSequenced(const std::string& table,
+Status SystemDEngine::DoUpdateSequenced(const std::string& table,
                                       const std::vector<Value>& key,
                                       int period_index, const Period& period,
                                       const std::vector<ColumnAssignment>& set) {
   return ApplySequenced(table, key, period_index, period, set, 0);
 }
 
-Status SystemDEngine::UpdateOverwrite(const std::string& table,
+Status SystemDEngine::DoUpdateOverwrite(const std::string& table,
                                       const std::vector<Value>& key,
                                       int period_index, const Period& period,
                                       const std::vector<ColumnAssignment>& set) {
   return ApplySequenced(table, key, period_index, period, set, 2);
 }
 
-Status SystemDEngine::DeleteCurrent(const std::string& table,
+Status SystemDEngine::DoDeleteCurrent(const std::string& table,
                                     const std::vector<Value>& key) {
   Table* t = Find(table);
   if (t == nullptr) return Status::NotFound("table " + table);
@@ -220,7 +220,7 @@ Status SystemDEngine::DeleteCurrent(const std::string& table,
   return Status::OK();
 }
 
-Status SystemDEngine::DeleteSequenced(const std::string& table,
+Status SystemDEngine::DoDeleteSequenced(const std::string& table,
                                       const std::vector<Value>& key,
                                       int period_index, const Period& period) {
   return ApplySequenced(table, key, period_index, period, {}, 1);

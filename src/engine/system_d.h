@@ -26,7 +26,7 @@ class SystemDEngine : public TemporalEngine {
   std::string name() const override { return "SystemD"; }
   bool native_app_time() const override { return false; }
 
-  Status CreateTable(const TableDef& def) override;
+  Status DoCreateTable(const TableDef& def) override;
   Status CreateIndex(const IndexSpec& spec) override;
   Status DropIndexes(const std::string& table) override;
   const TableDef& GetTableDef(const std::string& table) const override;
@@ -35,21 +35,21 @@ class SystemDEngine : public TemporalEngine {
     return tables_.count(table) > 0;
   }
 
-  Status Insert(const std::string& table, Row row) override;
-  Status BulkLoad(const std::string& table, std::vector<Row> rows) override;
-  Status UpdateCurrent(const std::string& table, const std::vector<Value>& key,
+  Status DoInsert(const std::string& table, Row row) override;
+  Status DoBulkLoad(const std::string& table, std::vector<Row> rows) override;
+  Status DoUpdateCurrent(const std::string& table, const std::vector<Value>& key,
                        const std::vector<ColumnAssignment>& set) override;
-  Status UpdateSequenced(const std::string& table,
+  Status DoUpdateSequenced(const std::string& table,
                          const std::vector<Value>& key, int period_index,
                          const Period& period,
                          const std::vector<ColumnAssignment>& set) override;
-  Status UpdateOverwrite(const std::string& table,
+  Status DoUpdateOverwrite(const std::string& table,
                          const std::vector<Value>& key, int period_index,
                          const Period& period,
                          const std::vector<ColumnAssignment>& set) override;
-  Status DeleteCurrent(const std::string& table,
+  Status DoDeleteCurrent(const std::string& table,
                        const std::vector<Value>& key) override;
-  Status DeleteSequenced(const std::string& table,
+  Status DoDeleteSequenced(const std::string& table,
                          const std::vector<Value>& key, int period_index,
                          const Period& period) override;
 

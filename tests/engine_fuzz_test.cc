@@ -10,6 +10,7 @@
 
 #include "common/rng.h"
 #include "engine/engine.h"
+#include "engine/recovery.h"
 #include "temporal/clock.h"
 
 namespace bih {
@@ -143,9 +144,16 @@ TEST_P(EngineFuzzTest, EnginesMatchModelUnderRandomOps) {
   const uint64_t seed = static_cast<uint64_t>(GetParam());
   Rng rng(seed);
 
+  // Every engine runs WAL-attached (before DDL, so CreateTable is logged);
+  // at the end each log is replayed into a fresh engine that must answer
+  // the random queries identically to the original.
   std::vector<std::unique_ptr<TemporalEngine>> engines;
+  std::vector<std::string> wal_paths;
   for (const std::string& letter : AllEngineLetters()) {
     engines.push_back(MakeEngine(letter));
+    wal_paths.push_back(::testing::TempDir() + "/fuzz_" + letter + "_" +
+                        std::to_string(seed) + ".wal");
+    ASSERT_TRUE(engines.back()->EnableWal(wal_paths.back()).ok());
     ASSERT_TRUE(engines.back()->CreateTable(ItemDef()).ok());
   }
   Model model;
@@ -228,7 +236,32 @@ TEST_P(EngineFuzzTest, EnginesMatchModelUnderRandomOps) {
     }
   }
 
-  // Random temporal queries: engines vs model.
+  // Replay every WAL into a fresh engine of the same architecture. The
+  // reports must be clean (no dropped ops, no torn tail) and the recovered
+  // clocks must match exactly, so time-travel queries agree below.
+  std::vector<std::unique_ptr<TemporalEngine>> recovered;
+  for (size_t i = 0; i < engines.size(); ++i) {
+    std::unique_ptr<TemporalEngine> r;
+    RecoveryReport report;
+    Status st = RecoverEngine(AllEngineLetters()[i], wal_paths[i], &r, &report);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(0u, report.ops_dropped) << report.ToString();
+    EXPECT_FALSE(report.tail_dropped) << report.ToString();
+    // Failed ops (NotFound) consume a commit tick but are never logged, so
+    // the recovered clock may lag the original — but never run ahead, and
+    // never behind the last durable commit. Durable mutation timestamps
+    // themselves are compared exactly by the All-time queries below.
+    ASSERT_GE(engines[i]->Now().micros(), r->Now().micros())
+        << r->name() << " recovered clock ran ahead";
+    ASSERT_GE(r->Now().micros(), report.last_commit_ts)
+        << r->name() << " recovered clock behind last durable commit";
+    recovered.push_back(std::move(r));
+  }
+  std::vector<TemporalEngine*> checked;
+  for (auto& e : engines) checked.push_back(e.get());
+  for (auto& r : recovered) checked.push_back(r.get());
+
+  // Random temporal queries: engines (original and recovered) vs model.
   const int64_t now = model_clock.Now().micros();
   for (int trial = 0; trial < 60; ++trial) {
     TemporalScanSpec spec;
@@ -269,7 +302,7 @@ TEST_P(EngineFuzzTest, EnginesMatchModelUnderRandomOps) {
                             0, static_cast<int64_t>(keys.size()) - 1))]
                       : -1;
     std::vector<Row> expect = Canonical(model.Query(spec, now, key));
-    for (auto& e : engines) {
+    for (TemporalEngine* e : checked) {
       ScanRequest req;
       req.table = "ITEM";
       req.temporal = spec;

@@ -204,6 +204,60 @@ TEST_F(HistoryGenTest, LoadHistoryRejectsGarbage) {
   std::remove(path.c_str());
 }
 
+// Every way an archive can rot on disk must come back as a descriptive
+// InvalidArgument naming the offending line — never a silent mis-parse.
+TEST_F(HistoryGenTest, LoadHistoryReportsCorruptionWithLineNumbers) {
+  std::string path = ::testing::TempDir() + "/bih_corrupt_archive.txt";
+  auto write = [&](const std::string& content) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs(content.c_str(), f);
+    std::fclose(f);
+  };
+  auto expect_error = [&](const std::string& content,
+                          const std::string& needle) {
+    write(content);
+    History loaded;
+    Status st = LoadHistory(path, &loaded);
+    ASSERT_FALSE(st.ok()) << "accepted: " << content;
+    EXPECT_EQ(Status::Code::kInvalidArgument, st.code());
+    EXPECT_NE(std::string::npos, st.ToString().find(needle))
+        << st.ToString() << " should mention '" << needle << "'";
+  };
+
+  const std::string header = "TPCBIH-ARCHIVE v1 1\n";
+  // Transaction count mismatch: declared 2, only 1 present.
+  expect_error("TPCBIH-ARCHIVE v1 2\nT 0\n", "truncated");
+  // Out-of-range scenario / operation kind.
+  expect_error(header + "T 99\n", "line 2");
+  expect_error(header + "T 0\nO 42 ORDERS 0 0 100\nK 0 \n", "line 3");
+  // Payload rows before any operation header.
+  expect_error(header + "T 0\nR 1 I5 \n", "line 3");
+  // Operation before any transaction.
+  expect_error(header + "O 0 ORDERS 0 0 100\nR 1 I5 \n", "line 2");
+  // Value count larger than the line could possibly hold.
+  expect_error(header + "T 0\nO 0 ORDERS 0 0 100\nR 999999 I5 \n",
+               "payload count");
+  // Declared value missing from the payload.
+  expect_error(header + "T 0\nO 0 ORDERS 0 0 100\nR 2 I5 \n", "line 4");
+  // A record type that does not exist.
+  expect_error(header + "T 0\nX what\n", "unknown record");
+
+  // Truncating a valid archive mid-file is detected by the header count.
+  ASSERT_TRUE(SaveHistory(*history_, path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  std::string keep;
+  char buf[1 << 16];
+  for (int i = 0; i < 40 && std::fgets(buf, sizeof(buf), f); ++i) keep += buf;
+  std::fclose(f);
+  write(keep);
+  History loaded;
+  Status st = LoadHistory(path, &loaded);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(std::string::npos, st.ToString().find("truncated"))
+      << st.ToString();
+  std::remove(path.c_str());
+}
+
 TEST_F(HistoryGenTest, AppTimeAdvancesThroughHistory) {
   // Later transactions use later application dates: compare the insert
   // dates of the first and last NEW_ORDER transactions.

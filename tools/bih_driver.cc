@@ -3,9 +3,11 @@
 // archive, load it into an engine, run query suites, or fire ad-hoc SQL.
 //
 //   bih_driver generate --h 0.01 --m 0.01 --out history.bih
-//   bih_driver load     --engine B --h 0.01 --m 0.01 [--batch 10]
+//   bih_driver load     --engine B --h 0.01 --m 0.01 [--batch 10] [--wal F]
+//   bih_driver recover  --engine B --wal F
 //   bih_driver run      --engine A --h 0.005 --m 0.005 [--suite T|K|R|B|all]
 //   bih_driver sql      --engine C --h 0.002 --m 0.002 "SELECT ..."
+//   bih_driver check    --engine A --h 0.002 --m 0.002 | check --wal F
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -13,6 +15,7 @@
 #include <string>
 
 #include "engine/consistency.h"
+#include "engine/recovery.h"
 #include "sql/executor.h"
 #include "workload/context.h"
 #include "workload/queries.h"
@@ -31,6 +34,8 @@ struct Args {
   std::string out = "history.bih";
   std::string suite = "all";
   std::string sql;
+  std::string wal;       // write-ahead log path ("" = durability off)
+  bool recover = false;  // load: replay --wal instead of generating
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -73,6 +78,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--suite");
       if (!v) return false;
       args->suite = v;
+    } else if (a == "--wal") {
+      const char* v = next("--wal");
+      if (!v) return false;
+      args->wal = v;
+    } else if (a == "--recover") {
+      args->recover = true;
     } else if (args->command == "sql" && args->sql.empty()) {
       args->sql = a;
     } else {
@@ -89,10 +100,12 @@ int Usage() {
       "usage:\n"
       "  bih_driver generate --h H --m M [--seed S] [--out FILE]\n"
       "  bih_driver load     --engine A|B|C|D --h H --m M [--batch N]\n"
+      "                      [--wal FILE] [--recover]\n"
+      "  bih_driver recover  --engine A|B|C|D --wal FILE\n"
       "  bih_driver run      --engine A|B|C|D --h H --m M [--suite "
       "T|K|R|B|all]\n"
       "  bih_driver sql      --engine A|B|C|D --h H --m M \"SELECT ...\"\n"
-      "  bih_driver verify   --engine A|B|C|D --h H --m M\n");
+      "  bih_driver check    --engine A|B|C|D --h H --m M [--wal FILE]\n");
   return 2;
 }
 
@@ -131,26 +144,85 @@ int Generate(const Args& args) {
   return 0;
 }
 
+void PrintTableStats(TemporalEngine& engine) {
+  std::printf("%-10s %12s %12s %12s\n", "table", "current", "history", "undo");
+  for (const TableDef& def : BiHSchema()) {
+    if (!engine.HasTable(def.name)) continue;
+    TableStats ts = engine.GetTableStats(def.name);
+    std::printf("%-10s %12zu %12zu %12zu\n", def.name.c_str(),
+                ts.current_rows, ts.history_rows, ts.pending_undo);
+  }
+}
+
+int Recover(const Args& args) {
+  if (args.wal.empty()) {
+    std::fprintf(stderr, "error: recover requires --wal FILE\n");
+    return Usage();
+  }
+  std::printf("recovering System %s from %s...\n", args.engine.c_str(),
+              args.wal.c_str());
+  std::unique_ptr<TemporalEngine> engine;
+  RecoveryReport report;
+  Status st;
+  double ms = MeasureMs(
+      [&] { st = RecoverEngine(args.engine, args.wal, &engine, &report); });
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s (%.1f ms)\n\n", report.ToString().c_str(), ms);
+  PrintTableStats(*engine);
+  return 0;
+}
+
 int Load(const Args& args) {
+  if (args.recover) return Recover(args);
   TpchData initial = GenerateTpch({args.h, args.seed});
   GeneratorConfig gcfg;
   gcfg.m = args.m;
   gcfg.seed = args.seed + 1;
   HistoryGenerator gen(initial, gcfg);
   History history = gen.Generate();
-  std::printf("loading System %s (h=%.4f, m=%.4f, batch=%zu)...\n",
-              args.engine.c_str(), args.h, args.m, args.batch);
-  std::unique_ptr<TemporalEngine> engine;
-  double ms = MeasureMs([&] {
-    engine = LoadEngine(args.engine, initial, history, args.batch);
-  });
-  std::printf("loaded in %.1f ms\n\n%-10s %12s %12s %12s\n", ms, "table",
-              "current", "history", "undo");
-  for (const TableDef& def : BiHSchema()) {
-    TableStats ts = engine->GetTableStats(def.name);
-    std::printf("%-10s %12zu %12zu %12zu\n", def.name.c_str(),
-                ts.current_rows, ts.history_rows, ts.pending_undo);
+  std::printf("loading System %s (h=%.4f, m=%.4f, batch=%zu%s%s)...\n",
+              args.engine.c_str(), args.h, args.m, args.batch,
+              args.wal.empty() ? "" : ", wal=", args.wal.c_str());
+  std::unique_ptr<TemporalEngine> engine = MakeEngine(args.engine);
+  // Must outlive the engine's WAL writes; a no-op unless BIH_FAULT is set
+  // (e.g. BIH_FAULT=torn:5000:7 to rehearse a crash mid-load).
+  FaultInjector fault = FaultInjector::FromEnv();
+  Status st;
+  if (!args.wal.empty()) {
+    st = engine->EnableWal(
+        args.wal, fault.mode() == FaultInjector::Mode::kNone ? nullptr : &fault);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (fault.mode() != FaultInjector::Mode::kNone) {
+      std::printf("fault injection armed: %s\n", fault.ToString().c_str());
+    }
   }
+  double ms = MeasureMs([&] {
+    st = CreateBiHTables(*engine);
+    if (!st.ok()) return;
+    st = LoadInitialData(*engine, initial);
+    if (!st.ok()) return;
+    st = ReplayHistory(*engine, history, args.batch);
+    if (!st.ok()) return;
+    engine->Maintain();
+  });
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded in %.1f ms\n", ms);
+  if (engine->wal() != nullptr) {
+    std::printf("wal: %llu records, %llu bytes\n",
+                static_cast<unsigned long long>(engine->wal()->records_written()),
+                static_cast<unsigned long long>(engine->wal()->bytes_written()));
+  }
+  std::printf("\n");
+  PrintTableStats(*engine);
   return 0;
 }
 
@@ -258,18 +330,37 @@ int RunSql(const Args& args) {
   return 0;
 }
 
-int Verify(const Args& args) {
-  WorkloadConfig cfg;
-  cfg.engine_letter = args.engine;
-  cfg.h = args.h;
-  cfg.m = args.m;
-  cfg.seed = args.seed;
-  std::printf("building workload (h=%.4f, m=%.4f) on System %s...\n", args.h,
-              args.m, args.engine.c_str());
-  WorkloadContext ctx = BuildWorkload(cfg);
+// `check` (alias `verify`): CheckBitemporalConsistency over every table —
+// either on a freshly built workload or, with --wal, on a recovered engine
+// (the post-crash sanity sweep).
+int Check(const Args& args) {
+  std::unique_ptr<TemporalEngine> recovered;
+  WorkloadContext ctx;
+  TemporalEngine* engine = nullptr;
+  if (!args.wal.empty()) {
+    RecoveryReport report;
+    Status st = RecoverEngine(args.engine, args.wal, &recovered, &report);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", report.ToString().c_str());
+    engine = recovered.get();
+  } else {
+    WorkloadConfig cfg;
+    cfg.engine_letter = args.engine;
+    cfg.h = args.h;
+    cfg.m = args.m;
+    cfg.seed = args.seed;
+    std::printf("building workload (h=%.4f, m=%.4f) on System %s...\n", args.h,
+                args.m, args.engine.c_str());
+    ctx = BuildWorkload(cfg);
+    engine = &ctx.eng();
+  }
   int bad = 0;
   for (const TableDef& def : BiHSchema()) {
-    ConsistencyReport r = CheckBitemporalConsistency(ctx.eng(), def.name);
+    if (!engine->HasTable(def.name)) continue;
+    ConsistencyReport r = CheckBitemporalConsistency(*engine, def.name);
     std::printf("%-10s keys=%7zu versions=%8zu %s\n", def.name.c_str(),
                 r.keys_checked, r.versions_checked,
                 r.ok() ? "OK" : "VIOLATIONS");
@@ -290,8 +381,11 @@ int main(int argc, char** argv) {
   if (!bih::ParseArgs(argc, argv, &args)) return bih::Usage();
   if (args.command == "generate") return bih::Generate(args);
   if (args.command == "load") return bih::Load(args);
+  if (args.command == "recover") return bih::Recover(args);
   if (args.command == "run") return bih::RunSuites(args);
   if (args.command == "sql") return bih::RunSql(args);
-  if (args.command == "verify") return bih::Verify(args);
+  if (args.command == "check" || args.command == "verify") {
+    return bih::Check(args);
+  }
   return bih::Usage();
 }
