@@ -1,0 +1,166 @@
+// Concurrency: throughput of the session layer under parallel readers, a
+// mixed read/write stream, and deliberate overload. Not a paper figure —
+// the EDBT 2014 study is single-stream — but the natural follow-up
+// question: what do the four architectures cost once a server puts real
+// concurrency in front of them?
+//
+//   reads:    point lookups + occasional audit scans, 1..8 threads
+//   mixed:    as above with one write per 32 operations per thread
+//   overload: 8 threads against 2 admission slots and 2ms deadlines; the
+//             counters report how much load the server sheds to keep the
+//             latency of admitted queries flat.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "server/session.h"
+
+namespace bih {
+namespace bench {
+namespace {
+
+std::vector<std::unique_ptr<SessionManager>>* g_servers =
+    new std::vector<std::unique_ptr<SessionManager>>();
+
+uint64_t NextHash(uint64_t* h) {
+  *h = *h * 6364136223846793005ULL + 1442695040888963407ULL;
+  return *h >> 16;
+}
+
+uint64_t ThreadSeed(const benchmark::State& state) {
+  return 0x9e3779b97f4a7c15ULL *
+         (static_cast<uint64_t>(state.thread_index()) + 1);
+}
+
+ScanRequest PointLookup(int64_t custkey) {
+  ScanRequest req;
+  req.table = "CUSTOMER";
+  req.equals = {{0, Value(custkey)}};
+  return req;
+}
+
+ScanRequest AuditScan() {
+  ScanRequest req;
+  req.table = "CUSTOMER";
+  req.temporal.system_time = TemporalSelector::All();
+  req.temporal.app_time = TemporalSelector::All();
+  return req;
+}
+
+void BM_SessionReads(benchmark::State& state, SessionManager* server,
+                     int64_t n_cust) {
+  uint64_t h = ThreadSeed(state);
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    uint64_t r = NextHash(&h);
+    ScanRequest req = r % 64 == 0
+                          ? AuditScan()
+                          : PointLookup(1 + static_cast<int64_t>(r % n_cust));
+    std::vector<Row> out;
+    server->Read(req, nullptr, &out);
+    rows += out.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+  benchmark::DoNotOptimize(rows);
+}
+
+void BM_SessionMixed(benchmark::State& state, SessionManager* server,
+                     int64_t n_cust) {
+  uint64_t h = ThreadSeed(state);
+  for (auto _ : state) {
+    uint64_t r = NextHash(&h);
+    int64_t key = 1 + static_cast<int64_t>(r % n_cust);
+    if (r % 32 == 0) {
+      server->UpdateCurrent("CUSTOMER", {Value(key)},
+                            {{5, Value(double(r % 10000))}});
+    } else {
+      std::vector<Row> out;
+      server->Read(PointLookup(key), nullptr, &out);
+      benchmark::DoNotOptimize(out);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_SessionOverload(benchmark::State& state, SessionManager* server,
+                        int64_t n_cust) {
+  uint64_t h = ThreadSeed(state);
+  uint64_t ok = 0, shed = 0, late = 0;
+  for (auto _ : state) {
+    uint64_t r = NextHash(&h);
+    ScanRequest req = r % 8 == 0
+                          ? AuditScan()
+                          : PointLookup(1 + static_cast<int64_t>(r % n_cust));
+    QueryContext ctx(QueryContext::Clock::now() + std::chrono::milliseconds(2));
+    std::vector<Row> out;
+    Status st = server->Read(req, &ctx, &out);
+    if (st.ok()) {
+      ++ok;
+    } else if (st.code() == Status::Code::kResourceExhausted) {
+      ++shed;
+    } else {
+      ++late;
+    }
+  }
+  state.counters["ok"] = static_cast<double>(ok);
+  state.counters["shed"] = static_cast<double>(shed);
+  state.counters["deadline"] = static_cast<double>(late);
+  state.SetItemsProcessed(state.iterations());
+}
+
+void RegisterAll() {
+  SharedWorkload& w = SharedWorkload::Get();
+  const int64_t n_cust =
+      static_cast<int64_t>(w.ctx().initial.customer.size());
+  for (const std::string& letter : AllEngineLetters()) {
+    g_servers->push_back(
+        std::make_unique<SessionManager>(&w.Engine(letter)));
+    SessionManager* server = g_servers->back().get();
+    benchmark::RegisterBenchmark(
+        ("Concurrency/reads/System" + letter).c_str(),
+        [server, n_cust](benchmark::State& st) {
+          BM_SessionReads(st, server, n_cust);
+        })
+        ->Threads(1)
+        ->Threads(2)
+        ->Threads(4)
+        ->Threads(8)
+        ->UseRealTime()
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        ("Concurrency/mixed/System" + letter).c_str(),
+        [server, n_cust](benchmark::State& st) {
+          BM_SessionMixed(st, server, n_cust);
+        })
+        ->Threads(4)
+        ->UseRealTime()
+        ->Unit(benchmark::kMicrosecond);
+
+    // A separate session over the same engine with tight admission: 8
+    // threads into 2 slots. Shed + deadline + ok accounts for every query.
+    SessionConfig tight;
+    tight.admission.max_inflight = 2;
+    tight.admission.max_queued = 2;
+    g_servers->push_back(
+        std::make_unique<SessionManager>(&w.Engine(letter), tight));
+    SessionManager* tight_server = g_servers->back().get();
+    benchmark::RegisterBenchmark(
+        ("Concurrency/overload/System" + letter).c_str(),
+        [tight_server, n_cust](benchmark::State& st) {
+          BM_SessionOverload(st, tight_server, n_cust);
+        })
+        ->Threads(8)
+        ->UseRealTime()
+        ->Unit(benchmark::kMicrosecond);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bih
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  bih::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "common/query_context.h"
+
+namespace bih {
+
+void QueryContext::Fail(bool deadline_passed) {
+  verdict_ = deadline_passed ? Verdict::kDeadlineExceeded : Verdict::kCancelled;
+}
+
+bool QueryContext::KeepGoing() {
+  if (verdict_ != Verdict::kRunning) return false;
+  const bool cancelled = cancel_.load(std::memory_order_relaxed);
+  if (!cancelled && !has_deadline_) return true;
+  if (cancelled) {
+    Fail(has_deadline_ && Clock::now() >= deadline_);
+    return false;
+  }
+  if (++calls_since_clock_check_ >= kClockCheckInterval) {
+    calls_since_clock_check_ = 0;
+    if (Clock::now() >= deadline_) {
+      Fail(/*deadline_passed=*/true);
+      return false;
+    }
+  }
+  return true;
+}
+
+Status QueryContext::CheckNow() {
+  if (verdict_ == Verdict::kRunning) {
+    const bool deadline_passed = has_deadline_ && Clock::now() >= deadline_;
+    if (cancel_.load(std::memory_order_relaxed) || deadline_passed) {
+      Fail(deadline_passed);
+    }
+  }
+  return status();
+}
+
+Status QueryContext::status() const {
+  switch (verdict_) {
+    case Verdict::kRunning:
+      return Status::OK();
+    case Verdict::kCancelled:
+      return Status::Cancelled("query cancelled");
+    case Verdict::kDeadlineExceeded:
+      return Status::DeadlineExceeded("query deadline exceeded");
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace bih

@@ -20,6 +20,12 @@ std::string Status::ToString() const {
       return "Internal: " + message_;
     case Code::kIoError:
       return "IoError: " + message_;
+    case Code::kDeadlineExceeded:
+      return "DeadlineExceeded: " + message_;
+    case Code::kCancelled:
+      return "Cancelled: " + message_;
+    case Code::kResourceExhausted:
+      return "ResourceExhausted: " + message_;
   }
   return "Unknown";
 }

@@ -23,6 +23,12 @@ class Status {
     kUnimplemented,
     kInternal,
     kIoError,
+    // Concurrent-session outcomes (src/server/): the query ran out of its
+    // deadline budget, was cancelled by the client or the watchdog, or was
+    // shed by admission control before it started.
+    kDeadlineExceeded,
+    kCancelled,
+    kResourceExhausted,
   };
 
   Status() : code_(Code::kOk) {}
@@ -50,6 +56,15 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(Code::kIoError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

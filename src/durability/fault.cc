@@ -13,6 +13,13 @@ FaultInjector FaultInjector::FailNth(uint64_t n) {
   return fi;
 }
 
+FaultInjector FaultInjector::TransientNth(uint64_t n) {
+  FaultInjector fi;
+  fi.mode_ = Mode::kTransientWrite;
+  fi.trigger_write_ = n;
+  return fi;
+}
+
 FaultInjector FaultInjector::TornNth(uint64_t n, size_t keep_bytes) {
   FaultInjector fi;
   fi.mode_ = Mode::kTornWrite;
@@ -34,10 +41,11 @@ FaultInjector FaultInjector::FlipByteNth(uint64_t n, size_t offset,
 FaultInjector FaultInjector::FromEnv(const char* var) {
   const char* v = std::getenv(var);
   if (v == nullptr || *v == '\0') return FaultInjector();
-  char mode[8] = {0};
+  char mode[12] = {0};
   unsigned long long n = 0, extra = 0;
-  if (std::sscanf(v, "%7[a-z]:%llu:%llu", mode, &n, &extra) >= 2 && n > 0) {
+  if (std::sscanf(v, "%11[a-z]:%llu:%llu", mode, &n, &extra) >= 2 && n > 0) {
     if (std::strcmp(mode, "fail") == 0) return FailNth(n);
+    if (std::strcmp(mode, "transient") == 0) return TransientNth(n);
     if (std::strcmp(mode, "torn") == 0) {
       return TornNth(n, static_cast<size_t>(extra));
     }
@@ -78,11 +86,17 @@ FaultInjector::Action FaultInjector::OnWrite(uint64_t write_index,
     return a;
   }
   if (mode_ == Mode::kNone || write_index != trigger_write_) return a;
+  if (mode_ == Mode::kTransientWrite && triggered_) {
+    return a;  // the retry of the triggering record succeeds
+  }
   triggered_ = true;
   switch (mode_) {
     case Mode::kFailWrite:
       crashed_ = true;
       a.fail = true;
+      break;
+    case Mode::kTransientWrite:
+      a.fail = true;  // no crash: one clean EIO, nothing persisted
       break;
     case Mode::kTornWrite:
       crashed_ = true;
@@ -106,6 +120,8 @@ std::string FaultInjector::ToString() const {
       return "none";
     case Mode::kFailWrite:
       return "fail:" + std::to_string(trigger_write_);
+    case Mode::kTransientWrite:
+      return "transient:" + std::to_string(trigger_write_);
     case Mode::kTornWrite:
       return "torn:" + std::to_string(trigger_write_) + ":" +
              std::to_string(keep_bytes_);

@@ -9,20 +9,22 @@ namespace bih {
 
 // Deterministic fault injection for the WAL's physical record writes.
 //
-// The injector is consulted once per framed record the writer is about to
-// append. It can let the write pass, fail it outright (as if the disk
-// returned EIO), persist only a prefix of the frame (a torn write: the
-// classic crash-mid-append), or flip one byte of the frame before it lands
-// (silent media corruption). After a fail/torn trigger the injector is
-// "crashed": every later write fails, modeling a process that never comes
-// back between the fault and recovery.
+// The injector is consulted once per *attempt* to append a framed record.
+// It can let the write pass, fail it outright (as if the disk returned
+// EIO), fail only the first attempt (a transient error the writer's retry
+// loop should absorb), persist only a prefix of the frame (a torn write:
+// the classic crash-mid-append), or flip one byte of the frame before it
+// lands (silent media corruption). After a fail/torn trigger the injector
+// is "crashed": every later write fails, modeling a process that never
+// comes back between the fault and recovery. A transient trigger does not
+// crash: the retry of the same record succeeds.
 //
 // All decisions are a pure function of the plan and the write counter, so a
 // given configuration reproduces the same byte stream every run; the CI
 // crash sweep relies on this.
 class FaultInjector {
  public:
-  enum class Mode { kNone, kFailWrite, kTornWrite, kFlipByte };
+  enum class Mode { kNone, kFailWrite, kTransientWrite, kTornWrite, kFlipByte };
 
   struct Action {
     bool fail = false;          // drop the frame, return kIoError
@@ -37,6 +39,8 @@ class FaultInjector {
 
   // Fail the nth frame write (1-based) and every one after it.
   static FaultInjector FailNth(uint64_t n);
+  // Fail only the first attempt at the nth frame write; the retry passes.
+  static FaultInjector TransientNth(uint64_t n);
   // Persist only `keep_bytes` of the nth frame, then crash. keep_bytes
   // beyond the frame length persists the whole frame (the fault degrades
   // to a clean crash after the record).
@@ -46,8 +50,9 @@ class FaultInjector {
   // by CRC at recovery time.
   static FaultInjector FlipByteNth(uint64_t n, size_t offset,
                                    uint8_t mask = 0x01);
-  // Parses BIH_FAULT ("fail:N" | "torn:N:KEEP" | "flip:N:OFF") from the
-  // environment; returns a no-op injector when unset or malformed.
+  // Parses BIH_FAULT ("fail:N" | "transient:N" | "torn:N:KEEP" |
+  // "flip:N:OFF") from the environment; returns a no-op injector when unset
+  // or malformed.
   static FaultInjector FromEnv(const char* var = "BIH_FAULT");
   // Derives a pseudo-random plan from a seed: mode, trigger write in
   // [1, max_write] and torn/flip parameters are all functions of the seed.

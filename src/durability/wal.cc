@@ -1,10 +1,19 @@
 #include "durability/wal.h"
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace bih {
 
 namespace {
+
+// Backoff before retry `attempt` (1-based attempt that just failed):
+// 1ms, 2ms, 4ms, ... Bounded by kMaxWriteAttempts so the worst case adds
+// single-digit milliseconds to a commit.
+void BackoffAfterAttempt(int attempt) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1ll << (attempt - 1)));
+}
 
 // --- primitive encoders --------------------------------------------------
 
@@ -383,40 +392,57 @@ Status WalWriter::Append(const WalRecord& rec) {
   frame.append(reinterpret_cast<const char*>(&crc), 4);
   frame.append(payload);
 
-  size_t write_len = frame.size();
-  if (fault_ != nullptr) {
-    FaultInjector::Action a =
-        fault_->OnWrite(records_written_ + 1, frame.size());
-    if (a.fail) {
+  for (int attempt = 1;; ++attempt) {
+    size_t write_len = frame.size();
+    if (fault_ != nullptr) {
+      FaultInjector::Action a =
+          fault_->OnWrite(records_written_ + 1, frame.size());
+      if (a.fail) {
+        // A clean failure: nothing reached the file, so retrying the same
+        // frame is safe. Transient errors pass on a later attempt; a
+        // crashed injector keeps failing until the attempts run out.
+        if (attempt < kMaxWriteAttempts) {
+          BackoffAfterAttempt(attempt);
+          continue;
+        }
+        dead_ = true;
+        return Status::IoError("injected write failure on wal record " +
+                               std::to_string(records_written_ + 1));
+      }
+      if (a.flip) {
+        frame[a.flip_offset] = static_cast<char>(
+            static_cast<uint8_t>(frame[a.flip_offset]) ^ a.flip_mask);
+      }
+      if (a.torn) write_len = a.keep_bytes;
+    }
+    size_t n = std::fwrite(frame.data(), 1, write_len, file_);
+    bytes_written_ += n;
+    if (n != write_len || write_len != frame.size()) {
+      // A short physical write is not retryable: an unknown prefix of the
+      // frame is already on disk, and appending the frame again would
+      // corrupt the log rather than repair it.
       dead_ = true;
-      return Status::IoError("injected write failure on wal record " +
+      std::fflush(file_);
+      return Status::IoError("torn wal write on record " +
                              std::to_string(records_written_ + 1));
     }
-    if (a.flip) {
-      frame[a.flip_offset] = static_cast<char>(
-          static_cast<uint8_t>(frame[a.flip_offset]) ^ a.flip_mask);
-    }
-    if (a.torn) write_len = a.keep_bytes;
+    ++records_written_;
+    return Status::OK();
   }
-  size_t n = std::fwrite(frame.data(), 1, write_len, file_);
-  bytes_written_ += n;
-  if (n != write_len || write_len != frame.size()) {
-    dead_ = true;
-    std::fflush(file_);
-    return Status::IoError("torn wal write on record " +
-                           std::to_string(records_written_ + 1));
-  }
-  ++records_written_;
-  return Status::OK();
 }
 
 Status WalWriter::Flush() {
   if (dead_) {
     return Status::IoError("wal writer is dead after a failed write");
   }
-  if (std::fflush(file_) != 0) {
-    dead_ = true;
-    return Status::IoError("wal flush failed for " + path_);
+  // fflush failures (EINTR, momentary ENOSPC) leave the stream buffer
+  // intact, so the flush can simply be retried.
+  for (int attempt = 1; std::fflush(file_) != 0; ++attempt) {
+    if (attempt >= kMaxWriteAttempts) {
+      dead_ = true;
+      return Status::IoError("wal flush failed for " + path_);
+    }
+    BackoffAfterAttempt(attempt);
   }
   return Status::OK();
 }

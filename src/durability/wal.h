@@ -73,11 +73,19 @@ void EncodeWalRecord(const WalRecord& rec, std::string* out);
 Status DecodeWalRecord(const uint8_t* data, size_t n, WalRecord* out);
 
 // Appends framed records to a log file. Writes go through the optional
-// FaultInjector; once a write fails, the writer is dead and every further
-// Append returns kIoError (the in-memory engine state is then ahead of the
-// durable state, exactly like a real crash).
+// FaultInjector. Clean failures (an injected EIO before any byte landed,
+// or a failed fflush) are retried with bounded exponential backoff before
+// giving up; a short physical write is never retried, because the on-disk
+// state is unknown. Once an append has definitively failed, the writer is
+// dead and every further Append returns kIoError (the in-memory engine
+// state is then ahead of the durable state, exactly like a real crash).
 class WalWriter {
  public:
+  // Attempts per record/flush: the first try plus two retries, backing off
+  // 1ms then 2ms. Enough to ride out a transient EINTR/ENOSPC-race style
+  // hiccup without stalling a commit visibly.
+  static constexpr int kMaxWriteAttempts = 3;
+
   ~WalWriter();
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;

@@ -9,6 +9,7 @@
 
 #include "catalog/schema.h"
 #include "common/chrono.h"
+#include "common/query_context.h"
 #include "common/value.h"
 #include "durability/wal.h"
 #include "temporal/clock.h"
@@ -36,6 +37,18 @@ struct IndexSpec {
   std::string name;
 };
 
+// Execution counters for the last Scan; the tests assert plan shape (which
+// partitions were touched, whether an index was chosen) and the benches
+// report them next to timings.
+struct ExecStats {
+  uint64_t rows_examined = 0;
+  uint64_t rows_output = 0;
+  int partitions_touched = 0;
+  bool used_index = false;
+  std::string index_name;
+  bool touched_history = false;
+};
+
 // One table access issued by a benchmark query.
 struct ScanRequest {
   std::string table;
@@ -50,18 +63,15 @@ struct ScanRequest {
   // Columns the consumer will read; empty means all. Column-store engines
   // only guarantee the projected columns are populated in emitted rows.
   std::vector<int> projection;
-};
-
-// Execution counters for the last Scan; the tests assert plan shape (which
-// partitions were touched, whether an index was chosen) and the benches
-// report them next to timings.
-struct ExecStats {
-  uint64_t rows_examined = 0;
-  uint64_t rows_output = 0;
-  int partitions_touched = 0;
-  bool used_index = false;
-  std::string index_name;
-  bool touched_history = false;
+  // Cooperative deadline/cancellation token (borrowed, may be null). The
+  // scan loops consult it per row and stop early once it trips; the token
+  // then carries kDeadlineExceeded or kCancelled. Engine state is never
+  // touched by an interrupted read.
+  QueryContext* ctx = nullptr;
+  // When set, the scan's counters are written here instead of the engine's
+  // last_stats() slot. Concurrent readers (src/server/) must set this:
+  // last_stats() is a single shared member and would race.
+  ExecStats* stats = nullptr;
 };
 
 // Per-table size information (Section 5.2 architecture analysis).
@@ -175,6 +185,14 @@ class TemporalEngine {
 
   // Engine-maintenance hook: System C's delta->main merge; no-op elsewhere.
   virtual void Maintain() {}
+
+  // Publishes any lazily-deferred state so that subsequent Scans are pure
+  // reads. The session layer (src/server/) calls this while it still holds
+  // the exclusive writer lock after each mutation; concurrent snapshot
+  // readers may then share the engine without mutating it. System B drains
+  // its undo log here (its history scans otherwise flush on demand);
+  // elsewhere a no-op.
+  virtual void PrepareForReads() {}
 
   Timestamp Now() const { return clock_.Now(); }
 

@@ -199,7 +199,7 @@ Status TemporalEngine::AttachWal(std::unique_ptr<WalWriter> wal) {
 Status TemporalEngine::ApplyWalRecord(const WalRecord& rec) {
   mutation_time_ = Timestamp(rec.ts);
   if (clock_.Now().micros() < rec.ts) {
-    clock_ = CommitClock(Timestamp(rec.ts));
+    clock_.Reset(Timestamp(rec.ts));
   }
   switch (rec.kind) {
     case WalRecord::Kind::kCreateTable:

@@ -220,18 +220,22 @@ Status SystemAEngine::DoDeleteSequenced(const std::string& table,
 void SystemAEngine::ScanPartition(const Table& t, bool is_history,
                                   const ScanRequest& req,
                                   const TemporalCols& tc,
-                                  const IndexSet& tuning, bool* stopped,
-                                  const RowCallback& cb) {
+                                  const IndexSet& tuning, ExecStats* stats,
+                                  bool* stopped, const RowCallback& cb) {
   const RowTable& part = is_history ? t.history : t.current;
-  ++stats_.partitions_touched;
-  if (is_history) stats_.touched_history = true;
+  ++stats->partitions_touched;
+  if (is_history) stats->touched_history = true;
   const int64_t now = clock_.Now().micros();
 
   auto consider = [&](const Row& row) -> bool {
-    ++stats_.rows_examined;
+    if (req.ctx != nullptr && !req.ctx->KeepGoing()) {
+      *stopped = true;
+      return false;
+    }
+    ++stats->rows_examined;
     if (!MatchesTemporal(row, req.temporal, tc, now)) return true;
     if (!MatchesConstraints(row, req)) return true;
-    ++stats_.rows_output;
+    ++stats->rows_output;
     if (!cb(row)) {
       *stopped = true;
       return false;
@@ -247,8 +251,8 @@ void SystemAEngine::ScanPartition(const Table& t, bool is_history,
     return consider(part.Get(rid));
   };
   if (tuning.TryIndexAccess(req, tc, part.LiveCount(), &index_name, emit_rid)) {
-    stats_.used_index = true;
-    stats_.index_name = index_name;
+    stats->used_index = true;
+    stats->index_name = index_name;
     return;
   }
   if (!is_history && !req.equals.empty()) {
@@ -265,8 +269,8 @@ void SystemAEngine::ScanPartition(const Table& t, bool is_history,
       }
     }
     if (matched == t.def.primary_key.size() && matched > 0) {
-      stats_.used_index = true;
-      stats_.index_name = "pk_current(" + t.def.name + ")";
+      stats->used_index = true;
+      stats->index_name = "pk_current(" + t.def.name + ")";
       t.pk_current.Lookup(key, emit_rid);
       return;
     }
@@ -277,19 +281,21 @@ void SystemAEngine::ScanPartition(const Table& t, bool is_history,
 void SystemAEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
   Table* t = Find(req.table);
   BIH_CHECK_MSG(t != nullptr, "no table " + req.table);
-  stats_ = ExecStats{};
+  ExecStats local;
+  ExecStats* stats = req.stats != nullptr ? req.stats : &local;
+  *stats = ExecStats{};
   const TemporalCols tc = ResolveTemporalCols(t->def, req.temporal.app_period_index);
   bool stopped = false;
   // Partition pruning: only the implicit-current case avoids the history
   // table. An explicit AS OF <now> is *not* recognized (Section 5.3.5).
-  ScanPartition(*t, /*is_history=*/false, req, tc, t->current_indexes, &stopped,
-                cb);
-  if (stopped) return;
-  if (t->def.system_versioned &&
+  ScanPartition(*t, /*is_history=*/false, req, tc, t->current_indexes, stats,
+                &stopped, cb);
+  if (!stopped && t->def.system_versioned &&
       req.temporal.system_time.kind != TemporalSelector::Kind::kImplicitCurrent) {
-    ScanPartition(*t, /*is_history=*/true, req, tc, t->history_indexes,
+    ScanPartition(*t, /*is_history=*/true, req, tc, t->history_indexes, stats,
                   &stopped, cb);
   }
+  if (req.stats == nullptr) stats_ = local;
 }
 
 TableStats SystemAEngine::GetTableStats(const std::string& table) const {

@@ -90,7 +90,7 @@ class SystemAEngine : public TemporalEngine {
 
   void ScanPartition(const Table& t, bool is_history, const ScanRequest& req,
                      const TemporalCols& tc, const IndexSet& tuning,
-                     bool* stopped, const RowCallback& cb);
+                     ExecStats* stats, bool* stopped, const RowCallback& cb);
 
   std::unordered_map<std::string, Table> tables_;
 };

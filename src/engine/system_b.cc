@@ -149,6 +149,14 @@ void SystemBEngine::CloseVersion(Table* t, RowId rid, Timestamp ts, int stmt) {
 }
 
 void SystemBEngine::FlushUndo(Table* t) {
+  // Nothing pending and no compaction due: return before touching anything,
+  // so a Scan-path call on a prepared table is a pure read (concurrent
+  // snapshot readers rely on this — see PrepareForReads).
+  if (t->undo_log.empty() &&
+      !(t->versions.size() > 64 &&
+        t->version_slot.size() * 2 < t->versions.size())) {
+    return;
+  }
   for (Row& row : t->undo_log) {
     RowId hid = t->history.Append(std::move(row));
     if (!t->history_indexes.empty()) {
@@ -293,10 +301,11 @@ Status SystemBEngine::DoDeleteSequenced(const std::string& table,
 void SystemBEngine::ScanCurrentWithReconstruction(Table* t,
                                                   const ScanRequest& req,
                                                   const TemporalCols& tc,
+                                                  ExecStats* stats,
                                                   bool* stopped,
                                                   const RowCallback& cb) {
-  ++stats_.partitions_touched;  // current
-  ++stats_.partitions_touched;  // vertical temporal partition
+  ++stats->partitions_touched;  // current
+  ++stats->partitions_touched;  // vertical temporal partition
   const int64_t now = clock_.Now().micros();
 
   // Sort/merge join between the current table and its vertical temporal
@@ -314,13 +323,17 @@ void SystemBEngine::ScanCurrentWithReconstruction(Table* t,
   }
 
   auto consider = [&](RowId rid, const Row& user_row) -> bool {
-    ++stats_.rows_examined;
+    if (req.ctx != nullptr && !req.ctx->KeepGoing()) {
+      *stopped = true;
+      return false;
+    }
+    ++stats->rows_examined;
     Row row = user_row;
     row.push_back(Value(sys_from_of[rid]));
     row.push_back(Value(Period::kForever));
     if (!MatchesTemporal(row, req.temporal, tc, now)) return true;
     if (!MatchesConstraints(row, req)) return true;
-    ++stats_.rows_output;
+    ++stats->rows_output;
     if (!cb(row)) {
       *stopped = true;
       return false;
@@ -334,8 +347,8 @@ void SystemBEngine::ScanCurrentWithReconstruction(Table* t,
             if (!t->current.IsLive(rid)) return true;
             return consider(rid, t->current.Get(rid));
           })) {
-    stats_.used_index = true;
-    stats_.index_name = index_name;
+    stats->used_index = true;
+    stats->index_name = index_name;
     return;
   }
   t->current.Scan(
@@ -345,7 +358,9 @@ void SystemBEngine::ScanCurrentWithReconstruction(Table* t,
 void SystemBEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
   Table* t = Find(req.table);
   BIH_CHECK_MSG(t != nullptr, "no table " + req.table);
-  stats_ = ExecStats{};
+  ExecStats local;
+  ExecStats* stats = req.stats != nullptr ? req.stats : &local;
+  *stats = ExecStats{};
   const TemporalCols tc = ResolveTemporalCols(t->def, req.temporal.app_period_index);
   const int64_t now = clock_.Now().micros();
   const bool needs_history =
@@ -356,16 +371,17 @@ void SystemBEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
   if (!needs_history) {
     // Fast path: current partition only; the system time of a current row
     // is fetched through the row-reference without a join.
-    ++stats_.partitions_touched;
+    ++stats->partitions_touched;
     auto consider = [&](RowId rid, const Row& user_row) -> bool {
-      ++stats_.rows_examined;
+      if (req.ctx != nullptr && !req.ctx->KeepGoing()) return false;
+      ++stats->rows_examined;
       Row row = user_row;
       auto it = t->version_slot.find(rid);
       row.push_back(Value(t->versions[it->second].sys_from));
       row.push_back(Value(Period::kForever));
       if (!MatchesTemporal(row, req.temporal, tc, now)) return true;
       if (!MatchesConstraints(row, req)) return true;
-      ++stats_.rows_output;
+      ++stats->rows_output;
       return cb(row);
     };
     std::string index_name;
@@ -374,8 +390,9 @@ void SystemBEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
               if (!t->current.IsLive(rid)) return true;
               return consider(rid, t->current.Get(rid));
             })) {
-      stats_.used_index = true;
-      stats_.index_name = index_name;
+      stats->used_index = true;
+      stats->index_name = index_name;
+      if (req.stats == nullptr) stats_ = local;
       return;
     }
     if (!req.equals.empty()) {
@@ -391,49 +408,61 @@ void SystemBEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
         }
       }
       if (matched == t->def.primary_key.size() && matched > 0) {
-        stats_.used_index = true;
-        stats_.index_name = "pk_current(" + t->def.name + ")";
+        stats->used_index = true;
+        stats->index_name = "pk_current(" + t->def.name + ")";
         t->pk_current.Lookup(key, [&](RowId rid) {
           return consider(rid, t->current.Get(rid));
         });
+        if (req.stats == nullptr) stats_ = local;
         return;
       }
     }
     t->current.Scan(
         [&](RowId rid, const Row& row) { return consider(rid, row); });
+    if (req.stats == nullptr) stats_ = local;
     return;
   }
 
   // System time involved: make pending history visible, reconstruct the
   // current partition's temporal information, then union with history.
+  // Under the session layer PrepareForReads has already drained the undo
+  // log, making this call a no-op on the concurrent read path.
   FlushUndo(t);
-  ScanCurrentWithReconstruction(t, req, tc, &stopped, cb);
-  if (stopped) return;
+  ScanCurrentWithReconstruction(t, req, tc, stats, &stopped, cb);
 
-  ++stats_.partitions_touched;
-  stats_.touched_history = true;
-  const int scan_width = t->stored_schema.num_columns();
-  auto consider_hist = [&](const Row& hist_row) -> bool {
-    ++stats_.rows_examined;
-    // History rows carry extra metadata columns; project to the scan schema.
-    Row row(hist_row.begin(), hist_row.begin() + scan_width);
-    if (!MatchesTemporal(row, req.temporal, tc, now)) return true;
-    if (!MatchesConstraints(row, req)) return true;
-    ++stats_.rows_output;
-    return cb(row);
-  };
-  std::string index_name;
-  if (t->history_indexes.TryIndexAccess(
-          req, tc, t->history.LiveCount(), &index_name, [&](RowId rid) {
-            if (!t->history.IsLive(rid)) return true;
-            return consider_hist(t->history.Get(rid));
-          })) {
-    stats_.used_index = true;
-    stats_.index_name = index_name;
-    return;
+  if (!stopped) {
+    ++stats->partitions_touched;
+    stats->touched_history = true;
+    const int scan_width = t->stored_schema.num_columns();
+    auto consider_hist = [&](const Row& hist_row) -> bool {
+      if (req.ctx != nullptr && !req.ctx->KeepGoing()) return false;
+      ++stats->rows_examined;
+      // History rows carry extra metadata columns; project to the scan
+      // schema.
+      Row row(hist_row.begin(), hist_row.begin() + scan_width);
+      if (!MatchesTemporal(row, req.temporal, tc, now)) return true;
+      if (!MatchesConstraints(row, req)) return true;
+      ++stats->rows_output;
+      return cb(row);
+    };
+    std::string index_name;
+    if (t->history_indexes.TryIndexAccess(
+            req, tc, t->history.LiveCount(), &index_name, [&](RowId rid) {
+              if (!t->history.IsLive(rid)) return true;
+              return consider_hist(t->history.Get(rid));
+            })) {
+      stats->used_index = true;
+      stats->index_name = index_name;
+    } else {
+      t->history.Scan(
+          [&](RowId, const Row& row) { return consider_hist(row); });
+    }
   }
-  t->history.Scan(
-      [&](RowId, const Row& row) { return consider_hist(row); });
+  if (req.stats == nullptr) stats_ = local;
+}
+
+void SystemBEngine::PrepareForReads() {
+  for (auto& [name, t] : tables_) FlushUndo(&t);
 }
 
 TableStats SystemBEngine::GetTableStats(const std::string& table) const {

@@ -64,6 +64,10 @@ class SystemBEngine : public TemporalEngine {
   void Scan(const ScanRequest& req, const RowCallback& cb) override;
   TableStats GetTableStats(const std::string& table) const override;
 
+  // Drains every table's undo log so that concurrent snapshot readers never
+  // trigger the background-writer simulation from the scan path.
+  void PrepareForReads() override;
+
  private:
   // Metadata record of one current row in the vertical partition.
   struct VersionMeta {
@@ -112,8 +116,8 @@ class SystemBEngine : public TemporalEngine {
                         const std::vector<ColumnAssignment>& set, int mode);
 
   void ScanCurrentWithReconstruction(Table* t, const ScanRequest& req,
-                                     const TemporalCols& tc, bool* stopped,
-                                     const RowCallback& cb);
+                                     const TemporalCols& tc, ExecStats* stats,
+                                     bool* stopped, const RowCallback& cb);
 
   std::unordered_map<std::string, Table> tables_;
   int64_t next_txn_id_ = 1;

@@ -268,10 +268,10 @@ Status SystemCEngine::DoDeleteSequenced(const std::string& table,
 
 void SystemCEngine::ScanPartition(const Table& t, const ColumnTable& part,
                                   bool is_history, const ScanRequest& req,
-                                  const TemporalCols& tc, bool* stopped,
-                                  const RowCallback& cb) {
-  ++stats_.partitions_touched;
-  if (is_history) stats_.touched_history = true;
+                                  const TemporalCols& tc, ExecStats* stats,
+                                  bool* stopped, const RowCallback& cb) {
+  ++stats->partitions_touched;
+  if (is_history) stats->touched_history = true;
   const int64_t now = clock_.Now().micros();
   const int ncols = t.stored_schema.num_columns();
 
@@ -301,8 +301,12 @@ void SystemCEngine::ScanPartition(const Table& t, const ColumnTable& part,
   const size_t slots = part.SlotCount();
   Row row(static_cast<size_t>(ncols));
   for (RowId rid = 0; rid < slots; ++rid) {
+    if (req.ctx != nullptr && !req.ctx->KeepGoing()) {
+      *stopped = true;
+      return;
+    }
     if (!part.IsLive(rid)) continue;
-    ++stats_.rows_examined;
+    ++stats->rows_examined;
     for (int c = 0; c < ncols; ++c) {
       if (checked[static_cast<size_t>(c)]) row[static_cast<size_t>(c)] = part.Get(rid, c);
     }
@@ -313,7 +317,7 @@ void SystemCEngine::ScanPartition(const Table& t, const ColumnTable& part,
         row[static_cast<size_t>(c)] = part.Get(rid, c);
       }
     }
-    ++stats_.rows_output;
+    ++stats->rows_output;
     if (!cb(row)) {
       *stopped = true;
       return;
@@ -324,17 +328,23 @@ void SystemCEngine::ScanPartition(const Table& t, const ColumnTable& part,
 void SystemCEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
   Table* t = Find(req.table);
   BIH_CHECK_MSG(t != nullptr, "no table " + req.table);
-  stats_ = ExecStats{};
+  ExecStats local;
+  ExecStats* stats = req.stats != nullptr ? req.stats : &local;
+  *stats = ExecStats{};
   const TemporalCols tc = ResolveTemporalCols(t->def, req.temporal.app_period_index);
   bool stopped = false;
-  ScanPartition(*t, t->delta, /*is_history=*/false, req, tc, &stopped, cb);
-  if (stopped) return;
-  ScanPartition(*t, t->main, /*is_history=*/false, req, tc, &stopped, cb);
-  if (stopped) return;
-  if (t->def.system_versioned &&
-      req.temporal.system_time.kind != TemporalSelector::Kind::kImplicitCurrent) {
-    ScanPartition(*t, t->history, /*is_history=*/true, req, tc, &stopped, cb);
+  ScanPartition(*t, t->delta, /*is_history=*/false, req, tc, stats, &stopped,
+                cb);
+  if (!stopped) {
+    ScanPartition(*t, t->main, /*is_history=*/false, req, tc, stats, &stopped,
+                  cb);
   }
+  if (!stopped && t->def.system_versioned &&
+      req.temporal.system_time.kind != TemporalSelector::Kind::kImplicitCurrent) {
+    ScanPartition(*t, t->history, /*is_history=*/true, req, tc, stats,
+                  &stopped, cb);
+  }
+  if (req.stats == nullptr) stats_ = local;
 }
 
 TableStats SystemCEngine::GetTableStats(const std::string& table) const {

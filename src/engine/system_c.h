@@ -123,7 +123,7 @@ class SystemCEngine : public TemporalEngine {
 
   void ScanPartition(const Table& t, const ColumnTable& part, bool is_history,
                      const ScanRequest& req, const TemporalCols& tc,
-                     bool* stopped, const RowCallback& cb);
+                     ExecStats* stats, bool* stopped, const RowCallback& cb);
 
   std::unordered_map<std::string, Table> tables_;
 };

@@ -229,18 +229,21 @@ Status SystemDEngine::DoDeleteSequenced(const std::string& table,
 void SystemDEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
   Table* t = Find(req.table);
   BIH_CHECK_MSG(t != nullptr, "no table " + req.table);
-  stats_ = ExecStats{};
+  ExecStats local;
+  ExecStats* stats = req.stats != nullptr ? req.stats : &local;
+  *stats = ExecStats{};
   const TemporalCols tc = ResolveTemporalCols(t->def, req.temporal.app_period_index);
   const int64_t now = clock_.Now().micros();
-  stats_.partitions_touched = 1;
+  stats->partitions_touched = 1;
   // No current/history split: any scan sees all versions.
-  stats_.touched_history = t->def.system_versioned;
+  stats->touched_history = t->def.system_versioned;
 
   auto consider = [&](const Row& row) -> bool {
-    ++stats_.rows_examined;
+    if (req.ctx != nullptr && !req.ctx->KeepGoing()) return false;
+    ++stats->rows_examined;
     if (!MatchesTemporal(row, req.temporal, tc, now)) return true;
     if (!MatchesConstraints(row, req)) return true;
-    ++stats_.rows_output;
+    ++stats->rows_output;
     return cb(row);
   };
 
@@ -250,11 +253,12 @@ void SystemDEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
                                   if (!t->data.IsLive(rid)) return true;
                                   return consider(t->data.Get(rid));
                                 })) {
-    stats_.used_index = true;
-    stats_.index_name = index_name;
-    return;
+    stats->used_index = true;
+    stats->index_name = index_name;
+  } else {
+    t->data.Scan([&](RowId, const Row& row) { return consider(row); });
   }
-  t->data.Scan([&](RowId, const Row& row) { return consider(row); });
+  if (req.stats == nullptr) stats_ = local;
 }
 
 TableStats SystemDEngine::GetTableStats(const std::string& table) const {

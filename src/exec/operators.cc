@@ -16,18 +16,21 @@ Rows ScanAll(TemporalEngine& engine, const ScanRequest& req) {
   return out;
 }
 
-Rows FilterRows(const Rows& in, const ExprPtr& pred) {
+Rows FilterRows(const Rows& in, const ExprPtr& pred, QueryContext* ctx) {
   Rows out;
   for (const Row& row : in) {
+    if (ctx != nullptr && !ctx->KeepGoing()) return out;
     if (pred->Test(row)) out.push_back(row);
   }
   return out;
 }
 
-Rows ProjectRows(const Rows& in, const std::vector<ExprPtr>& exprs) {
+Rows ProjectRows(const Rows& in, const std::vector<ExprPtr>& exprs,
+                 QueryContext* ctx) {
   Rows out;
   out.reserve(in.size());
   for (const Row& row : in) {
+    if (ctx != nullptr && !ctx->KeepGoing()) return out;
     Row r;
     r.reserve(exprs.size());
     for (const ExprPtr& e : exprs) r.push_back(e->Eval(row));
@@ -67,11 +70,12 @@ Row KeyOf(const Row& row, const std::vector<int>& cols) {
 Rows HashJoinRows(const Rows& left, const Rows& right,
                   const std::vector<int>& left_keys,
                   const std::vector<int>& right_keys, size_t right_width,
-                  JoinType type, const ExprPtr& residual) {
+                  JoinType type, const ExprPtr& residual, QueryContext* ctx) {
   BIH_CHECK(left_keys.size() == right_keys.size());
   std::unordered_map<Row, std::vector<const Row*>, RowKeyHash, RowKeyEq> ht;
   ht.reserve(right.size());
   for (const Row& r : right) {
+    if (ctx != nullptr && !ctx->KeepGoing()) return {};
     Row key = KeyOf(r, right_keys);
     bool null_key = false;
     for (const Value& v : key) null_key |= v.is_null();
@@ -80,6 +84,7 @@ Rows HashJoinRows(const Rows& left, const Rows& right,
   }
   Rows out;
   for (const Row& l : left) {
+    if (ctx != nullptr && !ctx->KeepGoing()) return out;
     Row key = KeyOf(l, left_keys);
     bool null_key = false;
     for (const Value& v : key) null_key |= v.is_null();
@@ -104,8 +109,8 @@ Rows HashJoinRows(const Rows& left, const Rows& right,
 }
 
 Rows MergeJoinRows(Rows left, Rows right, const std::vector<int>& left_keys,
-                   const std::vector<int>& right_keys,
-                   const ExprPtr& residual) {
+                   const std::vector<int>& right_keys, const ExprPtr& residual,
+                   QueryContext* ctx) {
   BIH_CHECK(left_keys.size() == right_keys.size());
   auto cmp_keys = [](const Row& a, const std::vector<int>& acols, const Row& b,
                      const std::vector<int>& bcols) {
@@ -125,6 +130,7 @@ Rows MergeJoinRows(Rows left, Rows right, const std::vector<int>& left_keys,
   Rows out;
   size_t li = 0, ri = 0;
   while (li < left.size() && ri < right.size()) {
+    if (ctx != nullptr && !ctx->KeepGoing()) return out;
     int c = cmp_keys(left[li], left_keys, right[ri], right_keys);
     if (c < 0) {
       ++li;
@@ -169,14 +175,20 @@ Rows IndexNestedLoopJoin(TemporalEngine& engine, const Rows& left,
                          const std::vector<int>& left_keys,
                          const std::string& table,
                          const std::vector<int>& table_keys,
-                         const TemporalScanSpec& spec,
-                         const ExprPtr& residual) {
+                         const TemporalScanSpec& spec, const ExprPtr& residual,
+                         QueryContext* ctx) {
   BIH_CHECK(left_keys.size() == table_keys.size());
   Rows out;
+  ExecStats probe_stats;
   for (const Row& l : left) {
+    if (ctx != nullptr && !ctx->KeepGoing()) return out;
     ScanRequest req;
     req.table = table;
     req.temporal = spec;
+    req.ctx = ctx;
+    // Inner probes must not clobber the engine's shared last_stats() slot
+    // when running under a concurrent session.
+    if (ctx != nullptr) req.stats = &probe_stats;
     bool null_key = false;
     for (size_t i = 0; i < left_keys.size(); ++i) {
       const Value& v = l[static_cast<size_t>(left_keys[i])];
@@ -209,10 +221,11 @@ struct AggState {
 }  // namespace
 
 Rows HashAggregateRows(const Rows& in, const std::vector<int>& group_cols,
-                       const std::vector<AggSpec>& aggs) {
+                       const std::vector<AggSpec>& aggs, QueryContext* ctx) {
   std::unordered_map<Row, std::vector<AggState>, RowKeyHash, RowKeyEq> groups;
   std::vector<Row> group_order;  // deterministic output order (first seen)
   for (const Row& row : in) {
+    if (ctx != nullptr && !ctx->KeepGoing()) return {};
     Row key = KeyOf(row, group_cols);
     auto it = groups.find(key);
     if (it == groups.end()) {
@@ -307,10 +320,11 @@ Rows LimitRows(Rows in, size_t n) {
   return in;
 }
 
-Rows DistinctRows(const Rows& in) {
-  std::unordered_map<Row, bool, RowKeyHash, RowKeyEq> seen;
+Rows DistinctRows(const Rows& in, QueryContext* ctx) {
   Rows out;
+  std::unordered_map<Row, bool, RowKeyHash, RowKeyEq> seen;
   for (const Row& r : in) {
+    if (ctx != nullptr && !ctx->KeepGoing()) return out;
     if (seen.emplace(r, true).second) out.push_back(r);
   }
   return out;

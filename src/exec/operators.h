@@ -13,14 +13,21 @@ namespace bih {
 // moderate row counts, so full materialization between operators keeps the
 // implementation honest and easy to verify; the storage engines carry the
 // architecture-specific costs the paper measures.
+//
+// Every looping operator takes an optional QueryContext. When the token
+// trips mid-loop the operator returns whatever it has produced so far; the
+// caller must consult ctx->status() before using the output, since a
+// partial result is only valid as "the query failed".
 using Rows = std::vector<Row>;
 
 // Materializes a temporal scan.
 Rows ScanAll(TemporalEngine& engine, const ScanRequest& req);
 
-Rows FilterRows(const Rows& in, const ExprPtr& pred);
+Rows FilterRows(const Rows& in, const ExprPtr& pred,
+                QueryContext* ctx = nullptr);
 
-Rows ProjectRows(const Rows& in, const std::vector<ExprPtr>& exprs);
+Rows ProjectRows(const Rows& in, const std::vector<ExprPtr>& exprs,
+                 QueryContext* ctx = nullptr);
 
 enum class JoinType { kInner, kLeftOuter };
 
@@ -30,7 +37,8 @@ Rows HashJoinRows(const Rows& left, const Rows& right,
                   const std::vector<int>& left_keys,
                   const std::vector<int>& right_keys, size_t right_width,
                   JoinType type = JoinType::kInner,
-                  const ExprPtr& residual = nullptr);
+                  const ExprPtr& residual = nullptr,
+                  QueryContext* ctx = nullptr);
 
 // Sort-merge equi-join: sorts both inputs by their key columns and merges,
 // emitting the cross product of equal-key runs. Same output as the hash
@@ -38,7 +46,8 @@ Rows HashJoinRows(const Rows& left, const Rows& right,
 // reconstruction relies on.
 Rows MergeJoinRows(Rows left, Rows right, const std::vector<int>& left_keys,
                    const std::vector<int>& right_keys,
-                   const ExprPtr& residual = nullptr);
+                   const ExprPtr& residual = nullptr,
+                   QueryContext* ctx = nullptr);
 
 // Index-nested-loop join: for every left row, probes `table` through the
 // engine with equality on (probe key columns -> table columns) under the
@@ -49,7 +58,8 @@ Rows IndexNestedLoopJoin(TemporalEngine& engine, const Rows& left,
                          const std::string& table,
                          const std::vector<int>& table_keys,
                          const TemporalScanSpec& spec,
-                         const ExprPtr& residual = nullptr);
+                         const ExprPtr& residual = nullptr,
+                         QueryContext* ctx = nullptr);
 
 enum class AggKind { kSum, kCount, kAvg, kMin, kMax, kCountDistinct };
 
@@ -63,7 +73,8 @@ struct AggSpec {
 // per aggregate, in spec order. With empty `group_cols`, produces exactly
 // one row (global aggregate), even over empty input (SQL semantics).
 Rows HashAggregateRows(const Rows& in, const std::vector<int>& group_cols,
-                       const std::vector<AggSpec>& aggs);
+                       const std::vector<AggSpec>& aggs,
+                       QueryContext* ctx = nullptr);
 
 struct SortKey {
   int column;
@@ -75,7 +86,7 @@ Rows SortRows(Rows in, const std::vector<SortKey>& keys);
 Rows LimitRows(Rows in, size_t n);
 
 // Removes duplicate rows (SELECT DISTINCT).
-Rows DistinctRows(const Rows& in);
+Rows DistinctRows(const Rows& in, QueryContext* ctx = nullptr);
 
 // Pretty-prints rows for the examples (column names optional).
 std::string FormatRows(const Rows& rows, const std::vector<std::string>& names,

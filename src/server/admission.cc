@@ -1,0 +1,61 @@
+#include "server/admission.h"
+
+#include <string>
+
+namespace bih {
+
+Status AdmissionController::Admit(QueryContext* ctx) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (inflight_ < cfg_.max_inflight && queued_ == 0) {
+    ++inflight_;
+    ++admitted_;
+    return Status::OK();
+  }
+  if (queued_ >= cfg_.max_queued) {
+    ++shed_;
+    return Status::ResourceExhausted(
+        "admission queue full; retry after " +
+        std::to_string(cfg_.retry_after.count()) + "ms");
+  }
+  ++queued_;
+  // Wait in short slices so a queued query still honours its own deadline
+  // and cancellation; nobody should time out *because* it sat in a queue
+  // without noticing.
+  while (inflight_ >= cfg_.max_inflight) {
+    cv_.wait_for(lock, std::chrono::milliseconds(1));
+    if (ctx != nullptr) {
+      Status s = ctx->CheckNow();
+      if (!s.ok()) {
+        --queued_;
+        ++abandoned_queued_;
+        cv_.notify_one();
+        return s;
+      }
+    }
+  }
+  --queued_;
+  ++inflight_;
+  ++admitted_;
+  return Status::OK();
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+  }
+  cv_.notify_one();
+}
+
+AdmissionController::Stats AdmissionController::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.admitted = admitted_;
+  s.shed = shed_;
+  s.abandoned_queued = abandoned_queued_;
+  s.inflight = inflight_;
+  s.queued = queued_;
+  return s;
+}
+
+}  // namespace bih

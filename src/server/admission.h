@@ -1,0 +1,73 @@
+#ifndef TPCBIH_SERVER_ADMISSION_H_
+#define TPCBIH_SERVER_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/query_context.h"
+#include "common/status.h"
+
+namespace bih {
+
+// Limits for the admission controller. The defaults suit the tests; the
+// driver sizes max_inflight from --max-inflight / --threads.
+struct AdmissionConfig {
+  // Queries executing at once; further arrivals queue.
+  int max_inflight = 8;
+  // Queries allowed to wait for a slot; beyond this the server sheds load.
+  int max_queued = 16;
+  // Hint clients receive in the kResourceExhausted message.
+  std::chrono::milliseconds retry_after{50};
+};
+
+// Bounded admission with load shedding. Every query calls Admit() before it
+// runs and Release() after (the session layer does both). Three outcomes:
+//   - a free slot: run immediately;
+//   - all slots busy but queue not full: block until a slot frees, watching
+//     the query's own deadline/cancellation while waiting;
+//   - queue full: fail fast with kResourceExhausted and a retry-after hint.
+// Rejecting beyond a bounded queue is what keeps the server's latency
+// distribution flat under overload instead of growing without bound.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& cfg) : cfg_(cfg) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  // Blocks until the query holds an execution slot. `ctx` (optional,
+  // borrowed) is consulted while queued: a deadline or cancellation that
+  // fires in the queue abandons the wait with that status. Returns
+  // kResourceExhausted immediately when the queue is full.
+  Status Admit(QueryContext* ctx);
+
+  // Returns the slot taken by a successful Admit().
+  void Release();
+
+  struct Stats {
+    uint64_t admitted = 0;
+    uint64_t shed = 0;             // rejected with kResourceExhausted
+    uint64_t abandoned_queued = 0; // gave up waiting (deadline/cancel)
+    int inflight = 0;
+    int queued = 0;
+  };
+  Stats GetStats() const;
+
+  const AdmissionConfig& config() const { return cfg_; }
+
+ private:
+  const AdmissionConfig cfg_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int inflight_ = 0;
+  int queued_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t abandoned_queued_ = 0;
+};
+
+}  // namespace bih
+
+#endif  // TPCBIH_SERVER_ADMISSION_H_

@@ -1,0 +1,227 @@
+#include "server/session.h"
+
+#include <algorithm>
+
+namespace bih {
+
+SessionManager::SessionManager(TemporalEngine* engine, SessionConfig cfg)
+    : engine_(engine), admission_(cfg.admission) {
+  Init(cfg);
+}
+
+SessionManager::SessionManager(std::unique_ptr<TemporalEngine> engine,
+                               SessionConfig cfg)
+    : owned_engine_(std::move(engine)),
+      engine_(owned_engine_.get()),
+      admission_(cfg.admission) {
+  Init(cfg);
+}
+
+void SessionManager::Init(SessionConfig cfg) {
+  // Anything loaded before the session layer took over (bulk load, WAL
+  // recovery) becomes the base snapshot.
+  engine_->PrepareForReads();
+  watermark_.store(engine_->Now().micros(), std::memory_order_release);
+  watchdog_period_ = cfg.watchdog_period;
+  if (watchdog_period_.count() > 0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
+}
+
+SessionManager::~SessionManager() {
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mu_);
+      shutdown_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+  }
+}
+
+void SessionManager::WatchdogLoop() {
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  while (!shutdown_) {
+    watchdog_cv_.wait_for(lock, watchdog_period_);
+    if (shutdown_) return;
+    const auto now = QueryContext::Clock::now();
+    uint64_t killed = 0;
+    {
+      std::lock_guard<std::mutex> reg(inflight_mu_);
+      for (QueryContext* ctx : inflight_) {
+        if (ctx->has_deadline() && now >= ctx->deadline() &&
+            !ctx->cancel_requested()) {
+          ctx->Cancel();  // attributed to the deadline by the context
+          ++killed;
+        }
+      }
+    }
+    if (killed > 0) {
+      std::lock_guard<std::mutex> st(stats_mu_);
+      stats_.watchdog_kills += killed;
+    }
+  }
+}
+
+TemporalSelector SessionManager::ClampToWatermark(const TemporalSelector& sel,
+                                                  int64_t watermark) {
+  // The engines keep every version queryable (closing a version moves it,
+  // it is never destroyed), so restricting the system-time selector to
+  // [beginning, watermark] reproduces the state at that commit exactly:
+  // versions committed later begin after the watermark and cannot match.
+  switch (sel.kind) {
+    case TemporalSelector::Kind::kImplicitCurrent:
+      // "Current" for this session means current as of the snapshot.
+      return TemporalSelector::AsOf(watermark);
+    case TemporalSelector::Kind::kPoint:
+      return TemporalSelector::AsOf(std::min(sel.point, watermark));
+    case TemporalSelector::Kind::kRange:
+      // Half-open range: end watermark+1 keeps versions that begin exactly
+      // at the watermark visible.
+      return TemporalSelector::Between(
+          std::min(sel.range.begin, watermark),
+          std::min(sel.range.end, watermark + 1));
+    case TemporalSelector::Kind::kAll:
+      return TemporalSelector::Between(Period::kBeginningOfTime,
+                                       watermark + 1);
+  }
+  return sel;
+}
+
+Status SessionManager::Read(ScanRequest req, QueryContext* ctx,
+                            std::vector<Row>* out) {
+  return ReadAt(OpenSnapshot(), std::move(req), ctx, out);
+}
+
+Status SessionManager::ReadAt(Snapshot snap, ScanRequest req,
+                              QueryContext* ctx, std::vector<Row>* out) {
+  out->clear();
+  Status s = DoRead(snap, req, ctx, out);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    switch (s.code()) {
+      case Status::Code::kOk:
+        ++stats_.reads_ok;
+        break;
+      case Status::Code::kDeadlineExceeded:
+        ++stats_.reads_deadline;
+        break;
+      case Status::Code::kCancelled:
+        ++stats_.reads_cancelled;
+        break;
+      case Status::Code::kResourceExhausted:
+        ++stats_.reads_shed;
+        break;
+      default:
+        break;
+    }
+  }
+  if (!s.ok()) out->clear();
+  return s;
+}
+
+Status SessionManager::DoRead(Snapshot snap, ScanRequest& req,
+                              QueryContext* ctx, std::vector<Row>* out) {
+  if (ctx != nullptr) {
+    Status s = ctx->CheckNow();
+    if (!s.ok()) return s;
+  }
+  Status admitted = admission_.Admit(ctx);
+  if (!admitted.ok()) return admitted;
+
+  if (ctx != nullptr) {
+    std::lock_guard<std::mutex> reg(inflight_mu_);
+    inflight_.insert(ctx);
+  }
+
+  Status result = Status::OK();
+  {
+    // Shared lock in short polled slices: a reader stuck behind a long
+    // write still honours its deadline instead of blocking blindly.
+    std::shared_lock<std::shared_mutex> lock(rw_mu_, std::defer_lock);
+    while (!lock.try_lock()) {
+      if (ctx != nullptr) {
+        result = ctx->CheckNow();
+        if (!result.ok()) break;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    if (result.ok()) {
+      req.temporal.system_time =
+          ClampToWatermark(req.temporal.system_time, snap.watermark);
+      req.ctx = ctx;
+      ExecStats stats;  // keep concurrent scans off the shared stats slot
+      req.stats = &stats;
+      engine_->Scan(req, [&](const Row& row) {
+        out->push_back(row);
+        // A version still open at the snapshot may have been closed by a
+        // later write before this scan ran; its stored SYS_TIME_END is then
+        // past the watermark. Rewriting it to forever makes reads against
+        // the same snapshot byte-identical no matter how writes interleave.
+        Row& r = out->back();
+        if (!r.empty() && r.back().is_int() &&
+            r.back().AsInt() > snap.watermark) {
+          r.back() = Value(Period::kForever);
+        }
+        return true;
+      });
+      if (ctx != nullptr) result = ctx->status();
+    }
+  }
+
+  if (ctx != nullptr) {
+    std::lock_guard<std::mutex> reg(inflight_mu_);
+    inflight_.erase(ctx);
+  }
+  admission_.Release();
+  return result;
+}
+
+Status SessionManager::Write(
+    const std::function<Status(TemporalEngine&)>& fn) {
+  std::lock_guard<std::shared_mutex> lock(rw_mu_);
+  Status s = fn(*engine_);
+  // Publish deferred engine state (System B's undo log) while we still hold
+  // the writer side, then advance the snapshot readers pin. The watermark
+  // moves even on failure: a failed statement may sit inside a batch whose
+  // earlier statements committed.
+  engine_->PrepareForReads();
+  watermark_.store(engine_->Now().micros(), std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> st(stats_mu_);
+    ++stats_.writes;
+  }
+  return s;
+}
+
+Status SessionManager::Insert(const std::string& table, Row row) {
+  return Write([&](TemporalEngine& eng) {
+    return eng.Insert(table, std::move(row));
+  });
+}
+
+Status SessionManager::UpdateCurrent(const std::string& table,
+                                     const std::vector<Value>& key,
+                                     const std::vector<ColumnAssignment>& set) {
+  return Write([&](TemporalEngine& eng) {
+    return eng.UpdateCurrent(table, key, set);
+  });
+}
+
+Status SessionManager::DeleteCurrent(const std::string& table,
+                                     const std::vector<Value>& key) {
+  return Write(
+      [&](TemporalEngine& eng) { return eng.DeleteCurrent(table, key); });
+}
+
+SessionManager::ServerStats SessionManager::GetStats() const {
+  ServerStats s;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s = stats_;
+  }
+  s.admission = admission_.GetStats();
+  return s;
+}
+
+}  // namespace bih

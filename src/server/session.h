@@ -1,0 +1,154 @@
+#ifndef TPCBIH_SERVER_SESSION_H_
+#define TPCBIH_SERVER_SESSION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/engine.h"
+#include "server/admission.h"
+
+namespace bih {
+
+// Knobs for one SessionManager.
+struct SessionConfig {
+  AdmissionConfig admission;
+  // How often the watchdog sweeps the in-flight registry for overdue
+  // queries. Zero disables the watchdog thread entirely.
+  std::chrono::milliseconds watchdog_period{10};
+};
+
+// Concurrent front door for a TemporalEngine. The engines themselves are
+// single-threaded; this layer adds the discipline a server needs:
+//
+//  * Reads run concurrently under a shared lock against a *pinned
+//    snapshot*: the system-time watermark published by the last completed
+//    write. Because the bitemporal stores never destroy versions, clamping
+//    a query's system-time selector to the watermark yields exactly the
+//    state at that commit, so a reader never observes half of a later
+//    batch no matter how writes interleave.
+//  * Writes take the exclusive side of the lock and reuse the engines'
+//    existing WAL-mirrored DML path unchanged; after each write the engine
+//    publishes deferred state (System B's undo log) so subsequent scans
+//    are pure reads, then the watermark advances.
+//  * Every read passes admission control first (bounded queue + load
+//    shedding) and carries an optional QueryContext checked per row; a
+//    background watchdog cancels queries that outlive their deadline even
+//    if they are stuck off the per-row path.
+//
+// Every read call returns exactly one of: kOk (with rows), kDeadlineExceeded,
+// kCancelled, or kResourceExhausted. An interrupted read leaves engine state
+// untouched and returns no partial rows.
+class SessionManager {
+ public:
+  // Serves an engine owned by someone else (e.g. a WorkloadContext).
+  explicit SessionManager(TemporalEngine* engine, SessionConfig cfg = {});
+  // Takes ownership of the engine.
+  explicit SessionManager(std::unique_ptr<TemporalEngine> engine,
+                          SessionConfig cfg = {});
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  // A pinned system-time position. Reads against the same snapshot return
+  // the same result regardless of concurrent writes.
+  struct Snapshot {
+    int64_t watermark = 0;
+  };
+
+  // Pins the current watermark (the last completed write).
+  Snapshot OpenSnapshot() const {
+    return Snapshot{watermark_.load(std::memory_order_acquire)};
+  }
+
+  // --- Reads -----------------------------------------------------------
+  // Runs `req` against the current snapshot / `snap`, appending rows to
+  // `out`. `ctx` (optional, borrowed) carries deadline and cancellation;
+  // on a non-OK return `out` is left empty.
+  Status Read(ScanRequest req, QueryContext* ctx, std::vector<Row>* out);
+  Status ReadAt(Snapshot snap, ScanRequest req, QueryContext* ctx,
+                std::vector<Row>* out);
+
+  // --- Writes ----------------------------------------------------------
+  // Runs `fn` on the engine under the exclusive lock; any combination of
+  // DML (including Begin/Commit batches) is atomic with respect to
+  // readers, and the watermark advances once it completes. The session
+  // layer's single writer entry point — the convenience wrappers below all
+  // route through it.
+  Status Write(const std::function<Status(TemporalEngine&)>& fn);
+
+  Status Insert(const std::string& table, Row row);
+  Status UpdateCurrent(const std::string& table, const std::vector<Value>& key,
+                       const std::vector<ColumnAssignment>& set);
+  Status DeleteCurrent(const std::string& table, const std::vector<Value>& key);
+
+  // --- Introspection ---------------------------------------------------
+  struct ServerStats {
+    AdmissionController::Stats admission;
+    uint64_t reads_ok = 0;
+    uint64_t reads_deadline = 0;
+    uint64_t reads_cancelled = 0;
+    uint64_t reads_shed = 0;
+    uint64_t writes = 0;
+    uint64_t watchdog_kills = 0;
+  };
+  ServerStats GetStats() const;
+
+  TemporalEngine& engine() { return *engine_; }
+  const AdmissionConfig& admission_config() const {
+    return admission_.config();
+  }
+
+  // Clamps a system-time selector so it cannot observe commits after
+  // `watermark`. Exposed for the tests' reference models.
+  static TemporalSelector ClampToWatermark(const TemporalSelector& sel,
+                                           int64_t watermark);
+
+ private:
+  void Init(SessionConfig cfg);
+  void WatchdogLoop();
+
+  Status DoRead(Snapshot snap, ScanRequest& req, QueryContext* ctx,
+                std::vector<Row>* out);
+
+  std::unique_ptr<TemporalEngine> owned_engine_;
+  TemporalEngine* engine_ = nullptr;
+
+  // Readers shared, writers exclusive. Readers acquire with try_lock_shared
+  // in short polled slices so a reader stuck behind a long write still
+  // honours its QueryContext. (Not try_lock_shared_for: the timed rwlock
+  // acquisition compiles to pthread_rwlock_clockrdlock, which TSan does not
+  // intercept, and the whole point of this layer is to be TSan-clean.)
+  std::shared_mutex rw_mu_;
+
+  // System time of the last completed write; readers pin this. Published
+  // with release ordering after the write fully completed.
+  std::atomic<int64_t> watermark_{0};
+
+  AdmissionController admission_;
+
+  // In-flight registry for the watchdog.
+  std::mutex inflight_mu_;
+  std::unordered_set<QueryContext*> inflight_;
+
+  std::chrono::milliseconds watchdog_period_{0};
+  std::thread watchdog_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool shutdown_ = false;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+};
+
+}  // namespace bih
+
+#endif  // TPCBIH_SERVER_SESSION_H_

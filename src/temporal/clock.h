@@ -1,6 +1,7 @@
 #ifndef TPCBIH_TEMPORAL_CLOCK_H_
 #define TPCBIH_TEMPORAL_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/chrono.h"
@@ -12,6 +13,11 @@ namespace bih {
 // be deterministic and strictly increasing per transaction, so we advance a
 // logical microsecond counter anchored at a fixed epoch instead of reading
 // the host clock.
+//
+// The counter is atomic because concurrent snapshot readers (src/server/)
+// call Now() while a writer ticks the clock; relaxed ordering suffices
+// since readers synchronize on the session layer's watermark, not on the
+// clock itself.
 class CommitClock {
  public:
   // The anchor is 1995-06-17, inside the TPC-H order date range, so that
@@ -21,15 +27,23 @@ class CommitClock {
   explicit CommitClock(Timestamp start) : now_(start.micros()) {}
 
   // Timestamp for the next committing transaction; each call advances time.
-  Timestamp NextCommit() { return Timestamp(now_ += kTickMicros); }
+  Timestamp NextCommit() {
+    return Timestamp(now_.fetch_add(kTickMicros, std::memory_order_relaxed) +
+                     kTickMicros);
+  }
 
   // Current time without advancing (reads, "CURRENT" semantics).
-  Timestamp Now() const { return Timestamp(now_); }
+  Timestamp Now() const {
+    return Timestamp(now_.load(std::memory_order_relaxed));
+  }
+
+  // Sets the clock to `t` (WAL recovery restoring the last commit time).
+  void Reset(Timestamp t) { now_.store(t.micros(), std::memory_order_relaxed); }
 
   static constexpr int64_t kTickMicros = 1000;  // 1ms between commits
 
  private:
-  int64_t now_;
+  std::atomic<int64_t> now_;
 };
 
 }  // namespace bih

@@ -1,0 +1,382 @@
+// Tests for the concurrent session layer: cooperative deadlines and
+// cancellation inside the engine scan loops, admission control with load
+// shedding, pinned-snapshot reads, and a chaos soak that runs readers and
+// writers against every engine at once. Run under -DBIH_SANITIZE=thread to
+// get the data-race guarantees these tests claim.
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/query_context.h"
+#include "common/rng.h"
+#include "engine/engine.h"
+#include "reference_model.h"
+#include "server/session.h"
+
+namespace bih {
+namespace {
+
+using std::chrono::milliseconds;
+
+// An engine with `n` open ITEM rows, keys 1..n.
+std::unique_ptr<TemporalEngine> MakeLoadedEngine(const std::string& letter,
+                                                 int n) {
+  std::unique_ptr<TemporalEngine> e = MakeEngine(letter);
+  EXPECT_TRUE(e->CreateTable(FuzzItemDef()).ok());
+  for (int i = 1; i <= n; ++i) {
+    Row row{Value(int64_t{i}), Value(double(i)), Value("x"), Value(int64_t{0}),
+            Value(Period::kForever)};
+    EXPECT_TRUE(e->Insert("ITEM", std::move(row)).ok());
+  }
+  return e;
+}
+
+ScanRequest FullHistoryScan() {
+  ScanRequest req;
+  req.table = "ITEM";
+  req.temporal.system_time = TemporalSelector::All();
+  req.temporal.app_time = TemporalSelector::All();
+  return req;
+}
+
+TEST(QueryContextTest, CancelIsStickyAndReported) {
+  QueryContext ctx;
+  EXPECT_TRUE(ctx.KeepGoing());
+  EXPECT_TRUE(ctx.CheckNow().ok());
+  ctx.Cancel();
+  EXPECT_FALSE(ctx.KeepGoing());
+  EXPECT_EQ(Status::Code::kCancelled, ctx.status().code());
+  EXPECT_FALSE(ctx.KeepGoing());  // sticky
+}
+
+TEST(QueryContextTest, ExpiredDeadlineDetectedByCheckNow) {
+  QueryContext ctx(QueryContext::Clock::now() - milliseconds(5));
+  EXPECT_EQ(Status::Code::kDeadlineExceeded, ctx.CheckNow().code());
+  EXPECT_FALSE(ctx.KeepGoing());
+}
+
+TEST(QueryContextTest, CancelAfterDeadlineAttributedToDeadline) {
+  // The watchdog cancels overdue queries; the context must report that as
+  // a deadline, not a client cancellation.
+  QueryContext ctx(QueryContext::Clock::now() - milliseconds(5));
+  ctx.Cancel();
+  EXPECT_FALSE(ctx.KeepGoing());
+  EXPECT_EQ(Status::Code::kDeadlineExceeded, ctx.status().code());
+}
+
+TEST(AdmissionTest, ShedsWithRetryHintWhenQueueFull) {
+  AdmissionConfig cfg;
+  cfg.max_inflight = 1;
+  cfg.max_queued = 0;
+  AdmissionController ac(cfg);
+  ASSERT_TRUE(ac.Admit(nullptr).ok());
+  Status second = ac.Admit(nullptr);
+  EXPECT_EQ(Status::Code::kResourceExhausted, second.code());
+  EXPECT_NE(std::string::npos, second.message().find("retry"));
+  ac.Release();
+  EXPECT_TRUE(ac.Admit(nullptr).ok());
+  ac.Release();
+  AdmissionController::Stats stats = ac.GetStats();
+  EXPECT_EQ(2u, stats.admitted);
+  EXPECT_EQ(1u, stats.shed);
+  EXPECT_EQ(0, stats.inflight);
+}
+
+TEST(AdmissionTest, QueuedWaiterAbandonsOnDeadline) {
+  AdmissionConfig cfg;
+  cfg.max_inflight = 1;
+  cfg.max_queued = 4;
+  AdmissionController ac(cfg);
+  ASSERT_TRUE(ac.Admit(nullptr).ok());  // occupy the only slot
+  QueryContext ctx(QueryContext::Clock::now() + milliseconds(20));
+  Status st = ac.Admit(&ctx);  // queues, then gives up at the deadline
+  EXPECT_EQ(Status::Code::kDeadlineExceeded, st.code());
+  ac.Release();
+  EXPECT_EQ(1u, ac.GetStats().abandoned_queued);
+}
+
+class PerEngineTest : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(Engines, PerEngineTest,
+                         ::testing::ValuesIn(AllEngineLetters()));
+
+TEST_P(PerEngineTest, ScanStopsPromptlyOnCancel) {
+  std::unique_ptr<TemporalEngine> e = MakeLoadedEngine(GetParam(), 200);
+  QueryContext ctx;
+  ScanRequest req = FullHistoryScan();
+  req.ctx = &ctx;
+  std::vector<Row> got;
+  e->Scan(req, [&](const Row& row) {
+    got.push_back(row);
+    if (got.size() == 3) ctx.Cancel();
+    return true;
+  });
+  // The cancel is observed at the very next per-row check.
+  EXPECT_EQ(3u, got.size());
+  EXPECT_EQ(Status::Code::kCancelled, ctx.status().code());
+  // An interrupted read leaves the engine untouched and usable.
+  ScanRequest again = FullHistoryScan();
+  size_t full = 0;
+  e->Scan(again, [&](const Row&) {
+    ++full;
+    return true;
+  });
+  EXPECT_EQ(200u, full);
+}
+
+TEST_P(PerEngineTest, ScanStopsOnExpiredDeadline) {
+  std::unique_ptr<TemporalEngine> e = MakeLoadedEngine(GetParam(), 200);
+  QueryContext ctx(QueryContext::Clock::now() - milliseconds(1));
+  ScanRequest req = FullHistoryScan();
+  req.ctx = &ctx;
+  size_t emitted = 0;
+  e->Scan(req, [&](const Row&) {
+    ++emitted;
+    return true;
+  });
+  // The clock is only sampled every kClockCheckInterval rows, so a bounded
+  // prefix may be emitted before the deadline is noticed.
+  EXPECT_LT(emitted, 200u);
+  EXPECT_EQ(Status::Code::kDeadlineExceeded, ctx.status().code());
+}
+
+TEST_P(PerEngineTest, SnapshotReadsAreRepeatable) {
+  SessionManager server(MakeLoadedEngine(GetParam(), 50));
+  SessionManager::Snapshot snap = server.OpenSnapshot();
+  std::vector<Row> before;
+  ASSERT_TRUE(server.ReadAt(snap, FullHistoryScan(), nullptr, &before).ok());
+  ASSERT_EQ(50u, before.size());
+
+  // Concurrent-era writes: close half the versions, add new keys.
+  for (int i = 1; i <= 25; ++i) {
+    ASSERT_TRUE(server
+                    .UpdateCurrent("ITEM", {Value(int64_t{i})},
+                                   {{1, Value(double(1000 + i))}})
+                    .ok());
+  }
+  ASSERT_TRUE(server.DeleteCurrent("ITEM", {Value(int64_t{50})}).ok());
+
+  // The pinned snapshot still answers exactly as before the writes, down to
+  // the system-time columns of versions those writes closed.
+  std::vector<Row> after;
+  ASSERT_TRUE(server.ReadAt(snap, FullHistoryScan(), nullptr, &after).ok());
+  std::vector<Row> a = Canonical(std::move(before));
+  std::vector<Row> b = Canonical(std::move(after));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    for (size_t c = 0; c < a[i].size(); ++c) {
+      ASSERT_EQ(0, a[i][c].Compare(b[i][c])) << "row " << i << " col " << c;
+    }
+  }
+
+  // A fresh snapshot sees the new state: 25 closed versions re-inserted
+  // plus the delete; current count is 49.
+  ScanRequest current;
+  current.table = "ITEM";
+  std::vector<Row> now;
+  ASSERT_TRUE(server.Read(current, nullptr, &now).ok());
+  EXPECT_EQ(49u, now.size());
+}
+
+TEST(SessionTest, ExpiredDeadlineRejectedBeforeAdmission) {
+  SessionManager server(MakeLoadedEngine("A", 10));
+  QueryContext ctx(QueryContext::Clock::now() - milliseconds(1));
+  std::vector<Row> rows;
+  Status st = server.Read(FullHistoryScan(), &ctx, &rows);
+  EXPECT_EQ(Status::Code::kDeadlineExceeded, st.code());
+  EXPECT_TRUE(rows.empty());
+  EXPECT_EQ(1u, server.GetStats().reads_deadline);
+  EXPECT_EQ(0u, server.GetStats().admission.admitted);
+}
+
+TEST(SessionTest, ReaderBlockedBehindLongWriteHonoursDeadline) {
+  SessionConfig cfg;
+  cfg.watchdog_period = milliseconds(1);
+  SessionManager server(MakeLoadedEngine("A", 10), cfg);
+  std::atomic<bool> writer_in{false};
+  std::thread writer([&] {
+    server.Write([&](TemporalEngine&) {
+      writer_in.store(true);
+      std::this_thread::sleep_for(milliseconds(80));
+      return Status::OK();
+    });
+  });
+  while (!writer_in.load()) std::this_thread::yield();
+  QueryContext ctx(QueryContext::Clock::now() + milliseconds(10));
+  std::vector<Row> rows;
+  Status st = server.Read(FullHistoryScan(), &ctx, &rows);
+  EXPECT_EQ(Status::Code::kDeadlineExceeded, st.code());
+  EXPECT_TRUE(rows.empty());
+  writer.join();
+}
+
+TEST(SessionTest, OverloadShedsInsteadOfQueueingUnboundedly) {
+  SessionConfig cfg;
+  cfg.admission.max_inflight = 1;
+  cfg.admission.max_queued = 1;
+  SessionManager server(MakeLoadedEngine("A", 10), cfg);
+  // A long write keeps the one admitted reader blocked, so the arrival wave
+  // piles onto the bounded queue and everything beyond it must shed.
+  std::atomic<bool> writer_in{false};
+  std::thread writer([&] {
+    server.Write([&](TemporalEngine&) {
+      writer_in.store(true);
+      std::this_thread::sleep_for(milliseconds(100));
+      return Status::OK();
+    });
+  });
+  while (!writer_in.load()) std::this_thread::yield();
+
+  const int kReaders = 8;
+  std::atomic<int> ok{0}, shed{0}, other{0};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < kReaders; ++i) {
+    readers.emplace_back([&] {
+      std::vector<Row> rows;
+      Status st = server.Read(FullHistoryScan(), nullptr, &rows);
+      if (st.ok()) {
+        ++ok;
+      } else if (st.code() == Status::Code::kResourceExhausted) {
+        ++shed;
+        EXPECT_TRUE(rows.empty());
+      } else {
+        ++other;
+      }
+    });
+  }
+  for (std::thread& r : readers) r.join();
+  writer.join();
+  // With one slot and one queue entry occupied for the write's duration,
+  // most of the wave is shed; nothing hangs or dies with a surprise code.
+  EXPECT_EQ(0, other.load());
+  EXPECT_GE(shed.load(), 1);
+  EXPECT_GE(ok.load(), 1);
+  EXPECT_EQ(kReaders, ok.load() + shed.load());
+  EXPECT_EQ(static_cast<uint64_t>(shed.load()),
+            server.GetStats().admission.shed);
+}
+
+// The soak: concurrent readers (random deadlines, self-cancellations,
+// snapshot repeatability probes) against writers mutating the same table.
+// Every response must be exactly one of the four contracted outcomes, and
+// the per-outcome counters must account for every single read issued.
+TEST_P(PerEngineTest, ChaosSoak) {
+  SessionConfig cfg;
+  cfg.admission.max_inflight = 3;
+  cfg.admission.max_queued = 3;
+  cfg.watchdog_period = milliseconds(2);
+  SessionManager server(MakeLoadedEngine(GetParam(), 100), cfg);
+
+  constexpr int kReaders = 4;
+  constexpr int kWriters = 2;
+  constexpr int kReadsPerThread = 60;
+  constexpr int kWritesPerThread = 40;
+  std::atomic<uint64_t> reads_issued{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kReadsPerThread; ++i) {
+        if (i % 15 == 14) {
+          // Repeatability probe: two reads against one pinned snapshot must
+          // agree even while writers churn underneath.
+          SessionManager::Snapshot snap = server.OpenSnapshot();
+          std::vector<Row> first, second;
+          Status s1 = server.ReadAt(snap, FullHistoryScan(), nullptr, &first);
+          Status s2 = server.ReadAt(snap, FullHistoryScan(), nullptr, &second);
+          reads_issued += 2;
+          EXPECT_TRUE(s1.ok() && s2.ok());
+          std::vector<Row> a = Canonical(std::move(first));
+          std::vector<Row> b = Canonical(std::move(second));
+          ASSERT_EQ(a.size(), b.size());
+          for (size_t r = 0; r < a.size(); ++r) {
+            for (size_t c = 0; c < a[r].size(); ++c) {
+              EXPECT_EQ(0, a[r][c].Compare(b[r][c]));
+            }
+          }
+          continue;
+        }
+        ScanRequest req;
+        if (rng.Bernoulli(0.5)) {
+          req = FullHistoryScan();
+        } else {
+          req.table = "ITEM";
+          req.equals = {{0, Value(rng.UniformInt(1, 150))}};
+        }
+        QueryContext ctx =
+            rng.Bernoulli(0.5)
+                ? QueryContext(QueryContext::Clock::now() +
+                               std::chrono::microseconds(
+                                   rng.UniformInt(0, 3000)))
+                : QueryContext();
+        if (rng.Bernoulli(0.1)) ctx.Cancel();
+        std::vector<Row> rows;
+        Status st = server.Read(req, &ctx, &rows);
+        ++reads_issued;
+        const bool contracted =
+            st.code() == Status::Code::kOk ||
+            st.code() == Status::Code::kDeadlineExceeded ||
+            st.code() == Status::Code::kCancelled ||
+            st.code() == Status::Code::kResourceExhausted;
+        EXPECT_TRUE(contracted) << st.ToString();
+        if (!st.ok()) {
+          EXPECT_TRUE(rows.empty());
+        }
+      }
+    });
+  }
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(2000 + static_cast<uint64_t>(t));
+      int64_t next_key = 1000 + t * 1000;
+      for (int i = 0; i < kWritesPerThread; ++i) {
+        Status st;
+        switch (rng.UniformInt(0, 2)) {
+          case 0:
+            st = server.Insert(
+                "ITEM", Row{Value(next_key++), Value(1.0), Value("w"),
+                            Value(int64_t{0}), Value(Period::kForever)});
+            break;
+          case 1:
+            st = server.UpdateCurrent(
+                "ITEM", {Value(rng.UniformInt(1, 100))},
+                {{1, Value(double(rng.UniformInt(1, 999)))}});
+            break;
+          default:
+            st = server.DeleteCurrent("ITEM", {Value(rng.UniformInt(1, 100))});
+            break;
+        }
+        // Deletes may race with each other, so NotFound is legitimate.
+        EXPECT_TRUE(st.ok() || st.code() == Status::Code::kNotFound)
+            << st.ToString();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  SessionManager::ServerStats stats = server.GetStats();
+  EXPECT_EQ(reads_issued.load(), stats.reads_ok + stats.reads_deadline +
+                                     stats.reads_cancelled + stats.reads_shed);
+  EXPECT_EQ(static_cast<uint64_t>(kWriters * kWritesPerThread), stats.writes);
+  EXPECT_EQ(0, stats.admission.inflight);
+  EXPECT_EQ(0, stats.admission.queued);
+
+  // The engine is intact after the storm: a full consistency-bearing read
+  // still works and sees every surviving current row.
+  ScanRequest current;
+  current.table = "ITEM";
+  std::vector<Row> rows;
+  ASSERT_TRUE(server.Read(current, nullptr, &rows).ok());
+  EXPECT_GT(rows.size(), 0u);
+}
+
+}  // namespace
+}  // namespace bih

@@ -1,0 +1,277 @@
+// Concurrent differential test: a writer thread replays a random mutation
+// sequence through the session layer while reader threads pin snapshots and
+// scan. Every read is checked against the brute-force reference model
+// evaluated *at the pinned watermark* — the model is fully built before the
+// threads start (the operation sequence is deterministic and the commit
+// clock ticks in lockstep), so the reference itself is immutable and the
+// comparison needs no synchronization with the writer.
+//
+// A version that is open at watermark w but closed by a later write stores
+// a SYS_TIME_END past w; the session layer rewrites that to "forever" when
+// serving snapshot w, and the model's output is normalized the same way.
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/engine.h"
+#include "reference_model.h"
+#include "server/session.h"
+#include "temporal/clock.h"
+
+namespace bih {
+namespace {
+
+struct Op {
+  enum Kind {
+    kInsert,
+    kUpdateCurrent,
+    kSeqUpdate,
+    kOverwrite,
+    kSeqDelete,
+    kDeleteCurrent
+  };
+  Kind kind = kInsert;
+  Row row;      // kInsert
+  int64_t id = 0;
+  std::vector<ColumnAssignment> set;
+  Period window{0, 0};
+  bool expect_ok = true;
+};
+
+// Builds the deterministic op sequence and applies it to the model with a
+// lockstep commit clock (one tick per op, exactly like the engines' DML
+// entry points — failed statements consume a tick too).
+std::vector<Op> BuildOps(uint64_t seed, Model* model,
+                         std::vector<int64_t>* commit_ts,
+                         std::vector<int64_t>* keys) {
+  Rng rng(seed);
+  CommitClock clock;
+  std::vector<Op> ops;
+  int64_t next_key = 1;
+  const int kOps = 250;
+  for (int step = 0; step < kOps; ++step) {
+    int choice = static_cast<int>(rng.UniformInt(0, 9));
+    int64_t ts = clock.NextCommit().micros();
+    commit_ts->push_back(ts);
+    Op op;
+    if (choice <= 3 || keys->empty()) {
+      int64_t id = next_key++;
+      int64_t vb = rng.UniformInt(0, 300);
+      int64_t ve = rng.Bernoulli(0.3) ? Period::kForever
+                                      : vb + rng.UniformInt(1, 200);
+      op.kind = Op::kInsert;
+      op.row = Row{Value(id), Value(double(rng.UniformInt(1, 1000))),
+                   Value(rng.Bernoulli(0.5) ? "x" : "y"), Value(vb),
+                   Value(ve)};
+      model->Insert(op.row, ts);
+      keys->push_back(id);
+    } else {
+      op.id = (*keys)[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(keys->size()) - 1))];
+      op.set = {{1, Value(double(rng.UniformInt(1, 1000)))}};
+      int64_t wb = rng.UniformInt(0, 400);
+      op.window = Period(wb, rng.Bernoulli(0.3) ? Period::kForever
+                                                : wb + rng.UniformInt(1, 150));
+      switch (choice) {
+        case 4:
+        case 5:
+          op.kind = Op::kUpdateCurrent;
+          op.expect_ok = model->UpdateCurrent(op.id, op.set, ts);
+          break;
+        case 6:
+          op.kind = Op::kSeqUpdate;
+          op.expect_ok = model->Sequenced(op.id, op.window, op.set, 0, ts);
+          break;
+        case 7:
+          op.kind = Op::kOverwrite;
+          op.expect_ok = model->Sequenced(op.id, op.window, op.set, 2, ts);
+          break;
+        case 8:
+          op.kind = Op::kSeqDelete;
+          op.expect_ok = model->Sequenced(op.id, op.window, {}, 1, ts);
+          break;
+        default:
+          op.kind = Op::kDeleteCurrent;
+          op.expect_ok = model->DeleteCurrent(op.id, ts);
+          break;
+      }
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+Status ApplyOp(TemporalEngine& e, const Op& op) {
+  switch (op.kind) {
+    case Op::kInsert:
+      return e.Insert("ITEM", op.row);
+    case Op::kUpdateCurrent:
+      return e.UpdateCurrent("ITEM", {Value(op.id)}, op.set);
+    case Op::kSeqUpdate:
+      return e.UpdateSequenced("ITEM", {Value(op.id)}, 0, op.window, op.set);
+    case Op::kOverwrite:
+      return e.UpdateOverwrite("ITEM", {Value(op.id)}, 0, op.window, op.set);
+    case Op::kSeqDelete:
+      return e.DeleteSequenced("ITEM", {Value(op.id)}, 0, op.window);
+    case Op::kDeleteCurrent:
+      return e.DeleteCurrent("ITEM", {Value(op.id)});
+  }
+  return Status::Internal("unreachable");
+}
+
+// Model rows for versions still open at `w` carry their final close time;
+// map anything past the watermark back to forever (the engine side of the
+// comparison is normalized identically by the session layer).
+std::vector<Row> NormalizeAtWatermark(std::vector<Row> rows, int64_t w) {
+  for (Row& r : rows) {
+    if (!r.empty() && r.back().is_int() && r.back().AsInt() > w) {
+      r.back() = Value(Period::kForever);
+    }
+  }
+  return rows;
+}
+
+class ConcurrentFuzzTest : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(Engines, ConcurrentFuzzTest,
+                         ::testing::ValuesIn(AllEngineLetters()));
+
+TEST_P(ConcurrentFuzzTest, SnapshotReadsMatchModelUnderConcurrentWrites) {
+  const uint64_t seed = 7;
+  Model model;
+  std::vector<int64_t> commit_ts;
+  std::vector<int64_t> keys;
+  std::vector<Op> ops = BuildOps(seed, &model, &commit_ts, &keys);
+
+  std::unique_ptr<TemporalEngine> engine = MakeEngine(GetParam());
+  ASSERT_TRUE(engine->CreateTable(FuzzItemDef()).ok());
+  SessionManager server(engine.get());
+
+  std::thread writer([&] {
+    for (size_t i = 0; i < ops.size(); ++i) {
+      Status st =
+          server.Write([&](TemporalEngine& e) { return ApplyOp(e, ops[i]); });
+      EXPECT_EQ(ops[i].expect_ok, st.ok())
+          << "op " << i << ": " << st.ToString();
+      // Occasional mid-stream maintenance (System C delta merge) — it does
+      // not consume a commit tick, so the clocks stay in lockstep.
+      if (i % 83 == 82) {
+        server.Write([](TemporalEngine& e) {
+          e.Maintain();
+          return Status::OK();
+        });
+      }
+    }
+  });
+
+  constexpr int kReaders = 3;
+  constexpr int kReadsEach = 80;
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(seed * 31 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kReadsEach; ++i) {
+        SessionManager::Snapshot snap = server.OpenSnapshot();
+        const int64_t w = snap.watermark;
+        auto pick_ts = [&] {
+          return commit_ts[static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(commit_ts.size()) - 1))];
+        };
+        TemporalScanSpec spec;
+        switch (rng.UniformInt(0, 2)) {
+          case 0:
+            spec.system_time = TemporalSelector::AsOf(pick_ts());
+            break;
+          case 1: {
+            int64_t a = pick_ts(), b = pick_ts();
+            if (a > b) std::swap(a, b);
+            spec.system_time = TemporalSelector::Between(a, b + 1);
+            break;
+          }
+          default:
+            spec.system_time = TemporalSelector::All();
+            break;
+        }
+        switch (rng.UniformInt(0, 2)) {
+          case 0:
+            spec.app_time = TemporalSelector::AsOf(rng.UniformInt(0, 500));
+            break;
+          case 1: {
+            int64_t a = rng.UniformInt(0, 400);
+            spec.app_time =
+                TemporalSelector::Between(a, a + rng.UniformInt(1, 200));
+            break;
+          }
+          default:
+            spec.app_time = TemporalSelector::All();
+            break;
+        }
+        int64_t key = rng.Bernoulli(0.4)
+                          ? keys[static_cast<size_t>(rng.UniformInt(
+                                0, static_cast<int64_t>(keys.size()) - 1))]
+                          : -1;
+
+        ScanRequest req;
+        req.table = "ITEM";
+        req.temporal = spec;
+        if (key >= 0) req.equals = {{0, Value(key)}};
+        std::vector<Row> got;
+        Status st = server.ReadAt(snap, req, nullptr, &got);
+        ASSERT_TRUE(st.ok()) << st.ToString();
+        got = Canonical(std::move(got));
+
+        // Reference: the *final* model queried with the same clamped
+        // selector — versions born after the watermark cannot match, so
+        // this is exactly the state at the snapshot.
+        TemporalScanSpec model_spec = spec;
+        model_spec.system_time =
+            SessionManager::ClampToWatermark(spec.system_time, w);
+        std::vector<Row> expect = Canonical(
+            NormalizeAtWatermark(model.Query(model_spec, w, key), w));
+
+        ASSERT_EQ(expect.size(), got.size())
+            << "reader " << t << " read " << i << " w=" << w
+            << " sys=" << spec.system_time.ToString()
+            << " app=" << spec.app_time.ToString() << " key=" << key;
+        for (size_t r = 0; r < expect.size(); ++r) {
+          for (size_t c = 0; c < expect[r].size(); ++c) {
+            EXPECT_EQ(0, expect[r][c].Compare(got[r][c]))
+                << "reader " << t << " read " << i << " row " << r << " col "
+                << c;
+          }
+        }
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& r : readers) r.join();
+
+  // After the writer finished, the latest snapshot must equal the full
+  // final model verbatim.
+  ScanRequest all;
+  all.table = "ITEM";
+  all.temporal.system_time = TemporalSelector::All();
+  all.temporal.app_time = TemporalSelector::All();
+  std::vector<Row> got;
+  ASSERT_TRUE(server.Read(all, nullptr, &got).ok());
+  const int64_t w = server.OpenSnapshot().watermark;
+  std::vector<Row> expect =
+      Canonical(NormalizeAtWatermark(model.Query(all.temporal, w, -1), w));
+  got = Canonical(std::move(got));
+  ASSERT_EQ(expect.size(), got.size());
+  for (size_t r = 0; r < expect.size(); ++r) {
+    for (size_t c = 0; c < expect[r].size(); ++c) {
+      ASSERT_EQ(0, expect[r][c].Compare(got[r][c])) << "row " << r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bih

@@ -227,6 +227,42 @@ TEST(FaultInjectorTest, EnvParsingAndDeterminism) {
   EXPECT_LE(a.trigger_write(), 100u);
 }
 
+TEST(FaultInjectorTest, TransientFailsFirstAttemptOnly) {
+  FaultInjector fi = FaultInjector::TransientNth(2);
+  EXPECT_FALSE(fi.OnWrite(1, 64).fail);   // record 1 passes
+  EXPECT_TRUE(fi.OnWrite(2, 64).fail);    // record 2, attempt 1: EIO
+  EXPECT_FALSE(fi.OnWrite(2, 64).fail);   // record 2, attempt 2: passes
+  EXPECT_FALSE(fi.OnWrite(3, 64).fail);   // no crash afterwards
+  EXPECT_TRUE(fi.triggered());
+
+  setenv("BIH_FAULT", "transient:5", 1);
+  FaultInjector env = FaultInjector::FromEnv();
+  EXPECT_EQ(FaultInjector::Mode::kTransientWrite, env.mode());
+  EXPECT_EQ(5u, env.trigger_write());
+  unsetenv("BIH_FAULT");
+}
+
+TEST(EngineWalTest, TransientWriteFailureIsRetriedAndDurable) {
+  const std::string path = TmpPath("transient.wal");
+  // Record 2 (the first insert) fails on its first attempt; the writer's
+  // backoff retry must absorb it without surfacing an error.
+  FaultInjector fi = FaultInjector::TransientNth(2);
+  auto engine = MakeEngine("A");
+  ASSERT_TRUE(engine->EnableWal(path, &fi).ok());
+  ASSERT_TRUE(engine->CreateTable(ItemDef()).ok());
+  ASSERT_TRUE(engine->Insert("ITEM", ItemRow(1, 1.0, "a", 0, 9)).ok());
+  ASSERT_TRUE(engine->Insert("ITEM", ItemRow(2, 2.0, "b", 0, 9)).ok());
+  EXPECT_TRUE(fi.triggered());
+  engine.reset();
+
+  // The retried record really landed: recovery replays both inserts.
+  std::unique_ptr<TemporalEngine> recovered;
+  RecoveryReport report;
+  ASSERT_TRUE(RecoverEngine("A", path, &recovered, &report).ok());
+  EXPECT_FALSE(report.tail_dropped);
+  EXPECT_EQ(2u, recovered->GetTableStats("ITEM").current_rows);
+}
+
 TEST(EngineWalTest, FailedWalWriteSurfacesIoError) {
   const std::string path = TmpPath("fail.wal");
   FaultInjector fi = FaultInjector::FailNth(3);  // DDL + insert ok, then fail

@@ -6,16 +6,24 @@
 //   bih_driver load     --engine B --h 0.01 --m 0.01 [--batch 10] [--wal F]
 //   bih_driver recover  --engine B --wal F
 //   bih_driver run      --engine A --h 0.005 --m 0.005 [--suite T|K|R|B|all]
+//   bih_driver run      --engine A --threads 8 --deadline-ms 50 [--max-inflight 4]
 //   bih_driver sql      --engine C --h 0.002 --m 0.002 "SELECT ..."
 //   bih_driver check    --engine A --h 0.002 --m 0.002 | check --wal F
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "engine/consistency.h"
 #include "engine/recovery.h"
+#include "server/session.h"
 #include "sql/executor.h"
 #include "workload/context.h"
 #include "workload/queries.h"
@@ -36,7 +44,51 @@ struct Args {
   std::string sql;
   std::string wal;       // write-ahead log path ("" = durability off)
   bool recover = false;  // load: replay --wal instead of generating
+  int threads = 0;       // run: >0 switches to the concurrent session mode
+  int64_t deadline_ms = 0;  // run: per-query deadline (0 = none)
+  int max_inflight = 0;     // run: admission slots (0 = threads/2, min 1)
 };
+
+// Strict numeric parsing: the whole token must convert, so trailing garbage
+// ("--batch 10x", "--h 0.5abc") is an error instead of being silently cut.
+bool ParseDoubleValue(const char* flag, const char* v, double* out) {
+  char* end = nullptr;
+  errno = 0;
+  double d = std::strtod(v, &end);
+  if (errno != 0 || end == v || *end != '\0') {
+    std::fprintf(stderr, "malformed value for %s: '%s'\n", flag, v);
+    return false;
+  }
+  *out = d;
+  return true;
+}
+
+bool ParseUintValue(const char* flag, const char* v, uint64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long u = std::strtoull(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0' || v[0] == '-') {
+    std::fprintf(stderr, "malformed value for %s: '%s'\n", flag, v);
+    return false;
+  }
+  *out = u;
+  return true;
+}
+
+bool ParseIntValue(const char* flag, const char* v, int64_t lo, int64_t hi,
+                   int64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  long long i = std::strtoll(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0' || i < lo || i > hi) {
+    std::fprintf(stderr, "malformed value for %s: '%s' (expect %lld..%lld)\n",
+                 flag, v, static_cast<long long>(lo),
+                 static_cast<long long>(hi));
+    return false;
+  }
+  *out = i;
+  return true;
+}
 
 bool ParseArgs(int argc, char** argv, Args* args) {
   if (argc < 2) return false;
@@ -50,26 +102,25 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       }
       return argv[++i];
     };
+    int64_t n = 0;
     if (a == "--engine") {
       const char* v = next("--engine");
       if (!v) return false;
       args->engine = v;
     } else if (a == "--h") {
       const char* v = next("--h");
-      if (!v) return false;
-      args->h = std::atof(v);
+      if (!v || !ParseDoubleValue("--h", v, &args->h)) return false;
     } else if (a == "--m") {
       const char* v = next("--m");
-      if (!v) return false;
-      args->m = std::atof(v);
+      if (!v || !ParseDoubleValue("--m", v, &args->m)) return false;
     } else if (a == "--seed") {
       const char* v = next("--seed");
-      if (!v) return false;
-      args->seed = std::strtoull(v, nullptr, 10);
+      if (!v || !ParseUintValue("--seed", v, &args->seed)) return false;
     } else if (a == "--batch") {
       const char* v = next("--batch");
-      if (!v) return false;
-      args->batch = std::strtoull(v, nullptr, 10);
+      uint64_t b = 0;
+      if (!v || !ParseUintValue("--batch", v, &b)) return false;
+      args->batch = static_cast<size_t>(b);
     } else if (a == "--out") {
       const char* v = next("--out");
       if (!v) return false;
@@ -84,6 +135,20 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->wal = v;
     } else if (a == "--recover") {
       args->recover = true;
+    } else if (a == "--threads") {
+      const char* v = next("--threads");
+      if (!v || !ParseIntValue("--threads", v, 1, 1024, &n)) return false;
+      args->threads = static_cast<int>(n);
+    } else if (a == "--deadline-ms") {
+      const char* v = next("--deadline-ms");
+      if (!v || !ParseIntValue("--deadline-ms", v, 0, 86400000, &n)) {
+        return false;
+      }
+      args->deadline_ms = n;
+    } else if (a == "--max-inflight") {
+      const char* v = next("--max-inflight");
+      if (!v || !ParseIntValue("--max-inflight", v, 1, 4096, &n)) return false;
+      args->max_inflight = static_cast<int>(n);
     } else if (args->command == "sql" && args->sql.empty()) {
       args->sql = a;
     } else {
@@ -104,8 +169,17 @@ int Usage() {
       "  bih_driver recover  --engine A|B|C|D --wal FILE\n"
       "  bih_driver run      --engine A|B|C|D --h H --m M [--suite "
       "T|K|R|B|all]\n"
+      "                      [--threads N [--deadline-ms D] "
+      "[--max-inflight Q]]\n"
       "  bih_driver sql      --engine A|B|C|D --h H --m M \"SELECT ...\"\n"
       "  bih_driver check    --engine A|B|C|D --h H --m M [--wal FILE]\n");
+  return 2;
+}
+
+// Bad invocations get a one-line pointer, not the full wall of text.
+int UsageHint(const std::string& detail) {
+  std::fprintf(stderr, "%s; run 'bih_driver' without arguments for usage\n",
+               detail.c_str());
   return 2;
 }
 
@@ -226,7 +300,104 @@ int Load(const Args& args) {
   return 0;
 }
 
+// run --threads N: drive the loaded workload through the concurrent session
+// layer. Threads alternate point lookups with full-history scans on CUSTOMER
+// under an optional per-query deadline; the report shows the latency
+// distribution and how every query terminated (the four-outcome contract).
+int RunConcurrent(const Args& args) {
+  WorkloadConfig cfg;
+  cfg.engine_letter = args.engine;
+  cfg.h = args.h;
+  cfg.m = args.m;
+  cfg.seed = args.seed;
+  cfg.batch_size = args.batch;
+  std::printf("building workload (h=%.4f, m=%.4f) on System %s...\n", args.h,
+              args.m, args.engine.c_str());
+  WorkloadContext ctx = BuildWorkload(cfg);
+  SessionConfig scfg;
+  scfg.admission.max_inflight =
+      args.max_inflight > 0 ? args.max_inflight : std::max(1, args.threads / 2);
+  scfg.admission.max_queued = scfg.admission.max_inflight * 2;
+  SessionManager server(&ctx.eng(), scfg);
+  const int queries_per_thread = 200;
+  const auto n_cust = static_cast<int64_t>(ctx.initial.customer.size());
+  std::printf(
+      "concurrent run: %d threads x %d queries, deadline=%lldms, "
+      "max-inflight=%d\n",
+      args.threads, queries_per_thread,
+      static_cast<long long>(args.deadline_ms), scfg.admission.max_inflight);
+
+  std::mutex mu;
+  std::vector<double> latencies_ms;
+  uint64_t n_rows = 0;
+  std::vector<std::thread> workers;
+  workers.reserve(args.threads);
+  for (int t = 0; t < args.threads; ++t) {
+    workers.emplace_back([&, t] {
+      std::vector<double> local_lat;
+      local_lat.reserve(queries_per_thread);
+      uint64_t local_rows = 0;
+      uint64_t h = args.seed * 0x9e3779b97f4a7c15ULL + t + 1;
+      for (int q = 0; q < queries_per_thread; ++q) {
+        h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+        ScanRequest req;
+        req.table = "CUSTOMER";
+        if (q % 8 == 0) {
+          // Occasional audit query: the whole bitemporal history.
+          req.temporal.system_time = TemporalSelector::All();
+          req.temporal.app_time = TemporalSelector::All();
+        } else {
+          req.equals = {{0, Value(1 + static_cast<int64_t>((h >> 16) %
+                                                           n_cust))}};
+        }
+        QueryContext qctx =
+            args.deadline_ms > 0
+                ? QueryContext(QueryContext::Clock::now() +
+                               std::chrono::milliseconds(args.deadline_ms))
+                : QueryContext();
+        std::vector<Row> rows;
+        double ms = MeasureMs([&] { server.Read(req, &qctx, &rows); });
+        local_lat.push_back(ms);
+        local_rows += rows.size();
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      latencies_ms.insert(latencies_ms.end(), local_lat.begin(),
+                          local_lat.end());
+      n_rows += local_rows;
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  auto pct = [&](double p) {
+    if (latencies_ms.empty()) return 0.0;
+    size_t i = static_cast<size_t>(p * (latencies_ms.size() - 1));
+    return latencies_ms[i];
+  };
+  SessionManager::ServerStats stats = server.GetStats();
+  std::printf("latency: p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms\n",
+              pct(0.50), pct(0.95), pct(0.99),
+              latencies_ms.empty() ? 0.0 : latencies_ms.back());
+  std::printf(
+      "outcomes: ok=%llu deadline=%llu cancelled=%llu shed=%llu "
+      "(%llu rows)\n",
+      static_cast<unsigned long long>(stats.reads_ok),
+      static_cast<unsigned long long>(stats.reads_deadline),
+      static_cast<unsigned long long>(stats.reads_cancelled),
+      static_cast<unsigned long long>(stats.reads_shed),
+      static_cast<unsigned long long>(n_rows));
+  std::printf(
+      "admission: admitted=%llu shed=%llu abandoned=%llu; watchdog "
+      "kills=%llu\n",
+      static_cast<unsigned long long>(stats.admission.admitted),
+      static_cast<unsigned long long>(stats.admission.shed),
+      static_cast<unsigned long long>(stats.admission.abandoned_queued),
+      static_cast<unsigned long long>(stats.watchdog_kills));
+  return 0;
+}
+
 int RunSuites(const Args& args) {
+  if (args.threads > 0) return RunConcurrent(args);
   WorkloadConfig cfg;
   cfg.engine_letter = args.engine;
   cfg.h = args.h;
@@ -377,8 +548,11 @@ int Check(const Args& args) {
 }  // namespace bih
 
 int main(int argc, char** argv) {
+  if (argc < 2) return bih::Usage();
   bih::Args args;
-  if (!bih::ParseArgs(argc, argv, &args)) return bih::Usage();
+  if (!bih::ParseArgs(argc, argv, &args)) {
+    return bih::UsageHint("invalid invocation");
+  }
   if (args.command == "generate") return bih::Generate(args);
   if (args.command == "load") return bih::Load(args);
   if (args.command == "recover") return bih::Recover(args);
@@ -387,5 +561,5 @@ int main(int argc, char** argv) {
   if (args.command == "check" || args.command == "verify") {
     return bih::Check(args);
   }
-  return bih::Usage();
+  return bih::UsageHint("unknown subcommand '" + args.command + "'");
 }
