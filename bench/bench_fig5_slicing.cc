@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "exec/parallel.h"
 
 namespace bih {
 namespace bench {
@@ -39,6 +40,31 @@ void RegisterAll() {
       return T6SysPointAppAll(eng, sys_mid);
     });
     add("T5_all_versions", [](TemporalEngine& eng) { return QueryAll(eng); });
+
+    // Morsel-parallel scaling sweep on the scan-bound full slices: the same
+    // queries at 1/2/4/8 scan threads (DESIGN.md "Parallel execution").
+    // 1 thread takes the untouched serial path, so threads:1 vs the plain
+    // registration above shows the parallel plumbing's overhead is nil.
+    auto add_mt = [&](const std::string& name, int t, auto fn) {
+      benchmark::RegisterBenchmark(("Fig5/" + name + "/threads:" +
+                                    std::to_string(t) + "/System" + letter)
+                                       .c_str(),
+                                   [fn, e, t](benchmark::State& state) {
+                                     SetDefaultScanThreads(t);
+                                     for (auto _ : state) {
+                                       benchmark::DoNotOptimize(fn(*e));
+                                     }
+                                     SetDefaultScanThreads(0);
+                                   })
+          ->Unit(benchmark::kMillisecond);
+    };
+    for (int t : {1, 2, 4, 8}) {
+      add_mt("T6_sys_point_over_app", t, [sys_mid](TemporalEngine& eng) {
+        return T6SysPointAppAll(eng, sys_mid);
+      });
+      add_mt("T5_all_versions", t,
+             [](TemporalEngine& eng) { return QueryAll(eng); });
+    }
   }
 }
 

@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "exec/parallel.h"
 
 namespace bih {
 namespace bench {
@@ -18,7 +19,7 @@ std::vector<std::unique_ptr<TemporalEngine>>* g_engines =
     new std::vector<std::unique_ptr<TemporalEngine>>();
 
 void RegisterFor(const std::string& label, TemporalEngine* e,
-                 const WorkloadContext& ctx) {
+                 const WorkloadContext& ctx, bool thread_sweep = false) {
   const int64_t key = ctx.hot_custkey;
   const int64_t sys_mid = ctx.sys_mid.micros();
   const int64_t app_late = ctx.app_late;
@@ -42,6 +43,23 @@ void RegisterFor(const std::string& label, TemporalEngine* e,
   both.app_time = TemporalSelector::All();
   both.system_time = TemporalSelector::All();
   add("K1_both_times", both);
+  if (thread_sweep) {
+    // Morsel-parallel scaling of the history-heavy key query: without
+    // indexes this is a full scan of every partition, exactly the path the
+    // parallel scheduler splits.
+    for (int t : {1, 2, 4, 8}) {
+      benchmark::RegisterBenchmark(
+          ("Fig8/K1_both_times/threads:" + std::to_string(t) + "/" + label)
+              .c_str(),
+          [e, key, both, t](benchmark::State& state) {
+            SetDefaultScanThreads(t);
+            for (auto _ : state) benchmark::DoNotOptimize(K1(*e, key, both));
+            SetDefaultScanThreads(0);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(5);
+    }
+  }
   TemporalScanSpec sys_axis;  // system evolution at one app point
   sys_axis.system_time = TemporalSelector::All();
   sys_axis.app_time = TemporalSelector::AsOf(app_late);
@@ -53,7 +71,8 @@ void RegisterAll() {
   const WorkloadContext& ctx = w.ctx();
   for (const std::string& letter : AllEngineLetters()) {
     g_engines->push_back(w.Fresh(letter));
-    RegisterFor("System" + letter + "_no_index", g_engines->back().get(), ctx);
+    RegisterFor("System" + letter + "_no_index", g_engines->back().get(), ctx,
+                /*thread_sweep=*/true);
     g_engines->push_back(w.Fresh(letter));
     Status st =
         ApplyIndexSetting(*g_engines->back(), IndexSetting::kKeyTime);

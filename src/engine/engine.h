@@ -18,6 +18,8 @@
 
 namespace bih {
 
+class ScanScheduler;  // src/exec/parallel.h
+
 // Index structure choices offered by the tuning experiments (Section 5.1).
 enum class IndexType { kBTree, kRTree, kHash };
 
@@ -44,6 +46,10 @@ struct ExecStats {
   uint64_t rows_examined = 0;
   uint64_t rows_output = 0;
   int partitions_touched = 0;
+  // True when any scanned partition was served by an index; index_name then
+  // lists the chosen index of each served partition in scan order,
+  // comma-separated. Engines that never consult indexes (System C ignores
+  // them, Section 5.3.2) leave both at their defaults.
   bool used_index = false;
   std::string index_name;
   bool touched_history = false;
@@ -72,6 +78,17 @@ struct ScanRequest {
   // last_stats() slot. Concurrent readers (src/server/) must set this:
   // last_stats() is a single shared member and would race.
   ExecStats* stats = nullptr;
+  // --- Intra-query parallelism (src/exec/parallel.h) -------------------
+  // Threads the fallback full scans may use: 0 resolves to the process
+  // default (BIH_SCAN_THREADS / SetDefaultScanThreads), 1 forces the
+  // serial path. Index access paths are always serial. Results and
+  // counters are byte-identical to the serial scan at any setting.
+  int scan_threads = 0;
+  // Rows per morsel for parallel scans; 0 means kDefaultMorselSize.
+  uint64_t morsel_size = 0;
+  // Worker pool to borrow helpers from (borrowed, may be null). Null falls
+  // back to the process-wide pool when the resolved thread count is > 1.
+  ScanScheduler* scheduler = nullptr;
 };
 
 // Per-table size information (Section 5.2 architecture analysis).

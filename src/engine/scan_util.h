@@ -36,6 +36,17 @@ bool MatchesTemporal(const Row& row, const TemporalScanSpec& spec,
 // Non-temporal residual predicates (equality list + range constraint).
 bool MatchesConstraints(const Row& row, const ScanRequest& req);
 
+// Records that one partition of this scan was served by index `name`.
+// Every engine's index access paths report through this helper so the
+// ExecStats contract is uniform: used_index means *some* partition used an
+// index, and index_name lists the chosen index of each served partition in
+// scan order, comma-separated (engine_test.cc asserts this).
+inline void RecordIndexUse(ExecStats* stats, const std::string& name) {
+  stats->used_index = true;
+  if (!stats->index_name.empty()) stats->index_name += ",";
+  stats->index_name += name;
+}
+
 }  // namespace bih
 
 #endif  // TPCBIH_ENGINE_SCAN_UTIL_H_

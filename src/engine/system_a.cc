@@ -217,11 +217,30 @@ Status SystemAEngine::DoDeleteSequenced(const std::string& table,
   return ApplySequenced(table, key, period_index, period, {}, 1);
 }
 
+void SystemAEngine::ScanMorsel(const RowTable& part, const ScanRequest& req,
+                               const TemporalCols& tc, int64_t now,
+                               uint64_t begin, uint64_t end,
+                               const std::atomic<bool>& stop,
+                               MorselOutput* out) const {
+  for (RowId rid = begin; rid < end; ++rid) {
+    if (MorselInterrupted(stop, req.ctx)) return;
+    if (!part.IsLive(rid)) continue;
+    ++out->rows_examined;
+    const Row& row = part.Get(rid);
+    if (!MatchesTemporal(row, req.temporal, tc, now)) continue;
+    if (!MatchesConstraints(row, req)) continue;
+    out->rows.push_back(row);
+    out->examined_at.push_back(out->rows_examined);
+  }
+}
+
 void SystemAEngine::ScanPartition(const Table& t, bool is_history,
                                   const ScanRequest& req,
                                   const TemporalCols& tc,
-                                  const IndexSet& tuning, ExecStats* stats,
-                                  bool* stopped, const RowCallback& cb) {
+                                  const IndexSet& tuning,
+                                  const ParallelScanPlan& plan,
+                                  ExecStats* stats, bool* stopped,
+                                  const RowCallback& cb) {
   const RowTable& part = is_history ? t.history : t.current;
   ++stats->partitions_touched;
   if (is_history) stats->touched_history = true;
@@ -251,8 +270,7 @@ void SystemAEngine::ScanPartition(const Table& t, bool is_history,
     return consider(part.Get(rid));
   };
   if (tuning.TryIndexAccess(req, tc, part.LiveCount(), &index_name, emit_rid)) {
-    stats->used_index = true;
-    stats->index_name = index_name;
+    RecordIndexUse(stats, index_name);
     return;
   }
   if (!is_history && !req.equals.empty()) {
@@ -269,11 +287,20 @@ void SystemAEngine::ScanPartition(const Table& t, bool is_history,
       }
     }
     if (matched == t.def.primary_key.size() && matched > 0) {
-      stats->used_index = true;
-      stats->index_name = "pk_current(" + t.def.name + ")";
+      RecordIndexUse(stats, "pk_current(" + t.def.name + ")");
       t.pk_current.Lookup(key, emit_rid);
       return;
     }
+  }
+  if (plan.Engage(part.SlotCount())) {
+    ParallelScanPartition(
+        plan, part.SlotCount(), req.ctx,
+        [&](uint64_t begin, uint64_t end, const std::atomic<bool>& stop,
+            MorselOutput* out) {
+          ScanMorsel(part, req, tc, now, begin, end, stop, out);
+        },
+        &stats->rows_examined, &stats->rows_output, stopped, cb);
+    return;
   }
   part.Scan([&](RowId, const Row& row) { return consider(row); });
 }
@@ -285,15 +312,17 @@ void SystemAEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
   ExecStats* stats = req.stats != nullptr ? req.stats : &local;
   *stats = ExecStats{};
   const TemporalCols tc = ResolveTemporalCols(t->def, req.temporal.app_period_index);
+  const ParallelScanPlan plan =
+      ResolveScanPlan(req.scan_threads, req.scheduler, req.morsel_size);
   bool stopped = false;
   // Partition pruning: only the implicit-current case avoids the history
   // table. An explicit AS OF <now> is *not* recognized (Section 5.3.5).
-  ScanPartition(*t, /*is_history=*/false, req, tc, t->current_indexes, stats,
-                &stopped, cb);
+  ScanPartition(*t, /*is_history=*/false, req, tc, t->current_indexes, plan,
+                stats, &stopped, cb);
   if (!stopped && t->def.system_versioned &&
       req.temporal.system_time.kind != TemporalSelector::Kind::kImplicitCurrent) {
-    ScanPartition(*t, /*is_history=*/true, req, tc, t->history_indexes, stats,
-                  &stopped, cb);
+    ScanPartition(*t, /*is_history=*/true, req, tc, t->history_indexes, plan,
+                  stats, &stopped, cb);
   }
   if (req.stats == nullptr) stats_ = local;
 }

@@ -8,6 +8,7 @@
 #include "engine/engine.h"
 #include "engine/index_set.h"
 #include "engine/scan_util.h"
+#include "exec/parallel.h"
 #include "storage/hash_index.h"
 #include "storage/row_table.h"
 
@@ -90,7 +91,16 @@ class SystemAEngine : public TemporalEngine {
 
   void ScanPartition(const Table& t, bool is_history, const ScanRequest& req,
                      const TemporalCols& tc, const IndexSet& tuning,
-                     ExecStats* stats, bool* stopped, const RowCallback& cb);
+                     const ParallelScanPlan& plan, ExecStats* stats,
+                     bool* stopped, const RowCallback& cb);
+
+  // Morsel-range entry point of the fallback table scan: filters slots
+  // [begin, end) of `part` into `out`. Thread-safe for concurrent morsels
+  // of one partition (pure reads).
+  void ScanMorsel(const RowTable& part, const ScanRequest& req,
+                  const TemporalCols& tc, int64_t now, uint64_t begin,
+                  uint64_t end, const std::atomic<bool>& stop,
+                  MorselOutput* out) const;
 
   std::unordered_map<std::string, Table> tables_;
 };

@@ -298,9 +298,68 @@ Status SystemBEngine::DoDeleteSequenced(const std::string& table,
   return ApplySequenced(table, key, period_index, period, {}, 1);
 }
 
+void SystemBEngine::ScanCurrentMorsel(const Table& t, const ScanRequest& req,
+                                      const TemporalCols& tc, int64_t now,
+                                      uint64_t begin, uint64_t end,
+                                      const std::atomic<bool>& stop,
+                                      MorselOutput* out) const {
+  for (RowId rid = begin; rid < end; ++rid) {
+    if (MorselInterrupted(stop, req.ctx)) return;
+    if (!t.current.IsLive(rid)) continue;
+    ++out->rows_examined;
+    Row row = t.current.Get(rid);
+    auto it = t.version_slot.find(rid);
+    row.push_back(Value(t.versions[it->second].sys_from));
+    row.push_back(Value(Period::kForever));
+    if (!MatchesTemporal(row, req.temporal, tc, now)) continue;
+    if (!MatchesConstraints(row, req)) continue;
+    out->rows.push_back(std::move(row));
+    out->examined_at.push_back(out->rows_examined);
+  }
+}
+
+void SystemBEngine::ScanReconstructionMorsel(
+    const Table& t, const std::vector<int64_t>& sys_from_of,
+    const ScanRequest& req, const TemporalCols& tc, int64_t now,
+    uint64_t begin, uint64_t end, const std::atomic<bool>& stop,
+    MorselOutput* out) const {
+  for (RowId rid = begin; rid < end; ++rid) {
+    if (MorselInterrupted(stop, req.ctx)) return;
+    if (!t.current.IsLive(rid)) continue;
+    ++out->rows_examined;
+    Row row = t.current.Get(rid);
+    row.push_back(Value(sys_from_of[rid]));
+    row.push_back(Value(Period::kForever));
+    if (!MatchesTemporal(row, req.temporal, tc, now)) continue;
+    if (!MatchesConstraints(row, req)) continue;
+    out->rows.push_back(std::move(row));
+    out->examined_at.push_back(out->rows_examined);
+  }
+}
+
+void SystemBEngine::ScanHistoryMorsel(const Table& t, const ScanRequest& req,
+                                      const TemporalCols& tc, int64_t now,
+                                      uint64_t begin, uint64_t end,
+                                      const std::atomic<bool>& stop,
+                                      MorselOutput* out) const {
+  const int scan_width = t.stored_schema.num_columns();
+  for (RowId rid = begin; rid < end; ++rid) {
+    if (MorselInterrupted(stop, req.ctx)) return;
+    if (!t.history.IsLive(rid)) continue;
+    ++out->rows_examined;
+    const Row& hist_row = t.history.Get(rid);
+    Row row(hist_row.begin(), hist_row.begin() + scan_width);
+    if (!MatchesTemporal(row, req.temporal, tc, now)) continue;
+    if (!MatchesConstraints(row, req)) continue;
+    out->rows.push_back(std::move(row));
+    out->examined_at.push_back(out->rows_examined);
+  }
+}
+
 void SystemBEngine::ScanCurrentWithReconstruction(Table* t,
                                                   const ScanRequest& req,
                                                   const TemporalCols& tc,
+                                                  const ParallelScanPlan& plan,
                                                   ExecStats* stats,
                                                   bool* stopped,
                                                   const RowCallback& cb) {
@@ -347,8 +406,20 @@ void SystemBEngine::ScanCurrentWithReconstruction(Table* t,
             if (!t->current.IsLive(rid)) return true;
             return consider(rid, t->current.Get(rid));
           })) {
-    stats->used_index = true;
-    stats->index_name = index_name;
+    RecordIndexUse(stats, index_name);
+    return;
+  }
+  if (plan.Engage(t->current.SlotCount())) {
+    // The sorted sys_from_of join result is built once on the coordinator
+    // above; the morsels only read it.
+    ParallelScanPartition(
+        plan, t->current.SlotCount(), req.ctx,
+        [&](uint64_t begin, uint64_t end, const std::atomic<bool>& stop,
+            MorselOutput* out) {
+          ScanReconstructionMorsel(*t, sys_from_of, req, tc, now, begin, end,
+                                   stop, out);
+        },
+        &stats->rows_examined, &stats->rows_output, stopped, cb);
     return;
   }
   t->current.Scan(
@@ -363,6 +434,8 @@ void SystemBEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
   *stats = ExecStats{};
   const TemporalCols tc = ResolveTemporalCols(t->def, req.temporal.app_period_index);
   const int64_t now = clock_.Now().micros();
+  const ParallelScanPlan plan =
+      ResolveScanPlan(req.scan_threads, req.scheduler, req.morsel_size);
   const bool needs_history =
       t->def.system_versioned &&
       req.temporal.system_time.kind != TemporalSelector::Kind::kImplicitCurrent;
@@ -390,8 +463,7 @@ void SystemBEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
               if (!t->current.IsLive(rid)) return true;
               return consider(rid, t->current.Get(rid));
             })) {
-      stats->used_index = true;
-      stats->index_name = index_name;
+      RecordIndexUse(stats, index_name);
       if (req.stats == nullptr) stats_ = local;
       return;
     }
@@ -408,8 +480,7 @@ void SystemBEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
         }
       }
       if (matched == t->def.primary_key.size() && matched > 0) {
-        stats->used_index = true;
-        stats->index_name = "pk_current(" + t->def.name + ")";
+        RecordIndexUse(stats, "pk_current(" + t->def.name + ")");
         t->pk_current.Lookup(key, [&](RowId rid) {
           return consider(rid, t->current.Get(rid));
         });
@@ -417,8 +488,18 @@ void SystemBEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
         return;
       }
     }
-    t->current.Scan(
-        [&](RowId rid, const Row& row) { return consider(rid, row); });
+    if (plan.Engage(t->current.SlotCount())) {
+      ParallelScanPartition(
+          plan, t->current.SlotCount(), req.ctx,
+          [&](uint64_t begin, uint64_t end, const std::atomic<bool>& stop,
+              MorselOutput* out) {
+            ScanCurrentMorsel(*t, req, tc, now, begin, end, stop, out);
+          },
+          &stats->rows_examined, &stats->rows_output, &stopped, cb);
+    } else {
+      t->current.Scan(
+          [&](RowId rid, const Row& row) { return consider(rid, row); });
+    }
     if (req.stats == nullptr) stats_ = local;
     return;
   }
@@ -428,7 +509,7 @@ void SystemBEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
   // Under the session layer PrepareForReads has already drained the undo
   // log, making this call a no-op on the concurrent read path.
   FlushUndo(t);
-  ScanCurrentWithReconstruction(t, req, tc, stats, &stopped, cb);
+  ScanCurrentWithReconstruction(t, req, tc, plan, stats, &stopped, cb);
 
   if (!stopped) {
     ++stats->partitions_touched;
@@ -451,8 +532,15 @@ void SystemBEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
               if (!t->history.IsLive(rid)) return true;
               return consider_hist(t->history.Get(rid));
             })) {
-      stats->used_index = true;
-      stats->index_name = index_name;
+      RecordIndexUse(stats, index_name);
+    } else if (plan.Engage(t->history.SlotCount())) {
+      ParallelScanPartition(
+          plan, t->history.SlotCount(), req.ctx,
+          [&](uint64_t begin, uint64_t end, const std::atomic<bool>& stop,
+              MorselOutput* out) {
+            ScanHistoryMorsel(*t, req, tc, now, begin, end, stop, out);
+          },
+          &stats->rows_examined, &stats->rows_output, &stopped, cb);
     } else {
       t->history.Scan(
           [&](RowId, const Row& row) { return consider_hist(row); });

@@ -266,10 +266,41 @@ Status SystemCEngine::DoDeleteSequenced(const std::string& table,
   return ApplySequenced(table, key, period_index, period, {}, 1);
 }
 
+void SystemCEngine::ScanMorsel(const ColumnTable& part, const ScanRequest& req,
+                               const TemporalCols& tc, int64_t now, int ncols,
+                               const std::vector<uint8_t>& checked,
+                               const std::vector<uint8_t>& emit_col,
+                               uint64_t begin, uint64_t end,
+                               const std::atomic<bool>& stop,
+                               MorselOutput* out) const {
+  for (RowId rid = begin; rid < end; ++rid) {
+    if (MorselInterrupted(stop, req.ctx)) return;
+    if (!part.IsLive(rid)) continue;
+    ++out->rows_examined;
+    // Fresh row per qualifying slot: columns that are neither checked nor
+    // emitted stay null, exactly as in the serial loop's scratch row.
+    Row row(static_cast<size_t>(ncols));
+    for (int c = 0; c < ncols; ++c) {
+      if (checked[static_cast<size_t>(c)]) row[static_cast<size_t>(c)] = part.Get(rid, c);
+    }
+    if (!MatchesTemporal(row, req.temporal, tc, now)) continue;
+    if (!MatchesConstraints(row, req)) continue;
+    for (int c = 0; c < ncols; ++c) {
+      if (emit_col[static_cast<size_t>(c)] && !checked[static_cast<size_t>(c)]) {
+        row[static_cast<size_t>(c)] = part.Get(rid, c);
+      }
+    }
+    out->rows.push_back(std::move(row));
+    out->examined_at.push_back(out->rows_examined);
+  }
+}
+
 void SystemCEngine::ScanPartition(const Table& t, const ColumnTable& part,
                                   bool is_history, const ScanRequest& req,
-                                  const TemporalCols& tc, ExecStats* stats,
-                                  bool* stopped, const RowCallback& cb) {
+                                  const TemporalCols& tc,
+                                  const ParallelScanPlan& plan,
+                                  ExecStats* stats, bool* stopped,
+                                  const RowCallback& cb) {
   ++stats->partitions_touched;
   if (is_history) stats->touched_history = true;
   const int64_t now = clock_.Now().micros();
@@ -296,6 +327,18 @@ void SystemCEngine::ScanPartition(const Table& t, const ColumnTable& part,
     for (int c : req.projection) emit_col[static_cast<size_t>(c)] = 1;
     emit_col[static_cast<size_t>(tc.sys_from)] = 1;
     emit_col[static_cast<size_t>(tc.sys_to)] = 1;
+  }
+
+  if (plan.Engage(part.SlotCount())) {
+    ParallelScanPartition(
+        plan, part.SlotCount(), req.ctx,
+        [&](uint64_t begin, uint64_t end, const std::atomic<bool>& stop,
+            MorselOutput* out) {
+          ScanMorsel(part, req, tc, now, ncols, checked, emit_col, begin, end,
+                     stop, out);
+        },
+        &stats->rows_examined, &stats->rows_output, stopped, cb);
+    return;
   }
 
   const size_t slots = part.SlotCount();
@@ -332,16 +375,18 @@ void SystemCEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
   ExecStats* stats = req.stats != nullptr ? req.stats : &local;
   *stats = ExecStats{};
   const TemporalCols tc = ResolveTemporalCols(t->def, req.temporal.app_period_index);
+  const ParallelScanPlan plan =
+      ResolveScanPlan(req.scan_threads, req.scheduler, req.morsel_size);
   bool stopped = false;
-  ScanPartition(*t, t->delta, /*is_history=*/false, req, tc, stats, &stopped,
-                cb);
+  ScanPartition(*t, t->delta, /*is_history=*/false, req, tc, plan, stats,
+                &stopped, cb);
   if (!stopped) {
-    ScanPartition(*t, t->main, /*is_history=*/false, req, tc, stats, &stopped,
-                  cb);
+    ScanPartition(*t, t->main, /*is_history=*/false, req, tc, plan, stats,
+                  &stopped, cb);
   }
   if (!stopped && t->def.system_versioned &&
       req.temporal.system_time.kind != TemporalSelector::Kind::kImplicitCurrent) {
-    ScanPartition(*t, t->history, /*is_history=*/true, req, tc, stats,
+    ScanPartition(*t, t->history, /*is_history=*/true, req, tc, plan, stats,
                   &stopped, cb);
   }
   if (req.stats == nullptr) stats_ = local;

@@ -253,12 +253,41 @@ void SystemDEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
                                   if (!t->data.IsLive(rid)) return true;
                                   return consider(t->data.Get(rid));
                                 })) {
-    stats->used_index = true;
-    stats->index_name = index_name;
+    RecordIndexUse(stats, index_name);
   } else {
-    t->data.Scan([&](RowId, const Row& row) { return consider(row); });
+    const ParallelScanPlan plan =
+        ResolveScanPlan(req.scan_threads, req.scheduler, req.morsel_size);
+    if (plan.Engage(t->data.SlotCount())) {
+      bool stopped = false;
+      ParallelScanPartition(
+          plan, t->data.SlotCount(), req.ctx,
+          [&](uint64_t begin, uint64_t end, const std::atomic<bool>& stop,
+              MorselOutput* out) {
+            ScanMorsel(t->data, req, tc, now, begin, end, stop, out);
+          },
+          &stats->rows_examined, &stats->rows_output, &stopped, cb);
+    } else {
+      t->data.Scan([&](RowId, const Row& row) { return consider(row); });
+    }
   }
   if (req.stats == nullptr) stats_ = local;
+}
+
+void SystemDEngine::ScanMorsel(const RowTable& part, const ScanRequest& req,
+                               const TemporalCols& tc, int64_t now,
+                               uint64_t begin, uint64_t end,
+                               const std::atomic<bool>& stop,
+                               MorselOutput* out) const {
+  for (RowId rid = begin; rid < end; ++rid) {
+    if (MorselInterrupted(stop, req.ctx)) return;
+    if (!part.IsLive(rid)) continue;
+    ++out->rows_examined;
+    const Row& row = part.Get(rid);
+    if (!MatchesTemporal(row, req.temporal, tc, now)) continue;
+    if (!MatchesConstraints(row, req)) continue;
+    out->rows.push_back(row);
+    out->examined_at.push_back(out->rows_examined);
+  }
 }
 
 TableStats SystemDEngine::GetTableStats(const std::string& table) const {

@@ -8,6 +8,7 @@
 #include "engine/engine.h"
 #include "engine/index_set.h"
 #include "engine/scan_util.h"
+#include "exec/parallel.h"
 #include "storage/hash_index.h"
 #include "storage/row_table.h"
 
@@ -81,6 +82,14 @@ class SystemDEngine : public TemporalEngine {
   Status ApplySequenced(const std::string& table, const std::vector<Value>& key,
                         int period_index, const Period& period,
                         const std::vector<ColumnAssignment>& set, int mode);
+
+  // Morsel-range entry point of the all-versions table scan: filters slots
+  // [begin, end) of `part` into `out`. Thread-safe for concurrent morsels
+  // (pure reads).
+  void ScanMorsel(const RowTable& part, const ScanRequest& req,
+                  const TemporalCols& tc, int64_t now, uint64_t begin,
+                  uint64_t end, const std::atomic<bool>& stop,
+                  MorselOutput* out) const;
 
   std::unordered_map<std::string, Table> tables_;
 };

@@ -1,0 +1,279 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace bih {
+
+namespace {
+
+constexpr int kMaxScanThreads = 64;
+
+int EnvScanThreads() {
+  static const int parsed = [] {
+    const char* v = std::getenv("BIH_SCAN_THREADS");
+    if (v == nullptr) return 1;
+    const int n = std::atoi(v);
+    return std::clamp(n, 1, kMaxScanThreads);
+  }();
+  return parsed;
+}
+
+// 0 = no override (fall back to the environment).
+std::atomic<int> g_thread_override{0};
+
+}  // namespace
+
+int DefaultScanThreads() {
+  const int o = g_thread_override.load(std::memory_order_relaxed);
+  return o > 0 ? o : EnvScanThreads();
+}
+
+void SetDefaultScanThreads(int threads) {
+  g_thread_override.store(threads < 1 ? 0 : std::min(threads, kMaxScanThreads),
+                          std::memory_order_relaxed);
+}
+
+// The shared state of one parallel partition scan. Owned jointly (via
+// shared_ptr) by the coordinator and the scheduler's job board, so a helper
+// that raced with teardown still holds valid memory while it observes the
+// stop flag.
+struct ParallelJob {
+  MorselScanFn body;
+  uint64_t slot_count = 0;
+  uint64_t morsel_size = 0;
+  uint64_t num_morsels = 0;
+  QueryContext* ctx = nullptr;  // borrowed; workers only read cancel flag
+
+  // Work claiming: morsel m covers slots [m*morsel_size, ...). A morsel is
+  // claimed by whoever fetch_adds `next` to its index first.
+  std::atomic<uint64_t> next{0};
+
+  // Raised by the coordinator on early exit and always before Retire. Also
+  // the fence helpers re-check (seq_cst) before each claim so a helper that
+  // wakes late never runs `body` after the coordinator moved on.
+  std::atomic<bool> stop{false};
+
+  // How many helpers may still join (threads - 1 at launch); decremented by
+  // CAS when a helper signs on, so a 2-thread scan on an 8-thread pool gets
+  // exactly one helper.
+  std::atomic<int> helper_slots{0};
+
+  // Helpers currently inside RunMorsels. Retire spins until it reaches
+  // zero; the seq_cst increment/stop-check pair makes that spin sufficient
+  // for the coordinator to reuse/destroy everything `body` captures.
+  std::atomic<int> helpers_active{0};
+
+  std::vector<MorselOutput> outputs;
+  std::unique_ptr<std::atomic<bool>[]> done;  // per-morsel publication flag
+};
+
+namespace {
+
+// Claims and runs morsels until the board is empty or the job stops.
+// Shared by helpers and the coordinator.
+void RunMorsels(ParallelJob* job) {
+  while (!job->stop.load(std::memory_order_seq_cst)) {
+    const uint64_t m = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (m >= job->num_morsels) return;
+    const uint64_t begin = m * job->morsel_size;
+    const uint64_t end = std::min(begin + job->morsel_size, job->slot_count);
+    job->body(begin, end, job->stop, &job->outputs[m]);
+    // Release pairs with the coordinator's acquire load: once it sees
+    // done[m], the morsel's rows and counters are fully visible.
+    job->done[m].store(true, std::memory_order_release);
+  }
+}
+
+}  // namespace
+
+ScanScheduler::ScanScheduler(int helpers) {
+  workers_.reserve(static_cast<size_t>(std::max(helpers, 0)));
+  for (int i = 0; i < helpers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ScanScheduler::~ScanScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+ScanScheduler* ScanScheduler::Default() {
+  // Leaked on purpose (see header). Sized so the 1..8-thread bench sweeps
+  // and tests never starve, even if the first caller only wanted 2 threads.
+  static ScanScheduler* pool =
+      new ScanScheduler(std::max(DefaultScanThreads(), 8) - 1);
+  return pool;
+}
+
+void ScanScheduler::Launch(const std::shared_ptr<ParallelJob>& job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    board_ = job;
+    ++job_seq_;
+  }
+  cv_.notify_all();
+}
+
+void ScanScheduler::Retire(const std::shared_ptr<ParallelJob>& job) {
+  // The coordinator set job->stop before calling; make that unconditional.
+  job->stop.store(true, std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (board_ == job) board_.reset();
+  }
+  // Drain: a helper either (a) already incremented helpers_active — we spin
+  // until its matching decrement — or (b) increments after our 0-read; by
+  // the seq_cst total order that helper's subsequent stop check sees true
+  // and it exits RunMorsels without running the body. Either way, once this
+  // loop observes zero no helper will touch the job's body again.
+  while (job->helpers_active.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
+}
+
+void ScanScheduler::WorkerLoop() {
+  uint64_t seen_seq = 0;
+  while (true) {
+    std::shared_ptr<ParallelJob> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      idle_.fetch_add(1, std::memory_order_acq_rel);
+      cv_.wait(lock, [&] { return shutdown_ || job_seq_ != seen_seq; });
+      idle_.fetch_sub(1, std::memory_order_acq_rel);
+      if (shutdown_) return;
+      seen_seq = job_seq_;
+      job = board_;
+    }
+    if (job == nullptr) continue;  // retired before we woke
+
+    // Sign on within the job's helper quota.
+    int slots = job->helper_slots.load(std::memory_order_relaxed);
+    bool claimed = false;
+    while (slots > 0 && !claimed) {
+      claimed = job->helper_slots.compare_exchange_weak(
+          slots, slots - 1, std::memory_order_acq_rel);
+    }
+    if (!claimed) continue;
+
+    job->helpers_active.fetch_add(1, std::memory_order_seq_cst);
+    RunMorsels(job.get());
+    job->helpers_active.fetch_sub(1, std::memory_order_seq_cst);
+  }
+}
+
+ParallelScanPlan ResolveScanPlan(int requested_threads,
+                                 ScanScheduler* scheduler,
+                                 uint64_t morsel_size) {
+  ParallelScanPlan plan;
+  plan.threads = requested_threads > 0
+                     ? std::min(requested_threads, kMaxScanThreads)
+                     : DefaultScanThreads();
+  plan.morsel_size = morsel_size > 0 ? morsel_size : kDefaultMorselSize;
+  if (plan.threads > 1) {
+    plan.scheduler = scheduler != nullptr ? scheduler : ScanScheduler::Default();
+  }
+  if (plan.scheduler == nullptr) plan.threads = 1;
+  return plan;
+}
+
+void ParallelScanPartition(const ParallelScanPlan& plan, uint64_t slot_count,
+                           QueryContext* ctx, const MorselScanFn& body,
+                           uint64_t* rows_examined, uint64_t* rows_output,
+                           bool* stopped,
+                           const std::function<bool(const Row&)>& emit) {
+  auto job = std::make_shared<ParallelJob>();
+  job->body = body;
+  job->slot_count = slot_count;
+  job->morsel_size = plan.morsel_size;
+  job->num_morsels = (slot_count + plan.morsel_size - 1) / plan.morsel_size;
+  job->ctx = ctx;
+  job->helper_slots.store(plan.threads - 1, std::memory_order_relaxed);
+  job->outputs.resize(job->num_morsels);
+  job->done.reset(new std::atomic<bool>[job->num_morsels]);
+  for (uint64_t m = 0; m < job->num_morsels; ++m) {
+    job->done[m].store(false, std::memory_order_relaxed);
+  }
+  plan.scheduler->Launch(job);
+
+  bool tripped = false;    // QueryContext said stop (deadline/cancel)
+  bool emit_stop = false;  // the consumer said stop (Top-N)
+  uint64_t cursor = 0;     // next morsel to emit, in order
+  while (cursor < job->num_morsels) {
+    if (!job->done[cursor].load(std::memory_order_acquire)) {
+      // The in-order morsel is not ready: be useful, claim one ourselves.
+      const uint64_t m = job->next.fetch_add(1, std::memory_order_relaxed);
+      if (m < job->num_morsels) {
+        const uint64_t begin = m * job->morsel_size;
+        const uint64_t end =
+            std::min(begin + job->morsel_size, job->slot_count);
+        job->body(begin, end, job->stop, &job->outputs[m]);
+        job->done[m].store(true, std::memory_order_release);
+        // Per-morsel deadline check, the parallel analogue of the serial
+        // loops' periodic clock sampling.
+        if (ctx != nullptr && !ctx->CheckNow().ok()) {
+          tripped = true;
+          break;
+        }
+        continue;
+      }
+      // All morsels claimed; wait for the helper that owns `cursor`.
+      bool wait_tripped = false;
+      while (!job->done[cursor].load(std::memory_order_acquire)) {
+        if (ctx != nullptr && !ctx->CheckNow().ok()) {
+          wait_tripped = true;
+          break;
+        }
+        std::this_thread::yield();
+      }
+      if (wait_tripped) {
+        tripped = true;
+        break;
+      }
+    }
+
+    // Per-morsel deadline check on the emit path too: when helpers outpace
+    // the coordinator the claim branch above never runs, and the per-row
+    // KeepGoing alone would defer an expired deadline for a full clock
+    // interval's worth of rows.
+    if (ctx != nullptr && !ctx->CheckNow().ok()) {
+      tripped = true;
+      break;
+    }
+
+    MorselOutput& out = job->outputs[cursor];
+    for (size_t j = 0; j < out.rows.size(); ++j) {
+      // Same per-emitted-row discipline as the serial loops.
+      if (ctx != nullptr && !ctx->KeepGoing()) {
+        tripped = true;
+        break;
+      }
+      ++*rows_output;
+      if (!emit(out.rows[j])) {
+        emit_stop = true;
+        // The serial scan would have stopped mid-morsel: count exactly the
+        // rows it would have examined up to this emission.
+        *rows_examined += out.examined_at[j];
+        break;
+      }
+    }
+    if (tripped || emit_stop) break;
+    *rows_examined += out.rows_examined;
+    // Free emitted buffers eagerly; a wide scan should hold at most the
+    // in-flight morsels, not the whole result set twice.
+    std::vector<Row>().swap(out.rows);
+    std::vector<uint64_t>().swap(out.examined_at);
+    ++cursor;
+  }
+
+  job->stop.store(true, std::memory_order_seq_cst);
+  plan.scheduler->Retire(job);
+  if (tripped || emit_stop) *stopped = true;
+}
+
+}  // namespace bih

@@ -1,0 +1,163 @@
+#ifndef TPCBIH_EXEC_PARALLEL_H_
+#define TPCBIH_EXEC_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/query_context.h"
+#include "common/value.h"
+
+namespace bih {
+
+// Morsel-driven intra-query parallelism for the engines' full-partition
+// scans (the access path that dominates Figs. 2-15: Section 5.2 attributes
+// most cross-system gaps to how much of the version space a scan touches).
+//
+// Shape: a partition of N slots is cut into fixed-size row-id ranges
+// ("morsels"). Workers claim morsels with one atomic fetch_add, run the
+// engine's existing per-row temporal/predicate filters over their range and
+// park the qualifying rows in a per-morsel buffer. The coordinating query
+// thread participates too (so a scan makes progress even when every helper
+// is busy elsewhere) and *emits* buffers strictly in morsel order — slot
+// order inside a morsel is preserved by construction, so the merged output
+// is byte-identical to the serial scan, including under Top-N early stop.
+//
+// Index access paths stay serial: they are already selective (Section
+// 5.3.3's observation), so the scan loops are the only place the threads
+// help.
+
+// Rows per morsel when the request does not choose one. Large enough that
+// the claim fetch_add and the done-flag publication are noise against the
+// per-row filter work; small enough that an 8-way scan of the paper's
+// ~100k-version partitions still load-balances.
+inline constexpr uint64_t kDefaultMorselSize = 1024;
+
+// Process-wide default thread count for scans that do not request one
+// (ScanRequest::scan_threads == 0). Resolution order: SetDefaultScanThreads
+// override if set, else the BIH_SCAN_THREADS environment variable, else 1
+// (serial). Clamped to [1, 64].
+int DefaultScanThreads();
+
+// Overrides the process default; `threads` < 1 clears the override back to
+// the environment. Used by the driver's --scan-threads flag and the bench
+// scaling sweeps.
+void SetDefaultScanThreads(int threads);
+
+// Qualifying rows of one morsel, in slot order. `examined_at[j]` is the
+// number of rows the morsel had examined when rows[j] was produced, so a
+// consumer that stops at rows[j] can reconstruct the exact rows_examined
+// count the serial scan would have reported at that point.
+struct MorselOutput {
+  std::vector<Row> rows;
+  std::vector<uint64_t> examined_at;
+  uint64_t rows_examined = 0;
+};
+
+// Scans slots [begin, end) of a partition, appending qualifying rows to
+// `out`. Must poll `stop` (and its QueryContext, if any) between rows and
+// return early when either trips; partial output of an interrupted morsel
+// is discarded by the coordinator, never emitted.
+using MorselScanFn = std::function<void(
+    uint64_t begin, uint64_t end, const std::atomic<bool>& stop,
+    MorselOutput* out)>;
+
+// Per-row interruption poll for morsel bodies: the job's stop flag (set on
+// coordinator early-exit and teardown) or an external Cancel() on the
+// query's context (the watchdog path). Both are relaxed atomic loads.
+inline bool MorselInterrupted(const std::atomic<bool>& stop,
+                              const QueryContext* ctx) {
+  return stop.load(std::memory_order_relaxed) ||
+         (ctx != nullptr && ctx->cancel_requested());
+}
+
+struct ParallelJob;
+
+// A fixed pool of helper threads that scans borrow morsels-at-a-time.
+// One job is posted at a time ("job board"); helpers that find the board
+// empty, or the job's helper quota already claimed, go back to sleep. The
+// coordinator always participates in its own scan, so a job needs no
+// helpers to finish — the pool only adds speed, never liveness.
+class ScanScheduler {
+ public:
+  // `helpers` background threads (>= 0); a scan with T threads uses the
+  // coordinator plus up to T-1 helpers.
+  explicit ScanScheduler(int helpers);
+  ~ScanScheduler();
+
+  ScanScheduler(const ScanScheduler&) = delete;
+  ScanScheduler& operator=(const ScanScheduler&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  // Helpers currently parked on the job board's condition variable. After a
+  // scan returns, this climbs back to num_workers(); the cancellation tests
+  // poll it to prove an interrupted parallel scan leaves no worker running.
+  int idle_workers() const { return idle_.load(std::memory_order_acquire); }
+
+  // Lazily-created process-wide pool, sized for 8-way scans (or wider when
+  // the process default asks for more at first use). Intentionally leaked:
+  // helper threads live for the process, like the engines' commit clock.
+  static ScanScheduler* Default();
+
+  // Internal job-board protocol, used by ParallelScanPartition.
+  void Launch(const std::shared_ptr<ParallelJob>& job);
+  void Retire(const std::shared_ptr<ParallelJob>& job);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::shared_ptr<ParallelJob> board_;  // at most one posted job
+  uint64_t job_seq_ = 0;                // bumped per Launch; wakes sleepers
+  bool shutdown_ = false;
+  std::atomic<int> idle_{0};
+  std::vector<std::thread> workers_;
+};
+
+// A resolved decision on how one partition scan runs.
+struct ParallelScanPlan {
+  ScanScheduler* scheduler = nullptr;  // null => serial
+  int threads = 1;
+  uint64_t morsel_size = kDefaultMorselSize;
+
+  // Parallelism must pay for its fan-out: engage only when the scan is
+  // wider than one morsel (a single-morsel scan is the serial loop with
+  // extra steps). threads <= 1 keeps the engines' untouched serial path.
+  bool Engage(uint64_t slot_count) const {
+    return threads > 1 && scheduler != nullptr && slot_count > morsel_size;
+  }
+};
+
+// Resolves a ScanRequest's parallelism fields: `requested_threads` == 0
+// falls back to DefaultScanThreads(), a null `scheduler` falls back to the
+// process-wide pool (created on demand only if the plan is parallel), and
+// `morsel_size` == 0 becomes kDefaultMorselSize.
+ParallelScanPlan ResolveScanPlan(int requested_threads,
+                                 ScanScheduler* scheduler,
+                                 uint64_t morsel_size);
+
+// Runs `body` over every morsel of a `slot_count`-slot partition using the
+// plan's pool, emitting qualifying rows through `emit` in exact serial
+// order. Counters accumulate into *rows_examined / *rows_output with the
+// same values the serial loop would produce, including when `emit` returns
+// false (Top-N early stop) or `ctx` trips mid-scan; *stopped is set (never
+// cleared) when the scan ended early for either reason. The coordinator
+// checks `ctx` per claimed morsel and per emitted row; workers poll the
+// job's stop flag and the context's cancel flag per row. On return, no
+// worker is still touching this scan's state.
+void ParallelScanPartition(const ParallelScanPlan& plan, uint64_t slot_count,
+                           QueryContext* ctx, const MorselScanFn& body,
+                           uint64_t* rows_examined, uint64_t* rows_output,
+                           bool* stopped,
+                           const std::function<bool(const Row&)>& emit);
+
+}  // namespace bih
+
+#endif  // TPCBIH_EXEC_PARALLEL_H_

@@ -22,6 +22,12 @@ void SessionManager::Init(SessionConfig cfg) {
   // recovery) becomes the base snapshot.
   engine_->PrepareForReads();
   watermark_.store(engine_->Now().micros(), std::memory_order_release);
+  scan_threads_ = cfg.scan_threads > 0 ? cfg.scan_threads : DefaultScanThreads();
+  if (scan_threads_ > 1) {
+    // The coordinator of each read participates in its own scan, so the
+    // pool only needs threads - 1 helpers.
+    scheduler_ = std::make_unique<ScanScheduler>(scan_threads_ - 1);
+  }
   watchdog_period_ = cfg.watchdog_period;
   if (watchdog_period_.count() > 0) {
     watchdog_ = std::thread([this] { WatchdogLoop(); });
@@ -150,6 +156,12 @@ Status SessionManager::DoRead(Snapshot snap, ScanRequest& req,
       req.temporal.system_time =
           ClampToWatermark(req.temporal.system_time, snap.watermark);
       req.ctx = ctx;
+      // Intra-query parallelism: reads that do not choose a width inherit
+      // the manager's; workers run strictly within this shared-lock scope
+      // (the scan drains its morsels before returning), so parallel reads
+      // see the same pinned snapshot as serial ones.
+      if (req.scan_threads == 0) req.scan_threads = scan_threads_;
+      if (req.scheduler == nullptr) req.scheduler = scheduler_.get();
       ExecStats stats;  // keep concurrent scans off the shared stats slot
       req.stats = &stats;
       engine_->Scan(req, [&](const Row& row) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "exec/parallel.h"
 #include "server/admission.h"
 
 namespace bih {
@@ -23,6 +24,11 @@ struct SessionConfig {
   // How often the watchdog sweeps the in-flight registry for overdue
   // queries. Zero disables the watchdog thread entirely.
   std::chrono::milliseconds watchdog_period{10};
+  // Threads one scan may use (intra-query parallelism); 0 resolves to the
+  // process default (BIH_SCAN_THREADS / SetDefaultScanThreads), 1 keeps
+  // every read serial. When > 1, the manager owns a ScanScheduler sized
+  // for this width and injects it into reads that do not bring their own.
+  int scan_threads = 0;
 };
 
 // Concurrent front door for a TemporalEngine. The engines themselves are
@@ -107,6 +113,12 @@ class SessionManager {
     return admission_.config();
   }
 
+  // The manager's worker pool (null when configured serial) and resolved
+  // per-scan thread count. The cancellation tests poll the scheduler's
+  // idle count to prove interrupted parallel reads leave no worker busy.
+  ScanScheduler* scheduler() { return scheduler_.get(); }
+  int scan_threads() const { return scan_threads_; }
+
   // Clamps a system-time selector so it cannot observe commits after
   // `watermark`. Exposed for the tests' reference models.
   static TemporalSelector ClampToWatermark(const TemporalSelector& sel,
@@ -121,6 +133,10 @@ class SessionManager {
 
   std::unique_ptr<TemporalEngine> owned_engine_;
   TemporalEngine* engine_ = nullptr;
+
+  // Intra-query parallelism: helpers shared by all concurrent reads.
+  int scan_threads_ = 1;
+  std::unique_ptr<ScanScheduler> scheduler_;
 
   // Readers shared, writers exclusive. Readers acquire with try_lock_shared
   // in short polled slices so a reader stuck behind a long write still

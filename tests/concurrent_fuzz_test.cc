@@ -152,7 +152,12 @@ TEST_P(ConcurrentFuzzTest, SnapshotReadsMatchModelUnderConcurrentWrites) {
 
   std::unique_ptr<TemporalEngine> engine = MakeEngine(GetParam());
   ASSERT_TRUE(engine->CreateTable(FuzzItemDef()).ok());
-  SessionManager server(engine.get());
+  // Give the manager a worker pool so reads may fan morsels out; each read
+  // below picks its own width, proving pinned-snapshot semantics survive
+  // intra-query parallelism at any setting.
+  SessionConfig scfg;
+  scfg.scan_threads = 8;
+  SessionManager server(engine.get(), scfg);
 
   std::thread writer([&] {
     for (size_t i = 0; i < ops.size(); ++i) {
@@ -222,6 +227,9 @@ TEST_P(ConcurrentFuzzTest, SnapshotReadsMatchModelUnderConcurrentWrites) {
         req.table = "ITEM";
         req.temporal = spec;
         if (key >= 0) req.equals = {{0, Value(key)}};
+        // Random intra-query parallelism per read (1 = serial path).
+        req.scan_threads = static_cast<int>(rng.UniformInt(1, 8));
+        req.morsel_size = static_cast<uint64_t>(rng.UniformInt(1, 96));
         std::vector<Row> got;
         Status st = server.ReadAt(snap, req, nullptr, &got);
         ASSERT_TRUE(st.ok()) << st.ToString();

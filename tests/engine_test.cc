@@ -340,6 +340,91 @@ TEST_P(EngineTest, IndexedScanMatchesUnindexed) {
   EXPECT_EQ(before.size(), dropped.size());
 }
 
+// Every engine must fill ExecStats.used_index / index_name consistently:
+// used_index is true when any scanned partition was served by an index, and
+// index_name then lists the chosen index of each served partition in scan
+// order, comma-separated (see ExecStats). A full scan with no indexes
+// reports neither.
+TEST_P(EngineTest, KeyLookupReportsPrimaryKeyFastPath) {
+  for (int64_t i = 1; i <= 50; ++i) {
+    ASSERT_TRUE(engine_->Insert("ACCOUNT",
+                                Account(i, "x", double(i), 0, Period::kForever))
+                    .ok());
+  }
+  ScanRequest req;
+  req.table = "ACCOUNT";
+  req.equals = {{0, Value(int64_t{7})}};
+  ExecStats stats;
+  req.stats = &stats;
+  Rows rows = Collect(req);
+  ASSERT_EQ(1u, rows.size());
+  if (GetParam() == "A" || GetParam() == "B") {
+    // Current-partition primary-key hash lookup.
+    EXPECT_TRUE(stats.used_index);
+    EXPECT_EQ("pk_current(ACCOUNT)", stats.index_name);
+  } else {
+    // System C ignores index structures (Section 5.3.2); System D's single
+    // heap has no built-in key access path.
+    EXPECT_FALSE(stats.used_index);
+    EXPECT_EQ("", stats.index_name);
+  }
+}
+
+TEST_P(EngineTest, TuningIndexesReportedPerPartition) {
+  for (int64_t i = 1; i <= 200; ++i) {
+    ASSERT_TRUE(engine_->Insert("ACCOUNT",
+                                Account(i, "x", double(i % 17), i % 40,
+                                        (i % 40) + 10))
+                    .ok());
+    if (i % 3 == 0) {
+      ASSERT_TRUE(engine_->UpdateCurrent("ACCOUNT", {Value(i)},
+                                         {{2, Value(double(i % 7))}}).ok());
+    }
+  }
+  engine_->Maintain();
+  TemporalScanSpec spec;
+  spec.system_time = TemporalSelector::AsOf(engine_->Now().micros());
+  spec.app_time = TemporalSelector::AsOf(5);
+  ScanRequest req;
+  req.table = "ACCOUNT";
+  req.temporal = spec;
+
+  // No indexes yet: a full scan must not claim one.
+  ExecStats before;
+  req.stats = &before;
+  Collect(req);
+  EXPECT_FALSE(before.used_index);
+  EXPECT_EQ("", before.index_name);
+
+  IndexSpec is;
+  is.table = "ACCOUNT";
+  is.partition = PartitionSel::kCurrent;
+  is.columns = {3};  // VALID_BEGIN
+  is.type = IndexType::kBTree;
+  is.name = "acct_app";
+  ASSERT_TRUE(engine_->CreateIndex(is).ok());
+  is.partition = PartitionSel::kHistory;
+  is.name = "acct_app_hist";
+  ASSERT_TRUE(engine_->CreateIndex(is).ok());
+
+  ExecStats after;
+  req.stats = &after;
+  Collect(req);
+  if (GetParam() == "C") {
+    // Accepted but never consulted.
+    EXPECT_FALSE(after.used_index);
+    EXPECT_EQ("", after.index_name);
+  } else if (GetParam() == "D") {
+    // One physical partition, so one chosen index.
+    EXPECT_TRUE(after.used_index);
+    EXPECT_EQ("acct_app", after.index_name);
+  } else {
+    // Current then history, in scan order.
+    EXPECT_TRUE(after.used_index);
+    EXPECT_EQ("acct_app,acct_app_hist", after.index_name);
+  }
+}
+
 TEST_P(EngineTest, UnknownTableErrors) {
   EXPECT_EQ(Status::Code::kNotFound,
             engine_->Insert("NOPE", {}).code());

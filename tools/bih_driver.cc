@@ -6,6 +6,7 @@
 //   bih_driver load     --engine B --h 0.01 --m 0.01 [--batch 10] [--wal F]
 //   bih_driver recover  --engine B --wal F
 //   bih_driver run      --engine A --h 0.005 --m 0.005 [--suite T|K|R|B|all]
+//                       [--scan-threads 8]
 //   bih_driver run      --engine A --threads 8 --deadline-ms 50 [--max-inflight 4]
 //   bih_driver sql      --engine C --h 0.002 --m 0.002 "SELECT ..."
 //   bih_driver check    --engine A --h 0.002 --m 0.002 | check --wal F
@@ -47,6 +48,7 @@ struct Args {
   int threads = 0;       // run: >0 switches to the concurrent session mode
   int64_t deadline_ms = 0;  // run: per-query deadline (0 = none)
   int max_inflight = 0;     // run: admission slots (0 = threads/2, min 1)
+  int scan_threads = 0;     // intra-query scan parallelism (0 = env default)
 };
 
 // Strict numeric parsing: the whole token must convert, so trailing garbage
@@ -149,6 +151,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--max-inflight");
       if (!v || !ParseIntValue("--max-inflight", v, 1, 4096, &n)) return false;
       args->max_inflight = static_cast<int>(n);
+    } else if (a == "--scan-threads") {
+      const char* v = next("--scan-threads");
+      if (!v || !ParseIntValue("--scan-threads", v, 1, 64, &n)) return false;
+      args->scan_threads = static_cast<int>(n);
     } else if (args->command == "sql" && args->sql.empty()) {
       args->sql = a;
     } else {
@@ -169,8 +175,8 @@ int Usage() {
       "  bih_driver recover  --engine A|B|C|D --wal FILE\n"
       "  bih_driver run      --engine A|B|C|D --h H --m M [--suite "
       "T|K|R|B|all]\n"
-      "                      [--threads N [--deadline-ms D] "
-      "[--max-inflight Q]]\n"
+      "                      [--scan-threads W] [--threads N "
+      "[--deadline-ms D] [--max-inflight Q]]\n"
       "  bih_driver sql      --engine A|B|C|D --h H --m M \"SELECT ...\"\n"
       "  bih_driver check    --engine A|B|C|D --h H --m M [--wal FILE]\n");
   return 2;
@@ -318,14 +324,16 @@ int RunConcurrent(const Args& args) {
   scfg.admission.max_inflight =
       args.max_inflight > 0 ? args.max_inflight : std::max(1, args.threads / 2);
   scfg.admission.max_queued = scfg.admission.max_inflight * 2;
+  scfg.scan_threads = args.scan_threads;  // 0 keeps the process default
   SessionManager server(&ctx.eng(), scfg);
   const int queries_per_thread = 200;
   const auto n_cust = static_cast<int64_t>(ctx.initial.customer.size());
   std::printf(
       "concurrent run: %d threads x %d queries, deadline=%lldms, "
-      "max-inflight=%d\n",
+      "max-inflight=%d, scan-threads=%d\n",
       args.threads, queries_per_thread,
-      static_cast<long long>(args.deadline_ms), scfg.admission.max_inflight);
+      static_cast<long long>(args.deadline_ms), scfg.admission.max_inflight,
+      server.scan_threads());
 
   std::mutex mu;
   std::vector<double> latencies_ms;
@@ -397,6 +405,9 @@ int RunConcurrent(const Args& args) {
 }
 
 int RunSuites(const Args& args) {
+  // Intra-query parallelism for every scan the run issues; the serial suite
+  // path resolves per-request thread counts from this process default.
+  if (args.scan_threads > 0) SetDefaultScanThreads(args.scan_threads);
   if (args.threads > 0) return RunConcurrent(args);
   WorkloadConfig cfg;
   cfg.engine_letter = args.engine;
