@@ -50,12 +50,14 @@ int main() {
   const int64_t dec = Date::FromYMD(2020, 12, 1).days();
 
   // Hire two employees; employment valid from January, open-ended.
-  engine->Insert("EMPLOYEE", {Value(int64_t{1}), Value("ada"), Value("eng"),
-                              Value(90000.0), Value(jan),
-                              Value(Period::kForever)});
-  engine->Insert("EMPLOYEE", {Value(int64_t{2}), Value("grace"), Value("ops"),
-                              Value(80000.0), Value(jan),
-                              Value(Period::kForever)});
+  st = engine->Insert("EMPLOYEE", {Value(int64_t{1}), Value("ada"),
+                                   Value("eng"), Value(90000.0), Value(jan),
+                                   Value(Period::kForever)});
+  BIH_CHECK_MSG(st.ok(), st.ToString());
+  st = engine->Insert("EMPLOYEE", {Value(int64_t{2}), Value("grace"),
+                                   Value("ops"), Value(80000.0), Value(jan),
+                                   Value(Period::kForever)});
+  BIH_CHECK_MSG(st.ok(), st.ToString());
   Timestamp before_raise = engine->Now();
 
   // A sequenced update: ada's salary rises from June onwards. The engine

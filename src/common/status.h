@@ -12,7 +12,12 @@ namespace bih {
 // absl::Status/arrow::Status pattern used by database codebases: functions
 // that can fail return a Status (or StatusOr-like pair) and callers decide
 // how to react.
-class Status {
+//
+// The class itself is [[nodiscard]]: any call that returns a Status and
+// ignores it is a compile error under -Werror=unused-result (set for the
+// whole tree), so a dropped recovery/load/commit status cannot slip through
+// review. Deliberate drops must say so with a (void) cast and a comment.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,

@@ -1,0 +1,215 @@
+#ifndef TPCBIH_COMMON_THREAD_ANNOTATIONS_H_
+#define TPCBIH_COMMON_THREAD_ANNOTATIONS_H_
+// bih-lint: allow-file(naked-mutex)  -- this header IS the wrapper layer.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// Clang Thread Safety Analysis support (the Capability/GUARDED_BY system).
+//
+// Under clang, `-Wthread-safety` turns these macros into a compile-time
+// race detector: every field annotated GUARDED_BY(mu) may only be touched
+// while `mu` is held, functions annotated REQUIRES(mu) may only be called
+// with `mu` held, and the scoped guards below tell the analysis exactly
+// where a capability is acquired and released. Under any other compiler
+// the macros expand to nothing and the wrappers are zero-cost veneers over
+// the std primitives, so the tree builds identically with gcc.
+//
+// House rules (enforced by tools/bih_lint):
+//  * No naked std::mutex / std::shared_mutex / std::condition_variable /
+//    std::lock_guard / std::unique_lock outside this header — concurrency
+//    code uses bih::Mutex / bih::SharedMutex / bih::CondVar and the guards
+//    below so the analysis sees every acquisition.
+//  * Condition-variable predicates are written as explicit `while` loops in
+//    the waiting function's body (never as lambdas passed to wait()): the
+//    analysis cannot see that a predicate lambda runs under the lock, but
+//    it fully understands a loop in a scope that holds the capability.
+//  * A deliberate escape hatch (single-threaded setup, test-only accessors)
+//    is marked NO_THREAD_SAFETY_ANALYSIS with a comment saying why.
+
+#if defined(__clang__)
+#define BIH_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define BIH_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// A type that acts as a lock ("capability" in the analysis' vocabulary).
+#define CAPABILITY(x) BIH_THREAD_ANNOTATION(capability(x))
+// A RAII type that acquires in its constructor and releases in its dtor.
+#define SCOPED_CAPABILITY BIH_THREAD_ANNOTATION(scoped_lockable)
+
+// Data members: may only be read/written while holding the capability.
+#define GUARDED_BY(x) BIH_THREAD_ANNOTATION(guarded_by(x))
+// Pointer members: the *pointee* is protected, the pointer itself is not.
+#define PT_GUARDED_BY(x) BIH_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Lock-ordering declarations (checked under -Wthread-safety-beta).
+#define ACQUIRED_BEFORE(...) BIH_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) BIH_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Function preconditions: capability must be held on entry (and still on
+// exit); the _SHARED form accepts a read lock.
+#define REQUIRES(...) BIH_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  BIH_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// Function effects: acquires / releases the named capabilities.
+#define ACQUIRE(...) BIH_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  BIH_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) BIH_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  BIH_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  BIH_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+// Conditional acquisition: first argument is the return value that means
+// "acquired" (our wrappers follow std and return true on success).
+#define TRY_ACQUIRE(...) \
+  BIH_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  BIH_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+// Declares that the capability must NOT be held (guards against
+// self-deadlock on non-reentrant locks).
+#define EXCLUDES(...) BIH_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion to the analysis: "trust me, it is held here". Used to
+// document handoffs the analysis cannot follow (e.g. state published via a
+// release-store that readers acquire-load).
+#define ASSERT_CAPABILITY(x) BIH_THREAD_ANNOTATION(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  BIH_THREAD_ANNOTATION(assert_shared_capability(x))
+
+// For functions returning a reference to a capability-protected member.
+#define RETURN_CAPABILITY(x) BIH_THREAD_ANNOTATION(lock_returned(x))
+
+// Opt a function out entirely. Every use carries a justifying comment.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  BIH_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace bih {
+
+// Annotated std::mutex. The analysis only tracks locks it can see being
+// acquired, so all of src/ locks through this wrapper.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // Tells the analysis the lock is held when the holder cannot be proven
+  // statically. Runtime no-op.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// Annotated std::shared_mutex: exclusive for writers, shared for readers.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void lock_shared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+  void AssertReaderHeld() const ASSERT_SHARED_CAPABILITY(this) {}
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// RAII exclusive lock on a Mutex.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// RAII exclusive (writer) lock on a SharedMutex.
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~WriterLock() RELEASE() { mu_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// RAII shared (reader) lock on a SharedMutex.
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  // Generic release: the scoped object holds the shared side, and
+  // release_generic matches whichever mode the constructor acquired.
+  ~ReaderLock() RELEASE_GENERIC() { mu_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// Condition variable bound to bih::Mutex. Deliberately minimal: only
+// un-predicated waits, so that every predicate is an explicit loop in the
+// caller (which the analysis can check against the guarded fields it
+// reads). Wait/WaitFor release and reacquire `mu` internally; the REQUIRES
+// contract is what the caller sees, and it holds on both edges.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+  template <class Rep, class Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout);
+  }
+
+ private:
+  // condition_variable_any works with any BasicLockable, so it waits on the
+  // annotated Mutex directly; the unlock/relock it performs internally sits
+  // in a system header, outside the analysis' jurisdiction.
+  std::condition_variable_any cv_;
+};
+
+}  // namespace bih
+
+#endif  // TPCBIH_COMMON_THREAD_ANNOTATIONS_H_

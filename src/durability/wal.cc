@@ -358,6 +358,7 @@ Status DecodeWalRecord(const uint8_t* data, size_t n, WalRecord* out) {
 // --- writer --------------------------------------------------------------
 
 WalWriter::~WalWriter() {
+  MutexLock lock(mu_);
   if (file_ != nullptr) std::fclose(file_);
 }
 
@@ -371,12 +372,12 @@ Status WalWriter::Open(const std::string& path, FaultInjector* fault,
     std::fclose(f);
     return Status::IoError("cannot write wal magic to " + path);
   }
-  out->reset(new WalWriter(path, f, fault));
-  (*out)->bytes_written_ = sizeof(kWalMagic);
+  out->reset(new WalWriter(path, f, fault, sizeof(kWalMagic)));
   return Status::OK();
 }
 
 Status WalWriter::Append(const WalRecord& rec) {
+  MutexLock lock(mu_);
   if (dead_) {
     return Status::IoError("wal writer is dead after a failed write");
   }
@@ -432,6 +433,7 @@ Status WalWriter::Append(const WalRecord& rec) {
 }
 
 Status WalWriter::Flush() {
+  MutexLock lock(mu_);
   if (dead_) {
     return Status::IoError("wal writer is dead after a failed write");
   }

@@ -10,6 +10,7 @@
 #include "catalog/schema.h"
 #include "common/period.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/value.h"
 #include "durability/fault.h"
 #include "temporal/sequenced.h"
@@ -79,6 +80,12 @@ Status DecodeWalRecord(const uint8_t* data, size_t n, WalRecord* out);
 // state is unknown. Once an append has definitively failed, the writer is
 // dead and every further Append returns kIoError (the in-memory engine
 // state is then ahead of the durable state, exactly like a real crash).
+//
+// Thread safety: the writer carries its own mutex, so Append/Flush are
+// safe from any thread. In the session layer all writes already arrive
+// serialized under the exclusive engine lock; the internal lock makes the
+// log's frame integrity independent of that outer discipline (and lets
+// -Wthread-safety prove nothing touches the stream unlocked).
 class WalWriter {
  public:
   // Attempts per record/flush: the first try plus two retries, backing off
@@ -95,29 +102,44 @@ class WalWriter {
   static Status Open(const std::string& path, FaultInjector* fault,
                      std::unique_ptr<WalWriter>* out);
 
-  Status Append(const WalRecord& rec);
+  Status Append(const WalRecord& rec) EXCLUDES(mu_);
   // Pushes buffered bytes to the OS (the durability point of a commit).
-  Status Flush();
+  Status Flush() EXCLUDES(mu_);
 
   const std::string& path() const { return path_; }
-  uint64_t records_written() const { return records_written_; }
-  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t records_written() const {
+    MutexLock lock(mu_);
+    return records_written_;
+  }
+  uint64_t bytes_written() const {
+    MutexLock lock(mu_);
+    return bytes_written_;
+  }
 
  private:
-  WalWriter(std::string path, std::FILE* f, FaultInjector* fault)
-      : path_(std::move(path)), file_(f), fault_(fault) {}
+  WalWriter(std::string path, std::FILE* f, FaultInjector* fault,
+            uint64_t header_bytes)
+      : path_(std::move(path)),
+        file_(f),
+        fault_(fault),
+        bytes_written_(header_bytes) {}
 
-  std::string path_;
-  std::FILE* file_ = nullptr;
-  FaultInjector* fault_ = nullptr;  // not owned
-  uint64_t records_written_ = 0;
-  uint64_t bytes_written_ = 0;
-  bool dead_ = false;
+  const std::string path_;  // immutable after construction
+
+  // Everything below is the log stream's integrity: the FILE*, the injected
+  // fault plan (its trigger counter mutates per write), the frame counters
+  // and the scratch buffers must move together, one frame at a time.
+  mutable Mutex mu_;
+  std::FILE* file_ GUARDED_BY(mu_) = nullptr;
+  FaultInjector* fault_ GUARDED_BY(mu_) PT_GUARDED_BY(mu_) = nullptr;  // not owned
+  uint64_t records_written_ GUARDED_BY(mu_) = 0;
+  uint64_t bytes_written_ GUARDED_BY(mu_) = 0;
+  bool dead_ GUARDED_BY(mu_) = false;
   // Scratch space reused across Append calls; at steady state appending a
   // record allocates nothing (this keeps the logging tax on the Fig. 16
   // loading path well under 2x).
-  std::string payload_buf_;
-  std::string frame_buf_;
+  std::string payload_buf_ GUARDED_BY(mu_);
+  std::string frame_buf_ GUARDED_BY(mu_);
 };
 
 // Result of scanning a log file up to the first torn or corrupt frame.

@@ -51,7 +51,12 @@ Status RecoverEngine(const std::string& letter, const std::string& wal_path,
       staged.clear();
       // Advance the clock past the batch stamp even when the batch was
       // empty, mirroring the Begin() tick of the original run.
-      engine->ApplyWalRecord(rec);
+      Status commit_st = engine->ApplyWalRecord(rec);
+      if (!commit_st.ok()) {
+        return Status::Internal("wal replay failed at commit record " +
+                                std::to_string(idx) + ": " +
+                                commit_st.ToString());
+      }
       ++report->txns_committed;
       report->last_commit_ts = rec.ts;
       continue;

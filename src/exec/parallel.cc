@@ -96,10 +96,10 @@ ScanScheduler::ScanScheduler(int helpers) {
 
 ScanScheduler::~ScanScheduler() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -113,25 +113,28 @@ ScanScheduler* ScanScheduler::Default() {
 
 void ScanScheduler::Launch(const std::shared_ptr<ParallelJob>& job) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     board_ = job;
     ++job_seq_;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void ScanScheduler::Retire(const std::shared_ptr<ParallelJob>& job) {
   // The coordinator set job->stop before calling; make that unconditional.
   job->stop.store(true, std::memory_order_seq_cst);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (board_ == job) board_.reset();
   }
   // Drain: a helper either (a) already incremented helpers_active — we spin
   // until its matching decrement — or (b) increments after our 0-read; by
   // the seq_cst total order that helper's subsequent stop check sees true
   // and it exits RunMorsels without running the body. Either way, once this
-  // loop observes zero no helper will touch the job's body again.
+  // loop observes zero no helper will touch the job's body again. This is a
+  // documented bare-atomic handoff, not a lock: the pairing is the seq_cst
+  // increment/stop-check in WorkerLoop (regression-tested by the
+  // RetireDrains* cases in tests/parallel_scan_test.cc).
   while (job->helpers_active.load(std::memory_order_seq_cst) != 0) {
     std::this_thread::yield();
   }
@@ -142,9 +145,11 @@ void ScanScheduler::WorkerLoop() {
   while (true) {
     std::shared_ptr<ParallelJob> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       idle_.fetch_add(1, std::memory_order_acq_rel);
-      cv_.wait(lock, [&] { return shutdown_ || job_seq_ != seen_seq; });
+      // Explicit predicate loop (not a wait(lock, pred) lambda) so the
+      // analysis sees the guarded reads of shutdown_/job_seq_ under mu_.
+      while (!shutdown_ && job_seq_ == seen_seq) cv_.Wait(mu_);
       idle_.fetch_sub(1, std::memory_order_acq_rel);
       if (shutdown_) return;
       seen_seq = job_seq_;

@@ -2,15 +2,14 @@
 #define TPCBIH_EXEC_PARALLEL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/query_context.h"
+#include "common/thread_annotations.h"
 #include "common/value.h"
 
 namespace bih {
@@ -112,12 +111,17 @@ class ScanScheduler {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::shared_ptr<ParallelJob> board_;  // at most one posted job
-  uint64_t job_seq_ = 0;                // bumped per Launch; wakes sleepers
-  bool shutdown_ = false;
+  // The job board. Everything a helper reads to find work lives under mu_;
+  // the per-job stop/claim/drain handoffs are the job's own atomics (see
+  // ParallelJob in parallel.cc for why each one is safe without a lock).
+  Mutex mu_;
+  CondVar cv_;
+  std::shared_ptr<ParallelJob> board_ GUARDED_BY(mu_);  // at most one job
+  uint64_t job_seq_ GUARDED_BY(mu_) = 0;  // bumped per Launch; wakes sleepers
+  bool shutdown_ GUARDED_BY(mu_) = false;
   std::atomic<int> idle_{0};
+  // Written by the constructor before any helper can observe it, joined by
+  // the destructor after shutdown_ is set: never touched concurrently.
   std::vector<std::thread> workers_;
 };
 

@@ -5,7 +5,7 @@
 namespace bih {
 
 Status AdmissionController::Admit(QueryContext* ctx) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (inflight_ < cfg_.max_inflight && queued_ == 0) {
     ++inflight_;
     ++admitted_;
@@ -20,15 +20,16 @@ Status AdmissionController::Admit(QueryContext* ctx) {
   ++queued_;
   // Wait in short slices so a queued query still honours its own deadline
   // and cancellation; nobody should time out *because* it sat in a queue
-  // without noticing.
+  // without noticing. (The predicate is this explicit loop, not a lambda,
+  // so the analysis can see the guarded reads happen under mu_.)
   while (inflight_ >= cfg_.max_inflight) {
-    cv_.wait_for(lock, std::chrono::milliseconds(1));
+    cv_.WaitFor(mu_, std::chrono::milliseconds(1));
     if (ctx != nullptr) {
       Status s = ctx->CheckNow();
       if (!s.ok()) {
         --queued_;
         ++abandoned_queued_;
-        cv_.notify_one();
+        cv_.NotifyOne();
         return s;
       }
     }
@@ -41,14 +42,14 @@ Status AdmissionController::Admit(QueryContext* ctx) {
 
 void AdmissionController::Release() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --inflight_;
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 AdmissionController::Stats AdmissionController::GetStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats s;
   s.admitted = admitted_;
   s.shed = shed_;

@@ -2,12 +2,11 @@
 #define TPCBIH_SERVER_ADMISSION_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 
 #include "common/query_context.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace bih {
 
@@ -59,13 +58,13 @@ class AdmissionController {
 
  private:
   const AdmissionConfig cfg_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  int inflight_ = 0;
-  int queued_ = 0;
-  uint64_t admitted_ = 0;
-  uint64_t shed_ = 0;
-  uint64_t abandoned_queued_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  int inflight_ GUARDED_BY(mu_) = 0;
+  int queued_ GUARDED_BY(mu_) = 0;
+  uint64_t admitted_ GUARDED_BY(mu_) = 0;
+  uint64_t shed_ GUARDED_BY(mu_) = 0;
+  uint64_t abandoned_queued_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace bih

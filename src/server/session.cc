@@ -18,10 +18,15 @@ SessionManager::SessionManager(std::unique_ptr<TemporalEngine> engine,
 }
 
 void SessionManager::Init(SessionConfig cfg) {
-  // Anything loaded before the session layer took over (bulk load, WAL
-  // recovery) becomes the base snapshot.
-  engine_->PrepareForReads();
-  watermark_.store(engine_->Now().micros(), std::memory_order_release);
+  {
+    // No concurrent access can exist yet, but taking the writer lock keeps
+    // the engine-touching setup on the same annotated path as Write().
+    WriterLock lock(rw_mu_);
+    // Anything loaded before the session layer took over (bulk load, WAL
+    // recovery) becomes the base snapshot.
+    engine_->PrepareForReads();
+    PublishWatermark();
+  }
   scan_threads_ = cfg.scan_threads > 0 ? cfg.scan_threads : DefaultScanThreads();
   if (scan_threads_ > 1) {
     // The coordinator of each read participates in its own scan, so the
@@ -37,23 +42,27 @@ void SessionManager::Init(SessionConfig cfg) {
 SessionManager::~SessionManager() {
   if (watchdog_.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(watchdog_mu_);
+      MutexLock lock(watchdog_mu_);
       shutdown_ = true;
     }
-    watchdog_cv_.notify_all();
+    watchdog_cv_.NotifyAll();
     watchdog_.join();
   }
 }
 
+void SessionManager::PublishWatermark() {
+  watermark_.store(engine_->Now().micros(), std::memory_order_release);
+}
+
 void SessionManager::WatchdogLoop() {
-  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  MutexLock lock(watchdog_mu_);
   while (!shutdown_) {
-    watchdog_cv_.wait_for(lock, watchdog_period_);
+    watchdog_cv_.WaitFor(watchdog_mu_, watchdog_period_);
     if (shutdown_) return;
     const auto now = QueryContext::Clock::now();
     uint64_t killed = 0;
     {
-      std::lock_guard<std::mutex> reg(inflight_mu_);
+      MutexLock reg(inflight_mu_);
       for (QueryContext* ctx : inflight_) {
         if (ctx->has_deadline() && now >= ctx->deadline() &&
             !ctx->cancel_requested()) {
@@ -63,7 +72,7 @@ void SessionManager::WatchdogLoop() {
       }
     }
     if (killed > 0) {
-      std::lock_guard<std::mutex> st(stats_mu_);
+      MutexLock st(stats_mu_);
       stats_.watchdog_kills += killed;
     }
   }
@@ -104,7 +113,7 @@ Status SessionManager::ReadAt(Snapshot snap, ScanRequest req,
   out->clear();
   Status s = DoRead(snap, req, ctx, out);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     switch (s.code()) {
       case Status::Code::kOk:
         ++stats_.reads_ok;
@@ -126,6 +135,17 @@ Status SessionManager::ReadAt(Snapshot snap, ScanRequest req,
   return s;
 }
 
+bool SessionManager::PollLockShared(QueryContext* ctx, Status* why) {
+  while (!rw_mu_.try_lock_shared()) {
+    if (ctx != nullptr) {
+      *why = ctx->CheckNow();
+      if (!why->ok()) return false;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return true;
+}
+
 Status SessionManager::DoRead(Snapshot snap, ScanRequest& req,
                               QueryContext* ctx, std::vector<Row>* out) {
   if (ctx != nullptr) {
@@ -136,53 +156,42 @@ Status SessionManager::DoRead(Snapshot snap, ScanRequest& req,
   if (!admitted.ok()) return admitted;
 
   if (ctx != nullptr) {
-    std::lock_guard<std::mutex> reg(inflight_mu_);
+    MutexLock reg(inflight_mu_);
     inflight_.insert(ctx);
   }
 
   Status result = Status::OK();
-  {
-    // Shared lock in short polled slices: a reader stuck behind a long
-    // write still honours its deadline instead of blocking blindly.
-    std::shared_lock<std::shared_mutex> lock(rw_mu_, std::defer_lock);
-    while (!lock.try_lock()) {
-      if (ctx != nullptr) {
-        result = ctx->CheckNow();
-        if (!result.ok()) break;
+  if (PollLockShared(ctx, &result)) {
+    req.temporal.system_time =
+        ClampToWatermark(req.temporal.system_time, snap.watermark);
+    req.ctx = ctx;
+    // Intra-query parallelism: reads that do not choose a width inherit
+    // the manager's; workers run strictly within this shared-lock scope
+    // (the scan drains its morsels before returning), so parallel reads
+    // see the same pinned snapshot as serial ones.
+    if (req.scan_threads == 0) req.scan_threads = scan_threads_;
+    if (req.scheduler == nullptr) req.scheduler = scheduler_.get();
+    ExecStats stats;  // keep concurrent scans off the shared stats slot
+    req.stats = &stats;
+    engine_->Scan(req, [&](const Row& row) {
+      out->push_back(row);
+      // A version still open at the snapshot may have been closed by a
+      // later write before this scan ran; its stored SYS_TIME_END is then
+      // past the watermark. Rewriting it to forever makes reads against
+      // the same snapshot byte-identical no matter how writes interleave.
+      Row& r = out->back();
+      if (!r.empty() && r.back().is_int() &&
+          r.back().AsInt() > snap.watermark) {
+        r.back() = Value(Period::kForever);
       }
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
-    }
-    if (result.ok()) {
-      req.temporal.system_time =
-          ClampToWatermark(req.temporal.system_time, snap.watermark);
-      req.ctx = ctx;
-      // Intra-query parallelism: reads that do not choose a width inherit
-      // the manager's; workers run strictly within this shared-lock scope
-      // (the scan drains its morsels before returning), so parallel reads
-      // see the same pinned snapshot as serial ones.
-      if (req.scan_threads == 0) req.scan_threads = scan_threads_;
-      if (req.scheduler == nullptr) req.scheduler = scheduler_.get();
-      ExecStats stats;  // keep concurrent scans off the shared stats slot
-      req.stats = &stats;
-      engine_->Scan(req, [&](const Row& row) {
-        out->push_back(row);
-        // A version still open at the snapshot may have been closed by a
-        // later write before this scan ran; its stored SYS_TIME_END is then
-        // past the watermark. Rewriting it to forever makes reads against
-        // the same snapshot byte-identical no matter how writes interleave.
-        Row& r = out->back();
-        if (!r.empty() && r.back().is_int() &&
-            r.back().AsInt() > snap.watermark) {
-          r.back() = Value(Period::kForever);
-        }
-        return true;
-      });
-      if (ctx != nullptr) result = ctx->status();
-    }
+      return true;
+    });
+    if (ctx != nullptr) result = ctx->status();
+    rw_mu_.unlock_shared();
   }
 
   if (ctx != nullptr) {
-    std::lock_guard<std::mutex> reg(inflight_mu_);
+    MutexLock reg(inflight_mu_);
     inflight_.erase(ctx);
   }
   admission_.Release();
@@ -191,19 +200,21 @@ Status SessionManager::DoRead(Snapshot snap, ScanRequest& req,
 
 Status SessionManager::Write(
     const std::function<Status(TemporalEngine&)>& fn) {
-  std::lock_guard<std::shared_mutex> lock(rw_mu_);
-  Status s = fn(*engine_);
-  // Publish deferred engine state (System B's undo log) while we still hold
-  // the writer side, then advance the snapshot readers pin. The watermark
-  // moves even on failure: a failed statement may sit inside a batch whose
-  // earlier statements committed.
-  engine_->PrepareForReads();
-  watermark_.store(engine_->Now().micros(), std::memory_order_release);
   {
-    std::lock_guard<std::mutex> st(stats_mu_);
-    ++stats_.writes;
+    WriterLock lock(rw_mu_);
+    Status s = fn(*engine_);
+    // Publish deferred engine state (System B's undo log) while we still
+    // hold the writer side, then advance the snapshot readers pin. The
+    // watermark moves even on failure: a failed statement may sit inside a
+    // batch whose earlier statements committed.
+    engine_->PrepareForReads();
+    PublishWatermark();
+    {
+      MutexLock st(stats_mu_);
+      ++stats_.writes;
+    }
+    return s;
   }
-  return s;
 }
 
 Status SessionManager::Insert(const std::string& table, Row row) {
@@ -229,7 +240,7 @@ Status SessionManager::DeleteCurrent(const std::string& table,
 SessionManager::ServerStats SessionManager::GetStats() const {
   ServerStats s;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     s = stats_;
   }
   s.admission = admission_.GetStats();

@@ -2,16 +2,14 @@
 #define TPCBIH_SERVER_SESSION_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "engine/engine.h"
 #include "exec/parallel.h"
 #include "server/admission.h"
@@ -52,6 +50,13 @@ struct SessionConfig {
 // Every read call returns exactly one of: kOk (with rows), kDeadlineExceeded,
 // kCancelled, or kResourceExhausted. An interrupted read leaves engine state
 // untouched and returns no partial rows.
+//
+// Lock discipline (enforced by -Wthread-safety, see thread_annotations.h):
+// rw_mu_ protects the engine; inflight_mu_, watchdog_mu_ and stats_mu_ are
+// leaf locks taken in that order after watchdog_mu_ by the watchdog sweep.
+// The watermark is the one deliberate lock-free handoff: it is only
+// *stored* while holding rw_mu_ exclusively (PublishWatermark), and its
+// release-store pairs with the acquire-load in OpenSnapshot.
 class SessionManager {
  public:
   // Serves an engine owned by someone else (e.g. a WorkloadContext).
@@ -70,7 +75,8 @@ class SessionManager {
     int64_t watermark = 0;
   };
 
-  // Pins the current watermark (the last completed write).
+  // Pins the current watermark (the last completed write). Lock-free: the
+  // acquire-load pairs with PublishWatermark's release-store under rw_mu_.
   Snapshot OpenSnapshot() const {
     return Snapshot{watermark_.load(std::memory_order_acquire)};
   }
@@ -108,7 +114,10 @@ class SessionManager {
   };
   ServerStats GetStats() const;
 
-  TemporalEngine& engine() { return *engine_; }
+  // Escape hatch for single-threaded setup and test assertions: hands out
+  // the engine without the lock the concurrent paths require. Callers must
+  // not race it against Read/Write.
+  TemporalEngine& engine() NO_THREAD_SAFETY_ANALYSIS { return *engine_; }
   const AdmissionConfig& admission_config() const {
     return admission_.config();
   }
@@ -131,38 +140,57 @@ class SessionManager {
   Status DoRead(Snapshot snap, ScanRequest& req, QueryContext* ctx,
                 std::vector<Row>* out);
 
-  std::unique_ptr<TemporalEngine> owned_engine_;
-  TemporalEngine* engine_ = nullptr;
+  // Acquires the reader side of rw_mu_ in short polled slices so a reader
+  // stuck behind a long write still honours its QueryContext. Returns true
+  // with the shared lock held; false (lock not held) with *why set to the
+  // context's failure status.
+  bool PollLockShared(QueryContext* ctx, Status* why)
+      TRY_ACQUIRE_SHARED(true, rw_mu_);
 
-  // Intra-query parallelism: helpers shared by all concurrent reads.
+  // Publishes the snapshot readers pin. The release-store pairs with the
+  // acquire-load in OpenSnapshot; requiring the writer lock here is what
+  // makes the handoff an annotated acquire/release pair instead of a bare
+  // atomic store racing half-finished writes.
+  void PublishWatermark() REQUIRES(rw_mu_);
+
+  std::unique_ptr<TemporalEngine> owned_engine_;
+  // The pointer is set once in the constructor and never reassigned; the
+  // *pointee* is the shared state: readers scan it under the shared side
+  // of rw_mu_, writers mutate it under the exclusive side.
+  TemporalEngine* engine_ PT_GUARDED_BY(rw_mu_) = nullptr;
+
+  // Intra-query parallelism: helpers shared by all concurrent reads. Both
+  // are fixed in Init() before any thread exists, immutable afterwards.
   int scan_threads_ = 1;
   std::unique_ptr<ScanScheduler> scheduler_;
 
   // Readers shared, writers exclusive. Readers acquire with try_lock_shared
-  // in short polled slices so a reader stuck behind a long write still
-  // honours its QueryContext. (Not try_lock_shared_for: the timed rwlock
-  // acquisition compiles to pthread_rwlock_clockrdlock, which TSan does not
-  // intercept, and the whole point of this layer is to be TSan-clean.)
-  std::shared_mutex rw_mu_;
+  // in short polled slices (PollLockShared) so a reader stuck behind a long
+  // write still honours its QueryContext. (Not try_lock_shared_for: the
+  // timed rwlock acquisition compiles to pthread_rwlock_clockrdlock, which
+  // TSan does not intercept, and this layer must stay TSan-clean.)
+  SharedMutex rw_mu_;
 
-  // System time of the last completed write; readers pin this. Published
-  // with release ordering after the write fully completed.
+  // System time of the last completed write; readers pin this. Written only
+  // via PublishWatermark() REQUIRES(rw_mu_); read lock-free in
+  // OpenSnapshot().
   std::atomic<int64_t> watermark_{0};
 
   AdmissionController admission_;
 
-  // In-flight registry for the watchdog.
-  std::mutex inflight_mu_;
-  std::unordered_set<QueryContext*> inflight_;
+  // In-flight registry for the watchdog. Leaf lock: taken after
+  // watchdog_mu_ by the sweep, alone by readers registering themselves.
+  Mutex inflight_mu_ ACQUIRED_AFTER(watchdog_mu_);
+  std::unordered_set<QueryContext*> inflight_ GUARDED_BY(inflight_mu_);
 
   std::chrono::milliseconds watchdog_period_{0};
   std::thread watchdog_;
-  std::mutex watchdog_mu_;
-  std::condition_variable watchdog_cv_;
-  bool shutdown_ = false;
+  Mutex watchdog_mu_;
+  CondVar watchdog_cv_;
+  bool shutdown_ GUARDED_BY(watchdog_mu_) = false;
 
-  mutable std::mutex stats_mu_;
-  ServerStats stats_;
+  mutable Mutex stats_mu_ ACQUIRED_AFTER(watchdog_mu_);
+  ServerStats stats_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace bih

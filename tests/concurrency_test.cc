@@ -202,11 +202,12 @@ TEST(SessionTest, ReaderBlockedBehindLongWriteHonoursDeadline) {
   SessionManager server(MakeLoadedEngine("A", 10), cfg);
   std::atomic<bool> writer_in{false};
   std::thread writer([&] {
-    server.Write([&](TemporalEngine&) {
+    Status wst = server.Write([&](TemporalEngine&) {
       writer_in.store(true);
       std::this_thread::sleep_for(milliseconds(80));
       return Status::OK();
     });
+    EXPECT_TRUE(wst.ok()) << wst.ToString();
   });
   while (!writer_in.load()) std::this_thread::yield();
   QueryContext ctx(QueryContext::Clock::now() + milliseconds(10));
@@ -226,11 +227,12 @@ TEST(SessionTest, OverloadShedsInsteadOfQueueingUnboundedly) {
   // piles onto the bounded queue and everything beyond it must shed.
   std::atomic<bool> writer_in{false};
   std::thread writer([&] {
-    server.Write([&](TemporalEngine&) {
+    Status wst = server.Write([&](TemporalEngine&) {
       writer_in.store(true);
       std::this_thread::sleep_for(milliseconds(100));
       return Status::OK();
     });
+    EXPECT_TRUE(wst.ok()) << wst.ToString();
   });
   while (!writer_in.load()) std::this_thread::yield();
 

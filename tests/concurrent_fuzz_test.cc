@@ -168,10 +168,11 @@ TEST_P(ConcurrentFuzzTest, SnapshotReadsMatchModelUnderConcurrentWrites) {
       // Occasional mid-stream maintenance (System C delta merge) — it does
       // not consume a commit tick, so the clocks stay in lockstep.
       if (i % 83 == 82) {
-        server.Write([](TemporalEngine& e) {
+        Status maint_st = server.Write([](TemporalEngine& e) {
           e.Maintain();
           return Status::OK();
         });
+        EXPECT_TRUE(maint_st.ok()) << maint_st.ToString();
       }
     }
   });

@@ -532,6 +532,128 @@ TEST_P(ParallelScanTest, SessionDeadlineDrainsManagerPool) {
   EXPECT_GT(rows.size(), 0u);
 }
 
+// Lock-discipline regression (referenced from ScanScheduler::Retire): after
+// a cancelled parallel scan, Retire's stop/drain handoff must leave every
+// helper idle before the scheduler is handed to the next query. The
+// *immediate* reuse below — no settling sleep between the cancelled scan and
+// the full one — is the part that catches a broken drain: a helper still
+// chewing the old job would race the new job's merge and break the
+// byte-identical guarantee.
+TEST_P(ParallelScanTest, RetireDrainsHelpersBeforeImmediateReuse) {
+  Loaded l = BuildLoadedEngine(GetParam(), /*seed=*/37, /*num_ops=*/600);
+  ScanScheduler pool(/*helpers=*/7);
+  QueryCase qc;
+  qc.spec.system_time = TemporalSelector::All();
+  qc.spec.app_time = TemporalSelector::All();
+  ExecStats serial_stats;
+  const std::vector<Row> serial =
+      RunScan(*l.engine, qc, 1, 0, nullptr, &serial_stats);
+  ASSERT_GT(serial.size(), 3u);
+
+  for (int round = 0; round < 5; ++round) {
+    QueryContext ctx;
+    ExecStats stats;
+    ScanRequest req =
+        MakeRequest(qc, /*threads=*/8, /*morsel=*/1, &pool, &stats);
+    req.ctx = &ctx;
+    int emitted = 0;
+    l.engine->Scan(req, [&](const Row&) {
+      if (++emitted == 2) ctx.Cancel();
+      return true;
+    });
+    EXPECT_EQ(Status::Code::kCancelled, ctx.status().code());
+    // Retire must have fully drained by the time Scan returned: the pool is
+    // reusable right now, with no straggler worker from the dead job.
+    ExecStats reuse_stats;
+    const std::vector<Row> reuse =
+        RunScan(*l.engine, qc, /*threads=*/8, /*morsel=*/2, &pool,
+                &reuse_stats);
+    ExpectIdenticalRows(serial, reuse,
+                        GetParam() + "/retire-reuse round " +
+                            std::to_string(round));
+    ExpectIdenticalStats(serial_stats, reuse_stats,
+                         GetParam() + "/retire-reuse round " +
+                             std::to_string(round));
+  }
+  // Workers re-park asynchronously after the retire handoff; what Retire
+  // guarantees synchronously is that no helper still touches the dead job
+  // (proven by the byte-identical reuse above).
+  EXPECT_TRUE(SchedulerDrained(&pool, milliseconds(2000)));
+}
+
+// Same handoff under deadline abandonment instead of an in-band cancel:
+// after Scan returns the job is retired, so the pool drains back to fully
+// idle with no further work posted.
+TEST_P(ParallelScanTest, RetireDrainsAfterDeadlineAbandonment) {
+  Loaded l = BuildLoadedEngine(GetParam(), /*seed=*/41, /*num_ops=*/600);
+  ScanScheduler pool(/*helpers=*/7);
+  QueryCase qc;
+  qc.spec.system_time = TemporalSelector::All();
+  qc.spec.app_time = TemporalSelector::All();
+  for (int64_t budget_us : {0, 5, 50}) {
+    QueryContext ctx =
+        QueryContext::WithTimeout(std::chrono::microseconds(budget_us));
+    ExecStats stats;
+    ScanRequest req =
+        MakeRequest(qc, /*threads=*/8, /*morsel=*/1, &pool, &stats);
+    req.ctx = &ctx;
+    std::vector<Row> rows;
+    l.engine->Scan(req, [&](const Row& r) {
+      rows.push_back(r);
+      return true;
+    });
+    // Whether the scan beat the deadline or not, every helper must have
+    // left the job by the time Scan returns (Retire's guarantee) and the
+    // pool returns to fully idle without any new work being posted.
+    EXPECT_TRUE(SchedulerDrained(&pool, milliseconds(2000)))
+        << GetParam() << " budget=" << budget_us;
+  }
+}
+
+// Lock-discipline regression (SessionManager watermark publication): the
+// watermark a reader acquires from OpenSnapshot must never lag a write that
+// already returned — PublishWatermark's release store under the exclusive
+// lock pairs with the acquire load in OpenSnapshot. A stale watermark would
+// make the pinned snapshot silently exclude the freshest committed rows.
+TEST_P(ParallelScanTest, WatermarkPublicationCoversCompletedWrites) {
+  Loaded l = BuildLoadedEngine(GetParam(), /*seed=*/43, /*num_ops=*/200);
+  SessionConfig cfg;
+  cfg.scan_threads = 4;
+  SessionManager server(l.engine.get(), cfg);
+
+  std::atomic<int64_t> last_committed{0};
+  std::atomic<bool> done{false};
+  std::thread observer([&] {
+    int64_t prev = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      SessionManager::Snapshot snap = server.OpenSnapshot();
+      // Monotone: published watermarks never move backwards.
+      EXPECT_GE(snap.watermark, prev);
+      prev = snap.watermark;
+      std::this_thread::yield();
+    }
+  });
+
+  int64_t next_key = 100000;
+  for (int i = 0; i < 50; ++i) {
+    const int64_t id = next_key++;
+    Status st = server.Write([&](TemporalEngine& e) {
+      return e.Insert("ITEM", Row{Value(id), Value(1.0), Value("w"),
+                                  Value(int64_t{0}),
+                                  Value(Period::kForever)});
+    });
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    const int64_t committed = l.engine->Now().micros();
+    last_committed.store(committed);
+    // The write has returned, so the very next snapshot must carry a
+    // watermark at or past the commit clock the write advanced.
+    SessionManager::Snapshot snap = server.OpenSnapshot();
+    EXPECT_GE(snap.watermark, committed - 1) << "write " << i;
+  }
+  done.store(true, std::memory_order_release);
+  observer.join();
+}
+
 // Reads through the session layer must be byte-identical whether the
 // manager runs them serial or parallel (the pinned-snapshot rewrite of
 // SYS_TIME_END included).

@@ -1,0 +1,7 @@
+// Fixture: must trip [assert-side-effect]. The increment disappears in
+// NDEBUG builds, so release binaries would lose the cursor advance.
+#include <cassert>
+
+void Advance(int* cursor) {
+  assert(++*cursor > 0);
+}

@@ -1,0 +1,12 @@
+// Fixture: must be clean under every rule — the negative control that keeps
+// the lint from degenerating into flagging everything.
+struct Status {
+  bool ok() const { return true; }
+};
+
+Status DoWork();
+
+Status Caller() {
+  Status st = DoWork();
+  return st;
+}

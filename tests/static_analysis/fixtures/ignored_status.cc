@@ -1,0 +1,11 @@
+// Fixture: must trip [ignored-status]. A statement-position bare call of a
+// Status-returning function silently drops the error.
+struct Status {
+  bool ok() const { return true; }
+};
+
+Status DoWork();
+
+void Caller() {
+  DoWork();
+}

@@ -1,0 +1,3 @@
+// Fixture: must trip [include-guard] — no #ifndef/#define pair and no
+// #pragma once, so double inclusion is an ODR hazard.
+inline int MissingGuard() { return 1; }

@@ -1,0 +1,11 @@
+// Fixture: must trip [naked-mutex]. Raw standard-library primitives bypass
+// the annotated wrappers, so -Wthread-safety cannot see the lock discipline.
+#include <mutex>
+
+std::mutex g_mu;
+int g_count = 0;
+
+void Bump() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  ++g_count;
+}

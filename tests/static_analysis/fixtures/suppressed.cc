@@ -1,0 +1,20 @@
+// Fixture: every violation below carries a bih-lint allow() marker, so the
+// run must come back clean — this is the test that suppressions work.
+#include <cassert>
+#include <mutex>
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+Status DoWork();
+
+std::mutex g_mu;  // bih-lint: allow(naked-mutex)
+
+void Caller(int* cursor) {
+  // bih-lint: allow(ignored-status)
+  DoWork();
+  assert(++*cursor > 0);  // bih-lint: allow(assert-side-effect)
+  // bih-lint: allow(naked-mutex)
+  std::lock_guard<std::mutex> lock(g_mu);
+}

@@ -1,0 +1,19 @@
+// Fixture: must trip [scan-ctx]. The file name matches the engine pattern
+// (system_*.cc) and the Scan implementation — it takes a ScanRequest —
+// neither polls the QueryContext nor delegates to a scan helper, so a long
+// scan could never be cancelled.
+struct Row {
+  int key = 0;
+};
+
+struct ScanRequest {
+  int limit = 0;
+};
+
+int ScanEverything(const ScanRequest& req, const Row* rows, int n) {
+  int matched = 0;
+  for (int i = 0; i < n && i < req.limit; ++i) {
+    matched += rows[i].key;
+  }
+  return matched;
+}

@@ -1,0 +1,56 @@
+// Positive control: canonical use of every wrapper MUST compile cleanly
+// under -Werror=thread-safety. If this fails, the macros themselves are
+// emitting false positives and the gate would block correct code.
+#include <chrono>
+
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Board {
+ public:
+  void Post(int v) {
+    {
+      bih::MutexLock lock(mu_);
+      value_ = v;
+      posted_ = true;
+    }
+    cv_.NotifyAll();
+  }
+
+  int WaitForPost() {
+    bih::MutexLock lock(mu_);
+    while (!posted_) {
+      cv_.WaitFor(mu_, std::chrono::milliseconds(1));
+    }
+    return value_;
+  }
+
+  int ReadSnapshot() {
+    bih::ReaderLock lock(rw_mu_);
+    return snapshot_;
+  }
+
+  void PublishSnapshot(int v) {
+    bih::WriterLock lock(rw_mu_);
+    snapshot_ = v;
+  }
+
+ private:
+  bih::Mutex mu_;
+  bih::CondVar cv_;
+  bool posted_ GUARDED_BY(mu_) = false;
+  int value_ GUARDED_BY(mu_) = 0;
+
+  bih::SharedMutex rw_mu_;
+  int snapshot_ GUARDED_BY(rw_mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Board b;
+  b.Post(7);
+  b.PublishSnapshot(9);
+  return b.WaitForPost() + b.ReadSnapshot();
+}

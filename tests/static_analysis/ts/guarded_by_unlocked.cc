@@ -1,0 +1,22 @@
+// Negative-compile fixture: touching a GUARDED_BY field without holding its
+// mutex MUST fail under -Werror=thread-safety. If this file ever compiles
+// cleanly with clang, the annotation plumbing is broken.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  int Bump() { return ++value_; }  // no lock: -Wthread-safety error
+
+ private:
+  bih::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.Bump();
+}

@@ -1,0 +1,12 @@
+// Negative-compile fixture: releasing a mutex that is not held MUST fail
+// under -Werror=thread-safety (unlock is annotated RELEASE()).
+#include "common/thread_annotations.h"
+
+namespace {
+bih::Mutex g_mu;
+}  // namespace
+
+int main() {
+  g_mu.unlock();  // never locked: -Wthread-safety error
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Negative-compile fixture: calling a REQUIRES(mu) function without holding
+// mu MUST fail under -Werror=thread-safety.
+#include "common/thread_annotations.h"
+
+namespace {
+
+bih::Mutex g_mu;
+int g_value GUARDED_BY(g_mu) = 0;
+
+void Touch() REQUIRES(g_mu) { ++g_value; }
+
+}  // namespace
+
+int main() {
+  Touch();  // caller does not hold g_mu: -Wthread-safety error
+  return 0;
+}

@@ -209,7 +209,9 @@ TEST_F(WorkloadTest, K3SingleColumnAgrees) {
   Rows r = AllEnginesAgree("K3", [&](TemporalEngine& e) {
     return K3(e, ctx_->hot_custkey, spec);
   });
-  if (!r.empty()) EXPECT_EQ(2u, r[0].size());
+  if (!r.empty()) {
+    EXPECT_EQ(2u, r[0].size());
+  }
 }
 
 TEST_F(WorkloadTest, K4TopNVersions) {

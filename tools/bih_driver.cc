@@ -17,11 +17,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "engine/consistency.h"
 #include "engine/recovery.h"
 #include "server/session.h"
@@ -335,7 +335,7 @@ int RunConcurrent(const Args& args) {
       static_cast<long long>(args.deadline_ms), scfg.admission.max_inflight,
       server.scan_threads());
 
-  std::mutex mu;
+  Mutex mu;
   std::vector<double> latencies_ms;
   uint64_t n_rows = 0;
   std::vector<std::thread> workers;
@@ -364,11 +364,15 @@ int RunConcurrent(const Args& args) {
                                std::chrono::milliseconds(args.deadline_ms))
                 : QueryContext();
         std::vector<Row> rows;
-        double ms = MeasureMs([&] { server.Read(req, &qctx, &rows); });
+        Status read_st;
+        double ms =
+            MeasureMs([&] { read_st = server.Read(req, &qctx, &rows); });
         local_lat.push_back(ms);
-        local_rows += rows.size();
+        // Non-OK reads return no rows (and are tallied per-outcome in the
+        // server stats printed below); only successful reads add rows.
+        if (read_st.ok()) local_rows += rows.size();
       }
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       latencies_ms.insert(latencies_ms.end(), local_lat.begin(),
                           local_lat.end());
       n_rows += local_rows;
