@@ -26,8 +26,17 @@ std::string Status::ToString() const {
       return "Cancelled: " + message_;
     case Code::kResourceExhausted:
       return "ResourceExhausted: " + message_;
+    case Code::kUnavailable:
+      return "Unavailable: " + message_;
   }
   return "Unknown";
+}
+
+std::string Status::retry_hint() const {
+  if (code_ != Code::kUnavailable) return "";
+  const size_t pos = message_.find(kRetryHintMarker);
+  if (pos == std::string::npos) return "";
+  return message_.substr(pos + std::string(kRetryHintMarker).size());
 }
 
 void FatalError(const char* file, int line, const std::string& msg) {

@@ -34,6 +34,13 @@ class [[nodiscard]] Status {
     kDeadlineExceeded,
     kCancelled,
     kResourceExhausted,
+    // The service is temporarily refusing the operation but expects to (or
+    // could, after operator action) accept it again: the canonical producer
+    // is a SessionManager whose WAL went dead and which degraded to
+    // read-only. Unlike kIoError this is a *policy* answer — the caller is
+    // told what still works (reads) and what to do (retry against a
+    // recovered store), not handed a raw device error.
+    kUnavailable,
   };
 
   Status() : code_(Code::kOk) {}
@@ -71,12 +78,29 @@ class [[nodiscard]] Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(Code::kResourceExhausted, std::move(msg));
   }
+  // `retry_hint` tells the caller how to get un-stuck ("recover from
+  // checkpoint and retry", "retry read-only"); it is folded into the
+  // message after a fixed marker so drivers can surface it separately.
+  static Status Unavailable(std::string msg, std::string retry_hint = "") {
+    if (!retry_hint.empty()) {
+      msg += kRetryHintMarker;
+      msg += retry_hint;
+    }
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  // The retry hint carried by an Unavailable status, or "" when none was
+  // attached (or the code is not kUnavailable).
+  std::string retry_hint() const;
+
   std::string ToString() const;
+
+ private:
+  static constexpr const char* kRetryHintMarker = "; retry: ";
 
  private:
   Code code_;

@@ -1,0 +1,77 @@
+#ifndef TPCBIH_DURABILITY_CHECKPOINT_H_
+#define TPCBIH_DURABILITY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "durability/fault.h"
+#include "durability/wal.h"
+
+namespace bih {
+
+class TemporalEngine;  // engine/engine.h
+
+// Accounting for one checkpoint write.
+struct CheckpointInfo {
+  std::string path;                // the published checkpoint file
+  uint64_t tables = 0;             // tables snapshotted
+  uint64_t rows = 0;               // stored versions snapshotted
+  uint64_t bytes = 0;              // checkpoint file size
+  uint64_t segments_covered = 0;   // WAL segments folded into the snapshot
+  uint64_t segments_removed = 0;   // covered segments deleted afterwards
+  int64_t clock_micros = 0;        // commit-clock watermark in the footer
+
+  std::string ToString() const;
+};
+
+// Writes crash-consistent engine snapshots that bound recovery to
+// log-since-checkpoint instead of total history.
+//
+// A checkpoint of the log at base path P lives at "P.ckpt" and is itself a
+// WAL-format file (same magic, same CRC framing): per table a kCreateTable
+// record followed by kSnapshotRows chunks, closed by a kCheckpointFooter
+// carrying the commit-clock watermark and the highest WAL segment the
+// snapshot covers. The footer doubles as the completeness marker — a file
+// without one (a crash mid-write) is ignored by recovery.
+//
+// Write protocol, in order:
+//   1. rotate the WAL, so the snapshot covers exactly segments [1..k]
+//   2. stream the snapshot into "P.ckpt.tmp"
+//   3. fdatasync the tmp file, atomically rename it to "P.ckpt", fsync the
+//      parent directory (all gated by BIH_NO_FSYNC like the WAL itself)
+//   4. delete segments <= k — recovery cost is now checkpoint + tail
+// A crash at any step leaves either the old checkpoint or the new one
+// intact, never a half-published state; the fault injector can kill the
+// model at each step (rotate:N, ckpt:N, rename:N) and the chaos sweep
+// proves recovery stays prefix-consistent.
+//
+// The caller must hold exclusive access to the engine for the duration of
+// Write (the session layer runs it under the writer lock): a mutation
+// between the rotation and the snapshot scan would be captured twice.
+class Checkpointer {
+ public:
+  // `wal_base` is the WAL base path (segment 1). The injector (optional,
+  // borrowed) is consulted per checkpoint frame and per rename; share the
+  // WAL writer's injector so one crash plan covers both files.
+  explicit Checkpointer(std::string wal_base, FaultInjector* fault = nullptr)
+      : base_(std::move(wal_base)), fault_(fault) {}
+
+  static std::string CheckpointPath(const std::string& wal_base) {
+    return wal_base + ".ckpt";
+  }
+
+  // Snapshots `engine` at the current commit watermark. The engine must
+  // have the WAL at base_ attached (its writer performs the rotation).
+  Status Write(TemporalEngine* engine, CheckpointInfo* info);
+
+ private:
+  const std::string base_;
+  FaultInjector* fault_;        // not owned
+  uint64_t frames_written_ = 0;  // cumulative across checkpoints
+  uint64_t renames_ = 0;
+};
+
+}  // namespace bih
+
+#endif  // TPCBIH_DURABILITY_CHECKPOINT_H_

@@ -13,10 +13,12 @@ FaultInjector FaultInjector::FailNth(uint64_t n) {
   return fi;
 }
 
-FaultInjector FaultInjector::TransientNth(uint64_t n) {
+FaultInjector FaultInjector::TransientNth(uint64_t n, uint64_t attempts) {
   FaultInjector fi;
   fi.mode_ = Mode::kTransientWrite;
   fi.trigger_write_ = n;
+  fi.transient_attempts_ = attempts == 0 ? 1 : attempts;
+  fi.transient_left_ = fi.transient_attempts_;
   return fi;
 }
 
@@ -38,20 +40,55 @@ FaultInjector FaultInjector::FlipByteNth(uint64_t n, size_t offset,
   return fi;
 }
 
+FaultInjector FaultInjector::FailSyncNth(uint64_t n) {
+  FaultInjector fi;
+  fi.mode_ = Mode::kFailSync;
+  fi.trigger_write_ = n;
+  return fi;
+}
+
+FaultInjector FaultInjector::FailRotateNth(uint64_t n) {
+  FaultInjector fi;
+  fi.mode_ = Mode::kFailRotate;
+  fi.trigger_write_ = n;
+  return fi;
+}
+
+FaultInjector FaultInjector::FailCheckpointNth(uint64_t n) {
+  FaultInjector fi;
+  fi.mode_ = Mode::kFailCheckpoint;
+  fi.trigger_write_ = n;
+  return fi;
+}
+
+FaultInjector FaultInjector::TornRenameNth(uint64_t n) {
+  FaultInjector fi;
+  fi.mode_ = Mode::kTornRename;
+  fi.trigger_write_ = n;
+  return fi;
+}
+
 FaultInjector FaultInjector::FromEnv(const char* var) {
   const char* v = std::getenv(var);
   if (v == nullptr || *v == '\0') return FaultInjector();
   char mode[12] = {0};
   unsigned long long n = 0, extra = 0;
-  if (std::sscanf(v, "%11[a-z]:%llu:%llu", mode, &n, &extra) >= 2 && n > 0) {
+  int fields = std::sscanf(v, "%11[a-z]:%llu:%llu", mode, &n, &extra);
+  if (fields >= 2 && n > 0) {
     if (std::strcmp(mode, "fail") == 0) return FailNth(n);
-    if (std::strcmp(mode, "transient") == 0) return TransientNth(n);
+    if (std::strcmp(mode, "transient") == 0) {
+      return TransientNth(n, fields >= 3 ? extra : 1);
+    }
     if (std::strcmp(mode, "torn") == 0) {
       return TornNth(n, static_cast<size_t>(extra));
     }
     if (std::strcmp(mode, "flip") == 0) {
       return FlipByteNth(n, static_cast<size_t>(extra));
     }
+    if (std::strcmp(mode, "sync") == 0) return FailSyncNth(n);
+    if (std::strcmp(mode, "rotate") == 0) return FailRotateNth(n);
+    if (std::strcmp(mode, "ckpt") == 0) return FailCheckpointNth(n);
+    if (std::strcmp(mode, "rename") == 0) return TornRenameNth(n);
   }
   return FaultInjector();
 }
@@ -86,32 +123,64 @@ FaultInjector::Action FaultInjector::OnWrite(uint64_t write_index,
     return a;
   }
   if (mode_ == Mode::kNone || write_index != trigger_write_) return a;
-  if (mode_ == Mode::kTransientWrite && triggered_) {
-    return a;  // the retry of the triggering record succeeds
+  if (mode_ == Mode::kTransientWrite) {
+    if (transient_left_ == 0) return a;  // outage over: this attempt passes
+    --transient_left_;
+    triggered_ = true;
+    a.fail = true;  // no crash: a clean EIO, nothing persisted
+    return a;
   }
-  triggered_ = true;
   switch (mode_) {
     case Mode::kFailWrite:
+      triggered_ = true;
       crashed_ = true;
       a.fail = true;
       break;
-    case Mode::kTransientWrite:
-      a.fail = true;  // no crash: one clean EIO, nothing persisted
-      break;
     case Mode::kTornWrite:
+      triggered_ = true;
       crashed_ = true;
       a.torn = true;
       a.keep_bytes = keep_bytes_ < frame_len ? keep_bytes_ : frame_len;
       break;
     case Mode::kFlipByte:
+      triggered_ = true;
       a.flip = true;
       a.flip_offset = frame_len == 0 ? 0 : flip_offset_ % frame_len;
       a.flip_mask = flip_mask_;
       break;
-    case Mode::kNone:
-      break;
+    default:
+      break;  // crash-point modes never trigger on record writes
   }
   return a;
+}
+
+FaultInjector::Action FaultInjector::OnCrashPoint(Mode m, uint64_t index) {
+  Action a;
+  if (crashed_) {
+    a.fail = true;
+    return a;
+  }
+  if (mode_ != m || index != trigger_write_) return a;
+  triggered_ = true;
+  crashed_ = true;
+  a.fail = true;
+  return a;
+}
+
+FaultInjector::Action FaultInjector::OnSync(uint64_t sync_index) {
+  return OnCrashPoint(Mode::kFailSync, sync_index);
+}
+
+FaultInjector::Action FaultInjector::OnRotate(uint64_t rotate_index) {
+  return OnCrashPoint(Mode::kFailRotate, rotate_index);
+}
+
+FaultInjector::Action FaultInjector::OnCheckpointWrite(uint64_t frame_index) {
+  return OnCrashPoint(Mode::kFailCheckpoint, frame_index);
+}
+
+FaultInjector::Action FaultInjector::OnRename(uint64_t rename_index) {
+  return OnCrashPoint(Mode::kTornRename, rename_index);
 }
 
 std::string FaultInjector::ToString() const {
@@ -121,13 +190,22 @@ std::string FaultInjector::ToString() const {
     case Mode::kFailWrite:
       return "fail:" + std::to_string(trigger_write_);
     case Mode::kTransientWrite:
-      return "transient:" + std::to_string(trigger_write_);
+      return "transient:" + std::to_string(trigger_write_) + ":" +
+             std::to_string(transient_attempts_);
     case Mode::kTornWrite:
       return "torn:" + std::to_string(trigger_write_) + ":" +
              std::to_string(keep_bytes_);
     case Mode::kFlipByte:
       return "flip:" + std::to_string(trigger_write_) + ":" +
              std::to_string(flip_offset_);
+    case Mode::kFailSync:
+      return "sync:" + std::to_string(trigger_write_);
+    case Mode::kFailRotate:
+      return "rotate:" + std::to_string(trigger_write_);
+    case Mode::kFailCheckpoint:
+      return "ckpt:" + std::to_string(trigger_write_);
+    case Mode::kTornRename:
+      return "rename:" + std::to_string(trigger_write_);
   }
   return "?";
 }

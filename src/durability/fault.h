@@ -7,27 +7,40 @@
 
 namespace bih {
 
-// Deterministic fault injection for the WAL's physical record writes.
+// Deterministic fault injection for the durability layer's physical
+// operations: framed record writes, sync (fdatasync) points, segment
+// rotations, checkpoint frame writes and the checkpoint's atomic rename.
 //
-// The injector is consulted once per *attempt* to append a framed record.
-// It can let the write pass, fail it outright (as if the disk returned
-// EIO), fail only the first attempt (a transient error the writer's retry
-// loop should absorb), persist only a prefix of the frame (a torn write:
-// the classic crash-mid-append), or flip one byte of the frame before it
-// lands (silent media corruption). After a fail/torn trigger the injector
-// is "crashed": every later write fails, modeling a process that never
+// The injector is consulted once per *attempt* of each operation. A write
+// can pass, fail outright (as if the disk returned EIO), fail a bounded
+// number of attempts (a transient error the writer's retry loop should
+// absorb), persist only a prefix of the frame (a torn write: the classic
+// crash-mid-append), or have one byte flipped before it lands (silent media
+// corruption). Sync/rotate/checkpoint/rename faults model a process killed
+// at that exact durability step. After any crashing trigger the injector is
+// "crashed": every later operation fails, modeling a process that never
 // comes back between the fault and recovery. A transient trigger does not
-// crash: the retry of the same record succeeds.
+// crash: a later attempt at the same record succeeds.
 //
-// All decisions are a pure function of the plan and the write counter, so a
-// given configuration reproduces the same byte stream every run; the CI
-// crash sweep relies on this.
+// All decisions are a pure function of the plan and the operation counters,
+// so a given configuration reproduces the same byte stream every run; the
+// CI crash sweep relies on this.
 class FaultInjector {
  public:
-  enum class Mode { kNone, kFailWrite, kTransientWrite, kTornWrite, kFlipByte };
+  enum class Mode {
+    kNone,
+    kFailWrite,
+    kTransientWrite,
+    kTornWrite,
+    kFlipByte,
+    kFailSync,        // kill at the Nth fdatasync point
+    kFailRotate,      // kill mid segment rotation
+    kFailCheckpoint,  // kill mid checkpoint write (torn .tmp file)
+    kTornRename,      // kill just before the checkpoint's atomic rename
+  };
 
   struct Action {
-    bool fail = false;          // drop the frame, return kIoError
+    bool fail = false;          // drop the operation, return kIoError
     bool torn = false;          // persist only keep_bytes, then crash
     size_t keep_bytes = 0;      // prefix length for a torn write
     bool flip = false;          // XOR one byte of the frame
@@ -39,8 +52,10 @@ class FaultInjector {
 
   // Fail the nth frame write (1-based) and every one after it.
   static FaultInjector FailNth(uint64_t n);
-  // Fail only the first attempt at the nth frame write; the retry passes.
-  static FaultInjector TransientNth(uint64_t n);
+  // Fail `attempts` consecutive attempts at the nth frame write; the next
+  // attempt passes. With attempts >= the writer's retry budget this models
+  // an outage the retry loop cannot ride out.
+  static FaultInjector TransientNth(uint64_t n, uint64_t attempts = 1);
   // Persist only `keep_bytes` of the nth frame, then crash. keep_bytes
   // beyond the frame length persists the whole frame (the fault degrades
   // to a clean crash after the record).
@@ -50,8 +65,19 @@ class FaultInjector {
   // by CRC at recovery time.
   static FaultInjector FlipByteNth(uint64_t n, size_t offset,
                                    uint8_t mask = 0x01);
-  // Parses BIH_FAULT ("fail:N" | "transient:N" | "torn:N:KEEP" |
-  // "flip:N:OFF") from the environment; returns a no-op injector when unset
+  // Kill the process model at the nth sync point (fdatasync on commit).
+  static FaultInjector FailSyncNth(uint64_t n);
+  // Kill the process model during the nth WAL segment rotation.
+  static FaultInjector FailRotateNth(uint64_t n);
+  // Kill the process model at the nth checkpoint frame write, leaving a
+  // torn .tmp file behind.
+  static FaultInjector FailCheckpointNth(uint64_t n);
+  // Kill the process model just before the nth checkpoint rename: the
+  // finished .tmp file is never published.
+  static FaultInjector TornRenameNth(uint64_t n);
+  // Parses BIH_FAULT ("fail:N" | "transient:N" | "transient:N:K" |
+  // "torn:N:KEEP" | "flip:N:OFF" | "sync:N" | "rotate:N" | "ckpt:N" |
+  // "rename:N") from the environment; returns a no-op injector when unset
   // or malformed.
   static FaultInjector FromEnv(const char* var = "BIH_FAULT");
   // Derives a pseudo-random plan from a seed: mode, trigger write in
@@ -61,6 +87,15 @@ class FaultInjector {
   // Called by the WAL writer before appending frame number `write_index`
   // (1-based) of `frame_len` bytes.
   Action OnWrite(uint64_t write_index, size_t frame_len);
+  // Called before sync point number `sync_index` (1-based).
+  Action OnSync(uint64_t sync_index);
+  // Called before segment rotation number `rotate_index` (1-based).
+  Action OnRotate(uint64_t rotate_index);
+  // Called by the checkpointer before checkpoint frame `frame_index`
+  // (1-based, counted across checkpoints).
+  Action OnCheckpointWrite(uint64_t frame_index);
+  // Called just before atomic rename number `rename_index` (1-based).
+  Action OnRename(uint64_t rename_index);
 
   Mode mode() const { return mode_; }
   uint64_t trigger_write() const { return trigger_write_; }
@@ -68,8 +103,14 @@ class FaultInjector {
   std::string ToString() const;
 
  private:
+  // Shared handling of the crash-point hooks (sync/rotate/ckpt/rename):
+  // fail everything once crashed, crash when `m` triggers at `index`.
+  Action OnCrashPoint(Mode m, uint64_t index);
+
   Mode mode_ = Mode::kNone;
-  uint64_t trigger_write_ = 0;  // 1-based frame index of the fault
+  uint64_t trigger_write_ = 0;  // 1-based operation index of the fault
+  uint64_t transient_attempts_ = 1;
+  uint64_t transient_left_ = 0;
   size_t keep_bytes_ = 0;
   size_t flip_offset_ = 0;
   uint8_t flip_mask_ = 0x01;

@@ -1,8 +1,17 @@
 #include "durability/wal.h"
 
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 namespace bih {
 
@@ -218,6 +227,130 @@ uint32_t WalCrc32(const uint8_t* data, size_t n) {
   return c ^ 0xffffffffu;
 }
 
+std::string WalFileMagic() {
+  return std::string(kWalMagic, sizeof(kWalMagic));
+}
+
+// --- durable-sync primitives ----------------------------------------------
+
+bool DurableSyncEnabled() {
+  return std::getenv("BIH_NO_FSYNC") == nullptr;
+}
+
+Status SyncFileNow(std::FILE* f, const std::string& path) {
+  if (!DurableSyncEnabled()) return Status::OK();
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = fileno(f);
+  if (fd < 0) {
+    return Status::IoError("no descriptor to sync for " + path);
+  }
+  int rc;
+#if defined(__APPLE__)
+  while ((rc = fsync(fd)) != 0 && errno == EINTR) {
+  }
+#else
+  while ((rc = fdatasync(fd)) != 0 && errno == EINTR) {
+  }
+#endif
+  if (rc != 0) {
+    return Status::IoError("fdatasync failed for " + path + ": " +
+                           std::strerror(errno));
+  }
+#else
+  (void)f;
+  (void)path;
+#endif
+  return Status::OK();
+}
+
+Status SyncParentDir(const std::string& path) {
+  if (!DurableSyncEnabled()) return Status::OK();
+#if defined(__unix__) || defined(__APPLE__)
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                                                     : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open directory " + dir +
+                           " for sync: " + std::strerror(errno));
+  }
+  int rc;
+  while ((rc = fsync(fd)) != 0 && errno == EINTR) {
+  }
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError("directory fsync failed for " + dir + ": " +
+                           std::strerror(saved_errno));
+  }
+#else
+  (void)path;
+#endif
+  return Status::OK();
+}
+
+// --- segment naming -------------------------------------------------------
+
+std::string WalSegmentPath(const std::string& base, uint64_t index) {
+  if (index <= 1) return base;
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), ".%06llu",
+                static_cast<unsigned long long>(index));
+  return base + suffix;
+}
+
+std::vector<WalSegment> ListWalSegments(const std::string& base) {
+  std::vector<WalSegment> segments;
+  std::error_code ec;
+  if (std::filesystem::exists(base, ec)) {
+    segments.push_back(WalSegment{1, base});
+  }
+  const std::filesystem::path base_path(base);
+  const std::string stem = base_path.filename().string() + ".";
+  std::filesystem::path dir = base_path.parent_path();
+  if (dir.empty()) dir = ".";
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= stem.size() || name.compare(0, stem.size(), stem) != 0) {
+      continue;
+    }
+    const std::string suffix = name.substr(stem.size());
+    if (suffix.size() < 6 ||
+        !std::all_of(suffix.begin(), suffix.end(),
+                     [](char c) { return c >= '0' && c <= '9'; })) {
+      continue;  // not a segment (e.g. base.ckpt, base.ckpt.tmp)
+    }
+    const uint64_t index = std::strtoull(suffix.c_str(), nullptr, 10);
+    if (index >= 2) segments.push_back(WalSegment{index, entry.path().string()});
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const WalSegment& a, const WalSegment& b) {
+              return a.index < b.index;
+            });
+  return segments;
+}
+
+Status RemoveWalSegmentsBefore(const std::string& base, uint64_t keep_from,
+                               uint64_t* removed) {
+  uint64_t count = 0;
+  Status first_error = Status::OK();
+  for (const WalSegment& seg : ListWalSegments(base)) {
+    if (seg.index >= keep_from) continue;
+    std::error_code ec;
+    const bool did_remove = std::filesystem::remove(seg.path, ec);
+    if (ec) {
+      if (first_error.ok()) {
+        first_error = Status::IoError("cannot remove wal segment " + seg.path +
+                                      ": " + ec.message());
+      }
+    } else if (did_remove) {
+      ++count;
+    }
+  }
+  if (removed != nullptr) *removed = count;
+  return first_error;
+}
+
 void EncodeWalRecord(const WalRecord& rec, std::string* out) {
   out->clear();
   PutU8(static_cast<uint8_t>(rec.kind), out);
@@ -271,6 +404,14 @@ void EncodeWalRecord(const WalRecord& rec, std::string* out) {
       break;
     case WalRecord::Kind::kCommit:
       break;
+    case WalRecord::Kind::kSnapshotRows:
+      PutString(rec.table, out);
+      PutU32(static_cast<uint32_t>(rec.rows.size()), out);
+      for (const Row& r : rec.rows) PutRow(r, out);
+      break;
+    case WalRecord::Kind::kCheckpointFooter:
+      PutI64(static_cast<int64_t>(rec.segments_covered), out);
+      break;
   }
 }
 
@@ -282,7 +423,7 @@ Status DecodeWalRecord(const uint8_t* data, size_t n, WalRecord* out) {
     return Status::IoError("wal record header truncated");
   }
   if (kind < static_cast<uint8_t>(WalRecord::Kind::kCreateTable) ||
-      kind > static_cast<uint8_t>(WalRecord::Kind::kCommit)) {
+      kind > static_cast<uint8_t>(WalRecord::Kind::kCheckpointFooter)) {
     return Status::IoError("wal record has unknown kind " +
                            std::to_string(kind));
   }
@@ -348,6 +489,26 @@ Status DecodeWalRecord(const uint8_t* data, size_t n, WalRecord* out) {
     }
     case WalRecord::Kind::kCommit:
       break;
+    case WalRecord::Kind::kSnapshotRows: {
+      uint32_t nrows;
+      ok = c.GetString(&out->table) && c.GetU32(&nrows) && nrows <= c.left;
+      if (ok) {
+        out->rows.clear();
+        out->rows.reserve(nrows);
+        for (uint32_t i = 0; ok && i < nrows; ++i) {
+          Row r;
+          ok = c.GetRow(&r);
+          out->rows.push_back(std::move(r));
+        }
+      }
+      break;
+    }
+    case WalRecord::Kind::kCheckpointFooter: {
+      int64_t covered = 0;
+      ok = c.GetI64(&covered) && covered >= 0;
+      out->segments_covered = static_cast<uint64_t>(covered);
+      break;
+    }
   }
   if (!ok || c.left != 0) {
     return Status::IoError("wal record payload malformed");
@@ -368,19 +529,78 @@ Status WalWriter::Open(const std::string& path, FaultInjector* fault,
   if (f == nullptr) {
     return Status::IoError("cannot create wal file " + path);
   }
-  if (std::fwrite(kWalMagic, 1, sizeof(kWalMagic), f) != sizeof(kWalMagic)) {
+  if (std::fwrite(kWalMagic, 1, sizeof(kWalMagic), f) != sizeof(kWalMagic) ||
+      std::fflush(f) != 0) {
     std::fclose(f);
     return Status::IoError("cannot write wal magic to " + path);
+  }
+  // The empty log itself must survive a crash: sync the file, then the
+  // parent directory so the new name is durable too.
+  Status st = SyncFileNow(f, path);
+  if (st.ok()) st = SyncParentDir(path);
+  if (!st.ok()) {
+    std::fclose(f);
+    return st;
   }
   out->reset(new WalWriter(path, f, fault, sizeof(kWalMagic)));
   return Status::OK();
 }
 
+Status WalWriter::MarkDead(std::string reason) {
+  dead_ = true;
+  dead_reason_ = std::move(reason);
+  return Status::IoError(dead_reason_);
+}
+
+Status WalWriter::DeadStatus() const {
+  // Deliberately terse and stable: the actionable detail was surfaced once
+  // by the call that killed the writer and stays available in dead_reason();
+  // a load loop retrying thousands of appends should not spam variants.
+  return Status::IoError("wal writer for " + path_ +
+                         " is dead; writes are rejected until recovery");
+}
+
+Status WalWriter::FlushLocked() {
+  // fflush failures (EINTR, momentary ENOSPC) leave the stream buffer
+  // intact, so the flush can simply be retried.
+  for (int attempt = 1; std::fflush(file_) != 0; ++attempt) {
+    if (attempt >= kMaxWriteAttempts) {
+      return MarkDead("wal flush failed for " + path_ + ": " +
+                      std::strerror(errno));
+    }
+    BackoffAfterAttempt(attempt);
+  }
+  return Status::OK();
+}
+
+Status WalWriter::SyncLocked() {
+  const uint64_t sync_index = syncs_ + 1;
+  for (int attempt = 1;; ++attempt) {
+    std::string cause;
+    if (fault_ != nullptr && fault_->OnSync(sync_index).fail) {
+      cause = "injected sync failure at sync point " +
+              std::to_string(sync_index);
+    } else {
+      Status st = SyncFileNow(file_, path_);
+      if (!st.ok()) cause = st.message();
+    }
+    if (cause.empty()) {
+      ++syncs_;
+      return Status::OK();
+    }
+    // A failed fdatasync leaves the durable prefix unknown but the stream
+    // intact; retrying the sync is safe (it either completes, proving the
+    // full prefix durable, or the writer dies here).
+    if (attempt >= kMaxWriteAttempts) {
+      return MarkDead("wal sync failed for " + path_ + " (" + cause + ")");
+    }
+    BackoffAfterAttempt(attempt);
+  }
+}
+
 Status WalWriter::Append(const WalRecord& rec) {
   MutexLock lock(mu_);
-  if (dead_) {
-    return Status::IoError("wal writer is dead after a failed write");
-  }
+  if (dead_) return DeadStatus();
   std::string& payload = payload_buf_;
   EncodeWalRecord(rec, &payload);
   std::string& frame = frame_buf_;
@@ -406,9 +626,8 @@ Status WalWriter::Append(const WalRecord& rec) {
           BackoffAfterAttempt(attempt);
           continue;
         }
-        dead_ = true;
-        return Status::IoError("injected write failure on wal record " +
-                               std::to_string(records_written_ + 1));
+        return MarkDead("injected write failure on wal record " +
+                        std::to_string(records_written_ + 1) + " of " + path_);
       }
       if (a.flip) {
         frame[a.flip_offset] = static_cast<char>(
@@ -422,10 +641,9 @@ Status WalWriter::Append(const WalRecord& rec) {
       // A short physical write is not retryable: an unknown prefix of the
       // frame is already on disk, and appending the frame again would
       // corrupt the log rather than repair it.
-      dead_ = true;
       std::fflush(file_);
-      return Status::IoError("torn wal write on record " +
-                             std::to_string(records_written_ + 1));
+      return MarkDead("torn wal write on record " +
+                      std::to_string(records_written_ + 1) + " of " + path_);
     }
     ++records_written_;
     return Status::OK();
@@ -434,18 +652,45 @@ Status WalWriter::Append(const WalRecord& rec) {
 
 Status WalWriter::Flush() {
   MutexLock lock(mu_);
-  if (dead_) {
-    return Status::IoError("wal writer is dead after a failed write");
+  if (dead_) return DeadStatus();
+  BIH_RETURN_IF_ERROR(FlushLocked());
+  return SyncLocked();
+}
+
+Status WalWriter::Rotate() {
+  MutexLock lock(mu_);
+  if (dead_) return DeadStatus();
+  // Finish the outgoing segment first: rotation must never leave synced
+  // and unsynced bytes on different sides of the boundary.
+  BIH_RETURN_IF_ERROR(FlushLocked());
+  BIH_RETURN_IF_ERROR(SyncLocked());
+  const uint64_t rotate_index = rotations_ + 1;
+  if (fault_ != nullptr && fault_->OnRotate(rotate_index).fail) {
+    return MarkDead("injected rotation failure at rotation " +
+                    std::to_string(rotate_index) + " of " + path_);
   }
-  // fflush failures (EINTR, momentary ENOSPC) leave the stream buffer
-  // intact, so the flush can simply be retried.
-  for (int attempt = 1; std::fflush(file_) != 0; ++attempt) {
-    if (attempt >= kMaxWriteAttempts) {
-      dead_ = true;
-      return Status::IoError("wal flush failed for " + path_);
-    }
-    BackoffAfterAttempt(attempt);
+  const std::string next_path = WalSegmentPath(path_, segment_index_ + 1);
+  std::FILE* next = std::fopen(next_path.c_str(), "wb");
+  if (next == nullptr) {
+    return MarkDead("cannot create wal segment " + next_path);
   }
+  if (std::fwrite(kWalMagic, 1, sizeof(kWalMagic), next) !=
+          sizeof(kWalMagic) ||
+      std::fflush(next) != 0) {
+    std::fclose(next);
+    return MarkDead("cannot write wal magic to " + next_path);
+  }
+  Status st = SyncFileNow(next, next_path);
+  if (st.ok()) st = SyncParentDir(next_path);
+  if (!st.ok()) {
+    std::fclose(next);
+    return MarkDead("wal rotation sync failed (" + st.message() + ")");
+  }
+  std::fclose(file_);
+  file_ = next;
+  ++segment_index_;
+  ++rotations_;
+  bytes_written_ += sizeof(kWalMagic);
   return Status::OK();
 }
 

@@ -33,10 +33,54 @@ namespace bih {
 // record closes its transaction; recovery discards an unterminated batch,
 // which is how a crash between Begin and the Commit flush loses exactly the
 // uncommitted suffix and nothing else.
+//
+// The log is segmented: segment 1 lives at the base path itself (so a
+// never-rotated log is byte-compatible with the pre-segmentation format)
+// and segment i >= 2 at "<base>.NNNNNN". Rotation is driven by the
+// checkpointer (durability/checkpoint.h); recovery replays the segment
+// chain in index order.
 
 // CRC-32 (IEEE 802.3 polynomial, reflected). Exposed so tests can craft
 // deliberately corrupt frames.
 uint32_t WalCrc32(const uint8_t* data, size_t n);
+
+// The 8-byte file magic shared by log segments and checkpoint files.
+std::string WalFileMagic();
+
+// --- durable-sync primitives ---------------------------------------------
+// These are the only sanctioned fsync/fdatasync call sites in the tree
+// (tools/bih_lint enforces it): every durability decision goes through
+// here, where BIH_NO_FSYNC can turn real device syncs off for tests and
+// benches that churn thousands of tiny throwaway logs.
+
+// True unless BIH_NO_FSYNC is set (re-read per call so tests can flip it).
+bool DurableSyncEnabled();
+// fdatasync of `f`'s descriptor; EINTR is retried. No-op when sync is
+// disabled. `path` is only used for error messages.
+Status SyncFileNow(std::FILE* f, const std::string& path);
+// fsync of the directory containing `path`, making a create/rename of that
+// name durable. No-op when sync is disabled.
+Status SyncParentDir(const std::string& path);
+
+// --- segment naming -------------------------------------------------------
+
+// Path of segment `index` (1-based) of the log at `base`: `base` itself for
+// index 1, "<base>.NNNNNN" (zero-padded) beyond.
+std::string WalSegmentPath(const std::string& base, uint64_t index);
+
+struct WalSegment {
+  uint64_t index = 0;
+  std::string path;
+};
+
+// All existing segments of the log at `base`, sorted by index. Missing
+// leading segments (truncated by a checkpoint) are simply absent.
+std::vector<WalSegment> ListWalSegments(const std::string& base);
+
+// Deletes segments with index < keep_from (checkpoint truncation). The
+// number of files removed is reported via `removed` when non-null.
+Status RemoveWalSegmentsBefore(const std::string& base, uint64_t keep_from,
+                               uint64_t* removed = nullptr);
 
 struct WalRecord {
   enum class Kind : uint8_t {
@@ -49,21 +93,28 @@ struct WalRecord {
     kDeleteSequenced = 7,
     kBulkLoad = 8,
     kCommit = 9,  // closes the open transaction's records
+    // Checkpoint-file records (durability/checkpoint.h); never produced by
+    // live mutation logging.
+    kSnapshotRows = 10,     // a chunk of stored versions of one table
+    kCheckpointFooter = 11  // marks the checkpoint complete and readable
   };
   static constexpr uint8_t kInTxn = 0x01;  // flags bit
 
   Kind kind = Kind::kCommit;
   uint8_t flags = 0;
-  int64_t ts = 0;  // commit timestamp (micros); 0 for DDL
+  int64_t ts = 0;  // commit timestamp (micros); 0 for DDL;
+                   // clock watermark for kCheckpointFooter
 
-  std::string table;                    // all DML kinds
+  std::string table;                    // all DML kinds, kSnapshotRows
   TableDef def;                         // kCreateTable
   Row row;                              // kInsert
-  std::vector<Row> rows;                // kBulkLoad
+  std::vector<Row> rows;                // kBulkLoad, kSnapshotRows
   std::vector<Value> key;               // update/delete kinds
   int period_index = 0;                 // sequenced kinds
   Period period;                        // sequenced kinds
   std::vector<ColumnAssignment> set;    // update kinds
+  uint64_t segments_covered = 0;        // kCheckpointFooter: highest WAL
+                                        // segment folded into the snapshot
 
   bool in_txn() const { return (flags & kInTxn) != 0; }
 };
@@ -75,36 +126,48 @@ Status DecodeWalRecord(const uint8_t* data, size_t n, WalRecord* out);
 
 // Appends framed records to a log file. Writes go through the optional
 // FaultInjector. Clean failures (an injected EIO before any byte landed,
-// or a failed fflush) are retried with bounded exponential backoff before
-// giving up; a short physical write is never retried, because the on-disk
-// state is unknown. Once an append has definitively failed, the writer is
-// dead and every further Append returns kIoError (the in-memory engine
-// state is then ahead of the durable state, exactly like a real crash).
+// or a failed fflush/fdatasync) are retried with bounded exponential
+// backoff before giving up; a short physical write is never retried,
+// because the on-disk state is unknown. Once an append, flush or rotation
+// has definitively failed, the writer is dead: dead_reason() keeps the one
+// actionable first error and every further call returns the same terse
+// kIoError referencing it (the in-memory engine state is then ahead of the
+// durable state, exactly like a real crash — the session layer reacts by
+// degrading to read-only).
 //
-// Thread safety: the writer carries its own mutex, so Append/Flush are
-// safe from any thread. In the session layer all writes already arrive
+// Flush() is the durability point of a commit: it pushes buffered bytes to
+// the OS and then fdatasyncs the segment (unless BIH_NO_FSYNC is set).
+//
+// Thread safety: the writer carries its own mutex, so Append/Flush/Rotate
+// are safe from any thread. In the session layer all writes already arrive
 // serialized under the exclusive engine lock; the internal lock makes the
 // log's frame integrity independent of that outer discipline (and lets
 // -Wthread-safety prove nothing touches the stream unlocked).
 class WalWriter {
  public:
-  // Attempts per record/flush: the first try plus two retries, backing off
-  // 1ms then 2ms. Enough to ride out a transient EINTR/ENOSPC-race style
-  // hiccup without stalling a commit visibly.
+  // Attempts per record/flush/sync: the first try plus two retries, backing
+  // off 1ms then 2ms. Enough to ride out a transient EINTR/ENOSPC-race
+  // style hiccup without stalling a commit visibly.
   static constexpr int kMaxWriteAttempts = 3;
 
   ~WalWriter();
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
 
-  // Creates/truncates the log at `path` and writes the magic. The injector
+  // Creates/truncates segment 1 of the log at `path`, writes the magic and
+  // makes the creation durable (file + parent directory sync). The injector
   // (optional) is borrowed and must outlive the writer.
   static Status Open(const std::string& path, FaultInjector* fault,
                      std::unique_ptr<WalWriter>* out);
 
   Status Append(const WalRecord& rec) EXCLUDES(mu_);
-  // Pushes buffered bytes to the OS (the durability point of a commit).
+  // Pushes buffered bytes to the OS and syncs the device (the durability
+  // point of a commit).
   Status Flush() EXCLUDES(mu_);
+  // Finishes the current segment (flush + sync) and starts the next one.
+  // Called by the checkpointer at the checkpoint watermark so the snapshot
+  // covers exactly the finished segments.
+  Status Rotate() EXCLUDES(mu_);
 
   const std::string& path() const { return path_; }
   uint64_t records_written() const {
@@ -115,6 +178,23 @@ class WalWriter {
     MutexLock lock(mu_);
     return bytes_written_;
   }
+  uint64_t segment_index() const {
+    MutexLock lock(mu_);
+    return segment_index_;
+  }
+  uint64_t syncs() const {
+    MutexLock lock(mu_);
+    return syncs_;
+  }
+  bool dead() const {
+    MutexLock lock(mu_);
+    return dead_;
+  }
+  // The first definitive failure, verbatim; empty while the writer lives.
+  std::string dead_reason() const {
+    MutexLock lock(mu_);
+    return dead_reason_;
+  }
 
  private:
   WalWriter(std::string path, std::FILE* f, FaultInjector* fault,
@@ -124,7 +204,16 @@ class WalWriter {
         fault_(fault),
         bytes_written_(header_bytes) {}
 
-  const std::string path_;  // immutable after construction
+  // Records the first definitive failure and returns its status; later
+  // calls while dead get the same stable terse error from DeadStatus().
+  Status MarkDead(std::string reason) REQUIRES(mu_);
+  Status DeadStatus() const REQUIRES(mu_);
+  // fflush with bounded retries; marks the writer dead on exhaustion.
+  Status FlushLocked() REQUIRES(mu_);
+  // One sync point (fault-checked, retried, BIH_NO_FSYNC-gated).
+  Status SyncLocked() REQUIRES(mu_);
+
+  const std::string path_;  // base path (= segment 1), immutable
 
   // Everything below is the log stream's integrity: the FILE*, the injected
   // fault plan (its trigger counter mutates per write), the frame counters
@@ -132,9 +221,13 @@ class WalWriter {
   mutable Mutex mu_;
   std::FILE* file_ GUARDED_BY(mu_) = nullptr;
   FaultInjector* fault_ GUARDED_BY(mu_) PT_GUARDED_BY(mu_) = nullptr;  // not owned
-  uint64_t records_written_ GUARDED_BY(mu_) = 0;
-  uint64_t bytes_written_ GUARDED_BY(mu_) = 0;
+  uint64_t records_written_ GUARDED_BY(mu_) = 0;  // across all segments
+  uint64_t bytes_written_ GUARDED_BY(mu_) = 0;    // across all segments
+  uint64_t segment_index_ GUARDED_BY(mu_) = 1;
+  uint64_t syncs_ GUARDED_BY(mu_) = 0;
+  uint64_t rotations_ GUARDED_BY(mu_) = 0;
   bool dead_ GUARDED_BY(mu_) = false;
+  std::string dead_reason_ GUARDED_BY(mu_);
   // Scratch space reused across Append calls; at steady state appending a
   // record allocates nothing (this keeps the logging tax on the Fig. 16
   // loading path well under 2x).

@@ -194,6 +194,19 @@ class TemporalEngine {
   // Never mirrored to an attached WAL.
   Status ApplyWalRecord(const WalRecord& rec);
 
+  // --- Checkpointing ---------------------------------------------------
+  // Table names in deterministic (sorted) order; the checkpointer walks
+  // these to snapshot the whole engine.
+  virtual std::vector<std::string> ListTables() const = 0;
+  // Installs one stored version (scan-schema layout: user columns followed
+  // by SYS_TIME_START and SYS_TIME_END) directly into the engine's physical
+  // partitions — current/delta for an open interval, history for a closed
+  // one — bypassing DML semantics and WAL mirroring. Checkpoint restore
+  // only: call on a freshly created engine before it serves anything.
+  Status InstallVersion(const std::string& table, const Row& stored) {
+    return DoInstallVersion(table, stored);
+  }
+
   // --- Query -----------------------------------------------------------
   virtual void Scan(const ScanRequest& req, const RowCallback& cb) = 0;
 
@@ -237,6 +250,8 @@ class TemporalEngine {
   virtual Status DoDeleteSequenced(const std::string& table,
                                    const std::vector<Value>& key,
                                    int period_index, const Period& period) = 0;
+  virtual Status DoInstallVersion(const std::string& table,
+                                  const Row& stored) = 0;
 
   // Commit timestamp for the mutation being executed, as allocated by the
   // dispatching wrapper: a fresh tick in auto-commit mode, the transaction

@@ -223,6 +223,15 @@ Status TemporalEngine::ApplyWalRecord(const WalRecord& rec) {
                                rec.period);
     case WalRecord::Kind::kCommit:
       return Status::OK();
+    case WalRecord::Kind::kSnapshotRows:
+      for (const Row& stored : rec.rows) {
+        BIH_RETURN_IF_ERROR(DoInstallVersion(rec.table, stored));
+      }
+      return Status::OK();
+    case WalRecord::Kind::kCheckpointFooter:
+      // Nothing to install: the clock reset above already restored the
+      // commit watermark the footer carries in ts.
+      return Status::OK();
   }
   return Status::Internal("unhandled wal record kind");
 }

@@ -1,8 +1,37 @@
 #include "engine/recovery.h"
 
+#include <chrono>
+#include <filesystem>
 #include <vector>
 
+#include "durability/checkpoint.h"
+
 namespace bih {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 std::string RecoveryReport::ToString() const {
   std::string s = "recovery: " + std::to_string(records_applied) + "/" +
@@ -10,76 +39,219 @@ std::string RecoveryReport::ToString() const {
                   std::to_string(txns_committed) + " commits, " +
                   std::to_string(bytes_salvaged) + "/" +
                   std::to_string(bytes_total) + " bytes salvaged";
+  if (checkpoint_loaded) {
+    s += ", checkpoint: " + std::to_string(checkpoint_rows) +
+         " rows covering " + std::to_string(checkpoint_segments) +
+         " segments";
+  } else if (!checkpoint_ignored_reason.empty()) {
+    s += ", checkpoint ignored (" + checkpoint_ignored_reason + ")";
+  }
+  s += ", " + std::to_string(segments_scanned) + " segments scanned";
   if (ops_dropped > 0) {
     s += ", " + std::to_string(ops_dropped) + " uncommitted ops dropped";
   }
   if (tail_dropped) {
     s += ", tail dropped (" + tail_reason + ")";
   }
+  s += ", replayed in " + std::to_string(replay_micros) + " us";
   return s;
 }
+
+std::string RecoveryReport::ToJson() const {
+  std::string s = "{";
+  s += "\"records_total\":" + std::to_string(records_total);
+  s += ",\"records_applied\":" + std::to_string(records_applied);
+  s += ",\"txns_committed\":" + std::to_string(txns_committed);
+  s += ",\"ops_dropped\":" + std::to_string(ops_dropped);
+  s += ",\"bytes_total\":" + std::to_string(bytes_total);
+  s += ",\"bytes_salvaged\":" + std::to_string(bytes_salvaged);
+  s += std::string(",\"tail_dropped\":") + (tail_dropped ? "true" : "false");
+  s += ",\"tail_reason\":\"" + JsonEscape(tail_reason) + "\"";
+  s += ",\"last_commit_ts\":" + std::to_string(last_commit_ts);
+  s += ",\"segments_scanned\":" + std::to_string(segments_scanned);
+  s += std::string(",\"checkpoint_loaded\":") +
+       (checkpoint_loaded ? "true" : "false");
+  s += ",\"checkpoint_rows\":" + std::to_string(checkpoint_rows);
+  s += ",\"checkpoint_bytes\":" + std::to_string(checkpoint_bytes);
+  s += ",\"checkpoint_segments\":" + std::to_string(checkpoint_segments);
+  s += ",\"checkpoint_ignored_reason\":\"" +
+       JsonEscape(checkpoint_ignored_reason) + "\"";
+  s += ",\"replay_micros\":" + std::to_string(replay_micros);
+  s += "}";
+  return s;
+}
+
+namespace {
+
+// Restores a complete checkpoint into `engine`. An unreadable or torn file
+// (no footer) leaves the engine untouched and only fills
+// `checkpoint_ignored_reason` — the caller falls back to full log replay.
+Status LoadCheckpoint(const std::string& wal_path, TemporalEngine* engine,
+                      RecoveryReport* report, uint64_t* min_segment) {
+  const std::string path = Checkpointer::CheckpointPath(wal_path);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return Status::OK();
+
+  WalScanResult scan;
+  Status st = ScanWal(path, &scan);
+  if (!st.ok()) {
+    report->checkpoint_ignored_reason = st.ToString();
+    return Status::OK();
+  }
+  if (scan.records.empty() ||
+      scan.records.back().kind != WalRecord::Kind::kCheckpointFooter) {
+    report->checkpoint_ignored_reason =
+        scan.tail_dropped ? "torn write: " + scan.tail_reason
+                          : "no footer (crash during checkpoint write)";
+    return Status::OK();
+  }
+  for (const WalRecord& rec : scan.records) {
+    Status apply = engine->ApplyWalRecord(rec);
+    if (!apply.ok()) {
+      return Status::Internal("checkpoint restore failed (" + path +
+                              "): " + apply.ToString());
+    }
+    if (rec.kind == WalRecord::Kind::kSnapshotRows) {
+      report->checkpoint_rows += rec.rows.size();
+    }
+  }
+  const WalRecord& footer = scan.records.back();
+  report->checkpoint_loaded = true;
+  report->checkpoint_bytes = scan.bytes_total;
+  report->checkpoint_segments = footer.segments_covered;
+  report->last_commit_ts = footer.ts;
+  *min_segment = footer.segments_covered + 1;
+  return Status::OK();
+}
+
+}  // namespace
 
 Status RecoverEngine(const std::string& letter, const std::string& wal_path,
                      std::unique_ptr<TemporalEngine>* out,
                      RecoveryReport* report) {
   *report = RecoveryReport();
-  WalScanResult scan;
-  BIH_RETURN_IF_ERROR(ScanWal(wal_path, &scan));
-  report->records_total = scan.records.size();
-  report->bytes_total = scan.bytes_total;
-  report->bytes_salvaged = scan.bytes_salvaged;
-  report->tail_dropped = scan.tail_dropped;
-  report->tail_reason = scan.tail_reason;
+  const auto started = std::chrono::steady_clock::now();
+  auto stamp_duration = [&] {
+    report->replay_micros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count());
+  };
 
   std::unique_ptr<TemporalEngine> engine = MakeEngine(letter);
+
+  // Phase 1: the snapshot. It covers segments [1..checkpoint_segments]; the
+  // log before that boundary is not even read.
+  uint64_t min_segment = 1;
+  Status ckpt_st = LoadCheckpoint(wal_path, engine.get(), report, &min_segment);
+  if (!ckpt_st.ok()) {
+    stamp_duration();
+    return ckpt_st;
+  }
+
+  // Phase 2: the tail — every segment the snapshot does not cover, in index
+  // order. Without any checkpoint this degenerates to the original
+  // full-log replay (and a missing log stays an error, same contract as
+  // before segmentation existed).
+  std::vector<WalSegment> segments = ListWalSegments(wal_path);
+  std::vector<WalSegment> tail;
+  for (WalSegment& seg : segments) {
+    if (seg.index >= min_segment) tail.push_back(std::move(seg));
+  }
+  if (tail.empty() && !report->checkpoint_loaded) {
+    WalScanResult probe;
+    Status st = ScanWal(wal_path, &probe);  // yields "cannot open wal file"
+    stamp_duration();
+    return st.ok() ? Status::IoError("cannot open wal file " + wal_path) : st;
+  }
+
   // Records inside a transaction only become durable with its commit
   // marker, so they are staged here and replayed when the marker arrives;
-  // a log ending mid-transaction loses exactly that suffix.
-  std::vector<const WalRecord*> staged;
-  size_t idx = 0;
-  for (const WalRecord& rec : scan.records) {
-    ++idx;
-    if (rec.kind == WalRecord::Kind::kCommit) {
-      for (const WalRecord* op : staged) {
-        Status st = engine->ApplyWalRecord(*op);
-        if (!st.ok()) {
-          return Status::Internal("wal replay failed at record " +
-                                  std::to_string(idx) + ": " + st.ToString());
-        }
-        ++report->records_applied;
-      }
-      staged.clear();
-      // Advance the clock past the batch stamp even when the batch was
-      // empty, mirroring the Begin() tick of the original run.
-      Status commit_st = engine->ApplyWalRecord(rec);
-      if (!commit_st.ok()) {
-        return Status::Internal("wal replay failed at commit record " +
-                                std::to_string(idx) + ": " +
-                                commit_st.ToString());
-      }
-      ++report->txns_committed;
-      report->last_commit_ts = rec.ts;
-      continue;
+  // a log ending mid-transaction loses exactly that suffix. The stage
+  // survives segment boundaries (a rotation can land mid-batch).
+  std::vector<WalRecord> staged;
+  uint64_t expected_index = tail.empty() ? 0 : tail.front().index;
+  for (const WalSegment& seg : tail) {
+    if (seg.index != expected_index) {
+      // A hole in the chain: everything beyond it may depend on the lost
+      // segment, so replay stops at the last consistent prefix.
+      report->tail_dropped = true;
+      report->tail_reason = "missing wal segment " +
+                            WalSegmentPath(wal_path, expected_index);
+      break;
     }
-    if (rec.in_txn()) {
-      staged.push_back(&rec);
-      continue;
-    }
-    Status st = engine->ApplyWalRecord(rec);
+    ++expected_index;
+
+    WalScanResult scan;
+    Status st = ScanWal(seg.path, &scan);
     if (!st.ok()) {
-      return Status::Internal("wal replay failed at record " +
-                              std::to_string(idx) + ": " + st.ToString());
+      stamp_duration();
+      return st;
     }
-    ++report->records_applied;
-    if (rec.kind != WalRecord::Kind::kCreateTable) {
-      ++report->txns_committed;
-      report->last_commit_ts = rec.ts;
+    ++report->segments_scanned;
+    report->records_total += scan.records.size();
+    report->bytes_total += scan.bytes_total;
+    report->bytes_salvaged += scan.bytes_salvaged;
+
+    size_t idx = 0;
+    for (WalRecord& rec : scan.records) {
+      ++idx;
+      if (rec.kind == WalRecord::Kind::kCommit) {
+        for (const WalRecord& op : staged) {
+          Status apply = engine->ApplyWalRecord(op);
+          if (!apply.ok()) {
+            stamp_duration();
+            return Status::Internal("wal replay failed at record " +
+                                    std::to_string(idx) + " of " + seg.path +
+                                    ": " + apply.ToString());
+          }
+          ++report->records_applied;
+        }
+        staged.clear();
+        // Advance the clock past the batch stamp even when the batch was
+        // empty, mirroring the Begin() tick of the original run.
+        Status commit_st = engine->ApplyWalRecord(rec);
+        if (!commit_st.ok()) {
+          stamp_duration();
+          return Status::Internal("wal replay failed at commit record " +
+                                  std::to_string(idx) + " of " + seg.path +
+                                  ": " + commit_st.ToString());
+        }
+        ++report->txns_committed;
+        report->last_commit_ts = rec.ts;
+        continue;
+      }
+      if (rec.in_txn()) {
+        staged.push_back(std::move(rec));
+        continue;
+      }
+      Status apply = engine->ApplyWalRecord(rec);
+      if (!apply.ok()) {
+        stamp_duration();
+        return Status::Internal("wal replay failed at record " +
+                                std::to_string(idx) + " of " + seg.path +
+                                ": " + apply.ToString());
+      }
+      ++report->records_applied;
+      if (rec.kind != WalRecord::Kind::kCreateTable) {
+        ++report->txns_committed;
+        report->last_commit_ts = rec.ts;
+      }
+    }
+    if (scan.tail_dropped) {
+      // A torn frame inside the chain: frames beyond it (including whole
+      // later segments) are not provably ordered after the tear, so the
+      // replay stops here — prefix consistency over completeness.
+      report->tail_dropped = true;
+      report->tail_reason = scan.tail_reason + " (" + seg.path + ")";
+      break;
     }
   }
   report->ops_dropped = staged.size();
   // Post-recovery housekeeping, same as the loaders run after replay.
   engine->Maintain();
   *out = std::move(engine);
+  stamp_duration();
   return Status::OK();
 }
 

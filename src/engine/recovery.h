@@ -9,28 +9,49 @@
 
 namespace bih {
 
-// Outcome of replaying a write-ahead log into a fresh engine.
+// Outcome of rebuilding an engine from its checkpoint and write-ahead log.
 struct RecoveryReport {
-  uint64_t records_total = 0;    // valid records found in the log
+  // --- log replay -----------------------------------------------------
+  uint64_t records_total = 0;    // valid records found in the log tail
   uint64_t records_applied = 0;  // DDL + DML records replayed
   uint64_t txns_committed = 0;   // durable points (auto-commits + batches)
   uint64_t ops_dropped = 0;      // valid records discarded: unterminated txn
-  uint64_t bytes_total = 0;      // log file size
+  uint64_t bytes_total = 0;      // log tail bytes scanned
   uint64_t bytes_salvaged = 0;   // prefix kept after torn/corrupt-tail cut
   bool tail_dropped = false;     // the log ended in a torn/corrupt frame
   std::string tail_reason;       // why the tail was cut (empty when clean)
   int64_t last_commit_ts = 0;    // commit stamp of the last durable point
+  uint64_t segments_scanned = 0;  // WAL segments replayed after the snapshot
+
+  // --- checkpoint -------------------------------------------------------
+  bool checkpoint_loaded = false;       // a complete snapshot was restored
+  uint64_t checkpoint_rows = 0;         // stored versions installed from it
+  uint64_t checkpoint_bytes = 0;        // checkpoint file size
+  uint64_t checkpoint_segments = 0;     // WAL segments the snapshot covers
+  // Why a present checkpoint file was NOT used (torn write, bad frame, …);
+  // empty when none exists or it loaded cleanly. An ignored checkpoint is
+  // never an error: recovery falls back to full log replay.
+  std::string checkpoint_ignored_reason;
+
+  uint64_t replay_micros = 0;  // wall time of the whole rebuild
 
   std::string ToString() const;
+  // Single-line JSON object with every field above; the CI chaos sweep
+  // uploads these as its artifact.
+  std::string ToJson() const;
 };
 
-// Replays the log at `wal_path` into a fresh engine of architecture
-// `letter`, reproducing the exact bitemporal state at the last durable
-// commit — identical commit timestamps included, so time-travel queries
-// against the recovered engine agree with the original. A torn or corrupt
-// tail (detected by framing/CRC) and an unterminated trailing transaction
-// are cleanly dropped and accounted for in `report`; both out-params are
-// filled even on failure.
+// Rebuilds an engine of architecture `letter` from the log at `wal_path`:
+// first the checkpoint at Checkpointer::CheckpointPath(wal_path) if one is
+// present and
+// complete (its footer is the completeness marker), then the WAL segment
+// chain it does not cover, in index order — so replay cost is bounded by
+// log-since-checkpoint, not total history. Commit timestamps are reproduced
+// exactly; time-travel queries against the recovered engine agree with the
+// original. A torn or corrupt segment tail and an unterminated trailing
+// transaction are cleanly dropped and accounted for in `report`; a torn
+// checkpoint is ignored (the previous durable state wins). Both out-params
+// are filled even on failure.
 Status RecoverEngine(const std::string& letter, const std::string& wal_path,
                      std::unique_ptr<TemporalEngine>* out,
                      RecoveryReport* report);

@@ -1,5 +1,7 @@
 #include "engine/system_a.h"
 
+#include <algorithm>
+
 namespace bih {
 
 namespace {
@@ -325,6 +327,34 @@ void SystemAEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
                   stats, &stopped, cb);
   }
   if (req.stats == nullptr) stats_ = local;
+}
+
+std::vector<std::string> SystemAEngine::ListTables() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, t] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status SystemAEngine::DoInstallVersion(const std::string& table,
+                                       const Row& stored) {
+  Table* t = Find(table);
+  if (t == nullptr) return Status::NotFound("table " + table);
+  if (static_cast<int>(stored.size()) != t->stored_schema.num_columns()) {
+    return Status::InvalidArgument("snapshot row arity mismatch for " + table);
+  }
+  const bool open = stored.back().AsInt() == Period::kForever;
+  if (open) {
+    RowId rid = t->current.Append(stored);
+    const Row& r = t->current.Get(rid);
+    t->pk_current.Insert(KeyOf(*t, r), rid);
+    t->current_indexes.OnInsert(r, rid);
+  } else {
+    RowId hid = t->history.Append(stored);
+    t->history_indexes.OnInsert(t->history.Get(hid), hid);
+  }
+  return Status::OK();
 }
 
 TableStats SystemAEngine::GetTableStats(const std::string& table) const {

@@ -553,6 +553,44 @@ void SystemBEngine::PrepareForReads() {
   for (auto& [name, t] : tables_) FlushUndo(&t);
 }
 
+std::vector<std::string> SystemBEngine::ListTables() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, t] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status SystemBEngine::DoInstallVersion(const std::string& table,
+                                       const Row& stored) {
+  Table* t = Find(table);
+  if (t == nullptr) return Status::NotFound("table " + table);
+  if (static_cast<int>(stored.size()) != t->stored_schema.num_columns()) {
+    return Status::InvalidArgument("snapshot row arity mismatch for " + table);
+  }
+  const size_t user_cols = static_cast<size_t>(t->def.schema.num_columns());
+  const int64_t sys_from = stored[user_cols].AsInt();
+  const int64_t sys_to = stored[user_cols + 1].AsInt();
+  if (sys_to == Period::kForever) {
+    Row user_row(stored.begin(), stored.begin() + static_cast<long>(user_cols));
+    InsertCurrent(t, std::move(user_row), Timestamp(sys_from), /*stmt=*/0);
+  } else {
+    // Closed versions go straight to the history partition. The metadata
+    // columns are zeroed: a restored store has no live transaction ids, and
+    // scans never emit them (the scan schema stops at SYS_TIME_END).
+    Row hist(stored.begin(), stored.begin() + static_cast<long>(user_cols));
+    hist.push_back(Value(sys_from));
+    hist.push_back(Value(sys_to));
+    hist.push_back(Value(static_cast<int64_t>(0)));  // TXN_ID
+    hist.push_back(Value(static_cast<int64_t>(0)));  // STMT_TYPE
+    RowId hid = t->history.Append(std::move(hist));
+    if (!t->history_indexes.empty()) {
+      t->history_indexes.OnInsert(t->history.Get(hid), hid);
+    }
+  }
+  return Status::OK();
+}
+
 TableStats SystemBEngine::GetTableStats(const std::string& table) const {
   const Table* t = Find(table);
   BIH_CHECK_MSG(t != nullptr, "no table " + table);

@@ -392,6 +392,36 @@ void SystemCEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
   if (req.stats == nullptr) stats_ = local;
 }
 
+std::vector<std::string> SystemCEngine::ListTables() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, t] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status SystemCEngine::DoInstallVersion(const std::string& table,
+                                       const Row& stored) {
+  Table* t = Find(table);
+  if (t == nullptr) return Status::NotFound("table " + table);
+  if (static_cast<int>(stored.size()) != t->stored_schema.num_columns()) {
+    return Status::InvalidArgument("snapshot row arity mismatch for " + table);
+  }
+  const size_t user_cols = static_cast<size_t>(t->def.schema.num_columns());
+  const int64_t sys_from = stored[user_cols].AsInt();
+  const bool open = stored[user_cols + 1].AsInt() == Period::kForever;
+  if (open) {
+    Row user_row(stored.begin(), stored.begin() + static_cast<long>(user_cols));
+    AppendVersion(t, std::move(user_row), Timestamp(sys_from));
+    MaybeMerge(t);
+  } else {
+    // Invalidated versions land in history directly; they never pass
+    // through delta, so no key-map maintenance is needed.
+    t->history.Append(stored);
+  }
+  return Status::OK();
+}
+
 TableStats SystemCEngine::GetTableStats(const std::string& table) const {
   const Table* t = Find(table);
   BIH_CHECK_MSG(t != nullptr, "no table " + table);

@@ -1,5 +1,7 @@
 #include "engine/system_d.h"
 
+#include <algorithm>
+
 namespace bih {
 
 namespace {
@@ -288,6 +290,21 @@ void SystemDEngine::ScanMorsel(const RowTable& part, const ScanRequest& req,
     out->rows.push_back(row);
     out->examined_at.push_back(out->rows_examined);
   }
+}
+
+std::vector<std::string> SystemDEngine::ListTables() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, t] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status SystemDEngine::DoInstallVersion(const std::string& table,
+                                       const Row& stored) {
+  // The single-table layout stores scan-schema rows verbatim; installing a
+  // snapshot version is exactly a one-row bulk load.
+  return DoBulkLoad(table, {stored});
 }
 
 TableStats SystemDEngine::GetTableStats(const std::string& table) const {

@@ -54,6 +54,9 @@ class SystemDEngine : public TemporalEngine {
                          const std::vector<Value>& key, int period_index,
                          const Period& period) override;
 
+  std::vector<std::string> ListTables() const override;
+  Status DoInstallVersion(const std::string& table, const Row& stored) override;
+
   void Scan(const ScanRequest& req, const RowCallback& cb) override;
   TableStats GetTableStats(const std::string& table) const override;
 

@@ -198,8 +198,30 @@ Status SessionManager::DoRead(Snapshot snap, ScanRequest& req,
   return result;
 }
 
+void SessionManager::DegradeIfWalDead() {
+  WalWriter* wal = engine_->wal();
+  if (wal != nullptr && wal->dead()) {
+    read_only_.store(true, std::memory_order_release);
+  }
+}
+
+Status SessionManager::ReadOnlyStatus() const {
+  return Status::Unavailable(
+      "session is read-only: the write-ahead log failed and the in-memory "
+      "state may be ahead of the durable state",
+      "snapshot reads continue at the last durable commit; restart the "
+      "server and recover from the log to restore writes");
+}
+
 Status SessionManager::Write(
     const std::function<Status(TemporalEngine&)>& fn) {
+  // Fast path: a degraded session rejects writes without ever contending
+  // for the writer lock, so the rejection cannot stall running reads.
+  if (read_only_.load(std::memory_order_acquire)) {
+    MutexLock st(stats_mu_);
+    ++stats_.writes_unavailable;
+    return ReadOnlyStatus();
+  }
   {
     WriterLock lock(rw_mu_);
     Status s = fn(*engine_);
@@ -209,12 +231,28 @@ Status SessionManager::Write(
     // batch whose earlier statements committed.
     engine_->PrepareForReads();
     PublishWatermark();
+    // A write that killed the WAL leaves durable state behind in-memory
+    // state; from here on the session serves the pinned snapshots but
+    // accepts no further writes.
+    DegradeIfWalDead();
     {
       MutexLock st(stats_mu_);
       ++stats_.writes;
     }
     return s;
   }
+}
+
+Status SessionManager::RunCheckpoint(Checkpointer* cp, CheckpointInfo* info) {
+  if (read_only_.load(std::memory_order_acquire)) {
+    return ReadOnlyStatus();
+  }
+  WriterLock lock(rw_mu_);
+  Status s = cp->Write(engine_, info);
+  // The rotation may have killed the writer (injected or real): degrade
+  // rather than let the next commit fail confusingly.
+  DegradeIfWalDead();
+  return s;
 }
 
 Status SessionManager::Insert(const std::string& table, Row row) {

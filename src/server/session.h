@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/thread_annotations.h"
+#include "durability/checkpoint.h"
 #include "engine/engine.h"
 #include "exec/parallel.h"
 #include "server/admission.h"
@@ -46,6 +47,11 @@ struct SessionConfig {
 //    shedding) and carries an optional QueryContext checked per row; a
 //    background watchdog cancels queries that outlive their deadline even
 //    if they are stuck off the per-row path.
+//  * When the write-ahead log dies (device failure, injected or real), the
+//    manager degrades to read-only instead of taking the server down:
+//    every subsequent write returns kUnavailable with a retry hint, while
+//    pinned-snapshot reads keep serving the state at the last durable
+//    commit. Restarting and recovering from the log restores writes.
 //
 // Every read call returns exactly one of: kOk (with rows), kDeadlineExceeded,
 // kCancelled, or kResourceExhausted. An interrupted read leaves engine state
@@ -102,6 +108,16 @@ class SessionManager {
                        const std::vector<ColumnAssignment>& set);
   Status DeleteCurrent(const std::string& table, const std::vector<Value>& key);
 
+  // Runs a checkpoint under the exclusive lock (the checkpointer requires
+  // no mutation between its WAL rotation and its snapshot scan). Readers
+  // proceed again as soon as it returns; writes queue behind it.
+  Status RunCheckpoint(Checkpointer* cp, CheckpointInfo* info);
+
+  // --- Degraded operation ----------------------------------------------
+  // True once the manager has flipped to read-only after a WAL failure.
+  // Writes are rejected with kUnavailable; reads are unaffected.
+  bool read_only() const { return read_only_.load(std::memory_order_acquire); }
+
   // --- Introspection ---------------------------------------------------
   struct ServerStats {
     AdmissionController::Stats admission;
@@ -110,6 +126,7 @@ class SessionManager {
     uint64_t reads_cancelled = 0;
     uint64_t reads_shed = 0;
     uint64_t writes = 0;
+    uint64_t writes_unavailable = 0;  // rejected while degraded read-only
     uint64_t watchdog_kills = 0;
   };
   ServerStats GetStats() const;
@@ -153,6 +170,12 @@ class SessionManager {
   // atomic store racing half-finished writes.
   void PublishWatermark() REQUIRES(rw_mu_);
 
+  // Flips to read-only if the engine's WAL has died. Called after every
+  // write/checkpoint while still holding the exclusive lock.
+  void DegradeIfWalDead() REQUIRES(rw_mu_);
+  // The stable kUnavailable writes receive while degraded.
+  Status ReadOnlyStatus() const;
+
   std::unique_ptr<TemporalEngine> owned_engine_;
   // The pointer is set once in the constructor and never reassigned; the
   // *pointee* is the shared state: readers scan it under the shared side
@@ -175,6 +198,11 @@ class SessionManager {
   // via PublishWatermark() REQUIRES(rw_mu_); read lock-free in
   // OpenSnapshot().
   std::atomic<int64_t> watermark_{0};
+
+  // Flips once (false -> true) when the WAL dies; checked lock-free on the
+  // write fast path so rejected writes never queue behind the writer lock.
+  // Set only while holding rw_mu_ exclusively (DegradeIfWalDead).
+  std::atomic<bool> read_only_{false};
 
   AdmissionController admission_;
 

@@ -5,6 +5,7 @@
 #include "common/chrono.h"
 #include "common/period.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "common/value.h"
 
 namespace bih {
@@ -200,6 +201,33 @@ TEST(ValueTest, ToString) {
   EXPECT_EQ("NULL", Value().ToString());
   EXPECT_EQ("42", Value(int64_t{42}).ToString());
   EXPECT_EQ("abc", Value("abc").ToString());
+}
+
+TEST(StatusTest, UnavailableCarriesRetryHint) {
+  Status s = Status::Unavailable("store is read-only",
+                                 "recover from the log and retry");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(Status::Code::kUnavailable, s.code());
+  EXPECT_EQ("recover from the log and retry", s.retry_hint());
+  // The hint is folded into the message after a fixed marker, so callers
+  // that only print ToString() still see it.
+  EXPECT_EQ("Unavailable: store is read-only; retry: recover from the log and retry",
+            s.ToString());
+}
+
+TEST(StatusTest, UnavailableWithoutHint) {
+  Status s = Status::Unavailable("maintenance window");
+  EXPECT_EQ(Status::Code::kUnavailable, s.code());
+  EXPECT_EQ("", s.retry_hint());
+  EXPECT_EQ("Unavailable: maintenance window", s.ToString());
+}
+
+TEST(StatusTest, RetryHintIsEmptyForOtherCodes) {
+  // Even a message that happens to contain the marker text yields no hint
+  // unless the status really is kUnavailable.
+  Status io = Status::IoError("disk failed; retry: later");
+  EXPECT_EQ("", io.retry_hint());
+  EXPECT_EQ("", Status::OK().retry_hint());
 }
 
 }  // namespace

@@ -356,5 +356,180 @@ TEST(EngineWalTest, RecoveryPreservesCommitTimestamps) {
   }
 }
 
+// --- segments, rotation & checkpoint truncation ---------------------------
+
+TEST(WalSegmentTest, SegmentNamingListingAndTruncation) {
+  const std::string base = TmpPath("seg.wal");
+  EXPECT_EQ(base, WalSegmentPath(base, 1));
+  EXPECT_EQ(base + ".000002", WalSegmentPath(base, 2));
+  EXPECT_EQ(base + ".000123", WalSegmentPath(base, 123));
+
+  std::unique_ptr<WalWriter> w;
+  ASSERT_TRUE(WalWriter::Open(base, nullptr, &w).ok());
+  WalRecord rec;
+  rec.kind = WalRecord::Kind::kCommit;
+  rec.ts = 1;
+  ASSERT_TRUE(w->Append(rec).ok());
+  ASSERT_TRUE(w->Rotate().ok());
+  rec.ts = 2;
+  ASSERT_TRUE(w->Append(rec).ok());
+  ASSERT_TRUE(w->Rotate().ok());
+  rec.ts = 3;
+  ASSERT_TRUE(w->Append(rec).ok());
+  ASSERT_TRUE(w->Flush().ok());
+  EXPECT_EQ(3u, w->segment_index());
+  EXPECT_EQ(3u, w->records_written());  // cumulative across segments
+  w.reset();
+
+  std::vector<WalSegment> segs = ListWalSegments(base);
+  ASSERT_EQ(3u, segs.size());
+  for (size_t i = 0; i < segs.size(); ++i) {
+    EXPECT_EQ(i + 1, segs[i].index);
+    WalScanResult scan;
+    ASSERT_TRUE(ScanWal(segs[i].path, &scan).ok());
+    ASSERT_EQ(1u, scan.records.size());
+    EXPECT_EQ(static_cast<int64_t>(i + 1), scan.records[0].ts);
+    EXPECT_FALSE(scan.tail_dropped);
+  }
+
+  // Checkpoint truncation: drop every segment the snapshot already covers.
+  uint64_t removed = 0;
+  ASSERT_TRUE(RemoveWalSegmentsBefore(base, 3, &removed).ok());
+  EXPECT_EQ(2u, removed);
+  segs = ListWalSegments(base);
+  ASSERT_EQ(1u, segs.size());
+  EXPECT_EQ(3u, segs[0].index);
+  // Truncating again is a no-op, not an error.
+  ASSERT_TRUE(RemoveWalSegmentsBefore(base, 3, &removed).ok());
+  EXPECT_EQ(0u, removed);
+}
+
+// --- writer death: one actionable error, then a stable rejection ----------
+
+TEST(WalWriterTest, TransientExhaustionMarksWriterDeadExactlyOnce) {
+  const std::string path = TmpPath("exhaust.wal");
+  // Record 2 fails on 5 consecutive attempts — beyond the writer's
+  // 3-attempt backoff budget, so this "transient" behaves like a device
+  // outage the retry loop cannot ride out.
+  FaultInjector fi = FaultInjector::TransientNth(2, 5);
+  std::unique_ptr<WalWriter> w;
+  ASSERT_TRUE(WalWriter::Open(path, &fi, &w).ok());
+  WalRecord rec;
+  rec.kind = WalRecord::Kind::kCommit;
+  rec.ts = 1;
+  ASSERT_TRUE(w->Append(rec).ok());
+
+  // The killing call surfaces the one actionable error...
+  Status first = w->Append(rec);
+  ASSERT_EQ(Status::Code::kIoError, first.code());
+  EXPECT_NE(std::string::npos,
+            first.message().find("injected write failure on wal record 2"));
+  EXPECT_NE(std::string::npos, first.message().find(path));
+  EXPECT_TRUE(w->dead());
+  EXPECT_EQ(first.message(), w->dead_reason());
+
+  // ...and every later call gets the same stable terse rejection pointing
+  // back at recovery, instead of a fresh variant per retried append.
+  Status again = w->Append(rec);
+  ASSERT_EQ(Status::Code::kIoError, again.code());
+  EXPECT_NE(std::string::npos, again.message().find("is dead"));
+  EXPECT_EQ(again.message(), w->Append(rec).message());
+  EXPECT_EQ(again.message(), w->Flush().message());
+  EXPECT_EQ(again.message(), w->Rotate().message());
+  // The actionable first error is preserved, never overwritten.
+  EXPECT_EQ(first.message(), w->dead_reason());
+  EXPECT_EQ(1u, w->records_written());
+}
+
+TEST(WalWriterTest, TransientWithinBackoffBudgetSurvives) {
+  const std::string path = TmpPath("survive.wal");
+  // Two failed attempts, third passes: inside the 3-attempt budget.
+  FaultInjector fi = FaultInjector::TransientNth(1, 2);
+  std::unique_ptr<WalWriter> w;
+  ASSERT_TRUE(WalWriter::Open(path, &fi, &w).ok());
+  WalRecord rec;
+  rec.kind = WalRecord::Kind::kCommit;
+  rec.ts = 42;
+  ASSERT_TRUE(w->Append(rec).ok());
+  ASSERT_TRUE(w->Flush().ok());
+  EXPECT_TRUE(fi.triggered());
+  EXPECT_FALSE(w->dead());
+  w.reset();
+
+  WalScanResult scan;
+  ASSERT_TRUE(ScanWal(path, &scan).ok());
+  ASSERT_EQ(1u, scan.records.size());
+  EXPECT_EQ(42, scan.records[0].ts);
+}
+
+TEST(WalWriterTest, SyncFailureExhaustsRetriesAndKillsWriter) {
+  const std::string path = TmpPath("sync_dead.wal");
+  FaultInjector fi = FaultInjector::FailSyncNth(1);
+  std::unique_ptr<WalWriter> w;
+  ASSERT_TRUE(WalWriter::Open(path, &fi, &w).ok());
+  WalRecord rec;
+  rec.kind = WalRecord::Kind::kCommit;
+  ASSERT_TRUE(w->Append(rec).ok());
+  // The commit's durability point is the sync; a sync that keeps failing
+  // past the retry budget must kill the writer, because the durable prefix
+  // is unknown from here on.
+  Status st = w->Flush();
+  ASSERT_EQ(Status::Code::kIoError, st.code());
+  EXPECT_NE(std::string::npos, st.message().find("wal sync failed"));
+  EXPECT_NE(std::string::npos,
+            st.message().find("injected sync failure at sync point 1"));
+  EXPECT_TRUE(w->dead());
+}
+
+TEST(FaultInjectorTest, CrashPointModesParseFromEnvAndRoundTrip) {
+  const struct {
+    const char* spec;
+    FaultInjector::Mode mode;
+  } kCases[] = {
+      {"transient:4:7", FaultInjector::Mode::kTransientWrite},
+      {"sync:3", FaultInjector::Mode::kFailSync},
+      {"rotate:2", FaultInjector::Mode::kFailRotate},
+      {"ckpt:5", FaultInjector::Mode::kFailCheckpoint},
+      {"rename:1", FaultInjector::Mode::kTornRename},
+  };
+  for (const auto& c : kCases) {
+    setenv("BIH_FAULT", c.spec, 1);
+    FaultInjector fi = FaultInjector::FromEnv();
+    EXPECT_EQ(c.mode, fi.mode()) << c.spec;
+    EXPECT_EQ(c.spec, fi.ToString()) << c.spec;
+  }
+  unsetenv("BIH_FAULT");
+}
+
+TEST(EngineWalTest, TransientEnvBeyondBackoffSurfacesSingleError) {
+  const std::string path = TmpPath("exhaust_env.wal");
+  // What an operator would set to model a write outage: record 3 (the
+  // second insert) fails on 9 consecutive attempts.
+  setenv("BIH_FAULT", "transient:3:9", 1);
+  FaultInjector fi = FaultInjector::FromEnv();
+  unsetenv("BIH_FAULT");
+  auto engine = MakeEngine("D");
+  ASSERT_TRUE(engine->EnableWal(path, &fi).ok());
+  ASSERT_TRUE(engine->CreateTable(ItemDef()).ok());
+  ASSERT_TRUE(engine->Insert("ITEM", ItemRow(1, 1.0, "a", 0, 9)).ok());
+
+  Status st = engine->Insert("ITEM", ItemRow(2, 2.0, "b", 0, 9));
+  EXPECT_EQ(Status::Code::kIoError, st.code());
+  EXPECT_NE(std::string::npos, st.message().find("injected write failure"));
+
+  // Dead exactly once: the next write repeats the terse rejection rather
+  // than a second "actionable" variant.
+  Status next = engine->Insert("ITEM", ItemRow(3, 3.0, "c", 0, 9));
+  EXPECT_EQ(Status::Code::kIoError, next.code());
+  EXPECT_NE(std::string::npos, next.message().find("is dead"));
+  engine.reset();
+
+  // The durable prefix (everything before the outage) recovers cleanly.
+  std::unique_ptr<TemporalEngine> recovered;
+  RecoveryReport report;
+  ASSERT_TRUE(RecoverEngine("D", path, &recovered, &report).ok());
+  EXPECT_EQ(1u, recovered->GetTableStats("ITEM").current_rows);
+}
+
 }  // namespace
 }  // namespace bih

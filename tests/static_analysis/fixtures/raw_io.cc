@@ -1,0 +1,10 @@
+// Fixture: must trip [raw-io]. Direct fflush/fsync/fdatasync calls outside
+// src/durability/ fork the durability protocol: they bypass the BIH_NO_FSYNC
+// gate, the EINTR retry loop and the fault-injection hooks that make crash
+// testing deterministic.
+#include <cstdio>
+
+void PersistSomehow(std::FILE* f, int fd) {
+  std::fflush(f);
+  (void)fd;
+}

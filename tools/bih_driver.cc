@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/thread_annotations.h"
+#include "durability/checkpoint.h"
 #include "engine/consistency.h"
 #include "engine/recovery.h"
 #include "server/session.h"
@@ -45,6 +46,8 @@ struct Args {
   std::string sql;
   std::string wal;       // write-ahead log path ("" = durability off)
   bool recover = false;  // load: replay --wal instead of generating
+  bool checkpoint = false;  // load: write a checkpoint after loading
+  bool json = false;        // recover/check: print the report as JSON
   int threads = 0;       // run: >0 switches to the concurrent session mode
   int64_t deadline_ms = 0;  // run: per-query deadline (0 = none)
   int max_inflight = 0;     // run: admission slots (0 = threads/2, min 1)
@@ -137,6 +140,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->wal = v;
     } else if (a == "--recover") {
       args->recover = true;
+    } else if (a == "--checkpoint") {
+      args->checkpoint = true;
+    } else if (a == "--json") {
+      args->json = true;
     } else if (a == "--threads") {
       const char* v = next("--threads");
       if (!v || !ParseIntValue("--threads", v, 1, 1024, &n)) return false;
@@ -171,14 +178,15 @@ int Usage() {
       "usage:\n"
       "  bih_driver generate --h H --m M [--seed S] [--out FILE]\n"
       "  bih_driver load     --engine A|B|C|D --h H --m M [--batch N]\n"
-      "                      [--wal FILE] [--recover]\n"
-      "  bih_driver recover  --engine A|B|C|D --wal FILE\n"
+      "                      [--wal FILE [--checkpoint]] [--recover]\n"
+      "  bih_driver recover  --engine A|B|C|D --wal FILE [--json]\n"
       "  bih_driver run      --engine A|B|C|D --h H --m M [--suite "
       "T|K|R|B|all]\n"
       "                      [--scan-threads W] [--threads N "
       "[--deadline-ms D] [--max-inflight Q]]\n"
       "  bih_driver sql      --engine A|B|C|D --h H --m M \"SELECT ...\"\n"
-      "  bih_driver check    --engine A|B|C|D --h H --m M [--wal FILE]\n");
+      "  bih_driver check    --engine A|B|C|D --h H --m M [--wal FILE "
+      "[--json]]\n");
   return 2;
 }
 
@@ -187,6 +195,20 @@ int UsageHint(const std::string& detail) {
   std::fprintf(stderr, "%s; run 'bih_driver' without arguments for usage\n",
                detail.c_str());
   return 2;
+}
+
+// Error exit: 1 for ordinary failures, 3 for kUnavailable — scripts driving
+// a degraded server distinguish "retry later against a healthy server"
+// from "this invocation is wrong". The retry hint, when present, is
+// printed on its own line.
+int FailWith(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  if (s.code() == Status::Code::kUnavailable) {
+    const std::string hint = s.retry_hint();
+    if (!hint.empty()) std::fprintf(stderr, "retry: %s\n", hint.c_str());
+    return 3;
+  }
+  return 1;
 }
 
 template <typename Fn>
@@ -216,10 +238,7 @@ int Generate(const Args& args) {
                 static_cast<long long>(st.scenario_counts[i]));
   }
   Status s = SaveHistory(history, args.out);
-  if (!s.ok()) {
-    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
-    return 1;
-  }
+  if (!s.ok()) return FailWith(s);
   std::printf("archive written to %s\n", args.out.c_str());
   return 0;
 }
@@ -246,9 +265,10 @@ int Recover(const Args& args) {
   Status st;
   double ms = MeasureMs(
       [&] { st = RecoverEngine(args.engine, args.wal, &engine, &report); });
-  if (!st.ok()) {
-    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
-    return 1;
+  if (!st.ok()) return FailWith(st);
+  if (args.json) {
+    std::printf("%s\n", report.ToJson().c_str());
+    return 0;
   }
   std::printf("%s (%.1f ms)\n\n", report.ToString().c_str(), ms);
   PrintTableStats(*engine);
@@ -274,10 +294,7 @@ int Load(const Args& args) {
   if (!args.wal.empty()) {
     st = engine->EnableWal(
         args.wal, fault.mode() == FaultInjector::Mode::kNone ? nullptr : &fault);
-    if (!st.ok()) {
-      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
-      return 1;
-    }
+    if (!st.ok()) return FailWith(st);
     if (fault.mode() != FaultInjector::Mode::kNone) {
       std::printf("fault injection armed: %s\n", fault.ToString().c_str());
     }
@@ -291,15 +308,19 @@ int Load(const Args& args) {
     if (!st.ok()) return;
     engine->Maintain();
   });
-  if (!st.ok()) {
-    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
-    return 1;
-  }
+  if (!st.ok()) return FailWith(st);
   std::printf("loaded in %.1f ms\n", ms);
   if (engine->wal() != nullptr) {
     std::printf("wal: %llu records, %llu bytes\n",
                 static_cast<unsigned long long>(engine->wal()->records_written()),
                 static_cast<unsigned long long>(engine->wal()->bytes_written()));
+  }
+  if (args.checkpoint && engine->wal() != nullptr) {
+    Checkpointer cp(args.wal);
+    CheckpointInfo info;
+    double ckpt_ms = MeasureMs([&] { st = cp.Write(engine.get(), &info); });
+    if (!st.ok()) return FailWith(st);
+    std::printf("%s (%.1f ms)\n", info.ToString().c_str(), ckpt_ms);
   }
   std::printf("\n");
   PrintTableStats(*engine);
@@ -506,10 +527,7 @@ int RunSql(const Args& args) {
   double ms = 0;
   Status st;
   ms = MeasureMs([&] { st = sql::ExecuteSql(ctx.eng(), args.sql, &result); });
-  if (!st.ok()) {
-    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
-    return 1;
-  }
+  if (!st.ok()) return FailWith(st);
   std::printf("%s(%zu rows in %.2f ms)\n",
               FormatRows(result.rows, result.columns, 50).c_str(),
               result.rows.size(), ms);
@@ -526,11 +544,9 @@ int Check(const Args& args) {
   if (!args.wal.empty()) {
     RecoveryReport report;
     Status st = RecoverEngine(args.engine, args.wal, &recovered, &report);
-    if (!st.ok()) {
-      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
-      return 1;
-    }
-    std::printf("%s\n", report.ToString().c_str());
+    if (!st.ok()) return FailWith(st);
+    std::printf("%s\n",
+                args.json ? report.ToJson().c_str() : report.ToString().c_str());
     engine = recovered.get();
   } else {
     WorkloadConfig cfg;

@@ -19,6 +19,11 @@
 //                       (KeepGoing/CheckNow/MorselInterrupted) or delegate to
 //                       a scan helper that does, so deadline/cancel stay
 //                       responsive at any data size
+//   raw-io              no direct fflush/fsync/fdatasync calls outside
+//                       src/durability/ — the sanctioned sync sites there
+//                       carry the BIH_NO_FSYNC gate, EINTR retries and the
+//                       fault-injection hooks, and a sync elsewhere forks
+//                       the durability protocol
 //
 // Suppressions (always with a reason in the surrounding code):
 //   // bih-lint: allow(<rule>)       this line or the next line
@@ -245,6 +250,42 @@ void CheckNakedMutex(const FileText& f, std::vector<Finding>* out) {
         }
         break;  // one finding per line is enough
       }
+    }
+  }
+}
+
+// --- rule: raw-io -----------------------------------------------------------
+//
+// Durability is a protocol, not a call: every fflush/fsync/fdatasync must go
+// through the sanctioned sync sites in src/durability/ (SyncFileNow,
+// SyncParentDir, WalWriter), where the BIH_NO_FSYNC gate, EINTR retry and
+// fault injection live. A stray fflush elsewhere silently forks the
+// durability story — it either double-pays the sync tax or, worse, creates
+// a second place that decides what "durable" means.
+
+const char* kRawIoTokens[] = {"fflush", "fsync", "fdatasync"};
+
+void CheckRawIo(const FileText& f, std::vector<Finding>* out) {
+  // The durability layer is the sanctioned home of these calls.
+  if (f.path.find("src/durability/") != std::string::npos) return;
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    for (const char* tok : kRawIoTokens) {
+      size_t pos = FindToken(line, tok);
+      if (pos == std::string::npos) continue;
+      // Only calls (token directly followed by an open paren); a comment or
+      // string mention was already blanked by StripCommentsAndStrings.
+      size_t after = pos + std::strlen(tok);
+      size_t nb = line.find_first_not_of(' ', after);
+      if (nb == std::string::npos || line[nb] != '(') continue;
+      if (!Suppressed(f, i, "raw-io")) {
+        out->push_back({f.path, i + 1, "raw-io",
+                        std::string(tok) +
+                            "() outside src/durability/; route durability "
+                            "through SyncFileNow/SyncParentDir/WalWriter so "
+                            "BIH_NO_FSYNC gating and fault injection apply"});
+      }
+      break;  // one finding per line is enough
     }
   }
 }
@@ -573,7 +614,7 @@ FileText LoadFile(const fs::path& p) {
 }
 
 const char* kRuleNames[] = {"include-guard", "naked-mutex", "ignored-status",
-                            "assert-side-effect", "scan-ctx"};
+                            "assert-side-effect", "scan-ctx", "raw-io"};
 
 int Usage() {
   std::fprintf(stderr,
@@ -638,6 +679,7 @@ int main(int argc, char** argv) {
     CheckIgnoredStatus(f, status_fns, &findings);
     CheckAssertSideEffect(f, &findings);
     CheckScanCtx(f, &findings);
+    CheckRawIo(f, &findings);
   }
 
   std::sort(findings.begin(), findings.end(),
