@@ -1,0 +1,23 @@
+#ifndef TPCBIH_COMMON_JSON_H_
+#define TPCBIH_COMMON_JSON_H_
+
+#include <string>
+
+namespace bih {
+
+// Escapes `s` for embedding inside a JSON string literal (the quotes are
+// NOT added): '"' and '\\' are backslash-escaped, the named control
+// characters use their short forms (\n, \t, \r, \b, \f) and every other
+// byte below 0x20 becomes \u00XX. Every hand-rolled JSON emitter in the
+// tree must route string fields through here — an unescaped quote in a
+// fault-injection reason or an errno message silently corrupts the CI
+// artifacts that diff these reports.
+std::string JsonEscape(const std::string& s);
+
+// Convenience: `s` escaped and wrapped in double quotes, ready to drop
+// after a "key": in an emitter.
+std::string JsonQuote(const std::string& s);
+
+}  // namespace bih
+
+#endif  // TPCBIH_COMMON_JSON_H_

@@ -68,9 +68,50 @@ FaultInjector FaultInjector::TornRenameNth(uint64_t n) {
   return fi;
 }
 
+FaultInjector FaultInjector::NetTornNth(uint64_t n) {
+  FaultInjector fi;
+  fi.mode_ = Mode::kNetTornFrame;
+  fi.trigger_write_ = n == 0 ? 1 : n;
+  return fi;
+}
+
+FaultInjector FaultInjector::NetDropNth(uint64_t n) {
+  FaultInjector fi;
+  fi.mode_ = Mode::kNetDropResponse;
+  fi.trigger_write_ = n == 0 ? 1 : n;
+  return fi;
+}
+
+FaultInjector FaultInjector::NetSlowNth(uint64_t n) {
+  FaultInjector fi;
+  fi.mode_ = Mode::kNetSlowWrite;
+  fi.trigger_write_ = n == 0 ? 1 : n;
+  return fi;
+}
+
+FaultInjector FaultInjector::NetAcceptFailNth(uint64_t n) {
+  FaultInjector fi;
+  fi.mode_ = Mode::kNetFailAccept;
+  fi.trigger_write_ = n == 0 ? 1 : n;
+  return fi;
+}
+
 FaultInjector FaultInjector::FromEnv(const char* var) {
   const char* v = std::getenv(var);
   if (v == nullptr || *v == '\0') return FaultInjector();
+  // The network plans nest a second mode word ("net:torn:5"), which the
+  // single-word sscanf below cannot parse; peel the prefix off first.
+  if (std::strncmp(v, "net:", 4) == 0) {
+    char sub[12] = {0};
+    unsigned long long n = 0;
+    if (std::sscanf(v + 4, "%11[a-z]:%llu", sub, &n) == 2 && n > 0) {
+      if (std::strcmp(sub, "torn") == 0) return NetTornNth(n);
+      if (std::strcmp(sub, "drop") == 0) return NetDropNth(n);
+      if (std::strcmp(sub, "slow") == 0) return NetSlowNth(n);
+      if (std::strcmp(sub, "accept") == 0) return NetAcceptFailNth(n);
+    }
+    return FaultInjector();
+  }
   char mode[12] = {0};
   unsigned long long n = 0, extra = 0;
   int fields = std::sscanf(v, "%11[a-z]:%llu:%llu", mode, &n, &extra);
@@ -183,6 +224,44 @@ FaultInjector::Action FaultInjector::OnRename(uint64_t rename_index) {
   return OnCrashPoint(Mode::kTornRename, rename_index);
 }
 
+FaultInjector::Action FaultInjector::OnNetSend(uint64_t send_index,
+                                               size_t frame_len) {
+  Action a;
+  if (send_index == 0 || trigger_write_ == 0 ||
+      send_index % trigger_write_ != 0) {
+    return a;
+  }
+  switch (mode_) {
+    case Mode::kNetTornFrame:
+      triggered_ = true;
+      a.torn = true;
+      a.keep_bytes = frame_len / 2;
+      break;
+    case Mode::kNetDropResponse:
+      triggered_ = true;
+      a.fail = true;
+      break;
+    case Mode::kNetSlowWrite:
+      triggered_ = true;
+      a.slow = true;
+      break;
+    default:
+      break;  // durability modes never trigger on network sends
+  }
+  return a;
+}
+
+FaultInjector::Action FaultInjector::OnAccept(uint64_t accept_index) {
+  Action a;
+  if (mode_ != Mode::kNetFailAccept || accept_index == 0 ||
+      trigger_write_ == 0 || accept_index % trigger_write_ != 0) {
+    return a;
+  }
+  triggered_ = true;
+  a.fail = true;
+  return a;
+}
+
 std::string FaultInjector::ToString() const {
   switch (mode_) {
     case Mode::kNone:
@@ -206,6 +285,14 @@ std::string FaultInjector::ToString() const {
       return "ckpt:" + std::to_string(trigger_write_);
     case Mode::kTornRename:
       return "rename:" + std::to_string(trigger_write_);
+    case Mode::kNetTornFrame:
+      return "net:torn:" + std::to_string(trigger_write_);
+    case Mode::kNetDropResponse:
+      return "net:drop:" + std::to_string(trigger_write_);
+    case Mode::kNetSlowWrite:
+      return "net:slow:" + std::to_string(trigger_write_);
+    case Mode::kNetFailAccept:
+      return "net:accept:" + std::to_string(trigger_write_);
   }
   return "?";
 }

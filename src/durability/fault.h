@@ -37,6 +37,14 @@ class FaultInjector {
     kFailRotate,      // kill mid segment rotation
     kFailCheckpoint,  // kill mid checkpoint write (torn .tmp file)
     kTornRename,      // kill just before the checkpoint's atomic rename
+    // Network crash points (src/net/). Unlike the durability modes these
+    // are *periodic* — every Nth send/accept misbehaves — and they never
+    // latch crashed_: a dropped connection takes one client down, not the
+    // whole server, so the injector must keep serving later operations.
+    kNetTornFrame,     // send only a prefix of every Nth frame, then drop
+    kNetDropResponse,  // drop the connection before every Nth send
+    kNetSlowWrite,     // slow-loris: dribble every Nth frame byte-wise
+    kNetFailAccept,    // fail every Nth accept
   };
 
   struct Action {
@@ -46,6 +54,7 @@ class FaultInjector {
     bool flip = false;          // XOR one byte of the frame
     size_t flip_offset = 0;
     uint8_t flip_mask = 0x01;
+    bool slow = false;          // dribble the frame out byte-wise
   };
 
   FaultInjector() = default;
@@ -75,10 +84,20 @@ class FaultInjector {
   // Kill the process model just before the nth checkpoint rename: the
   // finished .tmp file is never published.
   static FaultInjector TornRenameNth(uint64_t n);
+  // Tear every nth response frame: only half the frame reaches the wire,
+  // then the connection drops.
+  static FaultInjector NetTornNth(uint64_t n);
+  // Drop the connection just before every nth response frame is sent.
+  static FaultInjector NetDropNth(uint64_t n);
+  // Dribble every nth response frame out in tiny chunks (slow-loris).
+  static FaultInjector NetSlowNth(uint64_t n);
+  // Fail every nth accept() as if the kernel returned ECONNABORTED.
+  static FaultInjector NetAcceptFailNth(uint64_t n);
   // Parses BIH_FAULT ("fail:N" | "transient:N" | "transient:N:K" |
   // "torn:N:KEEP" | "flip:N:OFF" | "sync:N" | "rotate:N" | "ckpt:N" |
-  // "rename:N") from the environment; returns a no-op injector when unset
-  // or malformed.
+  // "rename:N" | "net:torn:N" | "net:drop:N" | "net:slow:N" |
+  // "net:accept:N") from the environment; returns a no-op injector when
+  // unset or malformed.
   static FaultInjector FromEnv(const char* var = "BIH_FAULT");
   // Derives a pseudo-random plan from a seed: mode, trigger write in
   // [1, max_write] and torn/flip parameters are all functions of the seed.
@@ -96,6 +115,19 @@ class FaultInjector {
   Action OnCheckpointWrite(uint64_t frame_index);
   // Called just before atomic rename number `rename_index` (1-based).
   Action OnRename(uint64_t rename_index);
+  // Called by the network server before sending response frame number
+  // `send_index` (1-based, counted server-wide) of `frame_len` bytes.
+  // Periodic: every index divisible by the plan's N misbehaves.
+  Action OnNetSend(uint64_t send_index, size_t frame_len);
+  // Called after every successful accept(); a `fail` action makes the
+  // server close the connection immediately, as if accept had failed.
+  Action OnAccept(uint64_t accept_index);
+
+  // True for the periodic network modes (they never latch crashed_).
+  bool is_net_mode() const {
+    return mode_ == Mode::kNetTornFrame || mode_ == Mode::kNetDropResponse ||
+           mode_ == Mode::kNetSlowWrite || mode_ == Mode::kNetFailAccept;
+  }
 
   Mode mode() const { return mode_; }
   uint64_t trigger_write() const { return trigger_write_; }

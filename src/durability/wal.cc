@@ -525,24 +525,32 @@ WalWriter::~WalWriter() {
 
 Status WalWriter::Open(const std::string& path, FaultInjector* fault,
                        std::unique_ptr<WalWriter>* out) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  return OpenAt(path, 1, fault, out);
+}
+
+Status WalWriter::OpenAt(const std::string& path, uint64_t segment_index,
+                         FaultInjector* fault,
+                         std::unique_ptr<WalWriter>* out) {
+  if (segment_index == 0) segment_index = 1;
+  const std::string seg_path = WalSegmentPath(path, segment_index);
+  std::FILE* f = std::fopen(seg_path.c_str(), "wb");
   if (f == nullptr) {
-    return Status::IoError("cannot create wal file " + path);
+    return Status::IoError("cannot create wal file " + seg_path);
   }
   if (std::fwrite(kWalMagic, 1, sizeof(kWalMagic), f) != sizeof(kWalMagic) ||
       std::fflush(f) != 0) {
     std::fclose(f);
-    return Status::IoError("cannot write wal magic to " + path);
+    return Status::IoError("cannot write wal magic to " + seg_path);
   }
   // The empty log itself must survive a crash: sync the file, then the
   // parent directory so the new name is durable too.
-  Status st = SyncFileNow(f, path);
-  if (st.ok()) st = SyncParentDir(path);
+  Status st = SyncFileNow(f, seg_path);
+  if (st.ok()) st = SyncParentDir(seg_path);
   if (!st.ok()) {
     std::fclose(f);
     return st;
   }
-  out->reset(new WalWriter(path, f, fault, sizeof(kWalMagic)));
+  out->reset(new WalWriter(path, f, fault, sizeof(kWalMagic), segment_index));
   return Status::OK();
 }
 

@@ -160,6 +160,16 @@ class WalWriter {
   static Status Open(const std::string& path, FaultInjector* fault,
                      std::unique_ptr<WalWriter>* out);
 
+  // Creates/truncates segment `segment_index` (>= 1) of the log at `path`
+  // and opens a writer positioned there, leaving earlier segments alone.
+  // This is the revive path out of read-only degradation: a session whose
+  // writer died at segment k opens a fresh writer at k+1, checkpoints the
+  // in-memory state (covering everything before the fresh segment), and
+  // resumes writes — recovery then never needs the dead segment's lost
+  // suffix.
+  static Status OpenAt(const std::string& path, uint64_t segment_index,
+                       FaultInjector* fault, std::unique_ptr<WalWriter>* out);
+
   Status Append(const WalRecord& rec) EXCLUDES(mu_);
   // Pushes buffered bytes to the OS and syncs the device (the durability
   // point of a commit).
@@ -198,11 +208,12 @@ class WalWriter {
 
  private:
   WalWriter(std::string path, std::FILE* f, FaultInjector* fault,
-            uint64_t header_bytes)
+            uint64_t header_bytes, uint64_t segment_index = 1)
       : path_(std::move(path)),
         file_(f),
         fault_(fault),
-        bytes_written_(header_bytes) {}
+        bytes_written_(header_bytes),
+        segment_index_(segment_index) {}
 
   // Records the first definitive failure and returns its status; later
   // calls while dead get the same stable terse error from DeadStatus().

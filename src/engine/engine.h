@@ -10,6 +10,7 @@
 #include "catalog/schema.h"
 #include "common/chrono.h"
 #include "common/query_context.h"
+#include "common/thread_annotations.h"
 #include "common/value.h"
 #include "durability/wal.h"
 #include "temporal/clock.h"
@@ -75,8 +76,10 @@ struct ScanRequest {
   // touched by an interrupted read.
   QueryContext* ctx = nullptr;
   // When set, the scan's counters are written here instead of the engine's
-  // last_stats() slot. Concurrent readers (src/server/) must set this:
-  // last_stats() is a single shared member and would race.
+  // last_stats() slot. Publication to the shared slot is serialized (no
+  // data race), but concurrent scans overwrite each other's counters
+  // last-writer-wins — a caller that needs the counters of *its own* scan
+  // (the morsel scheduler, join probes, the server layer) sets this.
   ExecStats* stats = nullptr;
   // --- Intra-query parallelism (src/exec/parallel.h) -------------------
   // Threads the fallback full scans may use: 0 resolves to the process
@@ -210,7 +213,14 @@ class TemporalEngine {
   // --- Query -----------------------------------------------------------
   virtual void Scan(const ScanRequest& req, const RowCallback& cb) = 0;
 
-  const ExecStats& last_stats() const { return stats_; }
+  // Counters of the most recently completed Scan that did not redirect them
+  // via ScanRequest::stats. Publication is serialized, so concurrent readers
+  // are race-free, but which scan "wins" the slot is last-writer-wins —
+  // callers that need their own scan's counters pass ScanRequest::stats.
+  ExecStats last_stats() const {
+    MutexLock lock(stats_mu_);
+    return stats_;
+  }
   virtual TableStats GetTableStats(const std::string& table) const = 0;
 
   // Engine-maintenance hook: System C's delta->main merge; no-op elsewhere.
@@ -258,12 +268,22 @@ class TemporalEngine {
   // stamp inside Begin/Commit, the logged stamp during recovery.
   Timestamp MutationTime() const { return mutation_time_; }
 
+  // Engines call this at the end of a Scan whose request left `stats` null.
+  // The lock only serializes the publication slot; it is never held while
+  // scanning, so concurrent readers contend for nanoseconds per query.
+  void PublishStats(const ExecStats& s) const {
+    MutexLock lock(stats_mu_);
+    stats_ = s;
+  }
+
   CommitClock clock_;
   bool in_txn_ = false;
   Timestamp txn_time_;
-  ExecStats stats_;
 
  private:
+  mutable Mutex stats_mu_;
+  mutable ExecStats stats_ GUARDED_BY(stats_mu_);
+
   // Allocates the stamp MutationTime() hands to the Do* layer.
   void AllocateMutationTime() {
     mutation_time_ = in_txn_ ? txn_time_ : clock_.NextCommit();

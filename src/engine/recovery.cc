@@ -4,34 +4,10 @@
 #include <filesystem>
 #include <vector>
 
+#include "common/json.h"
 #include "durability/checkpoint.h"
 
 namespace bih {
-
-namespace {
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += c;
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 std::string RecoveryReport::ToString() const {
   std::string s = "recovery: " + std::to_string(records_applied) + "/" +

@@ -326,7 +326,7 @@ void SystemAEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
     ScanPartition(*t, /*is_history=*/true, req, tc, t->history_indexes, plan,
                   stats, &stopped, cb);
   }
-  if (req.stats == nullptr) stats_ = local;
+  if (req.stats == nullptr) PublishStats(local);
 }
 
 std::vector<std::string> SystemAEngine::ListTables() const {

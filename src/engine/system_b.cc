@@ -464,7 +464,7 @@ void SystemBEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
               return consider(rid, t->current.Get(rid));
             })) {
       RecordIndexUse(stats, index_name);
-      if (req.stats == nullptr) stats_ = local;
+      if (req.stats == nullptr) PublishStats(local);
       return;
     }
     if (!req.equals.empty()) {
@@ -484,7 +484,7 @@ void SystemBEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
         t->pk_current.Lookup(key, [&](RowId rid) {
           return consider(rid, t->current.Get(rid));
         });
-        if (req.stats == nullptr) stats_ = local;
+        if (req.stats == nullptr) PublishStats(local);
         return;
       }
     }
@@ -500,7 +500,7 @@ void SystemBEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
       t->current.Scan(
           [&](RowId rid, const Row& row) { return consider(rid, row); });
     }
-    if (req.stats == nullptr) stats_ = local;
+    if (req.stats == nullptr) PublishStats(local);
     return;
   }
 
@@ -546,7 +546,7 @@ void SystemBEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
           [&](RowId, const Row& row) { return consider_hist(row); });
     }
   }
-  if (req.stats == nullptr) stats_ = local;
+  if (req.stats == nullptr) PublishStats(local);
 }
 
 void SystemBEngine::PrepareForReads() {

@@ -389,7 +389,7 @@ void SystemCEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
     ScanPartition(*t, t->history, /*is_history=*/true, req, tc, plan, stats,
                   &stopped, cb);
   }
-  if (req.stats == nullptr) stats_ = local;
+  if (req.stats == nullptr) PublishStats(local);
 }
 
 std::vector<std::string> SystemCEngine::ListTables() const {

@@ -272,7 +272,7 @@ void SystemDEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
       t->data.Scan([&](RowId, const Row& row) { return consider(row); });
     }
   }
-  if (req.stats == nullptr) stats_ = local;
+  if (req.stats == nullptr) PublishStats(local);
 }
 
 void SystemDEngine::ScanMorsel(const RowTable& part, const ScanRequest& req,

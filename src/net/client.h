@@ -1,0 +1,92 @@
+#ifndef TPCBIH_NET_CLIENT_H_
+#define TPCBIH_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/protocol.h"
+
+namespace bih {
+namespace net {
+
+// One query's outcome as the client saw it.
+struct QueryReply {
+  // The server's verdict (decoded from kResult/kError), or the transport
+  // failure (kIoError) when the connection died before a reply landed.
+  Status status;
+  uint32_t retry_after_ms = 0;  // overload hint from a kError reply
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  // The reply frame's exact payload bytes, when one arrived. The chaos
+  // soak compares this against a locally-encoded expected message to prove
+  // responses are byte-identical to in-process execution.
+  std::string raw_payload;
+  uint64_t request_id = 0;
+};
+
+// Minimal blocking client for the bih wire protocol. Single-threaded and
+// strictly request/reply: one outstanding request at a time per client.
+// Cancellation of a peer's query (CancelPeer) therefore rides a *second*
+// Client instance, exactly like Postgres' out-of-band cancel connection.
+//
+// Every receive is bounded by `recv_timeout_ms` (default 10 s), so a
+// server that drops a response (injected or real) turns into a timely
+// kIoError on this side, never a hung client thread.
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Connects and performs the Hello handshake for `tenant`.
+  Status Connect(const std::string& host, uint16_t port,
+                 const std::string& tenant);
+
+  // Sends one SQL query and waits for its reply. Transport failures are
+  // reported in out->status (and also returned); after a transport failure
+  // the connection is dead and only Close() is useful.
+  Status Query(const std::string& sql, uint32_t deadline_ms, QueryReply* out);
+
+  // Cancels (conn_id, request_id) on the server. Fire-and-forget semantics:
+  // the acknowledging kPong is consumed but a missing one is not an error
+  // worth surfacing (the race with query completion is inherent).
+  Status CancelPeer(uint64_t conn_id, uint64_t request_id);
+
+  // Fetches the server's stats JSON.
+  Status GetStatsJson(std::string* out);
+
+  Status Ping();
+
+  // Best-effort Goodbye, then closes the socket. Idempotent.
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+  // This session's server-assigned connection id (for CancelPeer targeting).
+  uint64_t conn_id() const { return conn_id_; }
+  // The id Query() will stamp on its next request.
+  uint64_t next_request_id() const { return next_request_id_; }
+
+  void set_recv_timeout_ms(int ms) { recv_timeout_ms_ = ms; }
+
+ private:
+  // Sends one frame and reads exactly one reply frame.
+  Status RoundTrip(const Message& req, Message* reply, std::string* payload);
+  Status SendAll(const std::string& frame);
+  // Reads until one complete frame is buffered or the timeout expires.
+  Status RecvFrame(std::string* payload);
+
+  int fd_ = -1;
+  uint64_t conn_id_ = 0;
+  uint64_t next_request_id_ = 1;
+  int recv_timeout_ms_ = 10000;
+  std::string buf_;  // bytes received beyond the last complete frame
+};
+
+}  // namespace net
+}  // namespace bih
+
+#endif  // TPCBIH_NET_CLIENT_H_

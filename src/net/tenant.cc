@@ -1,0 +1,91 @@
+#include "net/tenant.h"
+
+#include <vector>
+
+#include "common/json.h"
+
+namespace bih {
+namespace net {
+
+void TenantState::Account(const Status& s) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  switch (s.code()) {
+    case Status::Code::kOk:
+      ok_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Status::Code::kResourceExhausted:
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Status::Code::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Status::Code::kDeadlineExceeded:
+      deadline_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Status::Code::kUnavailable:
+      unavailable_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+TenantStats TenantState::GetStats() const {
+  TenantStats s;
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.ok = ok_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.deadline = deadline_.load(std::memory_order_relaxed);
+  s.unavailable = unavailable_.load(std::memory_order_relaxed);
+  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  return s;
+}
+
+TenantState* TenantRegistry::GetOrCreate(const std::string& name) {
+  MutexLock lock(mu_);
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    it = tenants_
+             .emplace(name, std::make_unique<TenantState>(name, quota_))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string TenantRegistry::StatsJson() const {
+  // Snapshot the pointers under the lock, render outside it: GetStats()
+  // only reads atomics, and a tenant is never destroyed once created.
+  std::vector<TenantState*> tenants;
+  {
+    MutexLock lock(mu_);
+    tenants.reserve(tenants_.size());
+    for (const auto& [name, state] : tenants_) tenants.push_back(state.get());
+  }
+  std::string s = "{";
+  bool first = true;
+  for (TenantState* t : tenants) {
+    const TenantStats st = t->GetStats();
+    if (!first) s += ",";
+    first = false;
+    s += JsonQuote(t->name()) + ":{";
+    s += "\"queries\":" + std::to_string(st.queries);
+    s += ",\"ok\":" + std::to_string(st.ok);
+    s += ",\"errors\":" + std::to_string(st.errors);
+    s += ",\"shed\":" + std::to_string(st.shed);
+    s += ",\"cancelled\":" + std::to_string(st.cancelled);
+    s += ",\"deadline\":" + std::to_string(st.deadline);
+    s += ",\"unavailable\":" + std::to_string(st.unavailable);
+    s += ",\"bytes_out\":" + std::to_string(st.bytes_out);
+    s += ",\"admission_shed\":" +
+         std::to_string(t->admission().GetStats().shed);
+    s += "}";
+  }
+  s += "}";
+  return s;
+}
+
+}  // namespace net
+}  // namespace bih

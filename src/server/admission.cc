@@ -40,6 +40,20 @@ Status AdmissionController::Admit(QueryContext* ctx) {
   return Status::OK();
 }
 
+uint32_t AdmissionController::RetryAfterMs(const Status& s) {
+  if (s.code() != Status::Code::kResourceExhausted) return 0;
+  static constexpr char kMarker[] = "retry after ";
+  const std::string& msg = s.message();
+  const size_t pos = msg.find(kMarker);
+  if (pos == std::string::npos) return 0;
+  uint32_t ms = 0;
+  for (size_t i = pos + sizeof(kMarker) - 1;
+       i < msg.size() && msg[i] >= '0' && msg[i] <= '9'; ++i) {
+    ms = ms * 10 + static_cast<uint32_t>(msg[i] - '0');
+  }
+  return ms;
+}
+
 void AdmissionController::Release() {
   {
     MutexLock lock(mu_);

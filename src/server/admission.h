@@ -45,6 +45,13 @@ class AdmissionController {
   // Returns the slot taken by a successful Admit().
   void Release();
 
+  // Recovers the retry-after hint (milliseconds) from a kResourceExhausted
+  // status produced by Admit(). The hint rides in the message text
+  // ("... retry after Nms"); this is the one sanctioned parser, so the
+  // network layer can surface the hint as a structured field instead of
+  // re-deriving it. Returns 0 for any other status.
+  static uint32_t RetryAfterMs(const Status& s);
+
   struct Stats {
     uint64_t admitted = 0;
     uint64_t shed = 0;             // rejected with kResourceExhausted

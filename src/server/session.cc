@@ -112,27 +112,36 @@ Status SessionManager::ReadAt(Snapshot snap, ScanRequest req,
                               QueryContext* ctx, std::vector<Row>* out) {
   out->clear();
   Status s = DoRead(snap, req, ctx, out);
-  {
-    MutexLock lock(stats_mu_);
-    switch (s.code()) {
-      case Status::Code::kOk:
-        ++stats_.reads_ok;
-        break;
-      case Status::Code::kDeadlineExceeded:
-        ++stats_.reads_deadline;
-        break;
-      case Status::Code::kCancelled:
-        ++stats_.reads_cancelled;
-        break;
-      case Status::Code::kResourceExhausted:
-        ++stats_.reads_shed;
-        break;
-      default:
-        break;
-    }
-  }
+  AccountRead(s);
   if (!s.ok()) out->clear();
   return s;
+}
+
+Status SessionManager::ReadTxn(
+    QueryContext* ctx, const std::function<Status(TemporalEngine&)>& fn) {
+  Status s = DoReadTxn(ctx, fn);
+  AccountRead(s);
+  return s;
+}
+
+void SessionManager::AccountRead(const Status& s) {
+  MutexLock lock(stats_mu_);
+  switch (s.code()) {
+    case Status::Code::kOk:
+      ++stats_.reads_ok;
+      break;
+    case Status::Code::kDeadlineExceeded:
+      ++stats_.reads_deadline;
+      break;
+    case Status::Code::kCancelled:
+      ++stats_.reads_cancelled;
+      break;
+    case Status::Code::kResourceExhausted:
+      ++stats_.reads_shed;
+      break;
+    default:
+      break;
+  }
 }
 
 bool SessionManager::PollLockShared(QueryContext* ctx, Status* why) {
@@ -198,6 +207,41 @@ Status SessionManager::DoRead(Snapshot snap, ScanRequest& req,
   return result;
 }
 
+Status SessionManager::DoReadTxn(
+    QueryContext* ctx, const std::function<Status(TemporalEngine&)>& fn) {
+  if (ctx != nullptr) {
+    Status s = ctx->CheckNow();
+    if (!s.ok()) return s;
+  }
+  Status admitted = admission_.Admit(ctx);
+  if (!admitted.ok()) return admitted;
+
+  if (ctx != nullptr) {
+    MutexLock reg(inflight_mu_);
+    inflight_.insert(ctx);
+  }
+
+  Status result = Status::OK();
+  if (PollLockShared(ctx, &result)) {
+    result = fn(*engine_);
+    // A deadline or cancellation that fired mid-callback wins over whatever
+    // the callback returned: an interrupted composite read must not be
+    // reported as a clean success (or as a confusing secondary error).
+    if (ctx != nullptr) {
+      Status interrupted = ctx->status();
+      if (!interrupted.ok()) result = interrupted;
+    }
+    rw_mu_.unlock_shared();
+  }
+
+  if (ctx != nullptr) {
+    MutexLock reg(inflight_mu_);
+    inflight_.erase(ctx);
+  }
+  admission_.Release();
+  return result;
+}
+
 void SessionManager::DegradeIfWalDead() {
   WalWriter* wal = engine_->wal();
   if (wal != nullptr && wal->dead()) {
@@ -244,10 +288,36 @@ Status SessionManager::Write(
 }
 
 Status SessionManager::RunCheckpoint(Checkpointer* cp, CheckpointInfo* info) {
-  if (read_only_.load(std::memory_order_acquire)) {
-    return ReadOnlyStatus();
-  }
   WriterLock lock(rw_mu_);
+  if (read_only_.load(std::memory_order_acquire)) {
+    // Revive path. The dead writer stopped at some segment k with an
+    // unknown durable suffix; nothing can ever be appended there again.
+    // Open a fresh writer at k+1 and checkpoint through it: the
+    // checkpoint's own rotation then covers segments 1..k+1, so the
+    // snapshot — taken from the in-memory state, which is a superset of
+    // anything the dead segment held — supersedes the lost suffix, and
+    // the covered segments (the dead one included) are deleted.
+    WalWriter* dead = engine_->wal();
+    if (dead == nullptr) return ReadOnlyStatus();
+    std::unique_ptr<WalWriter> fresh;
+    Status st =
+        WalWriter::OpenAt(dead->path(), dead->segment_index() + 1,
+                          /*fault=*/nullptr, &fresh);
+    if (!st.ok()) return st;  // still read-only; nothing changed
+    BIH_RETURN_IF_ERROR(engine_->AttachWal(std::move(fresh)));
+    Status cs = cp->Write(engine_, info);
+    WalWriter* now = engine_->wal();
+    if (!cs.ok() || now == nullptr || now->dead()) {
+      // The revive itself failed (e.g. the checkpoint could not publish,
+      // or the fresh writer died during the rotation). Stay read-only:
+      // the durable state is still the pre-failure prefix, and claiming
+      // writability against a dead log would reopen the hole this path
+      // exists to close.
+      return cs.ok() ? ReadOnlyStatus() : cs;
+    }
+    read_only_.store(false, std::memory_order_release);
+    return Status::OK();
+  }
   Status s = cp->Write(engine_, info);
   // The rotation may have killed the writer (injected or real): degrade
   // rather than let the next commit fail confusingly.

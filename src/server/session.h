@@ -95,6 +95,16 @@ class SessionManager {
   Status ReadAt(Snapshot snap, ScanRequest req, QueryContext* ctx,
                 std::vector<Row>* out);
 
+  // Runs `fn` on the engine under the shared (reader) side of the lock,
+  // with the same admission control, in-flight registration and watchdog
+  // coverage as Read(). This is how composite read-only work (the SQL
+  // front end's scans, joins and aggregations) runs against a consistent
+  // engine: writers are excluded for the duration, and a deadline or
+  // cancellation that fires mid-callback overrides fn's own status. The
+  // callback must not mutate the engine.
+  Status ReadTxn(QueryContext* ctx,
+                 const std::function<Status(TemporalEngine&)>& fn);
+
   // --- Writes ----------------------------------------------------------
   // Runs `fn` on the engine under the exclusive lock; any combination of
   // DML (including Begin/Commit batches) is atomic with respect to
@@ -111,6 +121,14 @@ class SessionManager {
   // Runs a checkpoint under the exclusive lock (the checkpointer requires
   // no mutation between its WAL rotation and its snapshot scan). Readers
   // proceed again as soon as it returns; writes queue behind it.
+  //
+  // On a session degraded to read-only this is also the revive path: a
+  // fresh WAL writer is opened at the segment after the dead one, the
+  // checkpoint folds the entire in-memory state into a snapshot covering
+  // every earlier segment, and — only if both steps succeed and the fresh
+  // writer is still healthy — writes are re-enabled. A failed revive
+  // leaves the session read-only: recovery then still lands on the
+  // pre-failure durable state, never on a hole.
   Status RunCheckpoint(Checkpointer* cp, CheckpointInfo* info);
 
   // --- Degraded operation ----------------------------------------------
@@ -156,6 +174,10 @@ class SessionManager {
 
   Status DoRead(Snapshot snap, ScanRequest& req, QueryContext* ctx,
                 std::vector<Row>* out);
+  Status DoReadTxn(QueryContext* ctx,
+                   const std::function<Status(TemporalEngine&)>& fn);
+  // Folds one finished read's outcome into the per-code counters.
+  void AccountRead(const Status& s);
 
   // Acquires the reader side of rw_mu_ in short polled slices so a reader
   // stuck behind a long write still honours its QueryContext. Returns true

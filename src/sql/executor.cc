@@ -183,8 +183,12 @@ void SplitJoinCondition(const SqlExprPtr& e, const Binder& left_binder,
   residual->push_back(e);
 }
 
-// Scans one table reference with its temporal coordinates.
-Status ScanTable(TemporalEngine& engine, const TableRef& ref, Rows* rows,
+// Scans one table reference with its temporal coordinates. `ctx` rides on
+// the ScanRequest (checked per row by the engine) and is re-checked after
+// the scan: an interrupted scan must surface the verdict, never a silent
+// partial row set.
+Status ScanTable(TemporalEngine& engine, const TableRef& ref,
+                 QueryContext* ctx, Rows* rows,
                  std::vector<ScopeColumn>* scope) {
   if (!engine.HasTable(ref.table)) {
     return Status::NotFound("no table named " + ref.table);
@@ -208,7 +212,9 @@ Status ScanTable(TemporalEngine& engine, const TableRef& ref, Rows* rows,
   ScanRequest req;
   req.table = ref.table;
   req.temporal = spec;
+  req.ctx = ctx;
   *rows = ScanAll(engine, req);
+  if (ctx != nullptr) BIH_RETURN_IF_ERROR(ctx->CheckNow());
   Schema schema = engine.ScanSchema(ref.table);
   for (const Column& c : schema.columns()) {
     scope->push_back(ScopeColumn{ref.alias, c.name});
@@ -219,15 +225,16 @@ Status ScanTable(TemporalEngine& engine, const TableRef& ref, Rows* rows,
 }  // namespace
 
 Status ExecuteSelect(TemporalEngine& engine, const SelectStatement& stmt,
-                     SqlResult* out) {
+                     SqlResult* out, QueryContext* ctx) {
   // FROM + JOIN pipeline.
   std::vector<ScopeColumn> scope;
   Rows rows;
-  BIH_RETURN_IF_ERROR(ScanTable(engine, stmt.from, &rows, &scope));
+  BIH_RETURN_IF_ERROR(ScanTable(engine, stmt.from, ctx, &rows, &scope));
   for (const Join& join : stmt.joins) {
     std::vector<ScopeColumn> right_scope;
     Rows right;
-    BIH_RETURN_IF_ERROR(ScanTable(engine, join.table, &right, &right_scope));
+    BIH_RETURN_IF_ERROR(
+        ScanTable(engine, join.table, ctx, &right, &right_scope));
     Binder left_binder(&scope);
     Binder right_binder(&right_scope);
     std::vector<int> lk, rk;
@@ -267,6 +274,10 @@ Status ExecuteSelect(TemporalEngine& engine, const SelectStatement& stmt,
     }
     scope = std::move(combined);
   }
+
+  // Operator boundary: joins can multiply the row count well past what the
+  // per-row scan checks saw; re-check before filtering/aggregating.
+  if (ctx != nullptr) BIH_RETURN_IF_ERROR(ctx->CheckNow());
 
   Binder binder(&scope);
   if (stmt.where != nullptr) {
@@ -511,7 +522,7 @@ Status ExecuteSelect(TemporalEngine& engine, const SelectStatement& stmt,
 }
 
 Status ExecuteDml(TemporalEngine& engine, const DmlStatement& stmt,
-                  SqlResult* out) {
+                  SqlResult* out, QueryContext* ctx) {
   if (!engine.HasTable(stmt.table)) {
     return Status::NotFound("no table named " + stmt.table);
   }
@@ -590,6 +601,7 @@ Status ExecuteDml(TemporalEngine& engine, const DmlStatement& stmt,
   std::set<std::vector<Value>, KeyCmp> keys;
   ScanRequest req;
   req.table = stmt.table;
+  req.ctx = ctx;
   engine.Scan(req, [&](const Row& row) {
     if (pred != nullptr && !pred->Test(row)) return true;
     std::vector<Value> key;
@@ -598,9 +610,22 @@ Status ExecuteDml(TemporalEngine& engine, const DmlStatement& stmt,
     return true;
   });
 
+  if (ctx != nullptr) BIH_RETURN_IF_ERROR(ctx->CheckNow());
+
   Period portion(stmt.portion_from, stmt.portion_to);
   engine.Begin();
   for (const std::vector<Value>& key : keys) {
+    if (ctx != nullptr) {
+      Status interrupted = ctx->CheckNow();
+      if (!interrupted.ok()) {
+        // Commit the keys already applied (each key is its own statement;
+        // the Begin/Commit pair only batches the log flush) and report why
+        // the batch stopped.
+        Status commit = engine.Commit();
+        (void)commit;  // the interruption verdict is the actionable error
+        return interrupted;
+      }
+    }
     Status st;
     if (stmt.kind == DmlStatement::Kind::kUpdate) {
       st = stmt.has_portion
@@ -624,15 +649,15 @@ Status ExecuteDml(TemporalEngine& engine, const DmlStatement& stmt,
 }
 
 Status ExecuteSql(TemporalEngine& engine, const std::string& text,
-                  SqlResult* out) {
+                  SqlResult* out, QueryContext* ctx) {
   if (LooksLikeDml(text)) {
     DmlStatement stmt;
     BIH_RETURN_IF_ERROR(ParseDml(text, &stmt));
-    return ExecuteDml(engine, stmt, out);
+    return ExecuteDml(engine, stmt, out, ctx);
   }
   SelectStatement stmt;
   BIH_RETURN_IF_ERROR(ParseSelect(text, &stmt));
-  return ExecuteSelect(engine, stmt, out);
+  return ExecuteSelect(engine, stmt, out, ctx);
 }
 
 }  // namespace sql

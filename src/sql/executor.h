@@ -16,20 +16,27 @@ struct SqlResult {
   Rows rows;
 };
 
-// Binds and executes a parsed statement against an engine.
+// Binds and executes a parsed statement against an engine. `ctx`
+// (optional, borrowed) carries the request deadline and cancellation: it is
+// consulted per scanned row and at every operator boundary, and an
+// interrupted query returns the context's verdict with `out` untouched by
+// partial results.
 Status ExecuteSelect(TemporalEngine& engine, const SelectStatement& stmt,
-                     SqlResult* out);
+                     SqlResult* out, QueryContext* ctx = nullptr);
 
 // Executes a parsed DML statement; `out` reports the number of affected
 // keys in a single-row result. Assignments and inserted values must be
-// constant expressions (the engine applies one value set per key).
+// constant expressions (the engine applies one value set per key). `ctx`
+// is checked between keys; an interruption mid-batch commits the keys
+// already applied (the batch is a sequence of single-key statements, not
+// one atomic statement) and reports the verdict.
 Status ExecuteDml(TemporalEngine& engine, const DmlStatement& stmt,
-                  SqlResult* out);
+                  SqlResult* out, QueryContext* ctx = nullptr);
 
 // Parses + executes in one step; dispatches on the leading keyword
 // (SELECT vs INSERT/UPDATE/DELETE).
 Status ExecuteSql(TemporalEngine& engine, const std::string& text,
-                  SqlResult* out);
+                  SqlResult* out, QueryContext* ctx = nullptr);
 
 }  // namespace sql
 }  // namespace bih

@@ -426,11 +426,6 @@ TEST_P(ChaosSweepTest, DeadWalDegradesSessionToReadOnly) {
   EXPECT_EQ(Status::Code::kUnavailable, rejected.code());
   EXPECT_FALSE(rejected.retry_hint().empty()) << rejected.ToString();
 
-  Checkpointer cp(engine->wal()->path());
-  CheckpointInfo info;
-  EXPECT_EQ(Status::Code::kUnavailable,
-            mgr.RunCheckpoint(&cp, &info).code());
-
   // …while reads keep serving the pinned snapshot. Every insert the engine
   // applied in memory (the acknowledged three plus the one whose log write
   // died) is visible; what matters is that reads still succeed at all.
@@ -445,6 +440,57 @@ TEST_P(ChaosSweepTest, DeadWalDegradesSessionToReadOnly) {
   SessionManager::ServerStats stats = mgr.GetStats();
   EXPECT_EQ(1u, stats.writes_unavailable);
   EXPECT_GE(stats.reads_ok, 1u);
+}
+
+// The revive path: a session degraded by a dead WAL comes back to
+// writable WITHOUT a process restart. RunCheckpoint opens a fresh writer
+// at the segment after the dead one, folds the whole in-memory state into
+// a checkpoint covering every earlier segment (superseding whatever
+// suffix the dead segment lost), and only then re-enables writes. The
+// combined state — pre-death writes, revive checkpoint, post-revive
+// writes — must recover from disk bit-for-bit.
+TEST_P(ChaosSweepTest, CheckpointRevivesDegradedSessionWithoutRestart) {
+  const std::string letter = GetParam();
+  const std::string wal_path = TmpWal(letter + "_revive");
+  FaultInjector fi = FaultInjector::FailSyncNth(5);
+  auto engine = MakeEngine(letter);
+  ASSERT_TRUE(engine->EnableWal(wal_path, &fi).ok());
+
+  SessionConfig cfg;
+  cfg.watchdog_period = std::chrono::milliseconds(0);
+  SessionManager mgr(engine.get(), cfg);
+  ASSERT_TRUE(mgr.Write([](TemporalEngine& e) {
+                   return e.CreateTable(FuzzItemDef());
+                 }).ok());
+  for (int i = 1; i <= 10; ++i) {
+    Status st = mgr.Insert("ITEM", Row{Value(int64_t(i)), Value(1.0),
+                                       Value("x"), Value(int64_t(0)),
+                                       Value(Period::kForever)});
+    if (!st.ok()) break;
+  }
+  ASSERT_TRUE(mgr.read_only());
+
+  // RunCheckpoint IS the revive: fresh writer + superseding checkpoint.
+  Checkpointer cp(wal_path);
+  CheckpointInfo info;
+  ASSERT_TRUE(mgr.RunCheckpoint(&cp, &info).ok());
+  EXPECT_FALSE(mgr.read_only());
+
+  // Writes work again, on the same process, same manager.
+  for (int i = 50; i < 53; ++i) {
+    ASSERT_TRUE(mgr.Insert("ITEM", Row{Value(int64_t(i)), Value(2.0),
+                                       Value("y"), Value(int64_t(0)),
+                                       Value(Period::kForever)})
+                    .ok());
+  }
+  // Recovery from the on-disk pair lands exactly on what the live engine
+  // holds: the checkpoint covered the in-memory superset, the fresh
+  // segment replays the post-revive writes, the dead suffix is gone.
+  std::unique_ptr<TemporalEngine> recovered;
+  RecoveryReport report;
+  ASSERT_TRUE(RecoverEngine(letter, wal_path, &recovered, &report).ok());
+  EXPECT_TRUE(report.checkpoint_loaded) << report.ToString();
+  EXPECT_TRUE(SameRows(DumpEngine(mgr.engine()), DumpEngine(*recovered)));
 }
 
 // Checkpointing through the session layer: RunCheckpoint holds the writer

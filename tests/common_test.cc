@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/chrono.h"
+#include "common/json.h"
 #include "common/period.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -228,6 +229,30 @@ TEST(StatusTest, RetryHintIsEmptyForOtherCodes) {
   Status io = Status::IoError("disk failed; retry: later");
   EXPECT_EQ("", io.retry_hint());
   EXPECT_EQ("", Status::OK().retry_hint());
+}
+
+TEST(JsonTest, EscapePassesPlainTextThrough) {
+  EXPECT_EQ("", JsonEscape(""));
+  EXPECT_EQ("plain ascii 123", JsonEscape("plain ascii 123"));
+}
+
+TEST(JsonTest, EscapeHandlesQuotesAndBackslashes) {
+  EXPECT_EQ("say \\\"hi\\\"", JsonEscape("say \"hi\""));
+  EXPECT_EQ("a\\\\b", JsonEscape("a\\b"));
+}
+
+TEST(JsonTest, EscapeHandlesControlCharacters) {
+  EXPECT_EQ("line\\nbreak", JsonEscape("line\nbreak"));
+  EXPECT_EQ("tab\\there", JsonEscape("tab\there"));
+  EXPECT_EQ("\\r\\b\\f", JsonEscape("\r\b\f"));
+  // Other control bytes take the \u form.
+  EXPECT_EQ("nul\\u0000end", JsonEscape(std::string("nul\0end", 7)));
+  EXPECT_EQ("\\u001b[0m", JsonEscape("\x1b[0m"));
+}
+
+TEST(JsonTest, QuoteWrapsAndEscapes) {
+  EXPECT_EQ("\"\"", JsonQuote(""));
+  EXPECT_EQ("\"tenant \\\"a\\\"\"", JsonQuote("tenant \"a\""));
 }
 
 }  // namespace

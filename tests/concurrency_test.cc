@@ -88,6 +88,32 @@ TEST(AdmissionTest, ShedsWithRetryHintWhenQueueFull) {
   EXPECT_EQ(0, stats.inflight);
 }
 
+TEST(AdmissionTest, RetryAfterMsRoundTripsTheConfiguredHint) {
+  // The shed status carries "retry after Nms" in its text; RetryAfterMs is
+  // the one sanctioned parser, and the recovered value must be exactly the
+  // configured retry_after — the network layer forwards it as a structured
+  // field, so a drifting format here silently zeroes every client backoff.
+  AdmissionConfig cfg;
+  cfg.max_inflight = 1;
+  cfg.max_queued = 0;
+  cfg.retry_after = milliseconds(37);
+  AdmissionController ac(cfg);
+  ASSERT_TRUE(ac.Admit(nullptr).ok());
+  Status shed = ac.Admit(nullptr);
+  ASSERT_EQ(Status::Code::kResourceExhausted, shed.code());
+  EXPECT_EQ(37u, AdmissionController::RetryAfterMs(shed)) << shed.ToString();
+  ac.Release();
+
+  // Any other status — even one whose text happens to contain the marker —
+  // yields 0: the parser keys on the code first.
+  EXPECT_EQ(0u, AdmissionController::RetryAfterMs(Status::OK()));
+  EXPECT_EQ(0u, AdmissionController::RetryAfterMs(
+                    Status::Internal("please retry after 99ms")));
+  // A kResourceExhausted without the marker parses as "no hint".
+  EXPECT_EQ(0u, AdmissionController::RetryAfterMs(
+                    Status::ResourceExhausted("queue full")));
+}
+
 TEST(AdmissionTest, QueuedWaiterAbandonsOnDeadline) {
   AdmissionConfig cfg;
   cfg.max_inflight = 1;

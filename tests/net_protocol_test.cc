@@ -1,0 +1,201 @@
+// Wire-protocol codec tests: every field round-trips, every truncation and
+// corruption is rejected without UB, and the CRC-guarded frame detects torn
+// and flipped bytes exactly like the WAL frame it mirrors.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/protocol.h"
+
+namespace bih {
+namespace net {
+namespace {
+
+Message FullMessage() {
+  Message m;
+  m.type = MsgType::kResult;
+  m.conn_id = 7;
+  m.request_id = 42;
+  m.deadline_ms = 250;
+  m.retry_after_ms = 25;
+  m.status_code = 11;
+  m.text = "two rows";
+  m.retry_hint = "retry against a healthy server";
+  m.columns = {"ID", "PRICE", "NOTE"};
+  m.rows = {{Value(int64_t{1}), Value(2.5), Value("x")},
+            {Value(), Value(int64_t{-3}), Value(std::string())}};
+  return m;
+}
+
+TEST(NetProtocolTest, MessageRoundTripsEveryField) {
+  const Message m = FullMessage();
+  std::string payload;
+  EncodeMessage(m, &payload);
+  Message got;
+  ASSERT_TRUE(DecodeMessage(reinterpret_cast<const uint8_t*>(payload.data()),
+                            payload.size(), &got)
+                  .ok());
+  EXPECT_EQ(m.type, got.type);
+  EXPECT_EQ(m.version, got.version);
+  EXPECT_EQ(m.conn_id, got.conn_id);
+  EXPECT_EQ(m.request_id, got.request_id);
+  EXPECT_EQ(m.deadline_ms, got.deadline_ms);
+  EXPECT_EQ(m.retry_after_ms, got.retry_after_ms);
+  EXPECT_EQ(m.status_code, got.status_code);
+  EXPECT_EQ(m.text, got.text);
+  EXPECT_EQ(m.retry_hint, got.retry_hint);
+  EXPECT_EQ(m.columns, got.columns);
+  ASSERT_EQ(m.rows.size(), got.rows.size());
+  for (size_t r = 0; r < m.rows.size(); ++r) {
+    ASSERT_EQ(m.rows[r].size(), got.rows[r].size());
+    for (size_t c = 0; c < m.rows[r].size(); ++c) {
+      EXPECT_TRUE(m.rows[r][c] == got.rows[r][c]) << "row " << r << " col "
+                                                  << c;
+    }
+  }
+}
+
+TEST(NetProtocolTest, EveryMessageTypeRoundTrips) {
+  for (MsgType t : {MsgType::kHello, MsgType::kQuery, MsgType::kCancel,
+                    MsgType::kStats, MsgType::kPing, MsgType::kGoodbye,
+                    MsgType::kHelloOk, MsgType::kResult, MsgType::kError,
+                    MsgType::kStatsReply, MsgType::kPong}) {
+    Message m;
+    m.type = t;
+    m.request_id = static_cast<uint64_t>(t);
+    std::string payload;
+    EncodeMessage(m, &payload);
+    Message got;
+    ASSERT_TRUE(DecodeMessage(reinterpret_cast<const uint8_t*>(payload.data()),
+                              payload.size(), &got)
+                    .ok());
+    EXPECT_EQ(t, got.type);
+    EXPECT_EQ(m.request_id, got.request_id);
+  }
+}
+
+TEST(NetProtocolTest, EncodingIsDeterministic) {
+  // Byte-identity of responses (the chaos soak's core assertion) relies on
+  // the encoder being a pure function of the message.
+  std::string a, b;
+  EncodeMessage(FullMessage(), &a);
+  EncodeMessage(FullMessage(), &b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(NetProtocolTest, EveryTruncationIsRejectedNotCrashed) {
+  std::string payload;
+  EncodeMessage(FullMessage(), &payload);
+  for (size_t n = 0; n < payload.size(); ++n) {
+    Message got;
+    Status st = DecodeMessage(
+        reinterpret_cast<const uint8_t*>(payload.data()), n, &got);
+    EXPECT_FALSE(st.ok()) << "prefix of " << n << " bytes parsed";
+  }
+}
+
+TEST(NetProtocolTest, TrailingBytesRejected) {
+  std::string payload;
+  EncodeMessage(FullMessage(), &payload);
+  payload.push_back('\0');
+  Message got;
+  EXPECT_FALSE(DecodeMessage(reinterpret_cast<const uint8_t*>(payload.data()),
+                             payload.size(), &got)
+                   .ok());
+}
+
+TEST(NetProtocolTest, UnknownTypeRejected) {
+  std::string payload;
+  EncodeMessage(FullMessage(), &payload);
+  payload[0] = static_cast<char>(200);
+  Message got;
+  EXPECT_FALSE(DecodeMessage(reinterpret_cast<const uint8_t*>(payload.data()),
+                             payload.size(), &got)
+                   .ok());
+}
+
+TEST(NetProtocolTest, FrameRoundTripAndConsumed) {
+  std::string payload;
+  EncodeMessage(FullMessage(), &payload);
+  std::string frame;
+  EncodeFrame(payload, &frame);
+  ASSERT_EQ(payload.size() + kFrameHeaderBytes, frame.size());
+  size_t consumed = 0;
+  std::string out;
+  ASSERT_TRUE(DecodeFrame(reinterpret_cast<const uint8_t*>(frame.data()),
+                          frame.size(), &consumed, &out)
+                  .ok());
+  EXPECT_EQ(frame.size(), consumed);
+  EXPECT_EQ(payload, out);
+}
+
+TEST(NetProtocolTest, BackToBackFramesSliceCleanly) {
+  std::string p1 = "first", p2 = "second payload";
+  std::string buf, f;
+  EncodeFrame(p1, &f);
+  buf += f;
+  EncodeFrame(p2, &f);
+  buf += f;
+  size_t consumed = 0;
+  std::string out;
+  ASSERT_TRUE(DecodeFrame(reinterpret_cast<const uint8_t*>(buf.data()),
+                          buf.size(), &consumed, &out)
+                  .ok());
+  EXPECT_EQ(p1, out);
+  buf.erase(0, consumed);
+  ASSERT_TRUE(DecodeFrame(reinterpret_cast<const uint8_t*>(buf.data()),
+                          buf.size(), &consumed, &out)
+                  .ok());
+  EXPECT_EQ(p2, out);
+  EXPECT_EQ(0u, buf.size() - consumed);
+}
+
+TEST(NetProtocolTest, PartialFrameAsksForMore) {
+  // Every proper prefix is "need more bytes" (kOutOfRange) — the torn-frame
+  // injection sends exactly such a prefix, and the receiver must wait or
+  // time out, never parse garbage.
+  std::string frame;
+  EncodeFrame("torn frame victim", &frame);
+  for (size_t n = 0; n < frame.size(); ++n) {
+    size_t consumed = 0;
+    std::string out;
+    Status st = DecodeFrame(reinterpret_cast<const uint8_t*>(frame.data()), n,
+                            &consumed, &out);
+    EXPECT_EQ(Status::Code::kOutOfRange, st.code()) << "prefix " << n;
+  }
+}
+
+TEST(NetProtocolTest, EveryFlippedByteIsDetected) {
+  std::string frame;
+  EncodeFrame("integrity matters", &frame);
+  for (size_t i = 0; i < frame.size(); ++i) {
+    std::string bad = frame;
+    bad[i] = static_cast<char>(bad[i] ^ 0x5a);
+    size_t consumed = 0;
+    std::string out;
+    Status st = DecodeFrame(reinterpret_cast<const uint8_t*>(bad.data()),
+                            bad.size(), &consumed, &out);
+    // A flip in the length field may turn into "need more" (the stream then
+    // starves and times out); any flip that still yields a complete frame
+    // must fail the CRC. What can never happen is a clean parse.
+    EXPECT_FALSE(st.ok()) << "flipped byte " << i << " parsed";
+  }
+}
+
+TEST(NetProtocolTest, OversizedLengthRejected) {
+  std::string frame;
+  EncodeFrame("x", &frame);
+  const uint32_t huge = kMaxFrameBytes + 1;
+  frame.replace(0, 4, reinterpret_cast<const char*>(&huge), 4);
+  size_t consumed = 0;
+  std::string out;
+  Status st = DecodeFrame(reinterpret_cast<const uint8_t*>(frame.data()),
+                          frame.size(), &consumed, &out);
+  EXPECT_EQ(Status::Code::kIoError, st.code());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace bih

@@ -1,0 +1,10 @@
+// Fixture: must trip [raw-socket]. Global-scope socket syscalls outside
+// src/net/ bypass the one layer that owns EINTR retries, poll-slice
+// deadlines and the BIH_FAULT=net injection hooks; everything else is
+// supposed to talk through net::Client / net::Server.
+#include <sys/socket.h>
+
+int OpenRawSocket() {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  return fd;
+}

@@ -10,9 +10,12 @@
 //   bih_driver run      --engine A --threads 8 --deadline-ms 50 [--max-inflight 4]
 //   bih_driver sql      --engine C --h 0.002 --m 0.002 "SELECT ..."
 //   bih_driver check    --engine A --h 0.002 --m 0.002 | check --wal F
+//   bih_driver serve    --engine A --h 0.002 --m 0.002 --port 4411
+//   bih_driver client   --port 4411 [--tenant acme] "SELECT ..." | --stats
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +28,8 @@
 #include "durability/checkpoint.h"
 #include "engine/consistency.h"
 #include "engine/recovery.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "server/session.h"
 #include "sql/executor.h"
 #include "workload/context.h"
@@ -52,6 +57,11 @@ struct Args {
   int64_t deadline_ms = 0;  // run: per-query deadline (0 = none)
   int max_inflight = 0;     // run: admission slots (0 = threads/2, min 1)
   int scan_threads = 0;     // intra-query scan parallelism (0 = env default)
+  int port = 0;             // serve: 0 = ephemeral; client: required
+  std::string host = "127.0.0.1";  // client: server address
+  std::string tenant = "default";  // client: tenant for the Hello handshake
+  int drain_ms = 2000;      // serve: drain deadline on SIGTERM/SIGINT
+  bool stats = false;       // client: fetch the server stats JSON instead
 };
 
 // Strict numeric parsing: the whole token must convert, so trailing garbage
@@ -162,7 +172,26 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--scan-threads");
       if (!v || !ParseIntValue("--scan-threads", v, 1, 64, &n)) return false;
       args->scan_threads = static_cast<int>(n);
-    } else if (args->command == "sql" && args->sql.empty()) {
+    } else if (a == "--port") {
+      const char* v = next("--port");
+      if (!v || !ParseIntValue("--port", v, 0, 65535, &n)) return false;
+      args->port = static_cast<int>(n);
+    } else if (a == "--host") {
+      const char* v = next("--host");
+      if (!v) return false;
+      args->host = v;
+    } else if (a == "--tenant") {
+      const char* v = next("--tenant");
+      if (!v) return false;
+      args->tenant = v;
+    } else if (a == "--drain-ms") {
+      const char* v = next("--drain-ms");
+      if (!v || !ParseIntValue("--drain-ms", v, 0, 600000, &n)) return false;
+      args->drain_ms = static_cast<int>(n);
+    } else if (a == "--stats") {
+      args->stats = true;
+    } else if ((args->command == "sql" || args->command == "client") &&
+               args->sql.empty()) {
       args->sql = a;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
@@ -186,7 +215,12 @@ int Usage() {
       "[--deadline-ms D] [--max-inflight Q]]\n"
       "  bih_driver sql      --engine A|B|C|D --h H --m M \"SELECT ...\"\n"
       "  bih_driver check    --engine A|B|C|D --h H --m M [--wal FILE "
-      "[--json]]\n");
+      "[--json]]\n"
+      "  bih_driver serve    --engine A|B|C|D --h H --m M [--port P]\n"
+      "                      [--max-inflight Q] [--scan-threads W] "
+      "[--drain-ms D]\n"
+      "  bih_driver client   --port P [--host H] [--tenant T]\n"
+      "                      [--deadline-ms D] \"SELECT ...\" | --stats\n");
   return 2;
 }
 
@@ -575,6 +609,88 @@ int Check(const Args& args) {
   return bad == 0 ? 0 : 1;
 }
 
+// `serve`: build the workload, put a SessionManager in front of it and
+// expose it on the wire. SIGTERM/SIGINT trigger a graceful drain: stop
+// accepting, let in-flight requests finish within --drain-ms, cancel the
+// rest, flush, exit 0. BIH_FAULT=net:... arms connection-level chaos.
+volatile std::sig_atomic_t g_stop = 0;
+void OnStopSignal(int) { g_stop = 1; }
+
+int Serve(const Args& args) {
+  WorkloadConfig cfg;
+  cfg.engine_letter = args.engine;
+  cfg.h = args.h;
+  cfg.m = args.m;
+  cfg.seed = args.seed;
+  cfg.batch_size = args.batch;
+  std::printf("building workload (h=%.4f, m=%.4f) on System %s...\n", args.h,
+              args.m, args.engine.c_str());
+  WorkloadContext ctx = BuildWorkload(cfg);
+  SessionConfig scfg;
+  if (args.max_inflight > 0) {
+    scfg.admission.max_inflight = args.max_inflight;
+    scfg.admission.max_queued = args.max_inflight * 2;
+  }
+  scfg.scan_threads = args.scan_threads;
+  SessionManager session(&ctx.eng(), scfg);
+  FaultInjector fault = FaultInjector::FromEnv();
+  net::ServerConfig ncfg;
+  ncfg.port = static_cast<uint16_t>(args.port);
+  ncfg.drain_deadline = std::chrono::milliseconds(args.drain_ms);
+  if (fault.is_net_mode()) {
+    ncfg.fault = &fault;
+    std::printf("fault injection armed: %s\n", fault.ToString().c_str());
+  }
+  net::Server server(&session, ncfg);
+  Status st = server.Start();
+  if (!st.ok()) return FailWith(st);
+  std::signal(SIGTERM, OnStopSignal);
+  std::signal(SIGINT, OnStopSignal);
+  std::printf("serving on %s:%u (drain deadline %dms); SIGTERM drains\n",
+              ncfg.bind_address.c_str(), server.port(), args.drain_ms);
+  std::fflush(stdout);  // bih-lint: allow(raw-io) -- port must reach a piped reader promptly
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("draining...\n");
+  server.Drain();
+  std::printf("%s\n", server.StatsJson().c_str());
+  return 0;
+}
+
+// `client`: one-shot wire client — run one SQL statement (or fetch the
+// stats JSON with --stats) against a running `serve` instance.
+int RunClient(const Args& args) {
+  if (args.port == 0) return UsageHint("client requires --port");
+  net::Client client;
+  Status st = client.Connect(args.host, static_cast<uint16_t>(args.port),
+                             args.tenant);
+  if (!st.ok()) return FailWith(st);
+  if (args.stats) {
+    std::string json;
+    st = client.GetStatsJson(&json);
+    if (!st.ok()) return FailWith(st);
+    std::printf("%s\n", json.c_str());
+    return 0;
+  }
+  if (args.sql.empty()) return UsageHint("client requires a SQL statement");
+  net::QueryReply reply;
+  double ms = MeasureMs([&] {
+    (void)client.Query(args.sql, static_cast<uint32_t>(args.deadline_ms),
+                       &reply);  // outcome is in reply.status
+  });
+  if (!reply.status.ok()) {
+    if (reply.retry_after_ms > 0) {
+      std::fprintf(stderr, "retry after %ums\n", reply.retry_after_ms);
+    }
+    return FailWith(reply.status);
+  }
+  std::printf("%s(%zu rows in %.2f ms)\n",
+              FormatRows(reply.rows, reply.columns, 50).c_str(),
+              reply.rows.size(), ms);
+  return 0;
+}
+
 }  // namespace
 }  // namespace bih
 
@@ -592,5 +708,7 @@ int main(int argc, char** argv) {
   if (args.command == "check" || args.command == "verify") {
     return bih::Check(args);
   }
+  if (args.command == "serve") return bih::Serve(args);
+  if (args.command == "client") return bih::RunClient(args);
   return bih::UsageHint("unknown subcommand '" + args.command + "'");
 }

@@ -24,6 +24,13 @@
 //                       carry the BIH_NO_FSYNC gate, EINTR retries and the
 //                       fault-injection hooks, and a sync elsewhere forks
 //                       the durability protocol
+//   raw-socket          no global-scope socket syscalls (::socket, ::bind,
+//                       ::accept, ::send, ::recv, ...) outside src/net/ —
+//                       the network layer is where EINTR retries, poll
+//                       deadlines and the net fault-injection hooks live;
+//                       everything else talks through net::Client/Server.
+//                       (raw-io still applies *inside* src/net/: sockets
+//                       yes, fsync no.)
 //
 // Suppressions (always with a reason in the surrounding code):
 //   // bih-lint: allow(<rule>)       this line or the next line
@@ -284,6 +291,51 @@ void CheckRawIo(const FileText& f, std::vector<Finding>* out) {
                             "() outside src/durability/; route durability "
                             "through SyncFileNow/SyncParentDir/WalWriter so "
                             "BIH_NO_FSYNC gating and fault injection apply"});
+      }
+      break;  // one finding per line is enough
+    }
+  }
+}
+
+// --- rule: raw-socket -------------------------------------------------------
+//
+// The repo's convention writes socket syscalls with an explicit global
+// scope (::socket, ::send, ...), which is also what makes them lintable
+// without tripping on std::bind, method calls named send()/accept(), or
+// the net layer's own wrappers. The rule flags a global-scope call of any
+// of these names outside src/net/: one layer owns the sockets, so the
+// EINTR handling, poll-slice deadlines and BIH_FAULT=net hooks there are
+// never bypassed. Tests that need a hand-rolled socket (e.g. to feed the
+// server a deliberately torn frame) say so with an allow() suppression.
+
+const char* kRawSocketTokens[] = {
+    "socket", "bind",        "listen",   "accept",      "connect",
+    "send",   "recv",        "shutdown", "setsockopt",  "getsockname",
+    "sendto", "recvfrom",    "sendmsg",  "recvmsg",     "getpeername",
+};
+
+void CheckRawSocket(const FileText& f, std::vector<Finding>* out) {
+  if (f.path.find("src/net/") != std::string::npos) return;
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    for (const char* tok : kRawSocketTokens) {
+      size_t pos = FindToken(line, tok);
+      if (pos == std::string::npos) continue;
+      // Global-scope call only: "::token(" where the "::" is not the tail
+      // of a qualified name (std::bind, boost::asio::connect, ...).
+      if (pos < 2 || line[pos - 1] != ':' || line[pos - 2] != ':') continue;
+      if (pos >= 3 && (IsIdentChar(line[pos - 3]) || line[pos - 3] == ':')) {
+        continue;
+      }
+      size_t after = pos + std::strlen(tok);
+      size_t nb = line.find_first_not_of(' ', after);
+      if (nb == std::string::npos || line[nb] != '(') continue;
+      if (!Suppressed(f, i, "raw-socket")) {
+        out->push_back({f.path, i + 1, "raw-socket",
+                        std::string("::") + tok +
+                            "() outside src/net/; socket I/O goes through "
+                            "net::Client/net::Server so EINTR retries, poll "
+                            "deadlines and BIH_FAULT=net injection apply"});
       }
       break;  // one finding per line is enough
     }
@@ -613,8 +665,10 @@ FileText LoadFile(const fs::path& p) {
   return f;
 }
 
-const char* kRuleNames[] = {"include-guard", "naked-mutex", "ignored-status",
-                            "assert-side-effect", "scan-ctx", "raw-io"};
+const char* kRuleNames[] = {"include-guard",      "naked-mutex",
+                            "ignored-status",     "assert-side-effect",
+                            "scan-ctx",           "raw-io",
+                            "raw-socket"};
 
 int Usage() {
   std::fprintf(stderr,
@@ -680,6 +734,7 @@ int main(int argc, char** argv) {
     CheckAssertSideEffect(f, &findings);
     CheckScanCtx(f, &findings);
     CheckRawIo(f, &findings);
+    CheckRawSocket(f, &findings);
   }
 
   std::sort(findings.begin(), findings.end(),
