@@ -18,8 +18,23 @@ FaultInjector FaultInjector::TransientNth(uint64_t n, uint64_t attempts) {
   fi.mode_ = Mode::kTransientWrite;
   fi.trigger_write_ = n;
   fi.transient_attempts_ = attempts == 0 ? 1 : attempts;
-  fi.transient_left_ = fi.transient_attempts_;
+  fi.transient_left_.store(fi.transient_attempts_, std::memory_order_relaxed);
   return fi;
+}
+
+void FaultInjector::CopyFrom(const FaultInjector& other) {
+  mode_ = other.mode_;
+  trigger_write_ = other.trigger_write_;
+  transient_attempts_ = other.transient_attempts_;
+  keep_bytes_ = other.keep_bytes_;
+  flip_offset_ = other.flip_offset_;
+  flip_mask_ = other.flip_mask_;
+  transient_left_.store(other.transient_left_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  triggered_.store(other.triggered_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  crashed_.store(other.crashed_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
 }
 
 FaultInjector FaultInjector::TornNth(uint64_t n, size_t keep_bytes) {
@@ -43,6 +58,13 @@ FaultInjector FaultInjector::FlipByteNth(uint64_t n, size_t offset,
 FaultInjector FaultInjector::FailSyncNth(uint64_t n) {
   FaultInjector fi;
   fi.mode_ = Mode::kFailSync;
+  fi.trigger_write_ = n;
+  return fi;
+}
+
+FaultInjector FaultInjector::FailGroupFlushNth(uint64_t n) {
+  FaultInjector fi;
+  fi.mode_ = Mode::kFailGroupFlush;
   fi.trigger_write_ = n;
   return fi;
 }
@@ -127,6 +149,7 @@ FaultInjector FaultInjector::FromEnv(const char* var) {
       return FlipByteNth(n, static_cast<size_t>(extra));
     }
     if (std::strcmp(mode, "sync") == 0) return FailSyncNth(n);
+    if (std::strcmp(mode, "group") == 0) return FailGroupFlushNth(n);
     if (std::strcmp(mode, "rotate") == 0) return FailRotateNth(n);
     if (std::strcmp(mode, "ckpt") == 0) return FailCheckpointNth(n);
     if (std::strcmp(mode, "rename") == 0) return TornRenameNth(n);
@@ -159,32 +182,33 @@ FaultInjector FaultInjector::FromSeed(uint64_t seed, uint64_t max_write) {
 FaultInjector::Action FaultInjector::OnWrite(uint64_t write_index,
                                              size_t frame_len) {
   Action a;
-  if (crashed_) {
+  if (crashed_.load(std::memory_order_relaxed)) {
     a.fail = true;
     return a;
   }
   if (mode_ == Mode::kNone || write_index != trigger_write_) return a;
   if (mode_ == Mode::kTransientWrite) {
-    if (transient_left_ == 0) return a;  // outage over: this attempt passes
-    --transient_left_;
-    triggered_ = true;
+    const uint64_t left = transient_left_.load(std::memory_order_relaxed);
+    if (left == 0) return a;  // outage over: this attempt passes
+    transient_left_.store(left - 1, std::memory_order_relaxed);
+    triggered_.store(true, std::memory_order_relaxed);
     a.fail = true;  // no crash: a clean EIO, nothing persisted
     return a;
   }
   switch (mode_) {
     case Mode::kFailWrite:
-      triggered_ = true;
-      crashed_ = true;
+      triggered_.store(true, std::memory_order_relaxed);
+      crashed_.store(true, std::memory_order_relaxed);
       a.fail = true;
       break;
     case Mode::kTornWrite:
-      triggered_ = true;
-      crashed_ = true;
+      triggered_.store(true, std::memory_order_relaxed);
+      crashed_.store(true, std::memory_order_relaxed);
       a.torn = true;
       a.keep_bytes = keep_bytes_ < frame_len ? keep_bytes_ : frame_len;
       break;
     case Mode::kFlipByte:
-      triggered_ = true;
+      triggered_.store(true, std::memory_order_relaxed);
       a.flip = true;
       a.flip_offset = frame_len == 0 ? 0 : flip_offset_ % frame_len;
       a.flip_mask = flip_mask_;
@@ -197,19 +221,23 @@ FaultInjector::Action FaultInjector::OnWrite(uint64_t write_index,
 
 FaultInjector::Action FaultInjector::OnCrashPoint(Mode m, uint64_t index) {
   Action a;
-  if (crashed_) {
+  if (crashed_.load(std::memory_order_relaxed)) {
     a.fail = true;
     return a;
   }
   if (mode_ != m || index != trigger_write_) return a;
-  triggered_ = true;
-  crashed_ = true;
+  triggered_.store(true, std::memory_order_relaxed);
+  crashed_.store(true, std::memory_order_relaxed);
   a.fail = true;
   return a;
 }
 
 FaultInjector::Action FaultInjector::OnSync(uint64_t sync_index) {
   return OnCrashPoint(Mode::kFailSync, sync_index);
+}
+
+FaultInjector::Action FaultInjector::OnGroupFlush(uint64_t group_index) {
+  return OnCrashPoint(Mode::kFailGroupFlush, group_index);
 }
 
 FaultInjector::Action FaultInjector::OnRotate(uint64_t rotate_index) {
@@ -233,16 +261,16 @@ FaultInjector::Action FaultInjector::OnNetSend(uint64_t send_index,
   }
   switch (mode_) {
     case Mode::kNetTornFrame:
-      triggered_ = true;
+      triggered_.store(true, std::memory_order_relaxed);
       a.torn = true;
       a.keep_bytes = frame_len / 2;
       break;
     case Mode::kNetDropResponse:
-      triggered_ = true;
+      triggered_.store(true, std::memory_order_relaxed);
       a.fail = true;
       break;
     case Mode::kNetSlowWrite:
-      triggered_ = true;
+      triggered_.store(true, std::memory_order_relaxed);
       a.slow = true;
       break;
     default:
@@ -257,7 +285,7 @@ FaultInjector::Action FaultInjector::OnAccept(uint64_t accept_index) {
       trigger_write_ == 0 || accept_index % trigger_write_ != 0) {
     return a;
   }
-  triggered_ = true;
+  triggered_.store(true, std::memory_order_relaxed);
   a.fail = true;
   return a;
 }
@@ -279,6 +307,8 @@ std::string FaultInjector::ToString() const {
              std::to_string(flip_offset_);
     case Mode::kFailSync:
       return "sync:" + std::to_string(trigger_write_);
+    case Mode::kFailGroupFlush:
+      return "group:" + std::to_string(trigger_write_);
     case Mode::kFailRotate:
       return "rotate:" + std::to_string(trigger_write_);
     case Mode::kFailCheckpoint:

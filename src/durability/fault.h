@@ -1,6 +1,7 @@
 #ifndef TPCBIH_DURABILITY_FAULT_H_
 #define TPCBIH_DURABILITY_FAULT_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -34,6 +35,7 @@ class FaultInjector {
     kTornWrite,
     kFlipByte,
     kFailSync,        // kill at the Nth fdatasync point
+    kFailGroupFlush,  // kill the Nth group commit between staging and sync
     kFailRotate,      // kill mid segment rotation
     kFailCheckpoint,  // kill mid checkpoint write (torn .tmp file)
     kTornRename,      // kill just before the checkpoint's atomic rename
@@ -58,6 +60,14 @@ class FaultInjector {
   };
 
   FaultInjector() = default;
+  // The injector is a value type (factories return it, tests copy plans
+  // around), but its trigger state is atomic — see the member comment — so
+  // the copies are spelled out.
+  FaultInjector(const FaultInjector& other) { CopyFrom(other); }
+  FaultInjector& operator=(const FaultInjector& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
 
   // Fail the nth frame write (1-based) and every one after it.
   static FaultInjector FailNth(uint64_t n);
@@ -76,6 +86,10 @@ class FaultInjector {
                                    uint8_t mask = 0x01);
   // Kill the process model at the nth sync point (fdatasync on commit).
   static FaultInjector FailSyncNth(uint64_t n);
+  // Kill the process model inside the nth group commit: the batch's frames
+  // are staged (flushed to the OS) but the device sync never happens, so
+  // every transaction in the group stays unacknowledged.
+  static FaultInjector FailGroupFlushNth(uint64_t n);
   // Kill the process model during the nth WAL segment rotation.
   static FaultInjector FailRotateNth(uint64_t n);
   // Kill the process model at the nth checkpoint frame write, leaving a
@@ -94,8 +108,8 @@ class FaultInjector {
   // Fail every nth accept() as if the kernel returned ECONNABORTED.
   static FaultInjector NetAcceptFailNth(uint64_t n);
   // Parses BIH_FAULT ("fail:N" | "transient:N" | "transient:N:K" |
-  // "torn:N:KEEP" | "flip:N:OFF" | "sync:N" | "rotate:N" | "ckpt:N" |
-  // "rename:N" | "net:torn:N" | "net:drop:N" | "net:slow:N" |
+  // "torn:N:KEEP" | "flip:N:OFF" | "sync:N" | "group:N" | "rotate:N" |
+  // "ckpt:N" | "rename:N" | "net:torn:N" | "net:drop:N" | "net:slow:N" |
   // "net:accept:N") from the environment; returns a no-op injector when
   // unset or malformed.
   static FaultInjector FromEnv(const char* var = "BIH_FAULT");
@@ -108,6 +122,10 @@ class FaultInjector {
   Action OnWrite(uint64_t write_index, size_t frame_len);
   // Called before sync point number `sync_index` (1-based).
   Action OnSync(uint64_t sync_index);
+  // Called by the WAL writer at group commit number `group_index` (1-based),
+  // after the group's frames are flushed to the OS but before the batched
+  // device sync.
+  Action OnGroupFlush(uint64_t group_index);
   // Called before segment rotation number `rotate_index` (1-based).
   Action OnRotate(uint64_t rotate_index);
   // Called by the checkpointer before checkpoint frame `frame_index`
@@ -131,23 +149,32 @@ class FaultInjector {
 
   Mode mode() const { return mode_; }
   uint64_t trigger_write() const { return trigger_write_; }
-  bool triggered() const { return triggered_; }
+  bool triggered() const { return triggered_.load(std::memory_order_relaxed); }
   std::string ToString() const;
 
  private:
-  // Shared handling of the crash-point hooks (sync/rotate/ckpt/rename):
-  // fail everything once crashed, crash when `m` triggers at `index`.
+  // Shared handling of the crash-point hooks (sync/group/rotate/ckpt/
+  // rename): fail everything once crashed, crash when `m` triggers at
+  // `index`.
   Action OnCrashPoint(Mode m, uint64_t index);
+  void CopyFrom(const FaultInjector& other);
 
   Mode mode_ = Mode::kNone;
   uint64_t trigger_write_ = 0;  // 1-based operation index of the fault
   uint64_t transient_attempts_ = 1;
-  uint64_t transient_left_ = 0;
   size_t keep_bytes_ = 0;
   size_t flip_offset_ = 0;
   uint8_t flip_mask_ = 0x01;
-  bool triggered_ = false;
-  bool crashed_ = false;
+  // The trigger state is atomic because group commit moved the WAL's sync
+  // points off the session's exclusive writer lock: a group-sync leader
+  // (under the WAL mutex) and the checkpointer (under the session lock) can
+  // now consult one plan concurrently. The plan itself (mode, trigger) is
+  // immutable after construction; only these counters mutate, and relaxed
+  // ordering is enough — determinism is only promised for the sequential
+  // crash sweeps.
+  std::atomic<uint64_t> transient_left_{0};
+  std::atomic<bool> triggered_{false};
+  std::atomic<bool> crashed_{false};
 };
 
 }  // namespace bih

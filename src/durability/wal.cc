@@ -520,6 +520,10 @@ Status DecodeWalRecord(const uint8_t* data, size_t n, WalRecord* out) {
 
 WalWriter::~WalWriter() {
   MutexLock lock(mu_);
+  // Shared ownership (engine + group-commit coordinator) means destruction
+  // only happens after the last waiter is gone, but an in-flight sync must
+  // still finish before the FILE* goes away.
+  while (sync_inflight_) sync_cv_.Wait(mu_);
   if (file_ != nullptr) std::fclose(file_);
 }
 
@@ -662,11 +666,90 @@ Status WalWriter::Flush() {
   MutexLock lock(mu_);
   if (dead_) return DeadStatus();
   BIH_RETURN_IF_ERROR(FlushLocked());
+  // Deferred mode: the record is staged in the OS; the group-commit leader
+  // pays the device sync for the whole batch in SyncGroup().
+  if (deferred_sync_) return Status::OK();
   return SyncLocked();
+}
+
+void WalWriter::SetDeferredSync(bool deferred) {
+  MutexLock lock(mu_);
+  deferred_sync_ = deferred;
+}
+
+uint64_t WalWriter::appended_lsn() const {
+  MutexLock lock(mu_);
+  return records_written_;
+}
+
+Status WalWriter::SyncGroup(uint64_t* durable_upto) {
+  mu_.lock();
+  // A previous group's device sync may still be in flight (another leader,
+  // or a rotation); the FILE* must stay stable for the wait below.
+  while (sync_inflight_) sync_cv_.Wait(mu_);
+  if (dead_) {
+    Status dead = DeadStatus();
+    mu_.unlock();
+    return dead;
+  }
+  Status st = FlushLocked();
+  if (st.ok()) {
+    const uint64_t group_index = group_syncs_ + 1;
+    if (fault_ != nullptr && fault_->OnGroupFlush(group_index).fail) {
+      // Crash between staging the group and its device sync: the batch sits
+      // in the page cache, no transaction in it was ever acknowledged.
+      st = MarkDead("injected group-flush crash at group " +
+                    std::to_string(group_index) + " of " + path_);
+    }
+  }
+  if (!st.ok()) {
+    mu_.unlock();
+    return st;
+  }
+  // Everything appended up to here is staged; that is what this sync makes
+  // durable. Appends that land during the device wait ride the next group.
+  const uint64_t target = records_written_;
+  ++group_syncs_;
+  sync_inflight_ = true;
+  for (int attempt = 1;; ++attempt) {
+    const uint64_t sync_index = syncs_ + 1;
+    const bool injected =
+        fault_ != nullptr && fault_->OnSync(sync_index).fail;
+    std::FILE* f = file_;  // stable: rotation waits for !sync_inflight_
+    mu_.unlock();
+    // The device wait runs unlocked — this is the commit pipeline: later
+    // transactions append (and even fflush) into the stream while the
+    // group's fdatasync is in flight.
+    std::string cause;
+    if (injected) {
+      cause =
+          "injected sync failure at sync point " + std::to_string(sync_index);
+    } else {
+      Status sync_st = SyncFileNow(f, path_);
+      if (!sync_st.ok()) cause = sync_st.message();
+    }
+    mu_.lock();
+    if (cause.empty()) {
+      ++syncs_;
+      break;
+    }
+    if (attempt >= kMaxWriteAttempts) {
+      st = MarkDead("wal sync failed for " + path_ + " (" + cause + ")");
+      break;
+    }
+    BackoffAfterAttempt(attempt);
+  }
+  sync_inflight_ = false;
+  sync_cv_.NotifyAll();
+  if (st.ok() && durable_upto != nullptr) *durable_upto = target;
+  mu_.unlock();
+  return st;
 }
 
 Status WalWriter::Rotate() {
   MutexLock lock(mu_);
+  // Never swap the FILE* from under an in-flight group sync.
+  while (sync_inflight_) sync_cv_.Wait(mu_);
   if (dead_) return DeadStatus();
   // Finish the outgoing segment first: rotation must never leave synced
   // and unsynced bytes on different sides of the boundary.

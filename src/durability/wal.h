@@ -138,6 +138,15 @@ Status DecodeWalRecord(const uint8_t* data, size_t n, WalRecord* out);
 // Flush() is the durability point of a commit: it pushes buffered bytes to
 // the OS and then fdatasyncs the segment (unless BIH_NO_FSYNC is set).
 //
+// Group commit: SetDeferredSync(true) turns Flush() into a stage-only
+// operation (fflush to the OS, no device sync); durability then comes from
+// SyncGroup(), which flushes the stream, captures the append LSN, and pays
+// one fdatasync for every record appended so far — with the writer's mutex
+// released during the device wait, so later transactions keep appending
+// into the stream while the sync is in flight (commit pipelining). The
+// group-commit coordinator (durability/group_commit.h) elects the leader
+// that calls it.
+//
 // Thread safety: the writer carries its own mutex, so Append/Flush/Rotate
 // are safe from any thread. In the session layer all writes already arrive
 // serialized under the exclusive engine lock; the internal lock makes the
@@ -172,12 +181,31 @@ class WalWriter {
 
   Status Append(const WalRecord& rec) EXCLUDES(mu_);
   // Pushes buffered bytes to the OS and syncs the device (the durability
-  // point of a commit).
+  // point of a commit). In deferred-sync mode the device sync is skipped:
+  // the record is staged and SyncGroup() pays for it later.
   Status Flush() EXCLUDES(mu_);
   // Finishes the current segment (flush + sync) and starts the next one.
   // Called by the checkpointer at the checkpoint watermark so the snapshot
-  // covers exactly the finished segments.
+  // covers exactly the finished segments. Rotation always syncs the device,
+  // deferred mode or not: a segment boundary is a durability boundary.
   Status Rotate() EXCLUDES(mu_);
+
+  // --- group commit ------------------------------------------------------
+  // Switches Flush() between sync-per-commit (false, the default) and
+  // stage-only (true). The session layer flips this once when it takes
+  // ownership of durability via a GroupCommit coordinator.
+  void SetDeferredSync(bool deferred) EXCLUDES(mu_);
+  // Records appended so far across segments — the LSN ticket a transaction
+  // hands to the group-commit coordinator ("make everything up to here
+  // durable").
+  uint64_t appended_lsn() const EXCLUDES(mu_);
+  // One batched durability point: flush the stream, capture the append
+  // LSN, fdatasync the device (fault-checked per attempt via OnSync, with
+  // the same retry/backoff as the per-commit path; OnGroupFlush fires once
+  // between staging and the sync — the "crash with the group in the page
+  // cache" point). The writer's mutex is RELEASED during the device wait.
+  // On success *durable_upto (optional) is the LSN the sync proved durable.
+  Status SyncGroup(uint64_t* durable_upto) EXCLUDES(mu_);
 
   const std::string& path() const { return path_; }
   uint64_t records_written() const {
@@ -195,6 +223,10 @@ class WalWriter {
   uint64_t syncs() const {
     MutexLock lock(mu_);
     return syncs_;
+  }
+  uint64_t group_syncs() const {
+    MutexLock lock(mu_);
+    return group_syncs_;
   }
   bool dead() const {
     MutexLock lock(mu_);
@@ -236,7 +268,15 @@ class WalWriter {
   uint64_t bytes_written_ GUARDED_BY(mu_) = 0;    // across all segments
   uint64_t segment_index_ GUARDED_BY(mu_) = 1;
   uint64_t syncs_ GUARDED_BY(mu_) = 0;
+  uint64_t group_syncs_ GUARDED_BY(mu_) = 0;
   uint64_t rotations_ GUARDED_BY(mu_) = 0;
+  // Group-commit state. While a group's device sync is in flight the FILE*
+  // must not be swapped or closed: SyncGroup sets sync_inflight_ and drops
+  // mu_ for the wait; Rotate and the destructor wait on sync_cv_ for the
+  // flag to clear before touching file_.
+  bool deferred_sync_ GUARDED_BY(mu_) = false;
+  bool sync_inflight_ GUARDED_BY(mu_) = false;
+  CondVar sync_cv_;
   bool dead_ GUARDED_BY(mu_) = false;
   std::string dead_reason_ GUARDED_BY(mu_);
   // Scratch space reused across Append calls; at steady state appending a

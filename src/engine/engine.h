@@ -191,6 +191,10 @@ class TemporalEngine {
   Status EnableWal(const std::string& path, FaultInjector* fault = nullptr);
   Status AttachWal(std::unique_ptr<WalWriter> wal);
   WalWriter* wal() const { return wal_.get(); }
+  // Shared ownership handle for the group-commit coordinator: durability
+  // waiters hold this so a session-level writer swap (the revive path) can
+  // never close the FILE* from under an in-flight group sync.
+  std::shared_ptr<WalWriter> SharedWal() const { return wal_; }
 
   // Applies one logged mutation at its original commit timestamp, keeping
   // the engine clock ahead of it; crash recovery only (engine/recovery.h).
@@ -293,7 +297,9 @@ class TemporalEngine {
   Status LogMutation(WalRecord rec);
 
   Timestamp mutation_time_;
-  std::unique_ptr<WalWriter> wal_;
+  // Shared with the group-commit coordinator (see SharedWal()); the engine
+  // is still the writer's home — AttachWal replaces it wholesale.
+  std::shared_ptr<WalWriter> wal_;
   std::vector<WalRecord> txn_wal_;
 };
 

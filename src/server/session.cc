@@ -18,6 +18,11 @@ SessionManager::SessionManager(std::unique_ptr<TemporalEngine> engine,
 }
 
 void SessionManager::Init(SessionConfig cfg) {
+  const int shards = std::max(1, cfg.write_shards);
+  shard_mu_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shard_mu_.push_back(std::make_unique<Mutex>());
+  }
   {
     // No concurrent access can exist yet, but taking the writer lock keeps
     // the engine-touching setup on the same annotated path as Write().
@@ -26,6 +31,9 @@ void SessionManager::Init(SessionConfig cfg) {
     // recovery) becomes the base snapshot.
     engine_->PrepareForReads();
     PublishWatermark();
+    if (cfg.group_commit && engine_->wal() != nullptr) {
+      group_ = std::make_shared<GroupCommit>(engine_->SharedWal(), &staging_);
+    }
   }
   scan_threads_ = cfg.scan_threads > 0 ? cfg.scan_threads : DefaultScanThreads();
   if (scan_threads_ > 1) {
@@ -52,6 +60,17 @@ SessionManager::~SessionManager() {
 
 void SessionManager::PublishWatermark() {
   watermark_.store(engine_->Now().micros(), std::memory_order_release);
+}
+
+void SessionManager::AdvanceWatermark(int64_t commit_ts) {
+  int64_t cur = watermark_.load(std::memory_order_relaxed);
+  while (commit_ts > cur &&
+         !watermark_.compare_exchange_weak(cur, commit_ts,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+    // cur reloaded by the failed CAS; loop ends once someone at or past
+    // commit_ts has published.
+  }
 }
 
 void SessionManager::WatchdogLoop() {
@@ -249,6 +268,10 @@ void SessionManager::DegradeIfWalDead() {
   }
 }
 
+void SessionManager::DegradeNow() {
+  read_only_.store(true, std::memory_order_release);
+}
+
 Status SessionManager::ReadOnlyStatus() const {
   return Status::Unavailable(
       "session is read-only: the write-ahead log failed and the in-memory "
@@ -257,8 +280,61 @@ Status SessionManager::ReadOnlyStatus() const {
       "server and recover from the log to restore writes");
 }
 
+size_t SessionManager::ShardFor(const std::string& table,
+                                const std::vector<Value>& key,
+                                const Row* row) const {
+  // Keyed DML serializes per (table, leading key value); the leading value
+  // is the primary-key prefix in every schema this repo loads, so writes
+  // to distinct keys land on distinct shards with high probability. A
+  // collision only costs concurrency, never correctness: the exclusive
+  // engine lock inside DoWrite is the real serialization point.
+  size_t h = std::hash<std::string>{}(table);
+  const Value* lead = nullptr;
+  if (!key.empty()) {
+    lead = &key.front();
+  } else if (row != nullptr && !row->empty()) {
+    lead = &row->front();
+  }
+  if (lead != nullptr) {
+    h ^= lead->Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h % shard_mu_.size();
+}
+
+void SessionManager::LockShards(int shard) {
+  if (shard != kAllShards) {
+    shard_mu_[static_cast<size_t>(shard)]->lock();
+    return;
+  }
+  // Barrier: ascending index order, the same order every keyed writer uses
+  // implicitly (it holds exactly one), so the sweep cannot deadlock
+  // against them or against a concurrent barrier.
+  for (auto& mu : shard_mu_) mu->lock();
+}
+
+void SessionManager::UnlockShards(int shard) {
+  if (shard != kAllShards) {
+    shard_mu_[static_cast<size_t>(shard)]->unlock();
+    return;
+  }
+  for (auto it = shard_mu_.rbegin(); it != shard_mu_.rend(); ++it) {
+    (*it)->unlock();
+  }
+}
+
 Status SessionManager::Write(
     const std::function<Status(TemporalEngine&)>& fn) {
+  return DoWrite(kAllShards, fn);
+}
+
+Status SessionManager::WriteKeyed(
+    const std::string& table, const std::vector<Value>& key,
+    const std::function<Status(TemporalEngine&)>& fn) {
+  return DoWrite(static_cast<int>(ShardFor(table, key, nullptr)), fn);
+}
+
+Status SessionManager::DoWrite(
+    int shard, const std::function<Status(TemporalEngine&)>& fn) {
   // Fast path: a degraded session rejects writes without ever contending
   // for the writer lock, so the rejection cannot stall running reads.
   if (read_only_.load(std::memory_order_acquire)) {
@@ -266,28 +342,98 @@ Status SessionManager::Write(
     ++stats_.writes_unavailable;
     return ReadOnlyStatus();
   }
+  LockShards(shard);
+  // Re-check after the (possibly long) shard wait: a writer ahead of us on
+  // this shard may have degraded the session meanwhile.
+  if (read_only_.load(std::memory_order_acquire)) {
+    UnlockShards(shard);
+    MutexLock st(stats_mu_);
+    ++stats_.writes_unavailable;
+    return ReadOnlyStatus();
+  }
+
+  // Group mode hands the durability wait a snapshot of the coordinator
+  // (shared_ptr: a revive may swap in a fresh one while we wait) plus the
+  // write's ticket and commit timestamp, all captured under the exclusive
+  // lock where LSN order and commit order are the same order.
+  std::shared_ptr<GroupCommit> group;
+  GroupCommit::Ticket ticket;
+  int64_t commit_ts = 0;
+
+  // Announce before queueing on the writer lock: a group-commit leader
+  // about to sync sees the counter and holds the group open until we have
+  // staged, folding our commit into its fdatasync instead of leaving us to
+  // lead our own one device-wait later. Decremented under the lock once
+  // our records (and ticket) are in.
+  staging_.fetch_add(1, std::memory_order_release);
+
+  Status s;
   {
     WriterLock lock(rw_mu_);
-    Status s = fn(*engine_);
+    s = fn(*engine_);
     // Publish deferred engine state (System B's undo log) while we still
-    // hold the writer side, then advance the snapshot readers pin. The
-    // watermark moves even on failure: a failed statement may sit inside a
-    // batch whose earlier statements committed.
+    // hold the writer side, so subsequent scans are pure reads.
     engine_->PrepareForReads();
-    PublishWatermark();
-    // A write that killed the WAL leaves durable state behind in-memory
-    // state; from here on the session serves the pinned snapshots but
-    // accepts no further writes.
-    DegradeIfWalDead();
+    if (group_ != nullptr) {
+      group = group_;
+      ticket.lsn = group->wal()->appended_lsn();
+      commit_ts = engine_->Now().micros();
+      // An append failure (as opposed to a sync failure) kills the WAL
+      // while we still hold the lock; degrade here as before.
+      DegradeIfWalDead();
+    } else {
+      // Single-lane path: the engine synced inside fn, so completion and
+      // durability coincide and the watermark can advance immediately. It
+      // moves even on failure: a failed statement may sit inside a batch
+      // whose earlier statements committed.
+      PublishWatermark();
+      // A write that killed the WAL leaves durable state behind in-memory
+      // state; from here on the session serves the pinned snapshots but
+      // accepts no further writes.
+      DegradeIfWalDead();
+    }
+    staging_.fetch_sub(1, std::memory_order_release);
     {
       MutexLock st(stats_mu_);
       ++stats_.writes;
     }
-    return s;
   }
+
+  if (group != nullptr) {
+    // The exclusive lock is gone: readers and other shards proceed while
+    // we wait for the device. The coordinator batches every waiter that
+    // piles up here into one fdatasync.
+    Status durable = group->WaitDurable(ticket);
+    if (durable.ok()) {
+      // Acknowledged. Only now may readers pin this commit: timestamps
+      // reach the watermark in durability order, which equals commit
+      // order, so a pinned snapshot never spans a half-durable suffix.
+      AdvanceWatermark(commit_ts);
+    } else {
+      // Never acknowledged — the commit may not survive a crash, so its
+      // timestamp must never reach the watermark. Degrade without the
+      // lock (read_only_ only ever flips false -> true outside a revive).
+      DegradeNow();
+      if (s.ok()) s = durable;
+    }
+  }
+  UnlockShards(shard);
+  return s;
 }
 
 Status SessionManager::RunCheckpoint(Checkpointer* cp, CheckpointInfo* info) {
+  // Barrier on every admission shard: keyed writers hold their shard
+  // across the durability wait, so once the sweep completes no write is
+  // between "applied" and "acknowledged" — the checkpoint's rotation then
+  // never races a group sync it didn't account for.
+  LockShards(kAllShards);
+  Status result = RunCheckpointLocked(cp, info);
+  UnlockShards(kAllShards);
+  return result;
+}
+
+Status SessionManager::RunCheckpointLocked(Checkpointer* cp,
+                                           CheckpointInfo* info) {
   WriterLock lock(rw_mu_);
   if (read_only_.load(std::memory_order_acquire)) {
     // Revive path. The dead writer stopped at some segment k with an
@@ -315,6 +461,12 @@ Status SessionManager::RunCheckpoint(Checkpointer* cp, CheckpointInfo* info) {
       // exists to close.
       return cs.ok() ? ReadOnlyStatus() : cs;
     }
+    if (group_ != nullptr) {
+      // Re-arm group commit over the fresh writer. The old coordinator is
+      // poisoned (its writer is the dead one); any straggler still waiting
+      // on it holds its own shared_ptr and gets the dead status.
+      group_ = std::make_shared<GroupCommit>(engine_->SharedWal(), &staging_);
+    }
     read_only_.store(false, std::memory_order_release);
     return Status::OK();
   }
@@ -326,7 +478,8 @@ Status SessionManager::RunCheckpoint(Checkpointer* cp, CheckpointInfo* info) {
 }
 
 Status SessionManager::Insert(const std::string& table, Row row) {
-  return Write([&](TemporalEngine& eng) {
+  const int shard = static_cast<int>(ShardFor(table, {}, &row));
+  return DoWrite(shard, [&](TemporalEngine& eng) {
     return eng.Insert(table, std::move(row));
   });
 }
@@ -334,15 +487,17 @@ Status SessionManager::Insert(const std::string& table, Row row) {
 Status SessionManager::UpdateCurrent(const std::string& table,
                                      const std::vector<Value>& key,
                                      const std::vector<ColumnAssignment>& set) {
-  return Write([&](TemporalEngine& eng) {
+  const int shard = static_cast<int>(ShardFor(table, key, nullptr));
+  return DoWrite(shard, [&](TemporalEngine& eng) {
     return eng.UpdateCurrent(table, key, set);
   });
 }
 
 Status SessionManager::DeleteCurrent(const std::string& table,
                                      const std::vector<Value>& key) {
-  return Write(
-      [&](TemporalEngine& eng) { return eng.DeleteCurrent(table, key); });
+  const int shard = static_cast<int>(ShardFor(table, key, nullptr));
+  return DoWrite(
+      shard, [&](TemporalEngine& eng) { return eng.DeleteCurrent(table, key); });
 }
 
 SessionManager::ServerStats SessionManager::GetStats() const {
@@ -353,6 +508,15 @@ SessionManager::ServerStats SessionManager::GetStats() const {
   }
   s.admission = admission_.GetStats();
   return s;
+}
+
+GroupCommit::Stats SessionManager::GetGroupCommitStats() {
+  std::shared_ptr<GroupCommit> group;
+  {
+    ReaderLock lock(rw_mu_);
+    group = group_;
+  }
+  return group != nullptr ? group->GetStats() : GroupCommit::Stats{};
 }
 
 }  // namespace bih

@@ -11,6 +11,7 @@
 
 #include "common/thread_annotations.h"
 #include "durability/checkpoint.h"
+#include "durability/group_commit.h"
 #include "engine/engine.h"
 #include "exec/parallel.h"
 #include "server/admission.h"
@@ -28,6 +29,20 @@ struct SessionConfig {
   // every read serial. When > 1, the manager owns a ScanScheduler sized
   // for this width and injects it into reads that do not bring their own.
   int scan_threads = 0;
+  // Group commit: when true and the engine carries a WAL, the manager owns
+  // durability through a GroupCommit coordinator — per-DML Flush() stages
+  // instead of syncing, the exclusive engine lock is released before the
+  // device wait, and concurrent commits share one fdatasync. False keeps
+  // the single-lane sync-per-commit path (useful as a bench baseline).
+  bool group_commit = true;
+  // Write-admission shards (clamped to >= 1). Keyed writes (Insert/
+  // UpdateCurrent/DeleteCurrent) serialize per shard — hash of (table,
+  // first key value) — instead of against every other writer, so
+  // independent updates overlap their durability waits; generic Write()
+  // is a barrier that takes all shards. Sharding is pure admission
+  // discipline: the short exclusive apply under rw_mu_ stays the
+  // serialization point, so correctness never depends on the hash.
+  int write_shards = 16;
 };
 
 // Concurrent front door for a TemporalEngine. The engines themselves are
@@ -39,10 +54,21 @@ struct SessionConfig {
 //    a query's system-time selector to the watermark yields exactly the
 //    state at that commit, so a reader never observes half of a later
 //    batch no matter how writes interleave.
-//  * Writes take the exclusive side of the lock and reuse the engines'
-//    existing WAL-mirrored DML path unchanged; after each write the engine
-//    publishes deferred state (System B's undo log) so subsequent scans
-//    are pure reads, then the watermark advances.
+//  * Writes pass shard admission first (keyed writes serialize per
+//    (table, key)-hash shard; generic writes barrier on all shards), then
+//    take the exclusive side of the lock for the in-memory apply and WAL
+//    append, reusing the engines' existing WAL-mirrored DML path
+//    unchanged; after each write the engine publishes deferred state
+//    (System B's undo log) so subsequent scans are pure reads.
+//  * With group commit enabled (the default when the engine has a WAL),
+//    the exclusive lock is released *before* the device sync: the write
+//    takes a durability ticket at its append LSN and waits on the
+//    GroupCommit coordinator, so concurrent writers on different shards
+//    share one fdatasync. The watermark advances only after the ticket is
+//    acknowledged durable — readers can never pin a commit that a crash
+//    could still lose, and because commit timestamps and LSNs are issued
+//    in the same order under the exclusive lock, watermark publication in
+//    durability order equals publication in commit order.
 //  * Every read passes admission control first (bounded queue + load
 //    shedding) and carries an optional QueryContext checked per row; a
 //    background watchdog cancels queries that outlive their deadline even
@@ -58,11 +84,15 @@ struct SessionConfig {
 // untouched and returns no partial rows.
 //
 // Lock discipline (enforced by -Wthread-safety, see thread_annotations.h):
-// rw_mu_ protects the engine; inflight_mu_, watchdog_mu_ and stats_mu_ are
-// leaf locks taken in that order after watchdog_mu_ by the watchdog sweep.
-// The watermark is the one deliberate lock-free handoff: it is only
-// *stored* while holding rw_mu_ exclusively (PublishWatermark), and its
-// release-store pairs with the acquire-load in OpenSnapshot.
+// shard admission locks come first (ascending index), then rw_mu_ protects
+// the engine; inflight_mu_, watchdog_mu_ and stats_mu_ are leaf locks taken
+// in that order after watchdog_mu_ by the watchdog sweep. The GroupCommit
+// coordinator's internal mutex is only ever taken with no session lock
+// held (durability waits happen after rw_mu_ is released). The watermark
+// is the one deliberate lock-free handoff: stored under rw_mu_ exclusively
+// in the legacy path (PublishWatermark) or by CAS-max after durability in
+// the group path (AdvanceWatermark); either way the release-store pairs
+// with the acquire-load in OpenSnapshot.
 class SessionManager {
  public:
   // Serves an engine owned by someone else (e.g. a WorkloadContext).
@@ -108,10 +138,22 @@ class SessionManager {
   // --- Writes ----------------------------------------------------------
   // Runs `fn` on the engine under the exclusive lock; any combination of
   // DML (including Begin/Commit batches) is atomic with respect to
-  // readers, and the watermark advances once it completes. The session
-  // layer's single writer entry point — the convenience wrappers below all
-  // route through it.
+  // readers, and the watermark advances once the write is durable. Takes
+  // every admission shard (barrier), so it serializes against all keyed
+  // writers — the convenience wrappers below route through the same core
+  // but hold only their own shard.
   Status Write(const std::function<Status(TemporalEngine&)>& fn);
+
+  // Like Write(), but admitted on the shard of (table, key) instead of the
+  // all-shards barrier: writes to different shards overlap their
+  // durability waits (under group commit they usually share one device
+  // sync). `fn` must only touch rows of that key — the exclusive engine
+  // lock still makes any violation atomic, but a violation serializes
+  // against the wrong shard and may observe another in-flight writer's
+  // committed-but-unacknowledged rows, exactly what keyed admission
+  // promises callers it prevents.
+  Status WriteKeyed(const std::string& table, const std::vector<Value>& key,
+                    const std::function<Status(TemporalEngine&)>& fn);
 
   Status Insert(const std::string& table, Row row);
   Status UpdateCurrent(const std::string& table, const std::vector<Value>& key,
@@ -126,8 +168,9 @@ class SessionManager {
   // fresh WAL writer is opened at the segment after the dead one, the
   // checkpoint folds the entire in-memory state into a snapshot covering
   // every earlier segment, and — only if both steps succeed and the fresh
-  // writer is still healthy — writes are re-enabled. A failed revive
-  // leaves the session read-only: recovery then still lands on the
+  // writer is still healthy — writes are re-enabled (and, under group
+  // commit, a fresh coordinator is armed over the fresh writer). A failed
+  // revive leaves the session read-only: recovery then still lands on the
   // pre-failure durable state, never on a hole.
   Status RunCheckpoint(Checkpointer* cp, CheckpointInfo* info);
 
@@ -148,6 +191,15 @@ class SessionManager {
     uint64_t watchdog_kills = 0;
   };
   ServerStats GetStats() const;
+
+  // Group-commit counters (zeroes when group commit is off or the engine
+  // has no WAL). groups < acks is the amortization working: several
+  // acknowledged commits shared one device sync. Takes the reader side of
+  // the engine lock (the coordinator handle lives under it).
+  GroupCommit::Stats GetGroupCommitStats();
+
+  // Resolved write-admission shard count (>= 1).
+  int write_shards() const { return static_cast<int>(shard_mu_.size()); }
 
   // Escape hatch for single-threaded setup and test assertions: hands out
   // the engine without the lock the concurrent paths require. Callers must
@@ -172,6 +224,28 @@ class SessionManager {
   void Init(SessionConfig cfg);
   void WatchdogLoop();
 
+  // The single writer core. `shard` >= 0 holds that one admission shard;
+  // kAllShards barriers on every shard in ascending index order. Inside:
+  // exclusive rw_mu_ for fn + commit bookkeeping, then (group mode) the
+  // lock is dropped and the write waits on its durability ticket before
+  // the watermark advances.
+  static constexpr int kAllShards = -1;
+  Status DoWrite(int shard, const std::function<Status(TemporalEngine&)>& fn);
+
+  // RunCheckpoint's body, entered with every admission shard held.
+  Status RunCheckpointLocked(Checkpointer* cp, CheckpointInfo* info);
+
+  // Maps a keyed write to its admission shard.
+  size_t ShardFor(const std::string& table, const std::vector<Value>& key,
+                  const Row* row) const;
+
+  // Runtime-indexed lock sets defeat the static analysis, so the shard
+  // acquire/release pair is annotated away; discipline is by construction:
+  // ascending index acquisition (no shard-shard deadlock) and shards
+  // always taken before rw_mu_.
+  void LockShards(int shard) NO_THREAD_SAFETY_ANALYSIS;
+  void UnlockShards(int shard) NO_THREAD_SAFETY_ANALYSIS;
+
   Status DoRead(Snapshot snap, ScanRequest& req, QueryContext* ctx,
                 std::vector<Row>* out);
   Status DoReadTxn(QueryContext* ctx,
@@ -189,12 +263,26 @@ class SessionManager {
   // Publishes the snapshot readers pin. The release-store pairs with the
   // acquire-load in OpenSnapshot; requiring the writer lock here is what
   // makes the handoff an annotated acquire/release pair instead of a bare
-  // atomic store racing half-finished writes.
+  // atomic store racing half-finished writes. Used by the legacy
+  // (sync-per-commit) path, where completion and durability coincide.
   void PublishWatermark() REQUIRES(rw_mu_);
+
+  // Group-mode watermark publication, called *after* rw_mu_ is released
+  // once the write's durability ticket is acknowledged. CAS-max with
+  // release ordering: ticket acknowledgments arrive in LSN (= commit)
+  // order from the coordinator, but the waiters themselves race to store,
+  // so the max keeps a straggler from moving the snapshot backwards.
+  void AdvanceWatermark(int64_t commit_ts);
 
   // Flips to read-only if the engine's WAL has died. Called after every
   // write/checkpoint while still holding the exclusive lock.
   void DegradeIfWalDead() REQUIRES(rw_mu_);
+  // Lock-free degrade for the group path, where the durability failure
+  // surfaces after rw_mu_ is already released. read_only_ only ever goes
+  // false -> true, so the bare store cannot lose a revive (revives happen
+  // under the exclusive lock in RunCheckpoint, which observes the flag
+  // again before re-enabling).
+  void DegradeNow();
   // The stable kUnavailable writes receive while degraded.
   Status ReadOnlyStatus() const;
 
@@ -216,15 +304,38 @@ class SessionManager {
   // TSan does not intercept, and this layer must stay TSan-clean.)
   SharedMutex rw_mu_;
 
-  // System time of the last completed write; readers pin this. Written only
-  // via PublishWatermark() REQUIRES(rw_mu_); read lock-free in
+  // System time of the last *durable* write; readers pin this. Advanced by
+  // PublishWatermark() under rw_mu_ (legacy path) or by AdvanceWatermark()
+  // CAS-max after durability (group path); read lock-free in
   // OpenSnapshot().
   std::atomic<int64_t> watermark_{0};
 
   // Flips once (false -> true) when the WAL dies; checked lock-free on the
   // write fast path so rejected writes never queue behind the writer lock.
-  // Set only while holding rw_mu_ exclusively (DegradeIfWalDead).
+  // Set under rw_mu_ by DegradeIfWalDead, or lock-free by DegradeNow when
+  // a group durability wait fails after the lock is gone. Cleared (revive)
+  // only under rw_mu_ in RunCheckpoint.
   std::atomic<bool> read_only_{false};
+
+  // Write admission shards (size fixed in Init, >= 1). Keyed writes hold
+  // shard_mu_[ShardFor(...)]; Write()/RunCheckpoint barrier on all of
+  // them. Always acquired in ascending index order, always before rw_mu_.
+  std::vector<std::unique_ptr<Mutex>> shard_mu_;
+
+  // Durability coordinator; non-null iff group commit is enabled and the
+  // engine carries a WAL. Re-armed (fresh coordinator over the fresh
+  // writer) by RunCheckpoint's revive path. Guarded by rw_mu_: the group
+  // path snapshots the shared_ptr under the exclusive lock, and waiters
+  // keep their snapshot alive across a revive swap.
+  std::shared_ptr<GroupCommit> group_ GUARDED_BY(rw_mu_);
+
+  // Writers between write admission and staging (records appended, ticket
+  // taken). A group-commit leader reads it to hold the group open for
+  // writers already committed to joining — a scheduling hint for batching,
+  // never a correctness dependency. Outlives every coordinator built over
+  // it (coordinators are owned by this session or by in-flight waiters
+  // whose DoWrite frame is inside the session's lifetime).
+  std::atomic<int> staging_{0};
 
   AdmissionController admission_;
 

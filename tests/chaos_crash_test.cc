@@ -12,9 +12,12 @@
 // replay), a torn published checkpoint is ignored in favour of full log
 // replay, and the session layer degrades to read-only (kUnavailable writes,
 // live snapshot reads) when the WAL dies.
+#include <chrono>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -531,6 +534,275 @@ TEST_P(ChaosSweepTest, SessionCheckpointThenRecover) {
   EXPECT_TRUE(report.checkpoint_loaded);
   EXPECT_EQ(3u, report.records_total) << report.ToString();
   EXPECT_TRUE(SameRows(DumpEngine(mgr.engine()), DumpEngine(*recovered)));
+}
+
+// --- Torn-group-commit sweep ------------------------------------------
+//
+// The group-commit write path adds new places to die: after a batch's
+// records are staged (fflushed) but before the batched fdatasync, at the
+// batched fdatasync itself, and torn mid-record inside a group's frames.
+// Each transaction here is a Begin/Commit batch of three DMLs pushed
+// through the session's group path, so a crash must lose or keep whole
+// transactions — never a partial batch.
+
+// Deterministic batched scripts: every batch is two inserts plus one
+// update of a key committed in an EARLIER batch (so every statement in a
+// batch succeeds, and no key is touched twice at one commit timestamp).
+std::vector<std::vector<ChaosStep>> MakeGroupBatches(uint64_t seed,
+                                                     int nbatches) {
+  uint64_t h = seed * 0x9e3779b97f4a7c15ULL + 1;
+  auto next = [&h]() {
+    h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+    return h >> 33;
+  };
+  std::vector<std::vector<ChaosStep>> batches;
+  std::vector<int64_t> committed;
+  int64_t next_key = 1;
+  for (int b = 0; b < nbatches; ++b) {
+    std::vector<ChaosStep> batch;
+    std::vector<int64_t> fresh;
+    for (int j = 0; j < 2; ++j) {
+      ChaosStep s;
+      const int64_t id = next_key++;
+      const int64_t vb = static_cast<int64_t>(next() % 300);
+      s.kind = ChaosStep::Kind::kInsert;
+      s.row = Row{Value(id), Value(double(1 + next() % 1000)),
+                  Value(next() % 2 == 0 ? "x" : "y"), Value(vb),
+                  Value(Period::kForever)};
+      fresh.push_back(id);
+      batch.push_back(std::move(s));
+    }
+    ChaosStep third;
+    if (committed.empty()) {
+      const int64_t id = next_key++;
+      third.kind = ChaosStep::Kind::kInsert;
+      third.row = Row{Value(id), Value(double(1 + next() % 1000)), Value("z"),
+                      Value(int64_t(0)), Value(Period::kForever)};
+      fresh.push_back(id);
+    } else {
+      third.kind = ChaosStep::Kind::kUpdate;
+      third.id = committed[next() % committed.size()];
+      third.set = {{1, Value(double(1 + next() % 1000))}};
+    }
+    batch.push_back(std::move(third));
+    batches.push_back(std::move(batch));
+    committed.insert(committed.end(), fresh.begin(), fresh.end());
+  }
+  return batches;
+}
+
+struct GroupRun {
+  // Canonical model dump after each committed batch; [0] is empty. The
+  // extra entry pushed for the dying batch covers the case where its
+  // records reached the OS file before the injected sync failure.
+  std::vector<std::vector<Row>> prefixes;
+  size_t acked = 0;  // last prefix whose batch was acknowledged durable
+  bool crashed = false;
+};
+
+GroupRun RunGroupScenario(const std::string& letter,
+                          const std::string& wal_path, FaultInjector* fi,
+                          const std::vector<std::vector<ChaosStep>>& batches) {
+  GroupRun rr;
+  Model model;
+  rr.prefixes.push_back(DumpModel(model));
+  auto engine = MakeEngine(letter);
+  EXPECT_TRUE(engine->EnableWal(wal_path, fi).ok());
+  Status st = engine->CreateTable(FuzzItemDef());
+  if (!st.ok()) {
+    rr.crashed = true;
+    return rr;
+  }
+  SessionConfig cfg;
+  cfg.watchdog_period = std::chrono::milliseconds(0);
+  cfg.write_shards = 4;  // group_commit defaults on
+  SessionManager mgr(engine.get(), cfg);
+  CommitClock model_clock;
+  for (const std::vector<ChaosStep>& batch : batches) {
+    const int64_t ts = model_clock.NextCommit().micros();
+    Status ws = mgr.Write([&](TemporalEngine& e) {
+      e.Begin();
+      for (const ChaosStep& s : batch) {
+        Status a = ApplyChaosStep(e, s);
+        if (!a.ok()) return a;
+      }
+      return e.Commit();
+    });
+    if (ws.ok()) {
+      for (const ChaosStep& s : batch) ApplyToModel(&model, s, ts);
+      rr.prefixes.push_back(DumpModel(model));
+      rr.acked = rr.prefixes.size() - 1;
+      continue;
+    }
+    EXPECT_TRUE(ws.code() == Status::Code::kIoError ||
+                ws.code() == Status::Code::kUnavailable)
+        << ws.ToString();
+    rr.crashed = true;
+    if (ws.code() == Status::Code::kIoError) {
+      // The batch committed in memory and its records may have reached the
+      // OS file before the device sync was killed; recovery is allowed to
+      // surface it — whole, or not at all.
+      for (const ChaosStep& s : batch) ApplyToModel(&model, s, ts);
+      rr.prefixes.push_back(DumpModel(model));
+    }
+    break;
+  }
+  return rr;
+}
+
+int MatchGroupPrefix(const GroupRun& rr, const std::vector<Row>& got) {
+  for (size_t i = rr.prefixes.size(); i-- > 0;) {
+    if (SameRows(rr.prefixes[i], got)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+TEST_P(ChaosSweepTest, TornGroupCommitRecoversWholeTransactionsOnly) {
+  const std::string letter = GetParam();
+  const int kBatches = 30;
+  const std::vector<std::vector<ChaosStep>> batches =
+      MakeGroupBatches(20260808, kBatches);
+
+  struct GroupPlan {
+    const char* tag;
+    FaultInjector fi;
+  };
+  // Each batch costs one group flush and one sync (plus the DDL's sync
+  // before the session exists); each batch appends four records (three
+  // statements + the commit marker) after the DDL's one.
+  const std::vector<GroupPlan> plans = {
+      // Before the batched fsync: staged, flushed, never synced.
+      {"group", FaultInjector::FailGroupFlushNth(1)},
+      {"group", FaultInjector::FailGroupFlushNth(2)},
+      {"group", FaultInjector::FailGroupFlushNth(7)},
+      {"group", FaultInjector::FailGroupFlushNth(19)},
+      // At the batched fsync itself.
+      {"sync", FaultInjector::FailSyncNth(2)},
+      {"sync", FaultInjector::FailSyncNth(3)},
+      {"sync", FaultInjector::FailSyncNth(11)},
+      {"sync", FaultInjector::FailSyncNth(25)},
+      // Torn mid-record inside a group's frames: the batch's commit marker
+      // never lands, so recovery must drop the whole transaction.
+      {"torn", FaultInjector::TornNth(3, 0)},
+      {"torn", FaultInjector::TornNth(8, 5)},
+      {"torn", FaultInjector::TornNth(14, 9)},
+      {"torn", FaultInjector::TornNth(27, 13)},
+      {"torn", FaultInjector::TornNth(61, 7)},
+  };
+
+  for (size_t p = 0; p < plans.size(); ++p) {
+    const std::string tag = letter + "_g" + plans[p].tag + std::to_string(p);
+    SCOPED_TRACE(tag);
+    FaultInjector fi = plans[p].fi;
+    const std::string wal_path = TmpWal(tag);
+    GroupRun rr = RunGroupScenario(letter, wal_path, &fi, batches);
+    ASSERT_TRUE(rr.crashed) << "plan never triggered";
+    ASSERT_TRUE(fi.triggered());
+
+    std::unique_ptr<TemporalEngine> recovered;
+    RecoveryReport report;
+    Status st = RecoverEngine(letter, wal_path, &recovered, &report);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    std::vector<Row> got = recovered->HasTable("ITEM")
+                               ? DumpEngine(*recovered)
+                               : std::vector<Row>();
+    const int matched = MatchGroupPrefix(rr, got);
+    // Whole transactions only (any matched prefix is batch-aligned), and
+    // never behind what the session acknowledged durable.
+    ASSERT_GE(matched, 0) << "recovered state is not a per-transaction "
+                             "prefix; "
+                          << report.ToString();
+    EXPECT_GE(static_cast<size_t>(matched), rr.acked) << report.ToString();
+  }
+}
+
+// Concurrent flavour: four writers push disjoint-key transactions through
+// the sharded group path while the injector kills a group mid-flight. The
+// interleaving is nondeterministic, so the assertion is the atomicity
+// contract itself: after recovery every three-row transaction is present
+// in full or absent in full, and every acknowledged one is present.
+TEST_P(ChaosSweepTest, ConcurrentGroupCrashLeavesNoPartialTransaction) {
+  const std::string letter = GetParam();
+  constexpr int kWriters = 4;
+  constexpr int kBatchesEach = 40;
+  constexpr int kRowsPerBatch = 3;
+
+  for (uint64_t group_n : {3u, 9u, 21u}) {
+    const std::string tag =
+        letter + "_cgc" + std::to_string(group_n);
+    SCOPED_TRACE(tag);
+    FaultInjector fi = FaultInjector::FailGroupFlushNth(group_n);
+    const std::string wal_path = TmpWal(tag);
+    std::vector<std::vector<int>> acked(kWriters);
+
+    {
+      auto engine = MakeEngine(letter);
+      ASSERT_TRUE(engine->EnableWal(wal_path, &fi).ok());
+      ASSERT_TRUE(engine->CreateTable(FuzzItemDef()).ok());
+      SessionConfig cfg;
+      cfg.watchdog_period = std::chrono::milliseconds(0);
+      cfg.write_shards = 8;
+      SessionManager mgr(engine.get(), cfg);
+
+      std::vector<std::thread> writers;
+      for (int t = 0; t < kWriters; ++t) {
+        writers.emplace_back([&, t] {
+          for (int b = 0; b < kBatchesEach; ++b) {
+            // Keys encode (writer, batch, row): batch = id / 10.
+            const int64_t base =
+                1'000'000 * (t + 1) + 10 * static_cast<int64_t>(b);
+            Status ws = mgr.WriteKeyed(
+                "ITEM", {Value(base)}, [&](TemporalEngine& e) {
+                  e.Begin();
+                  for (int j = 0; j < kRowsPerBatch; ++j) {
+                    Status a = e.Insert(
+                        "ITEM",
+                        Row{Value(base + j), Value(double(b + 1)),
+                            Value(t % 2 == 0 ? "x" : "y"), Value(int64_t(0)),
+                            Value(Period::kForever)});
+                    if (!a.ok()) return a;
+                  }
+                  return e.Commit();
+                });
+            if (ws.ok()) {
+              acked[static_cast<size_t>(t)].push_back(b);
+            } else {
+              // The group died (kIoError for the in-flight batch,
+              // kUnavailable once degraded): no later batch can commit.
+              break;
+            }
+          }
+        });
+      }
+      for (std::thread& w : writers) w.join();
+      ASSERT_TRUE(fi.triggered()) << "plan never triggered";
+      ASSERT_TRUE(mgr.read_only());
+    }
+
+    std::unique_ptr<TemporalEngine> recovered;
+    RecoveryReport report;
+    ASSERT_TRUE(RecoverEngine(letter, wal_path, &recovered, &report).ok());
+    // Tally recovered rows per (writer, batch) transaction.
+    std::vector<Row> rows = DumpEngine(*recovered);
+    std::map<int64_t, int> per_batch;
+    for (const Row& r : rows) {
+      const int64_t id = r[0].AsInt();
+      per_batch[id / 10] += 1;
+    }
+    for (const auto& [batch, count] : per_batch) {
+      EXPECT_EQ(kRowsPerBatch, count)
+          << "torn transaction " << batch << ": " << count << " of "
+          << kRowsPerBatch << " rows survived";
+    }
+    for (int t = 0; t < kWriters; ++t) {
+      for (int b : acked[static_cast<size_t>(t)]) {
+        const int64_t key = (1'000'000 * (t + 1) + 10 * b) / 10;
+        EXPECT_EQ(kRowsPerBatch, per_batch[key])
+            << "acknowledged transaction lost: writer " << t << " batch "
+            << b;
+      }
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllEngines, ChaosSweepTest,

@@ -5,6 +5,8 @@
 // get the data-race guarantees these tests claim.
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -405,6 +407,148 @@ TEST_P(PerEngineTest, ChaosSoak) {
   ASSERT_TRUE(server.Read(current, nullptr, &rows).ok());
   EXPECT_GT(rows.size(), 0u);
 }
+
+// --- Watermark contract under concurrent group commit ------------------
+//
+// The commit-watermark snapshot contract, stated operationally:
+//
+//   1. A reader that pins watermark w never observes any version created
+//      by a commit later than w (no half-applied later batch), and
+//      repeated reads at w are byte-identical.
+//   2. A write acknowledged BEFORE the reader pinned must be visible at
+//      the pinned snapshot (acknowledged implies durable implies
+//      watermark-covered).
+//   3. Multi-statement writes are atomic at any snapshot: all of a
+//      batch's rows are visible or none.
+//
+// Swept from 1 to 8 writer threads over the sharded group-commit path;
+// run under TSan to also prove the watermark handoff is race-free.
+class WatermarkContractTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WatermarkContractTest, PinnedReadersNeverSeePostPinCommits) {
+  const int kWriters = GetParam();
+  constexpr int kBatchesEach = 60;
+  constexpr int kRowsPerBatch = 3;
+
+  std::unique_ptr<TemporalEngine> engine = MakeEngine("A");
+  // A WAL makes this the production path: group commit on, watermark
+  // published only after the durability ticket is acknowledged.
+  const std::string wal_path = ::testing::TempDir() + "/watermark_" +
+                               std::to_string(kWriters) + ".wal";
+  std::remove(wal_path.c_str());
+  ASSERT_TRUE(engine->EnableWal(wal_path).ok());
+  ASSERT_TRUE(engine->CreateTable(FuzzItemDef()).ok());
+  SessionConfig cfg;
+  cfg.write_shards = 8;
+  SessionManager server(engine.get(), cfg);
+
+  // Acknowledged batch bases, appended only after the session write
+  // returned OK. A reader snapshots this list BEFORE pinning: everything
+  // in the copy was acknowledged before the pin, so rule 2 applies to it.
+  Mutex acked_mu;
+  std::vector<int64_t> acked;
+
+  std::atomic<bool> writers_done{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      for (int b = 0; b < kBatchesEach; ++b) {
+        const int64_t base =
+            1'000'000 * (t + 1) + 10 * static_cast<int64_t>(b);
+        Status st = server.WriteKeyed(
+            "ITEM", {Value(base)}, [&](TemporalEngine& e) {
+              e.Begin();
+              for (int j = 0; j < kRowsPerBatch; ++j) {
+                Status a = e.Insert(
+                    "ITEM", Row{Value(base + j), Value(double(b)),
+                                Value(t % 2 == 0 ? "x" : "y"),
+                                Value(int64_t(0)), Value(Period::kForever)});
+                if (!a.ok()) return a;
+              }
+              return e.Commit();
+            });
+        ASSERT_TRUE(st.ok()) << st.ToString();
+        MutexLock lock(acked_mu);
+        acked.push_back(base);
+      }
+    });
+  }
+
+  constexpr int kReaders = 3;
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(77 * (r + 1));
+      while (!writers_done.load(std::memory_order_acquire)) {
+        std::vector<int64_t> acked_before_pin;
+        {
+          MutexLock lock(acked_mu);
+          acked_before_pin = acked;
+        }
+        SessionManager::Snapshot snap = server.OpenSnapshot();
+
+        ScanRequest req = FullHistoryScan();
+        std::vector<Row> rows;
+        ASSERT_TRUE(server.ReadAt(snap, req, nullptr, &rows).ok());
+
+        std::set<int64_t> seen;
+        std::map<int64_t, int> per_batch;
+        for (const Row& row : rows) {
+          // Rule 1: nothing from after the pin. Every version the read
+          // surfaces began at or before the watermark.
+          const int64_t sys_from = row[row.size() - 2].AsInt();
+          ASSERT_LE(sys_from, snap.watermark)
+              << "snapshot at " << snap.watermark
+              << " observed a commit from " << sys_from;
+          seen.insert(row[0].AsInt());
+          per_batch[row[0].AsInt() / 10] += 1;
+        }
+        // Rule 3: batch atomicity at the snapshot.
+        for (const auto& [batch_base, count] : per_batch) {
+          ASSERT_EQ(kRowsPerBatch, count)
+              << "half-applied batch " << batch_base << " at watermark "
+              << snap.watermark;
+        }
+        // Rule 2: acked-before-pin implies visible at the pin.
+        for (int64_t base : acked_before_pin) {
+          for (int j = 0; j < kRowsPerBatch; ++j) {
+            ASSERT_EQ(1u, seen.count(base + j))
+                << "acknowledged row " << base + j
+                << " invisible at watermark " << snap.watermark;
+          }
+        }
+        // Rule 1, determinism half: the same snapshot reads byte-equal.
+        if (rng.Bernoulli(0.25)) {
+          std::vector<Row> again;
+          ASSERT_TRUE(server.ReadAt(snap, req, nullptr, &again).ok());
+          std::vector<Row> a = Canonical(rows);
+          std::vector<Row> b = Canonical(std::move(again));
+          ASSERT_EQ(a.size(), b.size());
+          for (size_t i = 0; i < a.size(); ++i) {
+            for (size_t c = 0; c < a[i].size(); ++c) {
+              ASSERT_EQ(0, a[i][c].Compare(b[i][c]))
+                  << "same-snapshot reread diverged at row " << i;
+            }
+          }
+        }
+      }
+    });
+  }
+
+  for (std::thread& w : writers) w.join();
+  writers_done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  // Final coverage: everything acked, nothing torn, watermark at the top.
+  std::vector<Row> rows;
+  ScanRequest req = FullHistoryScan();
+  ASSERT_TRUE(server.Read(req, nullptr, &rows).ok());
+  EXPECT_EQ(static_cast<size_t>(kWriters) * kBatchesEach * kRowsPerBatch,
+            rows.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(WriterSweep, WatermarkContractTest,
+                         ::testing::Values(1, 2, 4, 8));
 
 }  // namespace
 }  // namespace bih

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "durability/group_commit.h"
 #include "engine/recovery.h"
 #include "temporal/clock.h"
 
@@ -405,6 +406,71 @@ TEST_P(CrashSweepTest, UncommittedBatchRollsBackAtEveryCrashPoint) {
                    Canonical(DumpEngine(*recovered)),
                    letter + " batch crash=" + std::to_string(crash));
   }
+}
+
+// Group-boundary regression: transactions staged in deferred-sync mode
+// across one shared group flush and across a segment rotation must replay
+// with byte-identical state — including identical commit timestamps, which
+// the full-history dump carries in its system-time columns. This is the
+// recovery contract the group-commit write path leans on: deferring the
+// fdatasync reorders *when* records become durable, never *what* they say.
+TEST_P(CrashSweepTest, GroupBoundaryStagingRecoversIdenticalTimestamps) {
+  const std::string letter = GetParam();
+  const std::string wal_path = TmpWal(letter + "_group");
+  const size_t kBatch = 4;
+  std::vector<Step> steps = MakeSteps(131, 16, kBatch);
+
+  Model model;
+  CommitClock model_clock;
+  {
+    auto engine = MakeEngine(letter);
+    ASSERT_TRUE(engine->EnableWal(wal_path).ok());
+    ASSERT_TRUE(engine->CreateTable(ItemDef()).ok());
+    // Deferred-sync mode from here on: Commit stages, the coordinator is
+    // the only durability point.
+    GroupCommit group(engine->SharedWal());
+
+    auto run_batch = [&](size_t i) {
+      const int64_t ts = model_clock.NextCommit().micros();
+      engine->Begin();
+      std::vector<const Step*> applied;
+      for (size_t j = i; j < std::min(steps.size(), i + kBatch); ++j) {
+        Status st = ApplyStep(*engine, steps[j]);
+        if (st.ok()) applied.push_back(&steps[j]);
+      }
+      ASSERT_TRUE(engine->Commit().ok());
+      for (const Step* s : applied) model.Apply(*s, ts);
+    };
+
+    // Batches 1 and 2 stage unsynced; one WaitDurable covers both in a
+    // single device sync (the group flush under test).
+    run_batch(0);
+    run_batch(kBatch);
+    const uint64_t syncs_before = engine->wal()->syncs();
+    GroupCommit::Ticket two_batches{engine->wal()->appended_lsn()};
+    ASSERT_TRUE(group.WaitDurable(two_batches).ok());
+    EXPECT_EQ(syncs_before + 1, engine->wal()->syncs())
+        << "two staged transactions should share one fdatasync";
+    EXPECT_EQ(1u, group.GetStats().groups);
+
+    // Batch 3 stages in segment 1, then the segment rotates mid-stream
+    // (the rotation itself syncs the staged tail); batch 4 lands in
+    // segment 2 and is flushed by its own group.
+    run_batch(2 * kBatch);
+    ASSERT_TRUE(engine->wal()->Rotate().ok());
+    EXPECT_EQ(2u, engine->wal()->segment_index());
+    run_batch(3 * kBatch);
+    ASSERT_TRUE(
+        group.WaitDurable({engine->wal()->appended_lsn()}).ok());
+  }
+
+  std::unique_ptr<TemporalEngine> recovered;
+  RecoveryReport report;
+  ASSERT_TRUE(RecoverEngine(letter, wal_path, &recovered, &report).ok());
+  EXPECT_EQ(2u, report.segments_scanned) << report.ToString();
+  EXPECT_FALSE(report.tail_dropped) << report.ToString();
+  ExpectSameRows(Canonical(model.Dump()), Canonical(DumpEngine(*recovered)),
+                 letter + " group boundary");
 }
 
 INSTANTIATE_TEST_SUITE_P(AllEngines, CrashSweepTest,

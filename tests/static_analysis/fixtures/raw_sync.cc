@@ -1,0 +1,11 @@
+// Fixture: must trip [raw-io]. A direct fdatasync/fsync on the log fd is
+// the group-commit bypass: it pays a private device sync outside the
+// coordinator, so the commit neither joins a group nor passes the
+// fault-injection sync points — crash sweeps stop covering it and the
+// sync-index arithmetic the chaos plans rely on silently shifts.
+#include <unistd.h>
+
+int AcknowledgeMyself(int wal_fd) {
+  if (fdatasync(wal_fd) != 0) return -1;
+  return fsync(wal_fd);
+}

@@ -8,6 +8,7 @@
 //   bih_driver run      --engine A --h 0.005 --m 0.005 [--suite T|K|R|B|all]
 //                       [--scan-threads 8]
 //   bih_driver run      --engine A --threads 8 --deadline-ms 50 [--max-inflight 4]
+//   bih_driver run      --engine A --write-threads 4 --wal u.wal [--threads 8]
 //   bih_driver sql      --engine C --h 0.002 --m 0.002 "SELECT ..."
 //   bih_driver check    --engine A --h 0.002 --m 0.002 | check --wal F
 //   bih_driver serve    --engine A --h 0.002 --m 0.002 --port 4411
@@ -32,6 +33,7 @@
 #include "net/server.h"
 #include "server/session.h"
 #include "sql/executor.h"
+#include "tpch/schema.h"
 #include "workload/context.h"
 #include "workload/queries.h"
 #include "workload/tpch_queries.h"
@@ -54,6 +56,7 @@ struct Args {
   bool checkpoint = false;  // load: write a checkpoint after loading
   bool json = false;        // recover/check: print the report as JSON
   int threads = 0;       // run: >0 switches to the concurrent session mode
+  int write_threads = 0;  // run: update-stream writers (sharded keyed path)
   int64_t deadline_ms = 0;  // run: per-query deadline (0 = none)
   int max_inflight = 0;     // run: admission slots (0 = threads/2, min 1)
   int scan_threads = 0;     // intra-query scan parallelism (0 = env default)
@@ -158,6 +161,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--threads");
       if (!v || !ParseIntValue("--threads", v, 1, 1024, &n)) return false;
       args->threads = static_cast<int>(n);
+    } else if (a == "--write-threads") {
+      const char* v = next("--write-threads");
+      if (!v || !ParseIntValue("--write-threads", v, 1, 1024, &n)) {
+        return false;
+      }
+      args->write_threads = static_cast<int>(n);
     } else if (a == "--deadline-ms") {
       const char* v = next("--deadline-ms");
       if (!v || !ParseIntValue("--deadline-ms", v, 0, 86400000, &n)) {
@@ -213,6 +222,7 @@ int Usage() {
       "T|K|R|B|all]\n"
       "                      [--scan-threads W] [--threads N "
       "[--deadline-ms D] [--max-inflight Q]]\n"
+      "                      [--write-threads U [--wal FILE]]\n"
       "  bih_driver sql      --engine A|B|C|D --h H --m M \"SELECT ...\"\n"
       "  bih_driver check    --engine A|B|C|D --h H --m M [--wal FILE "
       "[--json]]\n"
@@ -365,6 +375,12 @@ int Load(const Args& args) {
 // layer. Threads alternate point lookups with full-history scans on CUSTOMER
 // under an optional per-query deadline; the report shows the latency
 // distribution and how every query terminated (the four-outcome contract).
+//
+// --write-threads U adds an update stream: U writers issue UpdateCurrent on
+// disjoint C_CUSTKEY stripes through the sharded keyed-write path while the
+// readers (if any) run. With --wal the stream is durable and concurrent
+// writers share batched group-commit fdatasyncs; the report prints the
+// stream's throughput and the group stats (syncs, groups, acks, max batch).
 int RunConcurrent(const Args& args) {
   WorkloadConfig cfg;
   cfg.engine_letter = args.engine;
@@ -375,6 +391,11 @@ int RunConcurrent(const Args& args) {
   std::printf("building workload (h=%.4f, m=%.4f) on System %s...\n", args.h,
               args.m, args.engine.c_str());
   WorkloadContext ctx = BuildWorkload(cfg);
+  if (!args.wal.empty()) {
+    // Attached after the load so the log carries only the update stream.
+    Status ws = ctx.eng().EnableWal(args.wal);
+    if (!ws.ok()) return FailWith(ws);
+  }
   SessionConfig scfg;
   scfg.admission.max_inflight =
       args.max_inflight > 0 ? args.max_inflight : std::max(1, args.threads / 2);
@@ -382,13 +403,47 @@ int RunConcurrent(const Args& args) {
   scfg.scan_threads = args.scan_threads;  // 0 keeps the process default
   SessionManager server(&ctx.eng(), scfg);
   const int queries_per_thread = 200;
+  const int updates_per_thread = 200;
   const auto n_cust = static_cast<int64_t>(ctx.initial.customer.size());
   std::printf(
-      "concurrent run: %d threads x %d queries, deadline=%lldms, "
-      "max-inflight=%d, scan-threads=%d\n",
-      args.threads, queries_per_thread,
-      static_cast<long long>(args.deadline_ms), scfg.admission.max_inflight,
-      server.scan_threads());
+      "concurrent run: %d threads x %d queries, %d writers x %d updates, "
+      "deadline=%lldms, max-inflight=%d, scan-threads=%d, write-shards=%d\n",
+      args.threads, queries_per_thread, args.write_threads,
+      updates_per_thread, static_cast<long long>(args.deadline_ms),
+      scfg.admission.max_inflight, server.scan_threads(),
+      server.write_shards());
+
+  // The update stream: disjoint stripes (writer u updates custkeys u+1,
+  // u+1+U, ...) so writers only meet at the engine lock and the group
+  // commit, never on a key.
+  Mutex wmu;
+  uint64_t w_ok = 0, w_err = 0;
+  double write_wall_s = 0.0;
+  std::vector<std::thread> writers;
+  writers.reserve(args.write_threads);
+  const auto wall0 = std::chrono::steady_clock::now();
+  for (int u = 0; u < args.write_threads; ++u) {
+    writers.emplace_back([&, u] {
+      uint64_t ok = 0, err = 0;
+      for (int i = 0; i < updates_per_thread; ++i) {
+        const int64_t key =
+            1 + (static_cast<int64_t>(u) +
+                 static_cast<int64_t>(i) * args.write_threads) %
+                    n_cust;
+        Status st = server.UpdateCurrent(
+            "CUSTOMER", {Value(key)},
+            {{customer::kAcctBal, Value(1000.0 + i)}});
+        if (st.ok()) {
+          ++ok;
+        } else {
+          ++err;
+        }
+      }
+      MutexLock lock(wmu);
+      w_ok += ok;
+      w_err += err;
+    });
+  }
 
   Mutex mu;
   std::vector<double> latencies_ms;
@@ -433,7 +488,33 @@ int RunConcurrent(const Args& args) {
       n_rows += local_rows;
     });
   }
+  for (std::thread& w : writers) w.join();
+  write_wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
   for (std::thread& w : workers) w.join();
+
+  if (args.write_threads > 0) {
+    GroupCommit::Stats gs = server.GetGroupCommitStats();
+    const uint64_t wal_syncs =
+        ctx.eng().wal() != nullptr ? ctx.eng().wal()->syncs() : 0;
+    std::printf(
+        "update stream: %llu acknowledged (%llu rejected) in %.1f ms = "
+        "%.0f upd/s%s\n",
+        static_cast<unsigned long long>(w_ok),
+        static_cast<unsigned long long>(w_err), write_wall_s * 1e3,
+        write_wall_s > 0.0 ? static_cast<double>(w_ok) / write_wall_s : 0.0,
+        args.wal.empty() ? " (no wal: not durable)" : "");
+    if (!args.wal.empty()) {
+      std::printf(
+          "group commit: %llu device syncs, %llu groups / %llu acks, "
+          "max batch %llu\n",
+          static_cast<unsigned long long>(wal_syncs),
+          static_cast<unsigned long long>(gs.groups),
+          static_cast<unsigned long long>(gs.acks),
+          static_cast<unsigned long long>(gs.max_group));
+    }
+  }
 
   std::sort(latencies_ms.begin(), latencies_ms.end());
   auto pct = [&](double p) {
@@ -467,7 +548,7 @@ int RunSuites(const Args& args) {
   // Intra-query parallelism for every scan the run issues; the serial suite
   // path resolves per-request thread counts from this process default.
   if (args.scan_threads > 0) SetDefaultScanThreads(args.scan_threads);
-  if (args.threads > 0) return RunConcurrent(args);
+  if (args.threads > 0 || args.write_threads > 0) return RunConcurrent(args);
   WorkloadConfig cfg;
   cfg.engine_letter = args.engine;
   cfg.h = args.h;
