@@ -29,7 +29,7 @@ void Run() {
   req.table = "ORDERS";
   req.temporal.system_time = TemporalSelector::All();
   req.temporal.app_time = TemporalSelector::All();
-  Rows versions = ScanAll(engine, req);
+  Rows versions = RunPlan(*ScanPlan(req), engine);
   const int sys_from = ctx.engine->GetTableDef("ORDERS").schema.num_columns();
   const int sys_to = sys_from + 1;
 

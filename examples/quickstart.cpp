@@ -6,7 +6,8 @@
 #include <cstdio>
 
 #include "engine/engine.h"
-#include "exec/operators.h"
+#include "exec/plan.h"
+#include "exec/rows.h"
 
 using namespace bih;
 
@@ -28,7 +29,7 @@ TableDef EmployeeDef() {
 }
 
 void Show(TemporalEngine& engine, const char* title, const ScanRequest& req) {
-  Rows rows = ScanAll(engine, req);
+  Rows rows = RunPlan(*ScanPlan(req), engine);
   std::printf("\n-- %s (%zu rows)\n", title, rows.size());
   std::printf("%s", FormatRows(rows,
                                {"id", "name", "dept", "salary", "from", "to",

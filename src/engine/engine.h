@@ -13,6 +13,7 @@
 #include "common/thread_annotations.h"
 #include "common/value.h"
 #include "durability/wal.h"
+#include "exec/exec_options.h"
 #include "temporal/clock.h"
 #include "temporal/sequenced.h"
 #include "temporal/temporal.h"
@@ -81,17 +82,12 @@ struct ScanRequest {
   // last-writer-wins — a caller that needs the counters of *its own* scan
   // (the morsel scheduler, join probes, the server layer) sets this.
   ExecStats* stats = nullptr;
-  // --- Intra-query parallelism (src/exec/parallel.h) -------------------
-  // Threads the fallback full scans may use: 0 resolves to the process
-  // default (BIH_SCAN_THREADS / SetDefaultScanThreads), 1 forces the
-  // serial path. Index access paths are always serial. Results and
-  // counters are byte-identical to the serial scan at any setting.
-  int scan_threads = 0;
-  // Rows per morsel for parallel scans; 0 means kDefaultMorselSize.
-  uint64_t morsel_size = 0;
-  // Worker pool to borrow helpers from (borrowed, may be null). Null falls
-  // back to the process-wide pool when the resolved thread count is > 1.
-  ScanScheduler* scheduler = nullptr;
+  // Consolidated intra-query parallelism knobs (threads, morsel size, worker
+  // pool). Unset fields resolve through the session's ExecOptions and then
+  // the process defaults; see exec/exec_options.h. Index access paths are
+  // always serial. Results and counters are byte-identical to the serial
+  // scan at any setting.
+  ExecOptions exec;
 };
 
 // Per-table size information (Section 5.2 architecture analysis).

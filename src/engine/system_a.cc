@@ -315,7 +315,7 @@ void SystemAEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
   *stats = ExecStats{};
   const TemporalCols tc = ResolveTemporalCols(t->def, req.temporal.app_period_index);
   const ParallelScanPlan plan =
-      ResolveScanPlan(req.scan_threads, req.scheduler, req.morsel_size);
+      ResolveScanPlan(req.exec);
   bool stopped = false;
   // Partition pruning: only the implicit-current case avoids the history
   // table. An explicit AS OF <now> is *not* recognized (Section 5.3.5).

@@ -435,7 +435,7 @@ void SystemBEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
   const TemporalCols tc = ResolveTemporalCols(t->def, req.temporal.app_period_index);
   const int64_t now = clock_.Now().micros();
   const ParallelScanPlan plan =
-      ResolveScanPlan(req.scan_threads, req.scheduler, req.morsel_size);
+      ResolveScanPlan(req.exec);
   const bool needs_history =
       t->def.system_versioned &&
       req.temporal.system_time.kind != TemporalSelector::Kind::kImplicitCurrent;

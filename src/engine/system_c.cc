@@ -376,7 +376,7 @@ void SystemCEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
   *stats = ExecStats{};
   const TemporalCols tc = ResolveTemporalCols(t->def, req.temporal.app_period_index);
   const ParallelScanPlan plan =
-      ResolveScanPlan(req.scan_threads, req.scheduler, req.morsel_size);
+      ResolveScanPlan(req.exec);
   bool stopped = false;
   ScanPartition(*t, t->delta, /*is_history=*/false, req, tc, plan, stats,
                 &stopped, cb);

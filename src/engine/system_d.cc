@@ -258,7 +258,7 @@ void SystemDEngine::Scan(const ScanRequest& req, const RowCallback& cb) {
     RecordIndexUse(stats, index_name);
   } else {
     const ParallelScanPlan plan =
-        ResolveScanPlan(req.scan_threads, req.scheduler, req.morsel_size);
+        ResolveScanPlan(req.exec);
     if (plan.Engage(t->data.SlotCount())) {
       bool stopped = false;
       ParallelScanPartition(

@@ -1,0 +1,46 @@
+#ifndef TPCBIH_EXEC_EXEC_OPTIONS_H_
+#define TPCBIH_EXEC_EXEC_OPTIONS_H_
+
+#include <cstdint>
+
+namespace bih {
+
+class ScanScheduler;
+
+// The consolidated intra-query parallelism knobs, threaded through every
+// layer that issues scans: ScanRequest::exec (per-scan), the plan executor
+// (per-query), SessionManager (per-server defaults), the driver's
+// --scan-threads/--morsel-size flags and the net protocol's hello frame.
+// A zero/null field means "unset": each layer fills only the fields the
+// caller left open (see MergeExecOptions), and whatever is still unset at
+// the engine resolves through DefaultScanThreads() / kDefaultMorselSize /
+// the process-wide pool in ResolveScanPlan.
+struct ExecOptions {
+  // Threads a fallback full scan (or a parallel operator) may use: 0
+  // resolves to the process default (BIH_SCAN_THREADS or
+  // SetDefaultScanThreads), 1 forces the serial path. Index access paths
+  // are always serial. Results and counters are byte-identical to serial
+  // execution at any setting.
+  int scan_threads = 0;
+  // Rows per morsel; 0 means kDefaultMorselSize.
+  uint64_t morsel_size = 0;
+  // Worker pool to borrow helpers from (borrowed, may be null). Null falls
+  // back to the process-wide pool when the resolved thread count is > 1.
+  ScanScheduler* scheduler = nullptr;
+};
+
+// Fills the unset fields of `opts` from `defaults` and returns the result;
+// fields the caller already pinned win. This is the one merge rule every
+// layer uses, so "request overrides session overrides process" holds by
+// construction.
+inline ExecOptions MergeExecOptions(ExecOptions opts,
+                                    const ExecOptions& defaults) {
+  if (opts.scan_threads == 0) opts.scan_threads = defaults.scan_threads;
+  if (opts.morsel_size == 0) opts.morsel_size = defaults.morsel_size;
+  if (opts.scheduler == nullptr) opts.scheduler = defaults.scheduler;
+  return opts;
+}
+
+}  // namespace bih
+
+#endif  // TPCBIH_EXEC_EXEC_OPTIONS_H_

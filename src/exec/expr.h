@@ -55,6 +55,10 @@ class Expr {
 
   Op op() const { return op_; }
   int column() const { return column_; }
+  // Structural accessors for the plan optimizer (expression analysis and
+  // column rebasing). `literal()` is only meaningful for kLiteral nodes.
+  const Value& literal() const { return literal_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
 
  private:
   Op op_;

@@ -281,4 +281,54 @@ void ParallelScanPartition(const ParallelScanPlan& plan, uint64_t slot_count,
   if (tripped || emit_stop) *stopped = true;
 }
 
+bool ParallelMorselRun(const ParallelScanPlan& plan, uint64_t item_count,
+                       QueryContext* ctx, const MorselRunFn& body) {
+  auto job = std::make_shared<ParallelJob>();
+  const uint64_t morsel = plan.morsel_size;
+  job->body = [&body, morsel](uint64_t begin, uint64_t end,
+                              const std::atomic<bool>& stop,
+                              MorselOutput* out) {
+    (void)out;  // results go to caller-owned per-morsel slots
+    body(begin / morsel, begin, end, stop);
+  };
+  job->slot_count = item_count;
+  job->morsel_size = morsel;
+  job->num_morsels = PlanMorselCount(plan, item_count);
+  job->ctx = ctx;
+  job->helper_slots.store(plan.threads - 1, std::memory_order_relaxed);
+  job->outputs.resize(job->num_morsels);
+  job->done.reset(new std::atomic<bool>[job->num_morsels]);
+  for (uint64_t m = 0; m < job->num_morsels; ++m) {
+    job->done[m].store(false, std::memory_order_relaxed);
+  }
+  plan.scheduler->Launch(job);
+
+  bool tripped = false;
+  // Coordinator participates: claim and run morsels like a helper, with the
+  // per-morsel deadline check the serial loops express as clock sampling.
+  while (!tripped) {
+    const uint64_t m = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (m >= job->num_morsels) break;
+    const uint64_t begin = m * morsel;
+    const uint64_t end = std::min(begin + morsel, item_count);
+    body(m, begin, end, job->stop);
+    job->done[m].store(true, std::memory_order_release);
+    if (ctx != nullptr && !ctx->CheckNow().ok()) tripped = true;
+  }
+  // Wait for helpers to finish the morsels they claimed.
+  for (uint64_t m = 0; m < job->num_morsels && !tripped; ++m) {
+    while (!job->done[m].load(std::memory_order_acquire)) {
+      if (ctx != nullptr && !ctx->CheckNow().ok()) {
+        tripped = true;
+        break;
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  job->stop.store(true, std::memory_order_seq_cst);
+  plan.scheduler->Retire(job);
+  return !tripped;
+}
+
 }  // namespace bih

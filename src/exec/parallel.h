@@ -11,6 +11,7 @@
 #include "common/query_context.h"
 #include "common/thread_annotations.h"
 #include "common/value.h"
+#include "exec/exec_options.h"
 
 namespace bih {
 
@@ -147,6 +148,11 @@ ParallelScanPlan ResolveScanPlan(int requested_threads,
                                  ScanScheduler* scheduler,
                                  uint64_t morsel_size);
 
+// Same resolution over the consolidated knob struct.
+inline ParallelScanPlan ResolveScanPlan(const ExecOptions& opts) {
+  return ResolveScanPlan(opts.scan_threads, opts.scheduler, opts.morsel_size);
+}
+
 // Runs `body` over every morsel of a `slot_count`-slot partition using the
 // plan's pool, emitting qualifying rows through `emit` in exact serial
 // order. Counters accumulate into *rows_examined / *rows_output with the
@@ -161,6 +167,34 @@ void ParallelScanPartition(const ParallelScanPlan& plan, uint64_t slot_count,
                            uint64_t* rows_examined, uint64_t* rows_output,
                            bool* stopped,
                            const std::function<bool(const Row&)>& emit);
+
+// How many morsels the plan cuts an `item_count`-item range into. Callers
+// of ParallelMorselRun size their per-morsel result slots with this before
+// launching, so each worker writes only its own slot.
+inline uint64_t PlanMorselCount(const ParallelScanPlan& plan,
+                                uint64_t item_count) {
+  return (item_count + plan.morsel_size - 1) / plan.morsel_size;
+}
+
+// One morsel of a generic parallel operator (join run-emission, partial
+// aggregation): `m` is the morsel index, [begin, end) the item range. The
+// body typically writes a caller-owned slot indexed by `m`; no two
+// invocations share a morsel index. Long-running bodies should poll `stop`
+// via MorselInterrupted and bail early.
+using MorselRunFn = std::function<void(uint64_t m, uint64_t begin,
+                                       uint64_t end,
+                                       const std::atomic<bool>& stop)>;
+
+// Generic morsel fan-out for operators above the scan: runs `body` over
+// every morsel of [0, item_count) on the plan's pool, the coordinator
+// participating like in ParallelScanPartition. Returns true when every
+// morsel completed; false when `ctx` tripped first (per-morsel CheckNow on
+// the coordinator), in which case some slots may be unwritten and the
+// caller must discard the output. Either way no worker is still touching
+// the caller's slots on return (the scheduler drain in Retire provides the
+// happens-before edge for the coordinator's subsequent merge).
+bool ParallelMorselRun(const ParallelScanPlan& plan, uint64_t item_count,
+                       QueryContext* ctx, const MorselRunFn& body);
 
 }  // namespace bih
 

@@ -1,0 +1,32 @@
+#include "exec/rows.h"
+
+namespace bih {
+
+std::string FormatRows(const Rows& rows, const std::vector<std::string>& names,
+                       size_t max_rows) {
+  std::string s;
+  if (!names.empty()) {
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (i) s += " | ";
+      s += names[i];
+    }
+    s += "\n";
+    s.append(s.size() - 1, '-');
+    s += "\n";
+  }
+  size_t shown = 0;
+  for (const Row& r : rows) {
+    if (shown++ >= max_rows) {
+      s += "... (" + std::to_string(rows.size() - max_rows) + " more)\n";
+      break;
+    }
+    for (size_t i = 0; i < r.size(); ++i) {
+      if (i) s += " | ";
+      s += r[i].ToString();
+    }
+    s += "\n";
+  }
+  return s;
+}
+
+}  // namespace bih

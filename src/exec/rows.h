@@ -1,0 +1,24 @@
+#ifndef TPCBIH_EXEC_ROWS_H_
+#define TPCBIH_EXEC_ROWS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace bih {
+
+// A fully materialized result set. The benchmark runs single queries over
+// moderate row counts, so full materialization between plan nodes keeps the
+// executor honest and easy to verify; the storage engines carry the
+// architecture-specific costs the paper measures.
+using Rows = std::vector<Row>;
+
+// Pretty-prints rows for the examples and the driver (column names
+// optional).
+std::string FormatRows(const Rows& rows, const std::vector<std::string>& names,
+                       size_t max_rows = 20);
+
+}  // namespace bih
+
+#endif  // TPCBIH_EXEC_ROWS_H_

@@ -30,7 +30,7 @@ int PollFd(int fd, short events, int timeout_ms) {
 }  // namespace
 
 Status Client::Connect(const std::string& host, uint16_t port,
-                       const std::string& tenant) {
+                       const std::string& tenant, int scan_threads) {
   if (fd_ >= 0) return Status::InvalidArgument("client already connected");
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
@@ -56,6 +56,8 @@ Status Client::Connect(const std::string& host, uint16_t port,
   Message hello;
   hello.type = MsgType::kHello;
   hello.text = tenant;
+  hello.scan_threads =
+      scan_threads > 0 ? static_cast<uint32_t>(scan_threads) : 0;
   hello.request_id = next_request_id_++;
   Message reply;
   std::string payload;
@@ -131,6 +133,31 @@ Status Client::CancelPeer(uint64_t conn_id, uint64_t request_id) {
   // cancel landed before the query finished is inherently racy and not an
   // error either way.
   return RoundTrip(req, &reply, &payload);
+}
+
+Status Client::Explain(const std::string& sql, uint32_t deadline_ms,
+                       std::string* json) {
+  json->clear();
+  if (fd_ < 0) return Status::IoError("client not connected");
+  Message req;
+  req.type = MsgType::kExplain;
+  req.text = sql;
+  req.deadline_ms = deadline_ms;
+  req.request_id = next_request_id_++;
+  Message reply;
+  std::string payload;
+  BIH_RETURN_IF_ERROR(RoundTrip(req, &reply, &payload));
+  if (reply.request_id != req.request_id) {
+    return Status::IoError("reply request id mismatch");
+  }
+  if (reply.type == MsgType::kError) {
+    return Status(static_cast<Status::Code>(reply.status_code), reply.text);
+  }
+  if (reply.type != MsgType::kExplainReply) {
+    return Status::IoError("unexpected reply to Explain");
+  }
+  *json = std::move(reply.text);
+  return Status::OK();
 }
 
 Status Client::GetStatsJson(std::string* out) {

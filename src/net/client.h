@@ -42,9 +42,11 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  // Connects and performs the Hello handshake for `tenant`.
+  // Connects and performs the Hello handshake for `tenant`. `scan_threads`
+  // > 0 asks the server to run this session's queries with that many
+  // intra-query threads (capped server-side); 0 keeps the server default.
   Status Connect(const std::string& host, uint16_t port,
-                 const std::string& tenant);
+                 const std::string& tenant, int scan_threads = 0);
 
   // Sends one SQL query and waits for its reply. Transport failures are
   // reported in out->status (and also returned); after a transport failure
@@ -55,6 +57,11 @@ class Client {
   // the acknowledging kPong is consumed but a missing one is not an error
   // worth surfacing (the race with query completion is inherent).
   Status CancelPeer(uint64_t conn_id, uint64_t request_id);
+
+  // EXPLAIN: plans + optimizes + executes `sql` (a SELECT, without the
+  // EXPLAIN keyword) and returns the plan/optimizer JSON in *json.
+  Status Explain(const std::string& sql, uint32_t deadline_ms,
+                 std::string* json);
 
   // Fetches the server's stats JSON.
   Status GetStatsJson(std::string* out);

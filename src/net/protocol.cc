@@ -116,11 +116,13 @@ bool ValidType(uint8_t t) {
     case MsgType::kStats:
     case MsgType::kPing:
     case MsgType::kGoodbye:
+    case MsgType::kExplain:
     case MsgType::kHelloOk:
     case MsgType::kResult:
     case MsgType::kError:
     case MsgType::kStatsReply:
     case MsgType::kPong:
+    case MsgType::kExplainReply:
       return true;
   }
   return false;
@@ -136,6 +138,7 @@ void EncodeMessage(const Message& msg, std::string* payload) {
   PutU64(msg.request_id, payload);
   PutU32(msg.deadline_ms, payload);
   PutU32(msg.retry_after_ms, payload);
+  PutU32(msg.scan_threads, payload);
   PutU8(msg.status_code, payload);
   PutString(msg.text, payload);
   PutString(msg.retry_hint, payload);
@@ -158,7 +161,8 @@ Status DecodeMessage(const uint8_t* data, size_t n, Message* out) {
   out->type = static_cast<MsgType>(type);
   if (!c.GetU32(&out->version) || !c.GetU64(&out->conn_id) ||
       !c.GetU64(&out->request_id) || !c.GetU32(&out->deadline_ms) ||
-      !c.GetU32(&out->retry_after_ms) || !c.GetU8(&out->status_code) ||
+      !c.GetU32(&out->retry_after_ms) || !c.GetU32(&out->scan_threads) ||
+      !c.GetU8(&out->status_code) ||
       !c.GetString(&out->text) || !c.GetString(&out->retry_hint)) {
     return Status::IoError("message header truncated");
   }

@@ -46,12 +46,14 @@ enum class MsgType : uint8_t {
   kStats = 4,    // request the server's stats JSON
   kPing = 5,     // liveness probe
   kGoodbye = 6,  // orderly close
+  kExplain = 7,  // text = SQL (no EXPLAIN keyword); reply carries plan JSON
   // Server -> client (tag bit 6 set).
   kHelloOk = 64,     // session open; conn_id assigned
   kResult = 65,      // columns + rows of a successful query
   kError = 66,       // status_code/text/retry_hint/retry_after_ms
   kStatsReply = 67,  // text = stats JSON
   kPong = 68,
+  kExplainReply = 69,  // text = {"optimizer":...,"plan":...} JSON
 };
 
 // One protocol message. A single struct (rather than one per type) keeps
@@ -64,6 +66,7 @@ struct Message {
   uint64_t request_id = 0;  // echoes the request on every reply
   uint32_t deadline_ms = 0;     // kQuery: budget; 0 = no deadline
   uint32_t retry_after_ms = 0;  // kError: overload retry hint
+  uint32_t scan_threads = 0;    // kHello: session ExecOptions override; 0 = server default
   uint8_t status_code = 0;      // kError: Status::Code of the failure
   std::string text;             // tenant / SQL / error message / stats JSON
   std::string retry_hint;       // kError(kUnavailable): how to get unstuck

@@ -257,12 +257,16 @@ bool Server::HandleMessage(Connection& conn, const Message& in) {
         return SendReply(conn, reply);
       }
       conn.tenant = tenants_.GetOrCreate(tenant);
+      conn.scan_threads = static_cast<int>(in.scan_threads);
       reply.type = MsgType::kHelloOk;
       reply.conn_id = conn.id;
       return SendReply(conn, reply);
     }
     case MsgType::kQuery:
       HandleQuery(conn, in, &reply);
+      return SendReply(conn, reply);
+    case MsgType::kExplain:
+      HandleExplain(conn, in, &reply);
       return SendReply(conn, reply);
     case MsgType::kCancel:
       HandleCancel(in);
@@ -282,6 +286,12 @@ bool Server::HandleMessage(Connection& conn, const Message& in) {
       BumpStat(&NetServerStats::protocol_errors);
       return false;
   }
+}
+
+ExecOptions Server::QueryExecOptions(const Connection& conn) const {
+  ExecOptions opts = session_->exec_options();
+  if (conn.scan_threads > 0) opts.scan_threads = conn.scan_threads;
+  return opts;
 }
 
 void Server::HandleQuery(Connection& conn, const Message& in, Message* reply) {
@@ -320,8 +330,9 @@ void Server::HandleQuery(Connection& conn, const Message& in, Message* reply) {
         });
       }
     } else {
+      const ExecOptions opts = QueryExecOptions(conn);
       s = session_->ReadTxn(&ctx, [&](TemporalEngine& eng) {
-        return sql::ExecuteSql(eng, in.text, &result, &ctx);
+        return sql::ExecuteSql(eng, in.text, &result, &ctx, opts);
       });
     }
     conn.tenant->admission().Release();
@@ -336,6 +347,51 @@ void Server::HandleQuery(Connection& conn, const Message& in, Message* reply) {
     reply->type = MsgType::kResult;
     reply->columns = std::move(result.columns);
     reply->rows = std::move(result.rows);
+    return;
+  }
+  reply->type = MsgType::kError;
+  reply->status_code = static_cast<uint8_t>(s.code());
+  reply->text = s.message();
+  reply->retry_hint = s.retry_hint();
+  reply->retry_after_ms = AdmissionController::RetryAfterMs(s);
+}
+
+void Server::HandleExplain(Connection& conn, const Message& in,
+                           Message* reply) {
+  BumpStat(&NetServerStats::queries);
+  reply->type = MsgType::kError;
+  if (conn.tenant == nullptr) {
+    reply->status_code = static_cast<uint8_t>(Status::Code::kInvalidArgument);
+    reply->text = "no session: send Hello first";
+    return;
+  }
+  QueryContext ctx =
+      in.deadline_ms > 0
+          ? QueryContext::WithTimeout(std::chrono::milliseconds(in.deadline_ms))
+          : QueryContext();
+  {
+    MutexLock lock(conn.mu);
+    conn.active = &ctx;
+    conn.active_request_id = in.request_id;
+  }
+  std::string json;
+  Status s = conn.tenant->admission().Admit(&ctx);
+  if (s.ok()) {
+    const ExecOptions opts = QueryExecOptions(conn);
+    s = session_->ReadTxn(&ctx, [&](TemporalEngine& eng) {
+      return sql::Explain(eng, in.text, &json, &ctx, opts);
+    });
+    conn.tenant->admission().Release();
+  }
+  {
+    MutexLock lock(conn.mu);
+    conn.active = nullptr;
+    conn.active_request_id = 0;
+  }
+  conn.tenant->Account(s);
+  if (s.ok()) {
+    reply->type = MsgType::kExplainReply;
+    reply->text = std::move(json);
     return;
   }
   reply->type = MsgType::kError;

@@ -112,6 +112,9 @@ class Server {
     uint64_t id = 0;
     int fd = -1;
     TenantState* tenant = nullptr;  // set by kHello, stable afterwards
+    // Session-scoped intra-query parallelism override from the hello frame;
+    // 0 keeps the server's default. Merged into ExecOptions per query.
+    int scan_threads = 0;
     Mutex mu;
     // The in-flight query this connection is executing, if any. Registered
     // under mu just before execution and cleared (under mu) before the
@@ -126,7 +129,10 @@ class Server {
   // should close (goodbye, protocol violation, injected drop).
   bool HandleMessage(Connection& conn, const Message& in);
   void HandleQuery(Connection& conn, const Message& in, Message* reply);
+  void HandleExplain(Connection& conn, const Message& in, Message* reply);
   void HandleCancel(const Message& in);
+  // Session defaults overlaid with the connection's hello-frame override.
+  ExecOptions QueryExecOptions(const Connection& conn) const;
 
   // Sends one reply frame through the fault injector. False = the
   // connection must die (injected drop/torn frame, peer gone, timeout).

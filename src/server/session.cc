@@ -197,8 +197,7 @@ Status SessionManager::DoRead(Snapshot snap, ScanRequest& req,
     // the manager's; workers run strictly within this shared-lock scope
     // (the scan drains its morsels before returning), so parallel reads
     // see the same pinned snapshot as serial ones.
-    if (req.scan_threads == 0) req.scan_threads = scan_threads_;
-    if (req.scheduler == nullptr) req.scheduler = scheduler_.get();
+    req.exec = MergeExecOptions(req.exec, exec_options());
     ExecStats stats;  // keep concurrent scans off the shared stats slot
     req.stats = &stats;
     engine_->Scan(req, [&](const Row& row) {

@@ -215,6 +215,17 @@ class SessionManager {
   ScanScheduler* scheduler() { return scheduler_.get(); }
   int scan_threads() const { return scan_threads_; }
 
+  // The session's resolved execution defaults, as injected into every read
+  // whose request leaves the knobs unset. The SQL front end and the network
+  // server pass this straight to Execute()/ExecuteSql so plan operators
+  // (parallel joins, aggregation) share the session's worker pool.
+  ExecOptions exec_options() {
+    ExecOptions opts;
+    opts.scan_threads = scan_threads_;
+    opts.scheduler = scheduler_.get();
+    return opts;
+  }
+
   // Clamps a system-time selector so it cannot observe commits after
   // `watermark`. Exposed for the tests' reference models.
   static TemporalSelector ClampToWatermark(const TemporalSelector& sel,

@@ -1,11 +1,13 @@
 #include "sql/executor.h"
 
 #include <algorithm>
+#include <cctype>
 #include <set>
+#include <utility>
 
-#include "storage/btree_index.h"
-
+#include "exec/optimizer.h"
 #include "sql/parser.h"
+#include "storage/btree_index.h"
 
 namespace bih {
 namespace sql {
@@ -183,12 +185,9 @@ void SplitJoinCondition(const SqlExprPtr& e, const Binder& left_binder,
   residual->push_back(e);
 }
 
-// Scans one table reference with its temporal coordinates. `ctx` rides on
-// the ScanRequest (checked per row by the engine) and is re-checked after
-// the scan: an interrupted scan must surface the verdict, never a silent
-// partial row set.
-Status ScanTable(TemporalEngine& engine, const TableRef& ref,
-                 QueryContext* ctx, Rows* rows,
+// Lowers one table reference into a Scan leaf. Pure planning: only schema
+// lookups, no engine access — the scan runs when the tree executes.
+Status PlanTable(TemporalEngine& engine, const TableRef& ref, PlanPtr* plan,
                  std::vector<ScopeColumn>* scope) {
   if (!engine.HasTable(ref.table)) {
     return Status::NotFound("no table named " + ref.table);
@@ -212,9 +211,7 @@ Status ScanTable(TemporalEngine& engine, const TableRef& ref,
   ScanRequest req;
   req.table = ref.table;
   req.temporal = spec;
-  req.ctx = ctx;
-  *rows = ScanAll(engine, req);
-  if (ctx != nullptr) BIH_RETURN_IF_ERROR(ctx->CheckNow());
+  *plan = ScanPlan(std::move(req));
   Schema schema = engine.ScanSchema(ref.table);
   for (const Column& c : schema.columns()) {
     scope->push_back(ScopeColumn{ref.alias, c.name});
@@ -224,17 +221,16 @@ Status ScanTable(TemporalEngine& engine, const TableRef& ref,
 
 }  // namespace
 
-Status ExecuteSelect(TemporalEngine& engine, const SelectStatement& stmt,
-                     SqlResult* out, QueryContext* ctx) {
+Status PlanSelect(TemporalEngine& engine, const SelectStatement& stmt,
+                  PlanPtr* out_plan, std::vector<std::string>* columns) {
   // FROM + JOIN pipeline.
   std::vector<ScopeColumn> scope;
-  Rows rows;
-  BIH_RETURN_IF_ERROR(ScanTable(engine, stmt.from, ctx, &rows, &scope));
+  PlanPtr plan;
+  BIH_RETURN_IF_ERROR(PlanTable(engine, stmt.from, &plan, &scope));
   for (const Join& join : stmt.joins) {
     std::vector<ScopeColumn> right_scope;
-    Rows right;
-    BIH_RETURN_IF_ERROR(
-        ScanTable(engine, join.table, ctx, &right, &right_scope));
+    PlanPtr right;
+    BIH_RETURN_IF_ERROR(PlanTable(engine, join.table, &right, &right_scope));
     Binder left_binder(&scope);
     Binder right_binder(&right_scope);
     std::vector<int> lk, rk;
@@ -252,32 +248,14 @@ Status ExecuteSelect(TemporalEngine& engine, const SelectStatement& stmt,
       residual = residual == nullptr ? bound : And(residual, bound);
     }
     if (lk.empty()) {
-      // Pure cross/theta join: fall back to a single-bucket hash join.
-      lk.push_back(-1);
-      rk.push_back(-1);
-      // Constant key: implement by giving both sides a pseudo key of 0 is
-      // not supported by HashJoinRows; emulate with nested loops.
-      Rows joined;
-      for (const Row& l : rows) {
-        for (const Row& r : right) {
-          Row combined_row = l;
-          combined_row.insert(combined_row.end(), r.begin(), r.end());
-          if (residual == nullptr || residual->Test(combined_row)) {
-            joined.push_back(std::move(combined_row));
-          }
-        }
-      }
-      rows = std::move(joined);
+      // Pure cross/theta join: nested loops with the residual on top.
+      plan = CrossJoinPlan(std::move(plan), std::move(right), residual);
     } else {
-      rows = HashJoinRows(rows, right, lk, rk, right_scope.size(),
-                          JoinType::kInner, residual);
+      plan = HashJoinPlan(std::move(plan), std::move(right), lk, rk,
+                          right_scope.size(), JoinType::kInner, residual);
     }
     scope = std::move(combined);
   }
-
-  // Operator boundary: joins can multiply the row count well past what the
-  // per-row scan checks saw; re-check before filtering/aggregating.
-  if (ctx != nullptr) BIH_RETURN_IF_ERROR(ctx->CheckNow());
 
   Binder binder(&scope);
   if (stmt.where != nullptr) {
@@ -286,7 +264,7 @@ Status ExecuteSelect(TemporalEngine& engine, const SelectStatement& stmt,
     }
     ExprPtr pred;
     BIH_RETURN_IF_ERROR(binder.Bind(stmt.where, &pred));
-    rows = FilterRows(rows, pred);
+    plan = FilterPlan(std::move(plan), pred);
   }
 
   const bool aggregating =
@@ -298,9 +276,7 @@ Status ExecuteSelect(TemporalEngine& engine, const SelectStatement& stmt,
     // ORDER BY evaluates over the pre-projection row (SQL also allows
     // output aliases; support those by substituting the item expression).
     if (!stmt.order_by.empty()) {
-      Rows keyed = rows;
-      std::vector<SortKey> keys;
-      std::vector<ExprPtr> key_exprs;
+      std::vector<SortSpec> keys;
       for (const OrderItem& item : stmt.order_by) {
         SqlExprPtr target = item.expr;
         if (target->kind == SqlExpr::Kind::kColumn && target->qualifier.empty()) {
@@ -313,40 +289,30 @@ Status ExecuteSelect(TemporalEngine& engine, const SelectStatement& stmt,
         }
         ExprPtr bound;
         BIH_RETURN_IF_ERROR(binder.Bind(target, &bound));
-        key_exprs.push_back(bound);
+        keys.push_back(SortSpec{bound, item.ascending});
       }
-      // Materialize sort keys behind the row, sort, then strip.
-      const size_t base = scope.size();
-      for (Row& r : keyed) {
-        for (const ExprPtr& e : key_exprs) r.push_back(e->Eval(r));
-      }
-      std::vector<SortKey> sort_keys;
-      for (size_t i = 0; i < key_exprs.size(); ++i) {
-        sort_keys.push_back(
-            {static_cast<int>(base + i), stmt.order_by[i].ascending});
-      }
-      keyed = SortRows(std::move(keyed), sort_keys);
-      for (Row& r : keyed) r.resize(base);
-      rows = std::move(keyed);
+      plan = SortPlan(std::move(plan), std::move(keys));
     }
-    if (stmt.limit >= 0) rows = LimitRows(std::move(rows), static_cast<size_t>(stmt.limit));
+    if (stmt.limit >= 0) {
+      plan = LimitPlan(std::move(plan), static_cast<size_t>(stmt.limit));
+    }
+    columns->clear();
     if (stmt.select_star) {
-      out->columns.clear();
-      for (const ScopeColumn& c : scope) out->columns.push_back(c.name);
-      out->rows = std::move(rows);
-      if (stmt.distinct) out->rows = DistinctRows(out->rows);
-      return Status::OK();
+      for (const ScopeColumn& c : scope) columns->push_back(c.name);
+    } else {
+      std::vector<ExprPtr> exprs;
+      for (size_t i = 0; i < stmt.items.size(); ++i) {
+        ExprPtr e;
+        BIH_RETURN_IF_ERROR(binder.Bind(stmt.items[i].expr, &e));
+        exprs.push_back(e);
+        columns->push_back(DeriveName(stmt.items[i], i));
+      }
+      plan = ProjectPlan(std::move(plan), std::move(exprs));
     }
-    std::vector<ExprPtr> exprs;
-    out->columns.clear();
-    for (size_t i = 0; i < stmt.items.size(); ++i) {
-      ExprPtr e;
-      BIH_RETURN_IF_ERROR(binder.Bind(stmt.items[i].expr, &e));
-      exprs.push_back(e);
-      out->columns.push_back(DeriveName(stmt.items[i], i));
-    }
-    out->rows = ProjectRows(rows, exprs);
-    if (stmt.distinct) out->rows = DistinctRows(out->rows);
+    // DISTINCT applies to the final projected rows, after LIMIT — matching
+    // the operator order this executor has always used.
+    if (stmt.distinct) plan = DistinctPlan(std::move(plan));
+    *out_plan = std::move(plan);
     return Status::OK();
   }
 
@@ -407,7 +373,7 @@ Status ExecuteSelect(TemporalEngine& engine, const SelectStatement& stmt,
     BIH_RETURN_IF_ERROR(register_aggregates(item.expr, register_aggregates));
   }
 
-  Rows agg = HashAggregateRows(rows, group_cols, specs);
+  plan = AggregatePlan(std::move(plan), group_cols, specs);
 
   // Rebind expressions over the aggregate output: group columns map to the
   // leading positions, aggregate calls to their registered slots.
@@ -476,11 +442,10 @@ Status ExecuteSelect(TemporalEngine& engine, const SelectStatement& stmt,
   if (stmt.having != nullptr) {
     ExprPtr pred;
     BIH_RETURN_IF_ERROR(bind_over_agg(stmt.having, bind_over_agg, &pred));
-    agg = FilterRows(agg, pred);
+    plan = FilterPlan(std::move(plan), pred);
   }
   if (!stmt.order_by.empty()) {
-    const size_t base = group_cols.size() + specs.size();
-    std::vector<ExprPtr> key_exprs;
+    std::vector<SortSpec> keys;
     for (const OrderItem& item : stmt.order_by) {
       SqlExprPtr target = item.expr;
       if (target->kind == SqlExpr::Kind::kColumn && target->qualifier.empty()) {
@@ -493,32 +458,39 @@ Status ExecuteSelect(TemporalEngine& engine, const SelectStatement& stmt,
       }
       ExprPtr bound;
       BIH_RETURN_IF_ERROR(bind_over_agg(target, bind_over_agg, &bound));
-      key_exprs.push_back(bound);
+      keys.push_back(SortSpec{bound, item.ascending});
     }
-    for (Row& r : agg) {
-      for (const ExprPtr& e : key_exprs) r.push_back(e->Eval(r));
-    }
-    std::vector<SortKey> sort_keys;
-    for (size_t i = 0; i < key_exprs.size(); ++i) {
-      sort_keys.push_back(
-          {static_cast<int>(base + i), stmt.order_by[i].ascending});
-    }
-    agg = SortRows(std::move(agg), sort_keys);
-    for (Row& r : agg) r.resize(base);
+    plan = SortPlan(std::move(plan), std::move(keys));
   }
-  if (stmt.limit >= 0) agg = LimitRows(std::move(agg), static_cast<size_t>(stmt.limit));
+  if (stmt.limit >= 0) {
+    plan = LimitPlan(std::move(plan), static_cast<size_t>(stmt.limit));
+  }
 
   std::vector<ExprPtr> projections;
-  out->columns.clear();
+  columns->clear();
   for (size_t i = 0; i < stmt.items.size(); ++i) {
     ExprPtr e;
     BIH_RETURN_IF_ERROR(bind_over_agg(stmt.items[i].expr, bind_over_agg, &e));
     projections.push_back(e);
-    out->columns.push_back(DeriveName(stmt.items[i], i));
+    columns->push_back(DeriveName(stmt.items[i], i));
   }
-  out->rows = ProjectRows(agg, projections);
-  if (stmt.distinct) out->rows = DistinctRows(out->rows);
+  plan = ProjectPlan(std::move(plan), std::move(projections));
+  if (stmt.distinct) plan = DistinctPlan(std::move(plan));
+  *out_plan = std::move(plan);
   return Status::OK();
+}
+
+Status ExecuteSelect(TemporalEngine& engine, const SelectStatement& stmt,
+                     SqlResult* out, QueryContext* ctx,
+                     const ExecOptions& opts) {
+  PlanPtr plan;
+  out->columns.clear();
+  BIH_RETURN_IF_ERROR(PlanSelect(engine, stmt, &plan, &out->columns));
+  OptimizePlan(&plan, engine);
+  out->rows.clear();
+  Status st = Execute(*plan, engine, opts, ctx, &out->rows);
+  if (!st.ok()) out->rows.clear();  // never surface partial results
+  return st;
 }
 
 Status ExecuteDml(TemporalEngine& engine, const DmlStatement& stmt,
@@ -648,8 +620,60 @@ Status ExecuteDml(TemporalEngine& engine, const DmlStatement& stmt,
   return Status::OK();
 }
 
+namespace {
+
+// Strips a leading (case-insensitive) EXPLAIN keyword; true when present.
+bool StripExplainPrefix(const std::string& text, std::string* rest) {
+  static const char kKeyword[] = "EXPLAIN";
+  size_t i = text.find_first_not_of(" \t\r\n");
+  if (i == std::string::npos) return false;
+  for (size_t k = 0; kKeyword[k] != '\0'; ++k, ++i) {
+    if (i >= text.size() ||
+        std::toupper(static_cast<unsigned char>(text[i])) != kKeyword[k]) {
+      return false;
+    }
+  }
+  if (i >= text.size() ||
+      !std::isspace(static_cast<unsigned char>(text[i]))) {
+    return false;
+  }
+  *rest = text.substr(i);
+  return true;
+}
+
+}  // namespace
+
+Status Explain(TemporalEngine& engine, const std::string& text,
+               std::string* json, QueryContext* ctx, const ExecOptions& opts) {
+  SelectStatement stmt;
+  BIH_RETURN_IF_ERROR(ParseSelect(text, &stmt));
+  PlanPtr plan;
+  std::vector<std::string> columns;
+  BIH_RETURN_IF_ERROR(PlanSelect(engine, stmt, &plan, &columns));
+  OptimizerReport report;
+  OptimizePlan(&plan, engine, &report);
+  Rows rows;
+  BIH_RETURN_IF_ERROR(Execute(*plan, engine, opts, ctx, &rows));
+  *json = "{\"optimizer\":{\"predicates_pushed\":" +
+          std::to_string(report.predicates_pushed) +
+          ",\"conjuncts_folded\":" + std::to_string(report.conjuncts_folded) +
+          ",\"temporal_rewrites\":" +
+          std::to_string(report.temporal_rewrites) +
+          ",\"scans_pruned\":" + std::to_string(report.scans_pruned) +
+          "},\"plan\":" + PlanToJson(*plan) + "}";
+  return Status::OK();
+}
+
 Status ExecuteSql(TemporalEngine& engine, const std::string& text,
-                  SqlResult* out, QueryContext* ctx) {
+                  SqlResult* out, QueryContext* ctx, const ExecOptions& opts) {
+  std::string rest;
+  if (StripExplainPrefix(text, &rest)) {
+    std::string json;
+    BIH_RETURN_IF_ERROR(Explain(engine, rest, &json, ctx, opts));
+    out->columns = {"PLAN"};
+    out->rows = {{Value(json)}};
+    return Status::OK();
+  }
   if (LooksLikeDml(text)) {
     DmlStatement stmt;
     BIH_RETURN_IF_ERROR(ParseDml(text, &stmt));
@@ -657,7 +681,7 @@ Status ExecuteSql(TemporalEngine& engine, const std::string& text,
   }
   SelectStatement stmt;
   BIH_RETURN_IF_ERROR(ParseSelect(text, &stmt));
-  return ExecuteSelect(engine, stmt, out, ctx);
+  return ExecuteSelect(engine, stmt, out, ctx, opts);
 }
 
 }  // namespace sql

@@ -20,6 +20,12 @@ TemporalScanSpec AllVersions() {
   return spec;
 }
 
+// One engine access as a single-node plan (the common leaf of the query
+// classes below).
+Rows ScanRows(TemporalEngine& engine, ScanRequest req) {
+  return RunPlan(*ScanPlan(std::move(req)), engine);
+}
+
 Rows AggregateAvgCount(TemporalEngine& engine, const ScanRequest& req,
                        int value_col) {
   double sum = 0.0;
@@ -67,20 +73,17 @@ Rows T3(TemporalEngine& engine, int64_t app_t1, int64_t app_t2) {
   req.table = "CUSTOMER";
   req.temporal = TemporalScanSpec::AppAsOf(app_t1);
   req.projection = {customer::kCustKey, customer::kAcctBal};
-  Rows first = ScanAll(engine, req);
-  req.temporal = TemporalScanSpec::AppAsOf(app_t2);
-  Rows second = ScanAll(engine, req);
-  const size_t width = first.empty()
-                           ? static_cast<size_t>(
-                                 SysFromCol(engine, "CUSTOMER") + 2)
-                           : first[0].size();
-  Rows joined = HashJoinRows(first, second, {customer::kCustKey},
-                             {customer::kCustKey}, width);
+  ScanRequest req2 = req;
+  req2.temporal = TemporalScanSpec::AppAsOf(app_t2);
+  const size_t width = static_cast<size_t>(SysFromCol(engine, "CUSTOMER") + 2);
   const int bal2 = static_cast<int>(width) + customer::kAcctBal;
-  Rows changed = FilterRows(
-      joined, Ne(Col(customer::kAcctBal), Col(bal2)));
-  return ProjectRows(changed, {Col(customer::kCustKey),
-                               Col(customer::kAcctBal), Col(bal2)});
+  PlanPtr plan = ProjectPlan(
+      FilterPlan(HashJoinPlan(ScanPlan(std::move(req)),
+                              ScanPlan(std::move(req2)), {customer::kCustKey},
+                              {customer::kCustKey}, width),
+                 Ne(Col(customer::kAcctBal), Col(bal2))),
+      {Col(customer::kCustKey), Col(customer::kAcctBal), Col(bal2)});
+  return RunPlan(*plan, engine);
 }
 
 Rows T4(TemporalEngine& engine, const TemporalScanSpec& spec, size_t n) {
@@ -159,9 +162,10 @@ ScanRequest CustomerKeyRequest(int64_t custkey, const TemporalScanSpec& spec) {
 }  // namespace
 
 Rows K1(TemporalEngine& engine, int64_t custkey, const TemporalScanSpec& spec) {
-  Rows rows = ScanAll(engine, CustomerKeyRequest(custkey, spec));
   const int sys_from = SysFromCol(engine, "CUSTOMER");
-  return SortRows(std::move(rows), {{sys_from, true}});
+  PlanPtr plan = SortPlan(ScanPlan(CustomerKeyRequest(custkey, spec)),
+                          {SortSpec{Col(sys_from), true}});
+  return RunPlan(*plan, engine);
 }
 
 Rows K2(TemporalEngine& engine, int64_t custkey, const TemporalScanSpec& spec) {
@@ -171,18 +175,21 @@ Rows K2(TemporalEngine& engine, int64_t custkey, const TemporalScanSpec& spec) {
 Rows K3(TemporalEngine& engine, int64_t custkey, const TemporalScanSpec& spec) {
   ScanRequest req = CustomerKeyRequest(custkey, spec);
   req.projection = {customer::kAcctBal};
-  Rows rows = ScanAll(engine, req);
   const int sys_from = SysFromCol(engine, "CUSTOMER");
-  rows = SortRows(std::move(rows), {{sys_from, true}});
-  return ProjectRows(rows, {Col(customer::kAcctBal), Col(sys_from)});
+  PlanPtr plan =
+      ProjectPlan(SortPlan(ScanPlan(std::move(req)),
+                           {SortSpec{Col(sys_from), true}}),
+                  {Col(customer::kAcctBal), Col(sys_from)});
+  return RunPlan(*plan, engine);
 }
 
 Rows K4(TemporalEngine& engine, int64_t custkey, const TemporalScanSpec& spec,
         size_t n) {
-  Rows rows = ScanAll(engine, CustomerKeyRequest(custkey, spec));
   const int sys_from = SysFromCol(engine, "CUSTOMER");
-  rows = SortRows(std::move(rows), {{sys_from, false}});
-  return LimitRows(std::move(rows), n);
+  PlanPtr plan = LimitPlan(SortPlan(ScanPlan(CustomerKeyRequest(custkey, spec)),
+                                    {SortSpec{Col(sys_from), false}}),
+                           n);
+  return RunPlan(*plan, engine);
 }
 
 Rows K5(TemporalEngine& engine, int64_t custkey, const TemporalScanSpec& spec) {
@@ -217,8 +224,9 @@ Rows K6(TemporalEngine& engine, double lo, Value hi,
   req.range_col = customer::kAcctBal;
   req.range_lo = Value(lo);
   req.range_hi = std::move(hi);
-  Rows rows = ScanAll(engine, req);
-  return SortRows(std::move(rows), {{customer::kCustKey, true}});
+  PlanPtr plan = SortPlan(ScanPlan(std::move(req)),
+                          {SortSpec{Col(customer::kCustKey), true}});
+  return RunPlan(*plan, engine);
 }
 
 Rows R1(TemporalEngine& engine) {
@@ -228,18 +236,19 @@ Rows R1(TemporalEngine& engine) {
   req.table = "ORDERS";
   req.temporal.system_time = TemporalSelector::All();
   req.projection = {orders::kOrderKey, orders::kOrderStatus};
-  Rows h1 = ScanAll(engine, req);
-  Rows h2 = ScanAll(engine, req);
+  ScanRequest req2 = req;
   const int sys_from = SysFromCol(engine, "ORDERS");
   const int sys_to = sys_from + 1;
   const int w = sys_from + 2;
   ExprPtr meets = And(Eq(Col(sys_to), Col(w + sys_from)),
                       Ne(Col(orders::kOrderStatus), Col(w + orders::kOrderStatus)));
-  Rows joined = HashJoinRows(h1, h2, {orders::kOrderKey}, {orders::kOrderKey},
-                             static_cast<size_t>(w), JoinType::kInner, meets);
-  return ProjectRows(joined,
-                     {Col(orders::kOrderKey), Col(orders::kOrderStatus),
-                      Col(w + orders::kOrderStatus), Col(w + sys_from)});
+  PlanPtr plan = ProjectPlan(
+      HashJoinPlan(ScanPlan(std::move(req)), ScanPlan(std::move(req2)),
+                   {orders::kOrderKey}, {orders::kOrderKey},
+                   static_cast<size_t>(w), JoinType::kInner, meets),
+      {Col(orders::kOrderKey), Col(orders::kOrderStatus),
+       Col(w + orders::kOrderStatus), Col(w + sys_from)});
+  return RunPlan(*plan, engine);
 }
 
 Rows R2(TemporalEngine& engine) {
@@ -247,7 +256,7 @@ Rows R2(TemporalEngine& engine) {
   req.table = "ORDERS";
   req.temporal.system_time = TemporalSelector::All();
   req.projection = {orders::kOrderKey, orders::kOrderStatus};
-  Rows h = ScanAll(engine, req);
+  Rows h = ScanRows(engine, std::move(req));
   const int sys_from = SysFromCol(engine, "ORDERS");
   const int sys_to = sys_from + 1;
   const int64_t now = engine.Now().micros();
@@ -300,7 +309,7 @@ Rows R3(TemporalEngine& engine, TemporalAggKind kind, bool naive) {
   // This is the "rather costly join over the time interval boundaries
   // followed by a grouping" of Section 3.3 — quadratic, hence the orders-of-
   // magnitude blowup of Fig. 14.
-  Rows versions = ScanAll(engine, req);
+  Rows versions = ScanRows(engine, req);
   std::vector<int64_t> boundaries;
   for (const Row& row : versions) {
     boundaries.push_back(row[static_cast<size_t>(sys_from)].AsInt());
@@ -360,19 +369,22 @@ Rows R4(TemporalEngine& engine, size_t top_n) {
   req.temporal = AllVersions();
   req.projection = {partsupp::kPartKey, partsupp::kSuppKey,
                     partsupp::kAvailQty};
-  Rows pass1 = ScanAll(engine, req);
-  Rows pass2 = ScanAll(engine, req);
-  Rows mins = HashAggregateRows(
-      pass1, {partsupp::kPartKey, partsupp::kSuppKey},
+  ScanRequest req2 = req;
+  PlanPtr mins = AggregatePlan(
+      ScanPlan(std::move(req)), {partsupp::kPartKey, partsupp::kSuppKey},
       {{AggKind::kMin, Col(partsupp::kAvailQty)}});
-  Rows maxs = HashAggregateRows(
-      pass2, {partsupp::kPartKey, partsupp::kSuppKey},
+  PlanPtr maxs = AggregatePlan(
+      ScanPlan(std::move(req2)), {partsupp::kPartKey, partsupp::kSuppKey},
       {{AggKind::kMax, Col(partsupp::kAvailQty)}});
-  Rows joined = HashJoinRows(mins, maxs, {0, 1}, {0, 1}, 3);
   // (p, s, min, p, s, max) -> (p, s, max-min)
-  Rows diffs = ProjectRows(joined, {Col(0), Col(1), Sub(Col(5), Col(2))});
-  diffs = SortRows(std::move(diffs), {{2, true}, {0, true}, {1, true}});
-  return LimitRows(std::move(diffs), top_n);
+  PlanPtr plan = LimitPlan(
+      SortPlan(ProjectPlan(HashJoinPlan(std::move(mins), std::move(maxs),
+                                        {0, 1}, {0, 1}, 3),
+                           {Col(0), Col(1), Sub(Col(5), Col(2))}),
+               {SortSpec{Col(2), true}, SortSpec{Col(0), true},
+                SortSpec{Col(1), true}}),
+      top_n);
+  return RunPlan(*plan, engine);
 }
 
 Rows R5(TemporalEngine& engine, double balance_lim, double price_lim) {
@@ -380,29 +392,29 @@ Rows R5(TemporalEngine& engine, double balance_lim, double price_lim) {
   creq.table = "CUSTOMER";
   creq.temporal.system_time = TemporalSelector::All();
   creq.projection = {customer::kCustKey, customer::kAcctBal};
-  Rows cust = ScanAll(engine, creq);
   const int c_sys_from = SysFromCol(engine, "CUSTOMER");
-  cust = FilterRows(cust, Lt(Col(customer::kAcctBal), Lit(balance_lim)));
 
   ScanRequest oreq;
   oreq.table = "ORDERS";
   oreq.temporal.system_time = TemporalSelector::All();
   oreq.projection = {orders::kCustKey, orders::kTotalPrice};
-  Rows ords = ScanAll(engine, oreq);
   const int o_sys_from = SysFromCol(engine, "ORDERS");
-  ords = FilterRows(ords, Gt(Col(orders::kTotalPrice), Lit(price_lim)));
 
   const int cw = c_sys_from + 2;
   // Overlap of the two system-time intervals.
   ExprPtr overlap =
       And(Lt(Col(c_sys_from), Col(cw + o_sys_from + 1)),
           Lt(Col(cw + o_sys_from), Col(c_sys_from + 1)));
-  Rows joined =
-      HashJoinRows(cust, ords, {customer::kCustKey}, {orders::kCustKey},
-                   static_cast<size_t>(o_sys_from + 2), JoinType::kInner,
-                   overlap);
-  Rows keys = ProjectRows(joined, {Col(customer::kCustKey)});
-  return DistinctRows(keys);
+  PlanPtr plan = DistinctPlan(ProjectPlan(
+      HashJoinPlan(
+          FilterPlan(ScanPlan(std::move(creq)),
+                     Lt(Col(customer::kAcctBal), Lit(balance_lim))),
+          FilterPlan(ScanPlan(std::move(oreq)),
+                     Gt(Col(orders::kTotalPrice), Lit(price_lim))),
+          {customer::kCustKey}, {orders::kCustKey},
+          static_cast<size_t>(o_sys_from + 2), JoinType::kInner, overlap),
+      {Col(customer::kCustKey)}));
+  return RunPlan(*plan, engine);
 }
 
 Rows R6(TemporalEngine& engine) {
@@ -412,26 +424,25 @@ Rows R6(TemporalEngine& engine) {
   creq.table = "CUSTOMER";
   creq.temporal.system_time = TemporalSelector::All();
   creq.projection = {customer::kCustKey, customer::kNationKey};
-  Rows cust = ScanAll(engine, creq);
   const int c_sys_from = SysFromCol(engine, "CUSTOMER");
 
   ScanRequest oreq;
   oreq.table = "ORDERS";
   oreq.temporal.system_time = TemporalSelector::All();
   oreq.projection = {orders::kCustKey};
-  Rows ords = ScanAll(engine, oreq);
   const int o_sys_from = SysFromCol(engine, "ORDERS");
 
   const int cw = c_sys_from + 2;
   ExprPtr overlap =
       And(Lt(Col(c_sys_from), Col(cw + o_sys_from + 1)),
           Lt(Col(cw + o_sys_from), Col(c_sys_from + 1)));
-  Rows joined =
-      HashJoinRows(cust, ords, {customer::kCustKey}, {orders::kCustKey},
+  PlanPtr plan = AggregatePlan(
+      HashJoinPlan(ScanPlan(std::move(creq)), ScanPlan(std::move(oreq)),
+                   {customer::kCustKey}, {orders::kCustKey},
                    static_cast<size_t>(o_sys_from + 2), JoinType::kInner,
-                   overlap);
-  return HashAggregateRows(joined, {customer::kNationKey},
-                           {{AggKind::kCount, nullptr}});
+                   overlap),
+      {customer::kNationKey}, {{AggKind::kCount, nullptr}});
+  return RunPlan(*plan, engine);
 }
 
 Rows R7(TemporalEngine& engine, double pct) {
@@ -441,7 +452,7 @@ Rows R7(TemporalEngine& engine, double pct) {
   req.projection = {partsupp::kPartKey, partsupp::kSuppKey,
                     partsupp::kSupplyCost};
   const int sys_from = SysFromCol(engine, "PARTSUPP");
-  Rows rows = ScanAll(engine, req);
+  Rows rows = ScanRows(engine, std::move(req));
   // Previous-version correlation for every key: order each key's versions
   // by system time and compare successive supply costs.
   struct Ver {
@@ -466,7 +477,9 @@ Rows R7(TemporalEngine& engine, double pct) {
       }
     }
   }
-  return DistinctRows(ProjectRows(out, {Col(0)}));
+  return RunPlan(*DistinctPlan(ProjectPlan(ValuesPlan(std::move(out)),
+                                           {Col(0)})),
+                 engine);
 }
 
 Rows B3(TemporalEngine& engine, int variant, int64_t partkey,
@@ -555,11 +568,9 @@ Rows B3(TemporalEngine& engine, int variant, int64_t partkey,
   left.table = "PARTSUPP";
   left.temporal = spec;
   left.equals = {{partsupp::kPartKey, Value(partkey)}};
-  Rows ps1 = ScanAll(engine, left);
 
   ScanRequest right = left;
   right.equals.clear();
-  Rows ps2 = ScanAll(engine, right);
 
   const int sys_from = SysFromCol(engine, "PARTSUPP");
   const int w = sys_from + 2;
@@ -573,11 +584,14 @@ Rows B3(TemporalEngine& engine, int variant, int64_t partkey,
                               Lt(Col(w + sys_from), Col(sys_from + 1)));
     residual = residual == nullptr ? sys_overlap : And(residual, sys_overlap);
   }
-  Rows joined =
-      HashJoinRows(ps1, ps2, {partsupp::kSuppKey}, {partsupp::kSuppKey},
-                   static_cast<size_t>(w), JoinType::kInner, residual);
-  Rows parts = ProjectRows(joined, {Col(w + partsupp::kPartKey)});
-  return SortRows(DistinctRows(parts), {{0, true}});
+  PlanPtr plan = SortPlan(
+      DistinctPlan(ProjectPlan(
+          HashJoinPlan(ScanPlan(std::move(left)), ScanPlan(std::move(right)),
+                       {partsupp::kSuppKey}, {partsupp::kSuppKey},
+                       static_cast<size_t>(w), JoinType::kInner, residual),
+          {Col(w + partsupp::kPartKey)})),
+      {SortSpec{Col(0), true}});
+  return RunPlan(*plan, engine);
 }
 
 }  // namespace bih

@@ -3,7 +3,7 @@
 
 #include <string>
 
-#include "exec/operators.h"
+#include "exec/plan.h"
 #include "temporal/timeline.h"
 #include "workload/context.h"
 

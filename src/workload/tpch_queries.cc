@@ -1,6 +1,7 @@
 #include "workload/tpch_queries.h"
 
 #include <algorithm>
+#include <string>
 
 #include "tpch/schema.h"
 
@@ -20,18 +21,25 @@ constexpr int WL = 19;   // LINEITEM
 
 int64_t D(int y, int m, int d) { return Date::FromYMD(y, m, d).days(); }
 
-// Per-query scan helper binding the temporal coordinates.
+// Per-query plan factory binding the temporal coordinates. Queries build
+// one PlanNode tree and Run() it; only the data-dependent ones (Q11's
+// threshold, Q15's max, Q22's average) materialize an intermediate and
+// continue from a ValuesPlan.
 struct Ctx {
   TemporalEngine& e;
   TemporalScanSpec spec;
 
-  Rows Scan(const char* table) const {
+  PlanPtr Scan(const char* table) const {
     ScanRequest req;
     req.table = table;
     req.temporal = spec;
-    return ScanAll(e, req);
+    return ScanPlan(std::move(req));
   }
+
+  Rows Run(PlanPtr plan) const { return RunPlan(*plan, e); }
 };
+
+SortSpec By(int col, bool asc = true) { return SortSpec{Col(col), asc}; }
 
 ExprPtr Revenue(int ext, int disc) {
   return Mul(Col(ext), Sub(Lit(1.0), Col(disc)));
@@ -39,10 +47,10 @@ ExprPtr Revenue(int ext, int disc) {
 
 Rows Q1(const Ctx& c) {
   namespace l = lineitem;
-  Rows li = FilterRows(c.Scan("LINEITEM"),
-                       Le(Col(l::kShipDate), Lit(D(1998, 9, 2))));
-  Rows out = HashAggregateRows(
-      li, {l::kReturnFlag, l::kLineStatus},
+  PlanPtr li = FilterPlan(c.Scan("LINEITEM"),
+                          Le(Col(l::kShipDate), Lit(D(1998, 9, 2))));
+  PlanPtr agg = AggregatePlan(
+      std::move(li), {l::kReturnFlag, l::kLineStatus},
       {{AggKind::kSum, Col(l::kQuantity)},
        {AggKind::kSum, Col(l::kExtendedPrice)},
        {AggKind::kSum, Revenue(l::kExtendedPrice, l::kDiscount)},
@@ -52,7 +60,7 @@ Rows Q1(const Ctx& c) {
        {AggKind::kAvg, Col(l::kExtendedPrice)},
        {AggKind::kAvg, Col(l::kDiscount)},
        {AggKind::kCount, nullptr}});
-  return SortRows(std::move(out), {{0, true}, {1, true}});
+  return c.Run(SortPlan(std::move(agg), {By(0), By(1)}));
 }
 
 Rows Q2(const Ctx& c) {
@@ -61,71 +69,79 @@ Rows Q2(const Ctx& c) {
   namespace s = supplier;
   namespace n = nation;
   namespace r = region;
-  // Suppliers in EUROPE with nation/region attached.
-  Rows supp = c.Scan("SUPPLIER");
-  Rows nat = c.Scan("NATION");
-  Rows reg = FilterRows(c.Scan("REGION"), Eq(Col(r::kName), Lit("EUROPE")));
-  Rows sn = HashJoinRows(supp, nat, {s::kNationKey}, {n::kNationKey}, WN);
-  Rows snr = HashJoinRows(sn, reg, {WS + n::kRegionKey}, {r::kRegionKey}, WR);
-  // PARTSUPP restricted to those suppliers.
-  Rows pssnr = HashJoinRows(c.Scan("PARTSUPP"), snr, {ps::kSuppKey},
-                            {s::kSuppKey}, WS + WN + WR);
+  // Suppliers in EUROPE with nation/region attached; PARTSUPP restricted to
+  // those suppliers. The pssnr subtree feeds both the regional minimum and
+  // the final join, so materialize it once.
+  PlanPtr reg = FilterPlan(c.Scan("REGION"), Eq(Col(r::kName), Lit("EUROPE")));
+  PlanPtr sn = HashJoinPlan(c.Scan("SUPPLIER"), c.Scan("NATION"),
+                            {s::kNationKey}, {n::kNationKey}, WN);
+  PlanPtr snr = HashJoinPlan(std::move(sn), std::move(reg),
+                             {WS + n::kRegionKey}, {r::kRegionKey}, WR);
+  Rows pssnr = c.Run(HashJoinPlan(c.Scan("PARTSUPP"), std::move(snr),
+                                  {ps::kSuppKey}, {s::kSuppKey},
+                                  WS + WN + WR));
   // Regional minimum cost per part.
-  Rows mincost = HashAggregateRows(pssnr, {ps::kPartKey},
-                                   {{AggKind::kMin, Col(ps::kSupplyCost)}});
+  PlanPtr mincost = AggregatePlan(ValuesPlan(pssnr), {ps::kPartKey},
+                                  {{AggKind::kMin, Col(ps::kSupplyCost)}});
   // Parts of interest.
-  Rows parts = FilterRows(
+  PlanPtr parts = FilterPlan(
       c.Scan("PART"), And(Eq(Col(p::kSize), Lit(int64_t{15})),
                           Contains(Col(p::kType), Lit("BRASS"))));
-  Rows j = HashJoinRows(parts, pssnr, {p::kPartKey}, {ps::kPartKey},
-                        WPS + WS + WN + WR);
+  PlanPtr j = HashJoinPlan(std::move(parts), ValuesPlan(std::move(pssnr)),
+                           {p::kPartKey}, {ps::kPartKey}, WPS + WS + WN + WR);
   // Attach the regional minimum and keep only cost == min.
   const int jw = WP + WPS + WS + WN + WR;
-  Rows withmin = HashJoinRows(j, mincost, {p::kPartKey}, {0}, 2);
-  withmin = FilterRows(
-      withmin, Eq(Col(WP + ps::kSupplyCost), Col(jw + 1)));
+  PlanPtr withmin = FilterPlan(
+      HashJoinPlan(std::move(j), std::move(mincost), {p::kPartKey}, {0}, 2),
+      Eq(Col(WP + ps::kSupplyCost), Col(jw + 1)));
   const int so = WP + WPS;  // supplier offset
   const int no = WP + WPS + WS;
-  Rows out = ProjectRows(
-      withmin, {Col(so + s::kAcctBal), Col(so + s::kName), Col(no + n::kName),
-                Col(p::kPartKey), Col(p::kMfgr)});
-  out = SortRows(std::move(out), {{0, false}, {2, true}, {1, true}, {3, true}});
-  return LimitRows(std::move(out), 100);
+  PlanPtr out = ProjectPlan(
+      std::move(withmin),
+      {Col(so + s::kAcctBal), Col(so + s::kName), Col(no + n::kName),
+       Col(p::kPartKey), Col(p::kMfgr)});
+  return c.Run(LimitPlan(
+      SortPlan(std::move(out), {By(0, false), By(2), By(1), By(3)}), 100));
 }
 
 Rows Q3(const Ctx& c) {
   namespace cu = customer;
   namespace o = orders;
   namespace l = lineitem;
-  Rows cust = FilterRows(c.Scan("CUSTOMER"),
-                         Eq(Col(cu::kMktSegment), Lit("BUILDING")));
-  Rows ords = FilterRows(c.Scan("ORDERS"),
-                         Lt(Col(o::kOrderDate), Lit(D(1995, 3, 15))));
-  Rows li = FilterRows(c.Scan("LINEITEM"),
-                       Gt(Col(l::kShipDate), Lit(D(1995, 3, 15))));
-  Rows co = HashJoinRows(cust, ords, {cu::kCustKey}, {o::kCustKey}, WO);
-  Rows col = HashJoinRows(co, li, {WC + o::kOrderKey}, {l::kOrderKey}, WL);
+  PlanPtr cust = FilterPlan(c.Scan("CUSTOMER"),
+                            Eq(Col(cu::kMktSegment), Lit("BUILDING")));
+  PlanPtr ords = FilterPlan(c.Scan("ORDERS"),
+                            Lt(Col(o::kOrderDate), Lit(D(1995, 3, 15))));
+  PlanPtr li = FilterPlan(c.Scan("LINEITEM"),
+                          Gt(Col(l::kShipDate), Lit(D(1995, 3, 15))));
+  PlanPtr co = HashJoinPlan(std::move(cust), std::move(ords), {cu::kCustKey},
+                            {o::kCustKey}, WO);
+  PlanPtr col = HashJoinPlan(std::move(co), std::move(li),
+                             {WC + o::kOrderKey}, {l::kOrderKey}, WL);
   const int lo = WC + WO;
-  Rows agg = HashAggregateRows(
-      col, {WC + o::kOrderKey, WC + o::kOrderDate, WC + o::kShipPriority},
+  PlanPtr agg = AggregatePlan(
+      std::move(col),
+      {WC + o::kOrderKey, WC + o::kOrderDate, WC + o::kShipPriority},
       {{AggKind::kSum, Revenue(lo + l::kExtendedPrice, lo + l::kDiscount)}});
-  agg = SortRows(std::move(agg), {{3, false}, {1, true}});
-  return LimitRows(std::move(agg), 10);
+  return c.Run(
+      LimitPlan(SortPlan(std::move(agg), {By(3, false), By(1)}), 10));
 }
 
 Rows Q4(const Ctx& c) {
   namespace o = orders;
   namespace l = lineitem;
-  Rows ords = FilterRows(
+  PlanPtr ords = FilterPlan(
       c.Scan("ORDERS"), And(Ge(Col(o::kOrderDate), Lit(D(1993, 7, 1))),
                             Lt(Col(o::kOrderDate), Lit(D(1993, 10, 1)))));
-  Rows late = FilterRows(c.Scan("LINEITEM"),
-                         Lt(Col(l::kCommitDate), Col(l::kReceiptDate)));
-  Rows late_keys = DistinctRows(ProjectRows(late, {Col(l::kOrderKey)}));
-  Rows j = HashJoinRows(ords, late_keys, {o::kOrderKey}, {0}, 1);
-  Rows agg = HashAggregateRows(j, {o::kOrderPriority},
-                               {{AggKind::kCount, nullptr}});
-  return SortRows(std::move(agg), {{0, true}});
+  PlanPtr late = FilterPlan(c.Scan("LINEITEM"),
+                            Lt(Col(l::kCommitDate), Col(l::kReceiptDate)));
+  PlanPtr late_keys =
+      DistinctPlan(ProjectPlan(std::move(late), {Col(l::kOrderKey)}));
+  PlanPtr j = HashJoinPlan(std::move(ords), std::move(late_keys),
+                           {o::kOrderKey}, {0}, 1);
+  PlanPtr agg = AggregatePlan(std::move(j), {o::kOrderPriority},
+                              {{AggKind::kCount, nullptr}});
+  return c.Run(SortPlan(std::move(agg), {By(0)}));
 }
 
 Rows Q5(const Ctx& c) {
@@ -135,41 +151,43 @@ Rows Q5(const Ctx& c) {
   namespace s = supplier;
   namespace n = nation;
   namespace r = region;
-  Rows reg = FilterRows(c.Scan("REGION"), Eq(Col(r::kName), Lit("ASIA")));
-  Rows nat = HashJoinRows(c.Scan("NATION"), reg, {n::kRegionKey},
-                          {r::kRegionKey}, WR);
-  Rows cust = HashJoinRows(c.Scan("CUSTOMER"), nat, {cu::kNationKey},
-                           {n::kNationKey}, WN + WR);
-  Rows ords = FilterRows(
+  PlanPtr reg = FilterPlan(c.Scan("REGION"), Eq(Col(r::kName), Lit("ASIA")));
+  PlanPtr nat = HashJoinPlan(c.Scan("NATION"), std::move(reg), {n::kRegionKey},
+                             {r::kRegionKey}, WR);
+  PlanPtr cust = HashJoinPlan(c.Scan("CUSTOMER"), std::move(nat),
+                              {cu::kNationKey}, {n::kNationKey}, WN + WR);
+  PlanPtr ords = FilterPlan(
       c.Scan("ORDERS"), And(Ge(Col(o::kOrderDate), Lit(D(1994, 1, 1))),
                             Lt(Col(o::kOrderDate), Lit(D(1995, 1, 1)))));
-  Rows co = HashJoinRows(cust, ords, {cu::kCustKey}, {o::kCustKey}, WO);
+  PlanPtr co = HashJoinPlan(std::move(cust), std::move(ords), {cu::kCustKey},
+                            {o::kCustKey}, WO);
   const int oo = WC + WN + WR;
-  Rows col = HashJoinRows(co, c.Scan("LINEITEM"), {oo + o::kOrderKey},
-                          {l::kOrderKey}, WL);
+  PlanPtr col = HashJoinPlan(std::move(co), c.Scan("LINEITEM"),
+                             {oo + o::kOrderKey}, {l::kOrderKey}, WL);
   const int lo = oo + WO;
-  Rows sup = c.Scan("SUPPLIER");
   // lineitem supplier must be in the same nation as the customer.
-  Rows cols = HashJoinRows(col, sup, {lo + l::kSuppKey}, {s::kSuppKey}, WS,
-                           JoinType::kInner,
-                           Eq(Col(cu::kNationKey),
-                              Col(lo + WL + s::kNationKey)));
-  Rows agg = HashAggregateRows(
-      cols, {WC + n::kName},
+  PlanPtr cols = HashJoinPlan(std::move(col), c.Scan("SUPPLIER"),
+                              {lo + l::kSuppKey}, {s::kSuppKey}, WS,
+                              JoinType::kInner,
+                              Eq(Col(cu::kNationKey),
+                                 Col(lo + WL + s::kNationKey)));
+  PlanPtr agg = AggregatePlan(
+      std::move(cols), {WC + n::kName},
       {{AggKind::kSum, Revenue(lo + l::kExtendedPrice, lo + l::kDiscount)}});
-  return SortRows(std::move(agg), {{1, false}});
+  return c.Run(SortPlan(std::move(agg), {By(1, false)}));
 }
 
 Rows Q6(const Ctx& c) {
   namespace l = lineitem;
-  Rows li = FilterRows(
+  PlanPtr li = FilterPlan(
       c.Scan("LINEITEM"),
       And(And(Ge(Col(l::kShipDate), Lit(D(1994, 1, 1))),
               Lt(Col(l::kShipDate), Lit(D(1995, 1, 1)))),
           And(Between(Col(l::kDiscount), Lit(0.05), Lit(0.07)),
               Lt(Col(l::kQuantity), Lit(24.0)))));
-  return HashAggregateRows(
-      li, {}, {{AggKind::kSum, Mul(Col(l::kExtendedPrice), Col(l::kDiscount))}});
+  return c.Run(AggregatePlan(
+      std::move(li), {},
+      {{AggKind::kSum, Mul(Col(l::kExtendedPrice), Col(l::kDiscount))}}));
 }
 
 Rows Q7(const Ctx& c) {
@@ -178,32 +196,36 @@ Rows Q7(const Ctx& c) {
   namespace l = lineitem;
   namespace s = supplier;
   namespace n = nation;
-  auto nations = FilterRows(c.Scan("NATION"),
-                            Or(Eq(Col(n::kName), Lit("FRANCE")),
-                               Eq(Col(n::kName), Lit("GERMANY"))));
-  Rows sup = HashJoinRows(c.Scan("SUPPLIER"), nations, {s::kNationKey},
-                          {n::kNationKey}, WN);
-  Rows cust = HashJoinRows(c.Scan("CUSTOMER"), nations, {cu::kNationKey},
-                           {n::kNationKey}, WN);
-  Rows li = FilterRows(
+  auto nations = [&] {
+    return FilterPlan(c.Scan("NATION"), Or(Eq(Col(n::kName), Lit("FRANCE")),
+                                           Eq(Col(n::kName), Lit("GERMANY"))));
+  };
+  PlanPtr sup = HashJoinPlan(c.Scan("SUPPLIER"), nations(), {s::kNationKey},
+                             {n::kNationKey}, WN);
+  PlanPtr cust = HashJoinPlan(c.Scan("CUSTOMER"), nations(), {cu::kNationKey},
+                              {n::kNationKey}, WN);
+  PlanPtr li = FilterPlan(
       c.Scan("LINEITEM"), And(Ge(Col(l::kShipDate), Lit(D(1995, 1, 1))),
                               Le(Col(l::kShipDate), Lit(D(1996, 12, 31)))));
-  Rows ls = HashJoinRows(li, sup, {l::kSuppKey}, {s::kSuppKey}, WS + WN);
-  Rows lso = HashJoinRows(ls, c.Scan("ORDERS"), {l::kOrderKey}, {orders::kOrderKey},
-                          WO);
+  PlanPtr ls = HashJoinPlan(std::move(li), std::move(sup), {l::kSuppKey},
+                            {s::kSuppKey}, WS + WN);
+  PlanPtr lso = HashJoinPlan(std::move(ls), c.Scan("ORDERS"), {l::kOrderKey},
+                             {orders::kOrderKey}, WO);
   const int oo = WL + WS + WN;
-  Rows lsoc = HashJoinRows(lso, cust, {oo + o::kCustKey}, {cu::kCustKey},
-                           WC + WN);
+  PlanPtr lsoc = HashJoinPlan(std::move(lso), std::move(cust),
+                              {oo + o::kCustKey}, {cu::kCustKey}, WC + WN);
   const int sn = WL + WS + n::kName;            // supplier nation name
   const int cn = oo + WO + WC + n::kName;       // customer nation name
-  Rows cross = FilterRows(
-      lsoc, Or(And(Eq(Col(sn), Lit("FRANCE")), Eq(Col(cn), Lit("GERMANY"))),
-               And(Eq(Col(sn), Lit("GERMANY")), Eq(Col(cn), Lit("FRANCE")))));
-  Rows proj = ProjectRows(
-      cross, {Col(sn), Col(cn), YearOf(Col(l::kShipDate)),
-              Revenue(l::kExtendedPrice, l::kDiscount)});
-  Rows agg = HashAggregateRows(proj, {0, 1, 2}, {{AggKind::kSum, Col(3)}});
-  return SortRows(std::move(agg), {{0, true}, {1, true}, {2, true}});
+  PlanPtr cross = FilterPlan(
+      std::move(lsoc),
+      Or(And(Eq(Col(sn), Lit("FRANCE")), Eq(Col(cn), Lit("GERMANY"))),
+         And(Eq(Col(sn), Lit("GERMANY")), Eq(Col(cn), Lit("FRANCE")))));
+  PlanPtr proj = ProjectPlan(
+      std::move(cross), {Col(sn), Col(cn), YearOf(Col(l::kShipDate)),
+                         Revenue(l::kExtendedPrice, l::kDiscount)});
+  PlanPtr agg =
+      AggregatePlan(std::move(proj), {0, 1, 2}, {{AggKind::kSum, Col(3)}});
+  return c.Run(SortPlan(std::move(agg), {By(0), By(1), By(2)}));
 }
 
 Rows Q8(const Ctx& c) {
@@ -214,41 +236,43 @@ Rows Q8(const Ctx& c) {
   namespace n = nation;
   namespace r = region;
   namespace p = part;
-  Rows parts = FilterRows(
+  PlanPtr parts = FilterPlan(
       c.Scan("PART"), Eq(Col(p::kType), Lit("ECONOMY ANODIZED STEEL")));
-  Rows pl = HashJoinRows(parts, c.Scan("LINEITEM"), {p::kPartKey},
-                         {l::kPartKey}, WL);
+  PlanPtr pl = HashJoinPlan(std::move(parts), c.Scan("LINEITEM"),
+                            {p::kPartKey}, {l::kPartKey}, WL);
   const int lo = WP;
-  Rows plo = HashJoinRows(pl, FilterRows(c.Scan("ORDERS"),
-                                         And(Ge(Col(o::kOrderDate),
-                                                Lit(D(1995, 1, 1))),
-                                             Le(Col(o::kOrderDate),
-                                                Lit(D(1996, 12, 31))))),
-                          {lo + l::kOrderKey}, {o::kOrderKey}, WO);
+  PlanPtr plo = HashJoinPlan(
+      std::move(pl),
+      FilterPlan(c.Scan("ORDERS"),
+                 And(Ge(Col(o::kOrderDate), Lit(D(1995, 1, 1))),
+                     Le(Col(o::kOrderDate), Lit(D(1996, 12, 31))))),
+      {lo + l::kOrderKey}, {o::kOrderKey}, WO);
   const int oo = WP + WL;
-  Rows ploc = HashJoinRows(plo, c.Scan("CUSTOMER"), {oo + o::kCustKey},
-                           {cu::kCustKey}, WC);
+  PlanPtr ploc = HashJoinPlan(std::move(plo), c.Scan("CUSTOMER"),
+                              {oo + o::kCustKey}, {cu::kCustKey}, WC);
   const int co = oo + WO;
-  Rows reg = FilterRows(c.Scan("REGION"), Eq(Col(r::kName), Lit("AMERICA")));
-  Rows cn = HashJoinRows(c.Scan("NATION"), reg, {n::kRegionKey},
-                         {r::kRegionKey}, WR);
-  Rows plocn = HashJoinRows(ploc, cn, {co + cu::kNationKey}, {n::kNationKey},
-                            WN + WR);
-  Rows sup = c.Scan("SUPPLIER");
-  Rows sn = HashJoinRows(sup, c.Scan("NATION"), {s::kNationKey},
-                         {n::kNationKey}, WN);
-  Rows all = HashJoinRows(plocn, sn, {lo + l::kSuppKey}, {s::kSuppKey},
-                          WS + WN);
+  PlanPtr reg = FilterPlan(c.Scan("REGION"),
+                           Eq(Col(r::kName), Lit("AMERICA")));
+  PlanPtr cn = HashJoinPlan(c.Scan("NATION"), std::move(reg), {n::kRegionKey},
+                            {r::kRegionKey}, WR);
+  PlanPtr plocn = HashJoinPlan(std::move(ploc), std::move(cn),
+                               {co + cu::kNationKey}, {n::kNationKey},
+                               WN + WR);
+  PlanPtr sn = HashJoinPlan(c.Scan("SUPPLIER"), c.Scan("NATION"),
+                            {s::kNationKey}, {n::kNationKey}, WN);
+  PlanPtr all = HashJoinPlan(std::move(plocn), std::move(sn),
+                             {lo + l::kSuppKey}, {s::kSuppKey}, WS + WN);
   const int suppnat = co + WC + WN + WR + WS + n::kName;
-  Rows proj = ProjectRows(
-      all, {YearOf(Col(oo + o::kOrderDate)),
-            Revenue(lo + l::kExtendedPrice, lo + l::kDiscount),
-            Mul(Eq(Col(suppnat), Lit("BRAZIL")),
-                Revenue(lo + l::kExtendedPrice, lo + l::kDiscount))});
-  Rows agg = HashAggregateRows(
-      proj, {0}, {{AggKind::kSum, Col(2)}, {AggKind::kSum, Col(1)}});
-  Rows share = ProjectRows(agg, {Col(0), Div(Col(1), Col(2))});
-  return SortRows(std::move(share), {{0, true}});
+  PlanPtr proj = ProjectPlan(
+      std::move(all),
+      {YearOf(Col(oo + o::kOrderDate)),
+       Revenue(lo + l::kExtendedPrice, lo + l::kDiscount),
+       Mul(Eq(Col(suppnat), Lit("BRAZIL")),
+           Revenue(lo + l::kExtendedPrice, lo + l::kDiscount))});
+  PlanPtr agg = AggregatePlan(
+      std::move(proj), {0}, {{AggKind::kSum, Col(2)}, {AggKind::kSum, Col(1)}});
+  PlanPtr share = ProjectPlan(std::move(agg), {Col(0), Div(Col(1), Col(2))});
+  return c.Run(SortPlan(std::move(share), {By(0)}));
 }
 
 Rows Q9(const Ctx& c) {
@@ -258,32 +282,33 @@ Rows Q9(const Ctx& c) {
   namespace n = nation;
   namespace p = part;
   namespace ps = partsupp;
-  Rows parts = FilterRows(c.Scan("PART"),
-                          Contains(Col(p::kName), Lit("green")));
-  Rows pl = HashJoinRows(parts, c.Scan("LINEITEM"), {p::kPartKey},
-                         {l::kPartKey}, WL);
+  PlanPtr parts = FilterPlan(c.Scan("PART"),
+                             Contains(Col(p::kName), Lit("green")));
+  PlanPtr pl = HashJoinPlan(std::move(parts), c.Scan("LINEITEM"),
+                            {p::kPartKey}, {l::kPartKey}, WL);
   const int lo = WP;
-  Rows pls = HashJoinRows(pl, c.Scan("SUPPLIER"), {lo + l::kSuppKey},
-                          {s::kSuppKey}, WS);
+  PlanPtr pls = HashJoinPlan(std::move(pl), c.Scan("SUPPLIER"),
+                             {lo + l::kSuppKey}, {s::kSuppKey}, WS);
   const int so = WP + WL;
-  Rows plsps = HashJoinRows(pls, c.Scan("PARTSUPP"),
-                            {p::kPartKey, lo + l::kSuppKey},
-                            {ps::kPartKey, ps::kSuppKey}, WPS);
+  PlanPtr plsps = HashJoinPlan(std::move(pls), c.Scan("PARTSUPP"),
+                               {p::kPartKey, lo + l::kSuppKey},
+                               {ps::kPartKey, ps::kSuppKey}, WPS);
   const int pso = so + WS;
-  Rows all = HashJoinRows(plsps, c.Scan("ORDERS"), {lo + l::kOrderKey},
-                          {o::kOrderKey}, WO);
+  PlanPtr all = HashJoinPlan(std::move(plsps), c.Scan("ORDERS"),
+                             {lo + l::kOrderKey}, {o::kOrderKey}, WO);
   const int oo = pso + WPS;
-  Rows alln = HashJoinRows(all, c.Scan("NATION"), {so + s::kNationKey},
-                           {n::kNationKey}, WN);
+  PlanPtr alln = HashJoinPlan(std::move(all), c.Scan("NATION"),
+                              {so + s::kNationKey}, {n::kNationKey}, WN);
   const int no = oo + WO;
   // profit = ext*(1-disc) - supplycost*qty
-  Rows proj = ProjectRows(
-      alln,
+  PlanPtr proj = ProjectPlan(
+      std::move(alln),
       {Col(no + n::kName), YearOf(Col(oo + o::kOrderDate)),
        Sub(Revenue(lo + l::kExtendedPrice, lo + l::kDiscount),
            Mul(Col(pso + ps::kSupplyCost), Col(lo + l::kQuantity)))});
-  Rows agg = HashAggregateRows(proj, {0, 1}, {{AggKind::kSum, Col(2)}});
-  return SortRows(std::move(agg), {{0, true}, {1, false}});
+  PlanPtr agg =
+      AggregatePlan(std::move(proj), {0, 1}, {{AggKind::kSum, Col(2)}});
+  return c.Run(SortPlan(std::move(agg), {By(0), By(1, false)}));
 }
 
 Rows Q10(const Ctx& c) {
@@ -291,51 +316,54 @@ Rows Q10(const Ctx& c) {
   namespace o = orders;
   namespace l = lineitem;
   namespace n = nation;
-  Rows ords = FilterRows(
+  PlanPtr ords = FilterPlan(
       c.Scan("ORDERS"), And(Ge(Col(o::kOrderDate), Lit(D(1993, 10, 1))),
                             Lt(Col(o::kOrderDate), Lit(D(1994, 1, 1)))));
-  Rows co = HashJoinRows(c.Scan("CUSTOMER"), ords, {cu::kCustKey},
-                         {o::kCustKey}, WO);
-  Rows li = FilterRows(c.Scan("LINEITEM"),
-                       Eq(Col(l::kReturnFlag), Lit("R")));
-  Rows col = HashJoinRows(co, li, {WC + o::kOrderKey}, {l::kOrderKey}, WL);
+  PlanPtr co = HashJoinPlan(c.Scan("CUSTOMER"), std::move(ords),
+                            {cu::kCustKey}, {o::kCustKey}, WO);
+  PlanPtr li = FilterPlan(c.Scan("LINEITEM"),
+                          Eq(Col(l::kReturnFlag), Lit("R")));
+  PlanPtr col = HashJoinPlan(std::move(co), std::move(li),
+                             {WC + o::kOrderKey}, {l::kOrderKey}, WL);
   const int lo = WC + WO;
-  Rows coln = HashJoinRows(col, c.Scan("NATION"), {cu::kNationKey},
-                           {n::kNationKey}, WN);
+  PlanPtr coln = HashJoinPlan(std::move(col), c.Scan("NATION"),
+                              {cu::kNationKey}, {n::kNationKey}, WN);
   const int no = lo + WL;
-  Rows agg = HashAggregateRows(
-      coln,
+  PlanPtr agg = AggregatePlan(
+      std::move(coln),
       {cu::kCustKey, cu::kName, cu::kAcctBal, cu::kPhone, no + n::kName,
        cu::kAddress},
       {{AggKind::kSum, Revenue(lo + l::kExtendedPrice, lo + l::kDiscount)}});
-  agg = SortRows(std::move(agg), {{6, false}});
-  return LimitRows(std::move(agg), 20);
+  return c.Run(LimitPlan(SortPlan(std::move(agg), {By(6, false)}), 20));
 }
 
 Rows Q11(const Ctx& c) {
   namespace s = supplier;
   namespace n = nation;
   namespace ps = partsupp;
-  Rows nat = FilterRows(c.Scan("NATION"), Eq(Col(n::kName), Lit("GERMANY")));
-  Rows sn = HashJoinRows(c.Scan("SUPPLIER"), nat, {s::kNationKey},
-                         {n::kNationKey}, WN);
-  Rows pssn = HashJoinRows(c.Scan("PARTSUPP"), sn, {ps::kSuppKey},
-                           {s::kSuppKey}, WS + WN);
+  PlanPtr nat = FilterPlan(c.Scan("NATION"),
+                           Eq(Col(n::kName), Lit("GERMANY")));
+  PlanPtr sn = HashJoinPlan(c.Scan("SUPPLIER"), std::move(nat),
+                            {s::kNationKey}, {n::kNationKey}, WN);
+  Rows pssn = c.Run(HashJoinPlan(c.Scan("PARTSUPP"), std::move(sn),
+                                 {ps::kSuppKey}, {s::kSuppKey}, WS + WN));
   ExprPtr value = Mul(Col(ps::kSupplyCost), Col(ps::kAvailQty));
-  Rows total = HashAggregateRows(pssn, {}, {{AggKind::kSum, value}});
+  Rows total = c.Run(AggregatePlan(ValuesPlan(pssn), {},
+                                   {{AggKind::kSum, value}}));
   double threshold = total[0][0].is_null()
                          ? 0.0
                          : total[0][0].AsDouble() * 0.0001;
-  Rows per_part =
-      HashAggregateRows(pssn, {ps::kPartKey}, {{AggKind::kSum, value}});
-  Rows out = FilterRows(per_part, Gt(Col(1), Lit(threshold)));
-  return SortRows(std::move(out), {{1, false}});
+  PlanPtr per_part = AggregatePlan(ValuesPlan(std::move(pssn)),
+                                   {ps::kPartKey}, {{AggKind::kSum, value}});
+  PlanPtr out =
+      FilterPlan(std::move(per_part), Gt(Col(1), Lit(threshold)));
+  return c.Run(SortPlan(std::move(out), {By(1, false)}));
 }
 
 Rows Q12(const Ctx& c) {
   namespace o = orders;
   namespace l = lineitem;
-  Rows li = FilterRows(
+  PlanPtr li = FilterPlan(
       c.Scan("LINEITEM"),
       And(And(Or(Eq(Col(l::kShipMode), Lit("MAIL")),
                  Eq(Col(l::kShipMode), Lit("SHIP"))),
@@ -343,15 +371,16 @@ Rows Q12(const Ctx& c) {
                   Lt(Col(l::kShipDate), Col(l::kCommitDate)))),
           And(Ge(Col(l::kReceiptDate), Lit(D(1994, 1, 1))),
               Lt(Col(l::kReceiptDate), Lit(D(1995, 1, 1))))));
-  Rows lo_ = HashJoinRows(li, c.Scan("ORDERS"), {l::kOrderKey},
-                          {o::kOrderKey}, WO);
+  PlanPtr lo_ = HashJoinPlan(std::move(li), c.Scan("ORDERS"), {l::kOrderKey},
+                             {o::kOrderKey}, WO);
   const int oo = WL;
   ExprPtr high = Or(Eq(Col(oo + o::kOrderPriority), Lit("1-URGENT")),
                     Eq(Col(oo + o::kOrderPriority), Lit("2-HIGH")));
-  Rows proj = ProjectRows(lo_, {Col(l::kShipMode), high, Not(high)});
-  Rows agg = HashAggregateRows(
-      proj, {0}, {{AggKind::kSum, Col(1)}, {AggKind::kSum, Col(2)}});
-  return SortRows(std::move(agg), {{0, true}});
+  PlanPtr proj =
+      ProjectPlan(std::move(lo_), {Col(l::kShipMode), high, Not(high)});
+  PlanPtr agg = AggregatePlan(
+      std::move(proj), {0}, {{AggKind::kSum, Col(1)}, {AggKind::kSum, Col(2)}});
+  return c.Run(SortPlan(std::move(agg), {By(0)}));
 }
 
 Rows Q13(const Ctx& c) {
@@ -359,49 +388,56 @@ Rows Q13(const Ctx& c) {
   namespace o = orders;
   // Substituted filter (no o_comment column): exclude unspecified-priority
   // orders, preserving the outer join + filtered-probe plan shape.
-  Rows ords = FilterRows(c.Scan("ORDERS"),
-                         Ne(Col(o::kOrderPriority), Lit("4-NOT SPECIFIED")));
-  Rows proj_orders = ProjectRows(ords, {Col(o::kCustKey), Col(o::kOrderKey)});
-  Rows co = HashJoinRows(c.Scan("CUSTOMER"), proj_orders, {cu::kCustKey}, {0},
-                         2, JoinType::kLeftOuter);
-  Rows counts = HashAggregateRows(co, {cu::kCustKey},
-                                  {{AggKind::kCount, Col(WC + 1)}});
-  Rows dist = HashAggregateRows(counts, {1}, {{AggKind::kCount, nullptr}});
-  return SortRows(std::move(dist), {{1, false}, {0, false}});
+  PlanPtr ords = FilterPlan(c.Scan("ORDERS"),
+                            Ne(Col(o::kOrderPriority), Lit("4-NOT SPECIFIED")));
+  PlanPtr proj_orders =
+      ProjectPlan(std::move(ords), {Col(o::kCustKey), Col(o::kOrderKey)});
+  PlanPtr co = HashJoinPlan(c.Scan("CUSTOMER"), std::move(proj_orders),
+                            {cu::kCustKey}, {0}, 2, JoinType::kLeftOuter);
+  PlanPtr counts = AggregatePlan(std::move(co), {cu::kCustKey},
+                                 {{AggKind::kCount, Col(WC + 1)}});
+  PlanPtr dist = AggregatePlan(std::move(counts), {1},
+                               {{AggKind::kCount, nullptr}});
+  return c.Run(SortPlan(std::move(dist), {By(1, false), By(0, false)}));
 }
 
 Rows Q14(const Ctx& c) {
   namespace l = lineitem;
   namespace p = part;
-  Rows li = FilterRows(
+  PlanPtr li = FilterPlan(
       c.Scan("LINEITEM"), And(Ge(Col(l::kShipDate), Lit(D(1995, 9, 1))),
                               Lt(Col(l::kShipDate), Lit(D(1995, 10, 1)))));
-  Rows lp = HashJoinRows(li, c.Scan("PART"), {l::kPartKey}, {p::kPartKey}, WP);
+  PlanPtr lp = HashJoinPlan(std::move(li), c.Scan("PART"), {l::kPartKey},
+                            {p::kPartKey}, WP);
   ExprPtr rev = Revenue(l::kExtendedPrice, l::kDiscount);
   ExprPtr promo = Mul(StartsWith(Col(WL + p::kType), Lit("PROMO")), rev);
-  Rows agg = HashAggregateRows(
-      lp, {}, {{AggKind::kSum, promo}, {AggKind::kSum, rev}});
-  return ProjectRows(agg, {Div(Mul(Lit(100.0), Col(0)), Col(1))});
+  PlanPtr agg = AggregatePlan(
+      std::move(lp), {}, {{AggKind::kSum, promo}, {AggKind::kSum, rev}});
+  return c.Run(ProjectPlan(std::move(agg),
+                           {Div(Mul(Lit(100.0), Col(0)), Col(1))}));
 }
 
 Rows Q15(const Ctx& c) {
   namespace l = lineitem;
   namespace s = supplier;
-  Rows li = FilterRows(
+  PlanPtr li = FilterPlan(
       c.Scan("LINEITEM"), And(Ge(Col(l::kShipDate), Lit(D(1996, 1, 1))),
                               Lt(Col(l::kShipDate), Lit(D(1996, 4, 1)))));
-  Rows rev = HashAggregateRows(
-      li, {l::kSuppKey},
-      {{AggKind::kSum, Revenue(l::kExtendedPrice, l::kDiscount)}});
+  Rows rev = c.Run(AggregatePlan(
+      std::move(li), {l::kSuppKey},
+      {{AggKind::kSum, Revenue(l::kExtendedPrice, l::kDiscount)}}));
   double best = 0.0;
   for (const Row& r : rev) {
     if (!r[1].is_null()) best = std::max(best, r[1].AsDouble());
   }
-  Rows top = FilterRows(rev, Ge(Col(1), Lit(best)));
-  Rows out = HashJoinRows(top, c.Scan("SUPPLIER"), {0}, {s::kSuppKey}, WS);
-  return SortRows(ProjectRows(out, {Col(2 + s::kSuppKey), Col(2 + s::kName),
-                                    Col(1)}),
-                  {{0, true}});
+  PlanPtr top =
+      FilterPlan(ValuesPlan(std::move(rev)), Ge(Col(1), Lit(best)));
+  PlanPtr out = HashJoinPlan(std::move(top), c.Scan("SUPPLIER"), {0},
+                             {s::kSuppKey}, WS);
+  return c.Run(SortPlan(
+      ProjectPlan(std::move(out),
+                  {Col(2 + s::kSuppKey), Col(2 + s::kName), Col(1)}),
+      {By(0)}));
 }
 
 Rows Q16(const Ctx& c) {
@@ -413,75 +449,83 @@ Rows Q16(const Ctx& c) {
   for (int i = 1; i < 8; ++i) {
     size_in = Or(size_in, Eq(Col(p::kSize), Lit(kSizes[i])));
   }
-  Rows parts = FilterRows(
+  PlanPtr parts = FilterPlan(
       c.Scan("PART"),
       And(And(Ne(Col(p::kBrand), Lit("Brand#45")),
               Not(StartsWith(Col(p::kType), Lit("MEDIUM POLISHED")))),
           size_in));
-  Rows psp = HashJoinRows(c.Scan("PARTSUPP"), parts, {ps::kPartKey},
-                          {p::kPartKey}, WP);
+  PlanPtr psp = HashJoinPlan(c.Scan("PARTSUPP"), std::move(parts),
+                             {ps::kPartKey}, {p::kPartKey}, WP);
   // Substituted complaints filter: suppliers with negative balance are
   // excluded via anti-join.
-  Rows bad = FilterRows(c.Scan("SUPPLIER"), Lt(Col(s::kAcctBal), Lit(0.0)));
-  Rows bad_keys = DistinctRows(ProjectRows(bad, {Col(s::kSuppKey)}));
-  Rows joined = HashJoinRows(psp, bad_keys, {ps::kSuppKey}, {0}, 1,
-                             JoinType::kLeftOuter);
+  PlanPtr bad = FilterPlan(c.Scan("SUPPLIER"),
+                           Lt(Col(s::kAcctBal), Lit(0.0)));
+  PlanPtr bad_keys =
+      DistinctPlan(ProjectPlan(std::move(bad), {Col(s::kSuppKey)}));
+  PlanPtr joined = HashJoinPlan(std::move(psp), std::move(bad_keys),
+                                {ps::kSuppKey}, {0}, 1, JoinType::kLeftOuter);
   const int anti = WPS + WP;
-  Rows kept = FilterRows(joined, IsNull(Col(anti)));
-  Rows agg = HashAggregateRows(
-      kept, {WPS + p::kBrand, WPS + p::kType, WPS + p::kSize},
+  PlanPtr kept = FilterPlan(std::move(joined), IsNull(Col(anti)));
+  PlanPtr agg = AggregatePlan(
+      std::move(kept), {WPS + p::kBrand, WPS + p::kType, WPS + p::kSize},
       {{AggKind::kCountDistinct, Col(ps::kSuppKey)}});
-  return SortRows(std::move(agg), {{3, false}, {0, true}, {1, true}, {2, true}});
+  return c.Run(
+      SortPlan(std::move(agg), {By(3, false), By(0), By(1), By(2)}));
 }
 
 Rows Q17(const Ctx& c) {
   namespace l = lineitem;
   namespace p = part;
-  Rows parts = FilterRows(c.Scan("PART"),
-                          And(Eq(Col(p::kBrand), Lit("Brand#23")),
-                              Eq(Col(p::kContainer), Lit("MED BOX"))));
-  Rows li = c.Scan("LINEITEM");
-  Rows lp = HashJoinRows(li, parts, {l::kPartKey}, {p::kPartKey}, WP);
-  Rows avgq = HashAggregateRows(li, {l::kPartKey},
-                                {{AggKind::kAvg, Col(l::kQuantity)}});
-  Rows la = HashJoinRows(lp, avgq, {l::kPartKey}, {0}, 2);
+  PlanPtr parts = FilterPlan(c.Scan("PART"),
+                             And(Eq(Col(p::kBrand), Lit("Brand#23")),
+                                 Eq(Col(p::kContainer), Lit("MED BOX"))));
+  // LINEITEM feeds both the probe and the per-part average: scan once.
+  Rows li = c.Run(c.Scan("LINEITEM"));
+  PlanPtr lp = HashJoinPlan(ValuesPlan(li), std::move(parts), {l::kPartKey},
+                            {p::kPartKey}, WP);
+  PlanPtr avgq = AggregatePlan(ValuesPlan(std::move(li)), {l::kPartKey},
+                               {{AggKind::kAvg, Col(l::kQuantity)}});
+  PlanPtr la = HashJoinPlan(std::move(lp), std::move(avgq), {l::kPartKey},
+                            {0}, 2);
   const int avg_col = WL + WP + 1;
-  Rows small = FilterRows(
-      la, Lt(Col(l::kQuantity), Mul(Lit(0.2), Col(avg_col))));
-  Rows agg = HashAggregateRows(small, {},
-                               {{AggKind::kSum, Col(l::kExtendedPrice)}});
-  return ProjectRows(agg, {Div(Col(0), Lit(7.0))});
+  PlanPtr small = FilterPlan(
+      std::move(la), Lt(Col(l::kQuantity), Mul(Lit(0.2), Col(avg_col))));
+  PlanPtr agg = AggregatePlan(std::move(small), {},
+                              {{AggKind::kSum, Col(l::kExtendedPrice)}});
+  return c.Run(ProjectPlan(std::move(agg), {Div(Col(0), Lit(7.0))}));
 }
 
 Rows Q18(const Ctx& c) {
   namespace cu = customer;
   namespace o = orders;
   namespace l = lineitem;
-  Rows li = c.Scan("LINEITEM");
-  Rows big = HashAggregateRows(li, {l::kOrderKey},
-                               {{AggKind::kSum, Col(l::kQuantity)}});
-  big = FilterRows(big, Gt(Col(1), Lit(300.0)));
-  Rows ob = HashJoinRows(c.Scan("ORDERS"), big, {o::kOrderKey}, {0}, 2);
-  Rows cob = HashJoinRows(c.Scan("CUSTOMER"), ob, {cu::kCustKey},
-                          {o::kCustKey}, WO + 2);
+  PlanPtr big = FilterPlan(
+      AggregatePlan(c.Scan("LINEITEM"), {l::kOrderKey},
+                    {{AggKind::kSum, Col(l::kQuantity)}}),
+      Gt(Col(1), Lit(300.0)));
+  PlanPtr ob = HashJoinPlan(c.Scan("ORDERS"), std::move(big), {o::kOrderKey},
+                            {0}, 2);
+  PlanPtr cob = HashJoinPlan(c.Scan("CUSTOMER"), std::move(ob), {cu::kCustKey},
+                             {o::kCustKey}, WO + 2);
   const int oo = WC;
-  Rows out = ProjectRows(
-      cob, {Col(cu::kName), Col(cu::kCustKey), Col(oo + o::kOrderKey),
-            Col(oo + o::kOrderDate), Col(oo + o::kTotalPrice),
-            Col(oo + WO + 1)});
-  out = SortRows(std::move(out), {{4, false}, {3, true}});
-  return LimitRows(std::move(out), 100);
+  PlanPtr out = ProjectPlan(
+      std::move(cob),
+      {Col(cu::kName), Col(cu::kCustKey), Col(oo + o::kOrderKey),
+       Col(oo + o::kOrderDate), Col(oo + o::kTotalPrice), Col(oo + WO + 1)});
+  return c.Run(
+      LimitPlan(SortPlan(std::move(out), {By(4, false), By(3)}), 100));
 }
 
 Rows Q19(const Ctx& c) {
   namespace l = lineitem;
   namespace p = part;
-  Rows li = FilterRows(
+  PlanPtr li = FilterPlan(
       c.Scan("LINEITEM"),
       And(Or(Eq(Col(l::kShipMode), Lit("AIR")),
              Eq(Col(l::kShipMode), Lit("REG AIR"))),
           Eq(Col(l::kShipInstruct), Lit("DELIVER IN PERSON"))));
-  Rows lp = HashJoinRows(li, c.Scan("PART"), {l::kPartKey}, {p::kPartKey}, WP);
+  PlanPtr lp = HashJoinPlan(std::move(li), c.Scan("PART"), {l::kPartKey},
+                            {p::kPartKey}, WP);
   auto clause = [&](const char* brand, const char* cont_prefix, double qlo,
                     double qhi, int64_t size_hi) {
     return And(And(Eq(Col(WL + p::kBrand), Lit(brand)),
@@ -490,12 +534,13 @@ Rows Q19(const Ctx& c) {
                    Between(Col(WL + p::kSize), Lit(int64_t{1}),
                            Lit(size_hi))));
   };
-  Rows matched = FilterRows(
-      lp, Or(Or(clause("Brand#12", "SM", 1.0, 11.0, 5),
-                clause("Brand#23", "MED", 10.0, 20.0, 10)),
-             clause("Brand#34", "LG", 20.0, 30.0, 15)));
-  return HashAggregateRows(
-      matched, {}, {{AggKind::kSum, Revenue(l::kExtendedPrice, l::kDiscount)}});
+  PlanPtr matched = FilterPlan(
+      std::move(lp), Or(Or(clause("Brand#12", "SM", 1.0, 11.0, 5),
+                           clause("Brand#23", "MED", 10.0, 20.0, 10)),
+                        clause("Brand#34", "LG", 20.0, 30.0, 15)));
+  return c.Run(AggregatePlan(
+      std::move(matched), {},
+      {{AggKind::kSum, Revenue(l::kExtendedPrice, l::kDiscount)}}));
 }
 
 Rows Q20(const Ctx& c) {
@@ -504,26 +549,31 @@ Rows Q20(const Ctx& c) {
   namespace ps = partsupp;
   namespace s = supplier;
   namespace n = nation;
-  Rows parts = FilterRows(c.Scan("PART"),
-                          StartsWith(Col(p::kName), Lit("forest")));
-  Rows part_keys = DistinctRows(ProjectRows(parts, {Col(p::kPartKey)}));
-  Rows li = FilterRows(
+  PlanPtr parts = FilterPlan(c.Scan("PART"),
+                             StartsWith(Col(p::kName), Lit("forest")));
+  PlanPtr part_keys =
+      DistinctPlan(ProjectPlan(std::move(parts), {Col(p::kPartKey)}));
+  PlanPtr li = FilterPlan(
       c.Scan("LINEITEM"), And(Ge(Col(l::kShipDate), Lit(D(1994, 1, 1))),
                               Lt(Col(l::kShipDate), Lit(D(1995, 1, 1)))));
-  Rows usage = HashAggregateRows(li, {l::kPartKey, l::kSuppKey},
-                                 {{AggKind::kSum, Col(l::kQuantity)}});
-  Rows pu = HashJoinRows(usage, part_keys, {0}, {0}, 1);
-  Rows psj = HashJoinRows(c.Scan("PARTSUPP"), pu,
-                          {ps::kPartKey, ps::kSuppKey}, {0, 1}, 4);
-  Rows excess = FilterRows(
-      psj, Gt(Col(ps::kAvailQty), Mul(Lit(0.5), Col(WPS + 2))));
-  Rows supp_keys = DistinctRows(ProjectRows(excess, {Col(ps::kSuppKey)}));
-  Rows nat = FilterRows(c.Scan("NATION"), Eq(Col(n::kName), Lit("CANADA")));
-  Rows sn = HashJoinRows(c.Scan("SUPPLIER"), nat, {s::kNationKey},
-                         {n::kNationKey}, WN);
-  Rows out = HashJoinRows(sn, supp_keys, {s::kSuppKey}, {0}, 1);
-  return SortRows(ProjectRows(out, {Col(s::kName), Col(s::kAddress)}),
-                  {{0, true}});
+  PlanPtr usage = AggregatePlan(std::move(li), {l::kPartKey, l::kSuppKey},
+                                {{AggKind::kSum, Col(l::kQuantity)}});
+  PlanPtr pu = HashJoinPlan(std::move(usage), std::move(part_keys), {0}, {0},
+                            1);
+  PlanPtr psj = HashJoinPlan(c.Scan("PARTSUPP"), std::move(pu),
+                             {ps::kPartKey, ps::kSuppKey}, {0, 1}, 4);
+  PlanPtr excess = FilterPlan(
+      std::move(psj), Gt(Col(ps::kAvailQty), Mul(Lit(0.5), Col(WPS + 2))));
+  PlanPtr supp_keys =
+      DistinctPlan(ProjectPlan(std::move(excess), {Col(ps::kSuppKey)}));
+  PlanPtr nat = FilterPlan(c.Scan("NATION"),
+                           Eq(Col(n::kName), Lit("CANADA")));
+  PlanPtr sn = HashJoinPlan(c.Scan("SUPPLIER"), std::move(nat),
+                            {s::kNationKey}, {n::kNationKey}, WN);
+  PlanPtr out = HashJoinPlan(std::move(sn), std::move(supp_keys),
+                             {s::kSuppKey}, {0}, 1);
+  return c.Run(SortPlan(
+      ProjectPlan(std::move(out), {Col(s::kName), Col(s::kAddress)}), {By(0)}));
 }
 
 Rows Q21(const Ctx& c) {
@@ -531,31 +581,41 @@ Rows Q21(const Ctx& c) {
   namespace l = lineitem;
   namespace s = supplier;
   namespace n = nation;
-  Rows li = c.Scan("LINEITEM");
-  // Per order: distinct suppliers overall and distinct late suppliers.
-  Rows all_sup = HashAggregateRows(li, {l::kOrderKey},
-                                   {{AggKind::kCountDistinct, Col(l::kSuppKey)}});
-  Rows late = FilterRows(li, Gt(Col(l::kReceiptDate), Col(l::kCommitDate)));
-  Rows late_sup = HashAggregateRows(
-      late, {l::kOrderKey}, {{AggKind::kCountDistinct, Col(l::kSuppKey)}});
+  // LINEITEM feeds three subtrees (per-order distinct suppliers, late
+  // lineitems, per-order distinct late suppliers): scan once.
+  Rows li = c.Run(c.Scan("LINEITEM"));
+  PlanPtr all_sup =
+      AggregatePlan(ValuesPlan(li), {l::kOrderKey},
+                    {{AggKind::kCountDistinct, Col(l::kSuppKey)}});
+  Rows late = c.Run(FilterPlan(ValuesPlan(std::move(li)),
+                               Gt(Col(l::kReceiptDate), Col(l::kCommitDate))));
+  PlanPtr late_sup =
+      AggregatePlan(ValuesPlan(late), {l::kOrderKey},
+                    {{AggKind::kCountDistinct, Col(l::kSuppKey)}});
   // Late lineitems of multi-supplier orders where only one supplier is late.
-  Rows j1 = HashJoinRows(late, all_sup, {l::kOrderKey}, {0}, 2);
-  Rows j2 = HashJoinRows(j1, late_sup, {l::kOrderKey}, {0}, 2);
-  Rows culprit = FilterRows(
-      j2, And(Gt(Col(WL + 1), Lit(int64_t{1})),   // several suppliers
-              Eq(Col(WL + 3), Lit(int64_t{1})))); // exactly one late
-  Rows ords = FilterRows(c.Scan("ORDERS"), Eq(Col(o::kOrderStatus), Lit("F")));
-  Rows co = HashJoinRows(culprit, ords, {l::kOrderKey}, {o::kOrderKey}, WO);
-  Rows nat = FilterRows(c.Scan("NATION"),
-                        Eq(Col(n::kName), Lit("SAUDI ARABIA")));
-  Rows sn = HashJoinRows(c.Scan("SUPPLIER"), nat, {s::kNationKey},
-                         {n::kNationKey}, WN);
-  Rows cos = HashJoinRows(co, sn, {l::kSuppKey}, {s::kSuppKey}, WS + WN);
+  PlanPtr j1 = HashJoinPlan(ValuesPlan(std::move(late)), std::move(all_sup),
+                            {l::kOrderKey}, {0}, 2);
+  PlanPtr j2 = HashJoinPlan(std::move(j1), std::move(late_sup),
+                            {l::kOrderKey}, {0}, 2);
+  PlanPtr culprit = FilterPlan(
+      std::move(j2),
+      And(Gt(Col(WL + 1), Lit(int64_t{1})),   // several suppliers
+          Eq(Col(WL + 3), Lit(int64_t{1})))); // exactly one late
+  PlanPtr ords = FilterPlan(c.Scan("ORDERS"),
+                            Eq(Col(o::kOrderStatus), Lit("F")));
+  PlanPtr co = HashJoinPlan(std::move(culprit), std::move(ords),
+                            {l::kOrderKey}, {o::kOrderKey}, WO);
+  PlanPtr nat = FilterPlan(c.Scan("NATION"),
+                           Eq(Col(n::kName), Lit("SAUDI ARABIA")));
+  PlanPtr sn = HashJoinPlan(c.Scan("SUPPLIER"), std::move(nat),
+                            {s::kNationKey}, {n::kNationKey}, WN);
+  PlanPtr cos = HashJoinPlan(std::move(co), std::move(sn), {l::kSuppKey},
+                             {s::kSuppKey}, WS + WN);
   const int so = WL + 4 + WO;
-  Rows agg = HashAggregateRows(cos, {so + s::kName},
-                               {{AggKind::kCount, nullptr}});
-  agg = SortRows(std::move(agg), {{1, false}, {0, true}});
-  return LimitRows(std::move(agg), 100);
+  PlanPtr agg = AggregatePlan(std::move(cos), {so + s::kName},
+                              {{AggKind::kCount, nullptr}});
+  return c.Run(
+      LimitPlan(SortPlan(std::move(agg), {By(1, false), By(0)}), 100));
 }
 
 Rows Q22(const Ctx& c) {
@@ -563,7 +623,7 @@ Rows Q22(const Ctx& c) {
   namespace o = orders;
   static const char* kPrefixes[7] = {"13", "31", "23", "29", "30", "18", "17"};
   // Country code = first two digits of the phone number.
-  Rows cust = c.Scan("CUSTOMER");
+  Rows cust = c.Run(c.Scan("CUSTOMER"));
   auto prefix_of = [](const Row& r) {
     return r[cu::kPhone].AsString().substr(0, 2);
   };
@@ -587,19 +647,21 @@ Rows Q22(const Ctx& c) {
     }
   }
   double avg = n == 0 ? 0.0 : sum / static_cast<double>(n);
-  Rows rich = FilterRows(eligible, Gt(Col(cu::kAcctBal), Lit(avg)));
-  Rows order_keys = DistinctRows(
-      ProjectRows(c.Scan("ORDERS"), {Col(o::kCustKey)}));
-  Rows anti = HashJoinRows(rich, order_keys, {cu::kCustKey}, {0}, 1,
-                           JoinType::kLeftOuter);
-  Rows no_orders = FilterRows(anti, IsNull(Col(WC)));
+  PlanPtr rich = FilterPlan(ValuesPlan(std::move(eligible)),
+                            Gt(Col(cu::kAcctBal), Lit(avg)));
+  PlanPtr order_keys =
+      DistinctPlan(ProjectPlan(c.Scan("ORDERS"), {Col(o::kCustKey)}));
+  PlanPtr anti = HashJoinPlan(std::move(rich), std::move(order_keys),
+                              {cu::kCustKey}, {0}, 1, JoinType::kLeftOuter);
+  Rows no_orders = c.Run(FilterPlan(std::move(anti), IsNull(Col(WC))));
   Rows proj;
   for (const Row& r : no_orders) {
     proj.push_back({Value(prefix_of(r)), r[cu::kAcctBal]});
   }
-  Rows agg = HashAggregateRows(
-      proj, {0}, {{AggKind::kCount, nullptr}, {AggKind::kSum, Col(1)}});
-  return SortRows(std::move(agg), {{0, true}});
+  PlanPtr agg = AggregatePlan(
+      ValuesPlan(std::move(proj)), {0},
+      {{AggKind::kCount, nullptr}, {AggKind::kSum, Col(1)}});
+  return c.Run(SortPlan(std::move(agg), {By(0)}));
 }
 
 }  // namespace

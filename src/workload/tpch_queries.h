@@ -1,7 +1,7 @@
 #ifndef TPCBIH_WORKLOAD_TPCH_QUERIES_H_
 #define TPCBIH_WORKLOAD_TPCH_QUERIES_H_
 
-#include "exec/operators.h"
+#include "exec/plan.h"
 #include "workload/context.h"
 
 namespace bih {

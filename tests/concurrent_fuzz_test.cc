@@ -232,8 +232,8 @@ TEST_P(ConcurrentFuzzTest, SnapshotReadsMatchModelUnderConcurrentWrites) {
         req.temporal = spec;
         if (key >= 0) req.equals = {{0, Value(key)}};
         // Random intra-query parallelism per read (1 = serial path).
-        req.scan_threads = static_cast<int>(rng.UniformInt(1, 8));
-        req.morsel_size = static_cast<uint64_t>(rng.UniformInt(1, 96));
+        req.exec.scan_threads = static_cast<int>(rng.UniformInt(1, 8));
+        req.exec.morsel_size = static_cast<uint64_t>(rng.UniformInt(1, 96));
         std::vector<Row> got;
         Status st = server.ReadAt(snap, req, nullptr, &got);
         ASSERT_TRUE(st.ok()) << st.ToString();

@@ -1,12 +1,19 @@
 #include <gtest/gtest.h>
 
 #include "exec/expr.h"
-#include "exec/operators.h"
+#include "exec/plan.h"
 
 namespace bih {
 namespace {
 
 Row R(std::initializer_list<Value> vals) { return Row(vals); }
+
+// The Values-only trees below never touch the engine; one instance serves
+// every test as the Execute() anchor.
+Rows RunTree(PlanPtr plan) {
+  static TemporalEngine* engine = MakeEngine("A").release();
+  return RunPlan(*plan, *engine);
+}
 
 TEST(ExprTest, ArithmeticIntAndDouble) {
   Row row{Value(int64_t{6}), Value(7.0)};
@@ -60,21 +67,22 @@ TEST(ExprTest, BetweenAndYear) {
                   ->Test(row));
 }
 
-TEST(OperatorsTest, FilterAndProject) {
+TEST(PlanTest, FilterAndProject) {
   Rows in{R({Value(int64_t{1}), Value(2.0)}), R({Value(int64_t{5}), Value(3.0)})};
-  Rows f = FilterRows(in, Gt(Col(0), Lit(int64_t{2})));
+  Rows f = RunTree(FilterPlan(ValuesPlan(in), Gt(Col(0), Lit(int64_t{2}))));
   ASSERT_EQ(1u, f.size());
-  Rows p = ProjectRows(f, {Mul(Col(1), Lit(2.0))});
+  Rows p = RunTree(ProjectPlan(ValuesPlan(f), {Mul(Col(1), Lit(2.0))}));
   EXPECT_DOUBLE_EQ(6.0, p[0][0].AsDouble());
 }
 
-TEST(OperatorsTest, HashJoinInner) {
+TEST(PlanTest, HashJoinInner) {
   Rows left{R({Value(int64_t{1}), Value("a")}), R({Value(int64_t{2}), Value("b")}),
             R({Value(int64_t{3}), Value("c")})};
   Rows right{R({Value(int64_t{2}), Value(20.0)}),
              R({Value(int64_t{2}), Value(21.0)}),
              R({Value(int64_t{3}), Value(30.0)})};
-  Rows out = HashJoinRows(left, right, {0}, {0}, 2);
+  Rows out = RunTree(HashJoinPlan(ValuesPlan(left), ValuesPlan(right),
+                              {0}, {0}, 2));
   ASSERT_EQ(3u, out.size());
   for (const Row& r : out) {
     EXPECT_EQ(0, r[0].Compare(r[2]));
@@ -82,44 +90,47 @@ TEST(OperatorsTest, HashJoinInner) {
   }
 }
 
-TEST(OperatorsTest, HashJoinLeftOuterPadsNulls) {
+TEST(PlanTest, HashJoinLeftOuterPadsNulls) {
   Rows left{R({Value(int64_t{1})}), R({Value(int64_t{2})})};
   Rows right{R({Value(int64_t{2}), Value("x")})};
-  Rows out = HashJoinRows(left, right, {0}, {0}, 2, JoinType::kLeftOuter);
+  Rows out = RunTree(HashJoinPlan(ValuesPlan(left), ValuesPlan(right), {0}, {0},
+                              2, JoinType::kLeftOuter));
   ASSERT_EQ(2u, out.size());
   const Row& unmatched = out[0][0].AsInt() == 1 ? out[0] : out[1];
   EXPECT_TRUE(unmatched[1].is_null());
   EXPECT_TRUE(unmatched[2].is_null());
 }
 
-TEST(OperatorsTest, HashJoinResidualPredicate) {
+TEST(PlanTest, HashJoinResidualPredicate) {
   Rows left{R({Value(int64_t{1}), Value(int64_t{10})})};
   Rows right{R({Value(int64_t{1}), Value(int64_t{5})}),
              R({Value(int64_t{1}), Value(int64_t{20})})};
-  Rows out = HashJoinRows(left, right, {0}, {0}, 2, JoinType::kInner,
-                          Lt(Col(1), Col(3)));
+  Rows out = RunTree(HashJoinPlan(ValuesPlan(left), ValuesPlan(right), {0}, {0},
+                              2, JoinType::kInner, Lt(Col(1), Col(3))));
   ASSERT_EQ(1u, out.size());
   EXPECT_EQ(20, out[0][3].AsInt());
 }
 
-TEST(OperatorsTest, NullKeysNeverJoin) {
+TEST(PlanTest, NullKeysNeverJoin) {
   Rows left{R({Value::Null(), Value(int64_t{1})})};
   Rows right{R({Value::Null(), Value(int64_t{2})})};
-  EXPECT_TRUE(HashJoinRows(left, right, {0}, {0}, 2).empty());
+  EXPECT_TRUE(RunTree(HashJoinPlan(ValuesPlan(left), ValuesPlan(right),
+                               {0}, {0}, 2))
+                  .empty());
 }
 
-TEST(OperatorsTest, AggregateKinds) {
+TEST(PlanTest, AggregateKinds) {
   Rows in{R({Value("g"), Value(1.0)}), R({Value("g"), Value(3.0)}),
           R({Value("h"), Value(5.0)}), R({Value("g"), Value(3.0)})};
-  Rows out = HashAggregateRows(
-      in, {0},
-      {{AggKind::kSum, Col(1)},
-       {AggKind::kAvg, Col(1)},
-       {AggKind::kMin, Col(1)},
-       {AggKind::kMax, Col(1)},
-       {AggKind::kCount, nullptr},
-       {AggKind::kCountDistinct, Col(1)}});
-  out = SortRows(std::move(out), {{0, true}});
+  Rows out = RunTree(SortPlan(
+      AggregatePlan(ValuesPlan(in), {0},
+                    {{AggKind::kSum, Col(1)},
+                     {AggKind::kAvg, Col(1)},
+                     {AggKind::kMin, Col(1)},
+                     {AggKind::kMax, Col(1)},
+                     {AggKind::kCount, nullptr},
+                     {AggKind::kCountDistinct, Col(1)}}),
+      {SortSpec{Col(0), true}}));
   ASSERT_EQ(2u, out.size());
   EXPECT_DOUBLE_EQ(7.0, out[0][1].AsDouble());
   EXPECT_DOUBLE_EQ(7.0 / 3.0, out[0][2].AsDouble());
@@ -129,39 +140,42 @@ TEST(OperatorsTest, AggregateKinds) {
   EXPECT_EQ(2, out[0][6].AsInt());
 }
 
-TEST(OperatorsTest, GlobalAggregateOnEmptyInput) {
-  Rows out = HashAggregateRows({}, {}, {{AggKind::kCount, nullptr},
-                                        {AggKind::kSum, Col(0)}});
+TEST(PlanTest, GlobalAggregateOnEmptyInput) {
+  Rows out = RunTree(AggregatePlan(ValuesPlan({}), {},
+                               {{AggKind::kCount, nullptr},
+                                {AggKind::kSum, Col(0)}}));
   ASSERT_EQ(1u, out.size());
   EXPECT_EQ(0, out[0][0].AsInt());
   EXPECT_TRUE(out[0][1].is_null());  // SUM over nothing is NULL
 }
 
-TEST(OperatorsTest, AggregateSkipsNulls) {
+TEST(PlanTest, AggregateSkipsNulls) {
   Rows in{R({Value(1.0)}), R({Value::Null()})};
-  Rows out = HashAggregateRows(in, {}, {{AggKind::kCount, Col(0)},
-                                        {AggKind::kAvg, Col(0)}});
+  Rows out = RunTree(AggregatePlan(ValuesPlan(in), {},
+                               {{AggKind::kCount, Col(0)},
+                                {AggKind::kAvg, Col(0)}}));
   EXPECT_EQ(1, out[0][0].AsInt());
   EXPECT_DOUBLE_EQ(1.0, out[0][1].AsDouble());
 }
 
-TEST(OperatorsTest, SortMultiKeyAndStability) {
+TEST(PlanTest, SortMultiKeyAndStability) {
   Rows in{R({Value(int64_t{1}), Value("b")}), R({Value(int64_t{2}), Value("a")}),
           R({Value(int64_t{1}), Value("a")})};
-  Rows out = SortRows(in, {{0, true}, {1, false}});
+  Rows out = RunTree(SortPlan(ValuesPlan(in), {SortSpec{Col(0), true},
+                                           SortSpec{Col(1), false}}));
   EXPECT_EQ("b", out[0][1].AsString());
   EXPECT_EQ("a", out[1][1].AsString());
   EXPECT_EQ(2, out[2][0].AsInt());
 }
 
-TEST(OperatorsTest, LimitAndDistinct) {
+TEST(PlanTest, LimitAndDistinct) {
   Rows in{R({Value(int64_t{1})}), R({Value(int64_t{1})}), R({Value(int64_t{2})})};
-  EXPECT_EQ(2u, LimitRows(in, 2).size());
-  EXPECT_EQ(2u, DistinctRows(in).size());
-  EXPECT_EQ(3u, LimitRows(in, 99).size());
+  EXPECT_EQ(2u, RunTree(LimitPlan(ValuesPlan(in), 2)).size());
+  EXPECT_EQ(2u, RunTree(DistinctPlan(ValuesPlan(in))).size());
+  EXPECT_EQ(3u, RunTree(LimitPlan(ValuesPlan(in), 99)).size());
 }
 
-TEST(OperatorsTest, FormatRowsTruncates) {
+TEST(PlanTest, FormatRowsTruncates) {
   Rows in;
   for (int i = 0; i < 30; ++i) in.push_back(R({Value(int64_t{i})}));
   std::string s = FormatRows(in, {"n"}, 5);

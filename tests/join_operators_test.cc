@@ -7,7 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
-#include "exec/operators.h"
+#include "exec/plan.h"
 #include "workload/tpch_queries.h"
 #include "tpch/schema.h"
 
@@ -28,6 +28,7 @@ Rows Canonical(Rows rows) {
 }
 
 TEST(MergeJoinTest, MatchesHashJoinOnRandomInputs) {
+  auto engine = MakeEngine("A");
   Rng rng(11);
   for (int trial = 0; trial < 30; ++trial) {
     Rows left, right;
@@ -36,8 +37,12 @@ TEST(MergeJoinTest, MatchesHashJoinOnRandomInputs) {
                         Value(double(rng.UniformInt(0, 100)))}));
       right.push_back(R({Value(rng.UniformInt(0, 15)), Value("r")}));
     }
-    Rows hash = Canonical(HashJoinRows(left, right, {0}, {0}, 2));
-    Rows merge = Canonical(MergeJoinRows(left, right, {0}, {0}));
+    Rows hash = Canonical(RunPlan(
+        *HashJoinPlan(ValuesPlan(left), ValuesPlan(right), {0}, {0}, 2),
+        *engine));
+    Rows merge = Canonical(RunPlan(
+        *MergeJoinPlan(ValuesPlan(left), ValuesPlan(right), {0}, {0}),
+        *engine));
     ASSERT_EQ(hash.size(), merge.size()) << "trial " << trial;
     for (size_t i = 0; i < hash.size(); ++i) {
       for (size_t c = 0; c < hash[i].size(); ++c) {
@@ -53,12 +58,15 @@ TEST(MergeJoinTest, ResidualAndNullKeys) {
   Rows right{R({Value(int64_t{1}), Value(int64_t{20})}),
              R({Value(int64_t{1}), Value(int64_t{5})}),
              R({Value::Null(), Value(int64_t{7})})};
-  Rows out = MergeJoinRows(left, right, {0}, {0}, Lt(Col(1), Col(3)));
+  auto engine = MakeEngine("A");
+  Rows out = RunPlan(*MergeJoinPlan(ValuesPlan(left), ValuesPlan(right),
+                                    {0}, {0}, Lt(Col(1), Col(3))),
+                     *engine);
   ASSERT_EQ(1u, out.size());
   EXPECT_EQ(20, out[0][3].AsInt());
 }
 
-TEST(IndexNestedLoopJoinTest, ProbesEngineWithKeyLookups) {
+TEST(IndexJoinPlanTest, ProbesEngineWithKeyLookups) {
   auto engine = MakeEngine("A");
   TableDef def;
   def.name = "T";
@@ -71,8 +79,9 @@ TEST(IndexNestedLoopJoinTest, ProbesEngineWithKeyLookups) {
   }
   Rows probes{R({Value(int64_t{3})}), R({Value(int64_t{42})}),
               R({Value(int64_t{99})}), R({Value::Null()})};
-  Rows out = IndexNestedLoopJoin(*engine, probes, {0}, "T", {0},
-                                 TemporalScanSpec::Current());
+  Rows out = RunPlan(*IndexJoinPlan(ValuesPlan(probes), {0}, "T", {0},
+                                    TemporalScanSpec::Current()),
+                     *engine);
   ASSERT_EQ(2u, out.size());  // 99 misses, NULL skipped
   std::set<int64_t> keys{out[0][0].AsInt(), out[1][0].AsInt()};
   EXPECT_EQ((std::set<int64_t>{3, 42}), keys);

@@ -20,6 +20,7 @@ Message FullMessage() {
   m.request_id = 42;
   m.deadline_ms = 250;
   m.retry_after_ms = 25;
+  m.scan_threads = 8;
   m.status_code = 11;
   m.text = "two rows";
   m.retry_hint = "retry against a healthy server";
@@ -43,6 +44,7 @@ TEST(NetProtocolTest, MessageRoundTripsEveryField) {
   EXPECT_EQ(m.request_id, got.request_id);
   EXPECT_EQ(m.deadline_ms, got.deadline_ms);
   EXPECT_EQ(m.retry_after_ms, got.retry_after_ms);
+  EXPECT_EQ(m.scan_threads, got.scan_threads);
   EXPECT_EQ(m.status_code, got.status_code);
   EXPECT_EQ(m.text, got.text);
   EXPECT_EQ(m.retry_hint, got.retry_hint);
@@ -60,8 +62,9 @@ TEST(NetProtocolTest, MessageRoundTripsEveryField) {
 TEST(NetProtocolTest, EveryMessageTypeRoundTrips) {
   for (MsgType t : {MsgType::kHello, MsgType::kQuery, MsgType::kCancel,
                     MsgType::kStats, MsgType::kPing, MsgType::kGoodbye,
-                    MsgType::kHelloOk, MsgType::kResult, MsgType::kError,
-                    MsgType::kStatsReply, MsgType::kPong}) {
+                    MsgType::kExplain, MsgType::kHelloOk, MsgType::kResult,
+                    MsgType::kError, MsgType::kStatsReply, MsgType::kPong,
+                    MsgType::kExplainReply}) {
     Message m;
     m.type = t;
     m.request_id = static_cast<uint64_t>(t);

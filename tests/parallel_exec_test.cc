@@ -1,0 +1,205 @@
+// Differential tests for the parallel plan operators: for every engine
+// architecture and query class, the rows AND the per-node counters of a
+// parallel run must be byte-identical to the serial run at any thread
+// count. This is the executable form of the plan.h contract — parallelism
+// is a speed knob, never an observable one.
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/parallel.h"
+#include "exec/plan.h"
+#include "tpch/schema.h"
+#include "workload/context.h"
+
+namespace bih {
+namespace {
+
+// One small workload per engine letter, built once (the differential sweep
+// below runs dozens of plans against each).
+WorkloadContext& Workload(const std::string& letter) {
+  static std::map<std::string, WorkloadContext>* cache =
+      new std::map<std::string, WorkloadContext>();
+  auto it = cache->find(letter);
+  if (it == cache->end()) {
+    WorkloadConfig cfg;
+    cfg.engine_letter = letter;
+    cfg.h = 0.001;
+    cfg.m = 0.001;
+    cfg.seed = 7;
+    it = cache->emplace(letter, BuildWorkload(cfg)).first;
+  }
+  return it->second;
+}
+
+ScanScheduler& Pool() {
+  static ScanScheduler* pool = new ScanScheduler(7);
+  return *pool;
+}
+
+TemporalScanSpec FullHistory() {
+  TemporalScanSpec spec;
+  spec.system_time = TemporalSelector::All();
+  spec.app_time = TemporalSelector::All();
+  return spec;
+}
+
+ScanRequest Req(const std::string& table) {
+  ScanRequest req;
+  req.table = table;
+  req.temporal = FullHistory();
+  return req;
+}
+
+// The query classes of the sweep: a scan, the two parallel operators
+// (sort-merge join, hash aggregation) and a composite tree above them.
+PlanPtr BuildQuery(const std::string& cls) {
+  if (cls == "scan") {
+    return ScanPlan(Req("ORDERS"));
+  }
+  if (cls == "merge-join") {
+    return MergeJoinPlan(ScanPlan(Req("CUSTOMER")), ScanPlan(Req("ORDERS")),
+                         {customer::kCustKey}, {orders::kCustKey});
+  }
+  if (cls == "hash-agg") {
+    return AggregatePlan(ScanPlan(Req("ORDERS")), {orders::kOrderStatus},
+                         {{AggKind::kSum, Col(orders::kTotalPrice)},
+                          {AggKind::kAvg, Col(orders::kTotalPrice)},
+                          {AggKind::kMin, Col(orders::kTotalPrice)},
+                          {AggKind::kMax, Col(orders::kTotalPrice)},
+                          {AggKind::kCount, nullptr},
+                          {AggKind::kCountDistinct, Col(orders::kCustKey)}});
+  }
+  // Composite: join feeds a grouped aggregation feeds a sort, so morsel
+  // boundaries of one parallel operator become the input of the next.
+  return SortPlan(
+      AggregatePlan(
+          MergeJoinPlan(ScanPlan(Req("CUSTOMER")), ScanPlan(Req("ORDERS")),
+                        {customer::kCustKey}, {orders::kCustKey}),
+          {customer::kNationKey},
+          // CUSTOMER's scan width is 9 user columns + 2 system columns.
+          {{AggKind::kSum, Col(11 + orders::kTotalPrice)},
+           {AggKind::kCount, nullptr}}),
+      {SortSpec{Col(0), true}});
+}
+
+const char* kClasses[] = {"scan", "merge-join", "hash-agg", "join-agg-sort"};
+const char* kEngines[] = {"A", "B", "C", "D"};
+
+// Flattened per-node counters, in preorder; serial and parallel runs must
+// produce equal vectors (rows_output per node and the engine-side scan
+// counters alike).
+struct NodeStats {
+  std::string kind;
+  uint64_t rows_output;
+  uint64_t scan_examined;
+  uint64_t scan_output;
+  int partitions;
+  bool used_index;
+  std::string index_name;
+
+  bool operator==(const NodeStats& o) const {
+    return kind == o.kind && rows_output == o.rows_output &&
+           scan_examined == o.scan_examined && scan_output == o.scan_output &&
+           partitions == o.partitions && used_index == o.used_index &&
+           index_name == o.index_name;
+  }
+};
+
+void CollectStats(const PlanNode& n, std::vector<NodeStats>* out) {
+  out->push_back({n.KindName(), n.stats.rows_output, n.stats.scan.rows_examined,
+                  n.stats.scan.rows_output, n.stats.scan.partitions_touched,
+                  n.stats.scan.used_index, n.stats.scan.index_name});
+  for (const PlanPtr& c : n.children) CollectStats(*c, out);
+}
+
+void ExpectRowsIdentical(const Rows& want, const Rows& got,
+                         const std::string& label) {
+  ASSERT_EQ(want.size(), got.size()) << label;
+  for (size_t r = 0; r < want.size(); ++r) {
+    ASSERT_EQ(want[r].size(), got[r].size()) << label << " row " << r;
+    for (size_t c = 0; c < want[r].size(); ++c) {
+      ASSERT_TRUE(want[r][c] == got[r][c])
+          << label << " row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(ParallelExecTest, EveryEngineClassAndThreadCountMatchesSerial) {
+  for (const char* letter : kEngines) {
+    TemporalEngine& eng = Workload(letter).eng();
+    for (const char* cls : kClasses) {
+      PlanPtr plan = BuildQuery(cls);
+      const std::string label = std::string(letter) + "/" + cls;
+
+      // Serial baseline. A tiny morsel keeps the test meaningful at the
+      // small workload scale — a single-morsel input never engages.
+      ExecOptions serial;
+      serial.scan_threads = 1;
+      serial.morsel_size = 64;
+      Rows want;
+      ASSERT_TRUE(Execute(*plan, eng, serial, nullptr, &want).ok()) << label;
+      std::vector<NodeStats> want_stats;
+      CollectStats(*plan, &want_stats);
+
+      for (int threads = 2; threads <= 8; ++threads) {
+        ExecOptions opts;
+        opts.scan_threads = threads;
+        opts.morsel_size = 64;
+        opts.scheduler = &Pool();
+        Rows got;
+        ASSERT_TRUE(Execute(*plan, eng, opts, nullptr, &got).ok())
+            << label << " threads=" << threads;
+        ExpectRowsIdentical(want, got,
+                            label + " threads=" + std::to_string(threads));
+        std::vector<NodeStats> got_stats;
+        CollectStats(*plan, &got_stats);
+        EXPECT_EQ(want_stats, got_stats)
+            << label << " threads=" << threads << ": counters diverged";
+      }
+    }
+  }
+}
+
+TEST(ParallelExecTest, SchedulerDrainedAfterEveryRun) {
+  TemporalEngine& eng = Workload("A").eng();
+  PlanPtr plan = BuildQuery("join-agg-sort");
+  ExecOptions opts;
+  opts.scan_threads = 8;
+  opts.morsel_size = 64;
+  opts.scheduler = &Pool();
+  Rows out;
+  ASSERT_TRUE(Execute(*plan, eng, opts, nullptr, &out).ok());
+  // Helpers park again once the last morsel retires; give the handoff a
+  // moment but insist on full drain (a stuck helper is a real bug).
+  for (int spin = 0; spin < 2000; ++spin) {
+    if (Pool().idle_workers() == Pool().num_workers()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(Pool().num_workers(), Pool().idle_workers());
+}
+
+TEST(ParallelExecTest, MorselSizeDoesNotChangeOutput) {
+  TemporalEngine& eng = Workload("B").eng();
+  PlanPtr plan = BuildQuery("merge-join");
+  ExecOptions serial;
+  serial.scan_threads = 1;
+  Rows want;
+  ASSERT_TRUE(Execute(*plan, eng, serial, nullptr, &want).ok());
+  for (uint64_t morsel : {16u, 64u, 1000u, 100000u}) {
+    ExecOptions opts;
+    opts.scan_threads = 4;
+    opts.morsel_size = morsel;
+    opts.scheduler = &Pool();
+    Rows got;
+    ASSERT_TRUE(Execute(*plan, eng, opts, nullptr, &got).ok());
+    ExpectRowsIdentical(want, got, "morsel=" + std::to_string(morsel));
+  }
+}
+
+}  // namespace
+}  // namespace bih

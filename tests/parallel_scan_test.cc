@@ -164,9 +164,9 @@ ScanRequest MakeRequest(const QueryCase& qc, int threads, uint64_t morsel,
   req.table = "ITEM";
   req.temporal = qc.spec;
   if (qc.key >= 0) req.equals = {{0, Value(qc.key)}};
-  req.scan_threads = threads;
-  req.morsel_size = morsel;
-  req.scheduler = pool;
+  req.exec.scan_threads = threads;
+  req.exec.morsel_size = morsel;
+  req.exec.scheduler = pool;
   req.stats = stats;
   return req;
 }
@@ -508,7 +508,7 @@ TEST_P(ParallelScanTest, SessionDeadlineDrainsManagerPool) {
   req.table = "ITEM";
   req.temporal.system_time = TemporalSelector::All();
   req.temporal.app_time = TemporalSelector::All();
-  req.morsel_size = 2;  // many morsels => many deadline check points
+  req.exec.morsel_size = 2;  // many morsels => many deadline check points
 
   bool saw_deadline = false;
   for (int64_t budget_us : {2000, 500, 100, 20, 5, 0}) {
@@ -671,7 +671,7 @@ TEST_P(ParallelScanTest, SessionReadsIdenticalSerialAndParallel) {
   req.table = "ITEM";
   req.temporal.system_time = TemporalSelector::All();
   req.temporal.app_time = TemporalSelector::All();
-  req.morsel_size = 8;
+  req.exec.morsel_size = 8;
 
   std::vector<Row> serial_rows, parallel_rows;
   ASSERT_TRUE(serial_server.Read(req, nullptr, &serial_rows).ok());

@@ -1,0 +1,20 @@
+// Fixture: direct operator-kernel calls outside src/exec/ must trip the
+// exec-api rule. The plan tree (exec/plan.h) is the only sanctioned way to
+// run operators; kernels bypass ExecOptions, the optimizer, cancellation
+// and ExecStats.
+#include "exec/operators.h"  // retired header: flagged on its own
+
+#include <vector>
+
+namespace fixture {
+
+struct Rows {};
+Rows HashJoinRows(const Rows&, const Rows&);
+Rows SortRows(const Rows&);
+
+Rows Query(const Rows& left, const Rows& right) {
+  Rows joined = HashJoinRows(left, right);  // flagged: kernel call
+  return SortRows(joined);                  // flagged: kernel call
+}
+
+}  // namespace fixture

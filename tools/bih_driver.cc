@@ -14,6 +14,7 @@
 //   bih_driver serve    --engine A --h 0.002 --m 0.002 --port 4411
 //   bih_driver client   --port 4411 [--tenant acme] "SELECT ..." | --stats
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -223,14 +224,17 @@ int Usage() {
       "                      [--scan-threads W] [--threads N "
       "[--deadline-ms D] [--max-inflight Q]]\n"
       "                      [--write-threads U [--wal FILE]]\n"
-      "  bih_driver sql      --engine A|B|C|D --h H --m M \"SELECT ...\"\n"
+      "  bih_driver sql      --engine A|B|C|D --h H --m M [--scan-threads W]\n"
+      "                      \"SELECT ...\" | \"EXPLAIN SELECT ...\"\n"
       "  bih_driver check    --engine A|B|C|D --h H --m M [--wal FILE "
       "[--json]]\n"
       "  bih_driver serve    --engine A|B|C|D --h H --m M [--port P]\n"
       "                      [--max-inflight Q] [--scan-threads W] "
       "[--drain-ms D]\n"
       "  bih_driver client   --port P [--host H] [--tenant T]\n"
-      "                      [--deadline-ms D] \"SELECT ...\" | --stats\n");
+      "                      [--deadline-ms D] [--scan-threads W]\n"
+      "                      \"SELECT ...\" | \"EXPLAIN SELECT ...\" | "
+      "--stats\n");
   return 2;
 }
 
@@ -641,8 +645,18 @@ int RunSql(const Args& args) {
   sql::SqlResult result;
   double ms = 0;
   Status st;
-  ms = MeasureMs([&] { st = sql::ExecuteSql(ctx.eng(), args.sql, &result); });
+  ExecOptions opts;
+  opts.scan_threads = args.scan_threads;
+  ms = MeasureMs(
+      [&] { st = sql::ExecuteSql(ctx.eng(), args.sql, &result, nullptr, opts); });
   if (!st.ok()) return FailWith(st);
+  if (result.columns.size() == 1 && result.columns[0] == "PLAN" &&
+      result.rows.size() == 1) {
+    // EXPLAIN: the single cell is a JSON document, not tabular data.
+    std::printf("%s\n(explained in %.2f ms)\n",
+                result.rows[0][0].AsString().c_str(), ms);
+    return 0;
+  }
   std::printf("%s(%zu rows in %.2f ms)\n",
               FormatRows(result.rows, result.columns, 50).c_str(),
               result.rows.size(), ms);
@@ -745,7 +759,7 @@ int RunClient(const Args& args) {
   if (args.port == 0) return UsageHint("client requires --port");
   net::Client client;
   Status st = client.Connect(args.host, static_cast<uint16_t>(args.port),
-                             args.tenant);
+                             args.tenant, args.scan_threads);
   if (!st.ok()) return FailWith(st);
   if (args.stats) {
     std::string json;
@@ -755,6 +769,30 @@ int RunClient(const Args& args) {
     return 0;
   }
   if (args.sql.empty()) return UsageHint("client requires a SQL statement");
+  // EXPLAIN goes over the wire as its own message type; the reply is one
+  // JSON document, not a rows frame.
+  constexpr const char kExplainKw[] = "EXPLAIN ";
+  constexpr size_t kExplainKwLen = sizeof(kExplainKw) - 1;
+  if (args.sql.size() > kExplainKwLen) {
+    bool is_explain = true;
+    for (size_t i = 0; i < kExplainKwLen; ++i) {
+      if (std::toupper(static_cast<unsigned char>(args.sql[i])) !=
+          kExplainKw[i]) {
+        is_explain = false;
+        break;
+      }
+    }
+    if (is_explain) {
+      std::string json;
+      double ms = MeasureMs([&] {
+        st = client.Explain(args.sql.substr(kExplainKwLen),
+                            static_cast<uint32_t>(args.deadline_ms), &json);
+      });
+      if (!st.ok()) return FailWith(st);
+      std::printf("%s\n(explained in %.2f ms)\n", json.c_str(), ms);
+      return 0;
+    }
+  }
   net::QueryReply reply;
   double ms = MeasureMs([&] {
     (void)client.Query(args.sql, static_cast<uint32_t>(args.deadline_ms),

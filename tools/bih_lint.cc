@@ -342,6 +342,56 @@ void CheckRawSocket(const FileText& f, std::vector<Finding>* out) {
   }
 }
 
+// --- rule: exec-api ---------------------------------------------------------
+//
+// The plan tree is the execution API: operators compose as PlanNodes and run
+// through Execute()/RunPlan(), which is where ExecOptions, the optimizer,
+// cancellation polling and ExecStats live. Calling an operator kernel
+// directly bypasses all four, so outside src/exec/ the kernel entry points
+// (and the retired exec/operators.h header) are off limits.
+
+const char* kExecKernelTokens[] = {
+    "ScanAll",       "FilterRows",        "ProjectRows",
+    "HashJoinRows",  "MergeJoinRows",     "IndexNestedLoopJoin",
+    "HashAggregateRows", "SortRows",      "LimitRows",
+    "DistinctRows"};
+
+void CheckExecApi(const FileText& f, std::vector<Finding>* out) {
+  // The executor's own implementation (and its headers) are the sanctioned
+  // home of the kernels.
+  if (f.path.find("src/exec/") != std::string::npos) return;
+  for (size_t i = 0; i < f.raw.size(); ++i) {
+    // Includes live in raw text (string stripping blanks the path).
+    if (f.raw[i].find("#include") != std::string::npos &&
+        f.raw[i].find("exec/operators.h") != std::string::npos &&
+        !Suppressed(f, i, "exec-api")) {
+      out->push_back({f.path, i + 1, "exec-api",
+                      "exec/operators.h is retired; build a PlanNode tree "
+                      "(exec/plan.h) and run it through Execute()/RunPlan()"});
+    }
+  }
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    for (const char* tok : kExecKernelTokens) {
+      size_t pos = FindToken(line, tok);
+      if (pos == std::string::npos) continue;
+      // Only calls: the token directly followed by '('.
+      size_t after = pos + std::strlen(tok);
+      size_t nb = line.find_first_not_of(' ', after);
+      if (nb == std::string::npos || line[nb] != '(') continue;
+      if (!Suppressed(f, i, "exec-api")) {
+        out->push_back({f.path, i + 1, "exec-api",
+                        std::string(tok) +
+                            "() outside src/exec/; operator kernels are "
+                            "internal — compose a PlanNode tree (exec/plan.h) "
+                            "so ExecOptions, the optimizer, cancellation and "
+                            "ExecStats apply"});
+      }
+      break;  // one finding per line is enough
+    }
+  }
+}
+
 // --- rule: ignored-status ---------------------------------------------------
 
 // Pass 1 (across all files): for every "<ReturnType> Name(" declaration or
@@ -668,7 +718,7 @@ FileText LoadFile(const fs::path& p) {
 const char* kRuleNames[] = {"include-guard",      "naked-mutex",
                             "ignored-status",     "assert-side-effect",
                             "scan-ctx",           "raw-io",
-                            "raw-socket"};
+                            "raw-socket",         "exec-api"};
 
 int Usage() {
   std::fprintf(stderr,
@@ -735,6 +785,7 @@ int main(int argc, char** argv) {
     CheckScanCtx(f, &findings);
     CheckRawIo(f, &findings);
     CheckRawSocket(f, &findings);
+    CheckExecApi(f, &findings);
   }
 
   std::sort(findings.begin(), findings.end(),
