@@ -123,7 +123,7 @@ class ScanScheduler {
   std::atomic<int> idle_{0};
   // Written by the constructor before any helper can observe it, joined by
   // the destructor after shutdown_ is set: never touched concurrently.
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;  // bih-lint: allow(guard-coverage)
 };
 
 // A resolved decision on how one partition scan runs.

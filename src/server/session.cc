@@ -445,7 +445,12 @@ Status SessionManager::RunCheckpointLocked(Checkpointer* cp,
     WalWriter* dead = engine_->wal();
     if (dead == nullptr) return ReadOnlyStatus();
     std::unique_ptr<WalWriter> fresh;
+    // The segment-create sync runs under the exclusive rw_mu_ on purpose:
+    // this is the revive path of a degraded (read-only) engine inside a
+    // checkpoint that already holds every admission shard, so no write can
+    // be stalled by it — there is nothing to release the lock for.
     Status st =
+        // bih-lint: allow(blocking-under-lock)
         WalWriter::OpenAt(dead->path(), dead->segment_index() + 1,
                           /*fault=*/nullptr, &fresh);
     if (!st.ok()) return st;  // still read-only; nothing changed

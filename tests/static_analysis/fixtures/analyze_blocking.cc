@@ -1,0 +1,16 @@
+// Fixture: must trip [blocking-under-lock] when run with
+// --no-block Staging::mu_ — Persist calls fdatasync while still holding
+// the staging mutex, stalling every writer queued behind it.
+class Staging {
+ public:
+  void Persist() {
+    MutexLock lock(mu_);
+    ++flushes_;
+    ::fdatasync(fd_);
+  }
+
+ private:
+  Mutex mu_;
+  int flushes_ GUARDED_BY(mu_) = 0;
+  const int fd_ = -1;
+};

@@ -1,0 +1,27 @@
+// Fixture: must come back clean with --no-block Staging::mu_. The sync
+// runs after the mutex is dropped (the released-mutex device-wait
+// pattern), and the condition-variable wait releases the mutex it is
+// given, so neither site blocks while holding mu_.
+class Staging {
+ public:
+  void Persist() {
+    {
+      MutexLock lock(mu_);
+      ++flushes_;
+    }
+    ::fdatasync(fd_);
+  }
+
+  void AwaitWork() {
+    MutexLock lock(mu_);
+    while (flushes_ == 0) {
+      cv_.Wait(mu_);
+    }
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  int flushes_ GUARDED_BY(mu_) = 0;
+  const int fd_ = -1;
+};

@@ -1,0 +1,27 @@
+// Fixture: must trip [lock-order] with a deadlock cycle. TransferAB and
+// TransferBA acquire the same two mutexes in opposite orders — the
+// canonical AB/BA deadlock. bih_analyze must name BOTH witness paths in
+// the cycle finding (the test regex asserts TransferAB and TransferBA
+// appear in the same message).
+class Account {
+ public:
+  void TransferAB() {
+    MutexLock a(a_mu_);
+    MutexLock b(b_mu_);
+    ++balance_a_;
+    --balance_b_;
+  }
+
+  void TransferBA() {
+    MutexLock b(b_mu_);
+    MutexLock a(a_mu_);
+    --balance_a_;
+    ++balance_b_;
+  }
+
+ private:
+  Mutex a_mu_;
+  Mutex b_mu_;
+  int balance_a_ GUARDED_BY(a_mu_) = 0;
+  int balance_b_ GUARDED_BY(b_mu_) = 0;
+};

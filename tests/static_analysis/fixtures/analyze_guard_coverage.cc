@@ -1,0 +1,15 @@
+// Fixture: must trip [guard-coverage]. The class owns a mutex, so every
+// mutable non-atomic field needs GUARDED_BY, atomic, const, or an explicit
+// suppression — `epoch_` has none of them.
+class Registry {
+ public:
+  void Bump() {
+    MutexLock lock(mu_);
+    ++count_;
+  }
+
+ private:
+  Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+  long epoch_ = 0;
+};

@@ -1,0 +1,20 @@
+// Fixture: must come back clean. One field of every accepted kind:
+// guarded, pointer-guarded, atomic, const, static, and an explicitly
+// suppressed lifecycle field with its reason.
+class Registry {
+ public:
+  void Bump() {
+    MutexLock lock(mu_);
+    ++count_;
+  }
+
+ private:
+  Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+  long* epoch_ PT_GUARDED_BY(mu_) = nullptr;
+  std::atomic<int> hits_{0};
+  const int capacity_ = 16;
+  static int instances_;
+  // Written before any thread exists, joined on shutdown; never shared.
+  std::thread sweeper_;  // bih-lint: allow(guard-coverage)
+};

@@ -1,0 +1,26 @@
+// Fixture: must come back clean. Same two mutexes as the deadlock fixture,
+// but every path acquires them in one order and that order is declared
+// with ACQUIRED_AFTER — the observed nesting has a declared path, so the
+// lock-order pass stays quiet.
+class Account {
+ public:
+  void TransferAB() {
+    MutexLock a(a_mu_);
+    MutexLock b(b_mu_);
+    ++balance_a_;
+    --balance_b_;
+  }
+
+  void TransferBA() {
+    MutexLock a(a_mu_);
+    MutexLock b(b_mu_);
+    --balance_a_;
+    ++balance_b_;
+  }
+
+ private:
+  Mutex a_mu_;
+  Mutex b_mu_ ACQUIRED_AFTER(a_mu_);
+  int balance_a_ GUARDED_BY(a_mu_) = 0;
+  int balance_b_ GUARDED_BY(b_mu_) = 0;
+};

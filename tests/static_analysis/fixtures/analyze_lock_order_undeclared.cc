@@ -1,0 +1,23 @@
+// Fixture: must trip [lock-order] "no declared ... path". The nesting is
+// consistent (no cycle) but reaches the inner mutex through a call —
+// Flush holds queue_mu_ and calls Append, which takes log_mu_. The edge
+// is only visible through call propagation, and nothing declares it.
+class Spooler {
+ public:
+  void Flush() {
+    MutexLock lock(queue_mu_);
+    pending_ = 0;
+    Append();
+  }
+
+  void Append() {
+    MutexLock lock(log_mu_);
+    ++appended_;
+  }
+
+ private:
+  Mutex queue_mu_;
+  Mutex log_mu_;
+  int pending_ GUARDED_BY(queue_mu_) = 0;
+  int appended_ GUARDED_BY(log_mu_) = 0;
+};

@@ -1,0 +1,807 @@
+#include "analysis/lock_graph.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace bih {
+namespace analysis {
+
+namespace {
+
+bool IsLockOp(const std::string& s) {
+  return s == "lock" || s == "try_lock" || s == "Lock" || s == "TryLock";
+}
+bool IsSharedLockOp(const std::string& s) {
+  return s == "lock_shared" || s == "try_lock_shared";
+}
+bool IsUnlockOp(const std::string& s) {
+  return s == "unlock" || s == "unlock_shared" || s == "Unlock";
+}
+bool IsRaiiLock(const std::string& s) {
+  return s == "MutexLock" || s == "WriterLock" || s == "ReaderLock";
+}
+bool IsCvWait(const std::string& s) { return s == "Wait" || s == "WaitFor"; }
+
+// Free/primitive calls that park the calling thread. Matched at call sites
+// (identifier followed by '('); `join` only as a member call so plain
+// functions named join elsewhere don't trip it.
+bool IsBlockingPrimitive(const std::string& s) {
+  return s == "fdatasync" || s == "fsync" || s == "SyncFileNow" ||
+         s == "SyncParentDir" || s == "sleep_for" || s == "sleep_until" ||
+         s == "nanosleep" || s == "usleep" || s == "poll" || s == "send" ||
+         s == "recv" || s == "accept" || s == "connect";
+}
+
+bool IsCtrl(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "return" || s == "catch" || s == "sizeof" || s == "throw";
+}
+
+}  // namespace
+
+// --- LockResolver ----------------------------------------------------------
+
+namespace {
+
+// A mutex member that is a reference or raw pointer at the top level of
+// its type is an alias to a lock owned elsewhere (the RAII guard classes
+// hold `Mutex&`), not a lock identity of its own. Owning containers
+// (vector<unique_ptr<Mutex>>) keep the * / & inside the angle brackets
+// and stay identities.
+bool IsAliasMutex(const FieldDecl& f) {
+  int angle = 0;
+  for (char c : f.type) {
+    if (c == '<') ++angle;
+    if (c == '>' && angle > 0) --angle;
+    if (angle == 0 && (c == '&' || c == '*')) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+LockResolver::LockResolver(const RepoModel& repo) : repo_(repo) {
+  for (const auto& kv : repo.classes) {
+    for (const FieldDecl& f : kv.second.fields) {
+      if (!f.is_mutex || IsAliasMutex(f)) continue;
+      std::string id = kv.first + "::" + f.name;
+      all_.insert(id);
+      by_name_[f.name].push_back(id);
+    }
+  }
+}
+
+std::string LockResolver::Resolve(const std::string& name,
+                                  const std::string& cls) const {
+  if (name.empty()) return "";
+  if (name.find("::") != std::string::npos) {
+    return all_.count(name) ? name : "";
+  }
+  // Innermost enclosing class first: for cls "A::B" try "A::B::name",
+  // then "A::name".
+  std::string scope = cls;
+  while (!scope.empty()) {
+    std::string id = scope + "::" + name;
+    if (all_.count(id)) return id;
+    size_t cut = scope.rfind("::");
+    scope = cut == std::string::npos ? "" : scope.substr(0, cut);
+  }
+  auto it = by_name_.find(name);
+  if (it != by_name_.end() && it->second.size() == 1) return it->second[0];
+  return "";
+}
+
+const FieldDecl* LockResolver::Field(const std::string& id) const {
+  size_t cut = id.rfind("::");
+  if (cut == std::string::npos) return nullptr;
+  auto it = repo_.classes.find(id.substr(0, cut));
+  if (it == repo_.classes.end()) return nullptr;
+  std::string name = id.substr(cut + 2);
+  for (const FieldDecl& f : it->second.fields) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+// --- body walker -----------------------------------------------------------
+
+namespace {
+
+struct EdgeObs {
+  std::string from, to;
+  Witness w;
+};
+
+struct WalkResult {
+  std::map<std::string, Witness> acquires;
+  std::vector<BlockSite> summary_blocks;
+  std::vector<EdgeObs> edges;
+  std::vector<BlockObservation> block_obs;
+};
+
+class BodyWalker {
+ public:
+  BodyWalker(const RepoModel& repo, const LockResolver& resolver,
+             const std::map<std::string, FuncSummary>& summaries,
+             const std::map<std::string, std::vector<std::string>>& callables)
+      : repo_(repo),
+        resolver_(resolver),
+        summaries_(summaries),
+        callables_(callables) {}
+
+  WalkResult Walk(const FileModel& fm, const FunctionDecl& fn) {
+    out_ = WalkResult();
+    fm_ = &fm;
+    fn_ = &fn;
+    qualified_ = fn.cls.empty() ? fn.name : fn.cls + "::" + fn.name;
+    held_.clear();
+    depth_ = 0;
+
+    // Annotations usually live on the header declaration while the body
+    // is in the .cc — seed from the merged view.
+    const FunctionDecl* merged = repo_.FindAnnotations(qualified_);
+    const FunctionDecl& ann = merged != nullptr ? *merged : fn;
+    for (const std::string& cap : ann.requires_caps) {
+      std::string id = resolver_.Resolve(cap, fn.cls);
+      if (!id.empty()) held_.push_back({id, -1, fn.line});
+    }
+    for (const std::string& cap : ann.acquires_caps) {
+      // ACQUIRE/TRY_ACQUIRE describe the state on (successful) return,
+      // not throughout the body — a try-lock retry loop spends most of
+      // its time NOT holding the lock. Record the acquisition in the
+      // summary for callers, but do not treat it as held here; the
+      // body's own lock operations supply the held set.
+      std::string id = resolver_.Resolve(cap, fn.cls);
+      if (!id.empty() && !out_.acquires.count(id)) {
+        out_.acquires[id] = {qualified_, fm.text->path, fn.line, ""};
+      }
+    }
+
+    const std::vector<Token>& t = fm.tokens;
+    for (size_t i = fn.body_begin + 1; i + 1 < fn.body_end; ++i) {
+      const Token& tok = t[i];
+      if (tok.kind == Token::Kind::kPunct) {
+        // Lambda bodies are skipped: the dominant pattern in this tree
+        // hands them to worker threads (AcceptLoop, the scan scheduler),
+        // where the caller's held set does NOT apply. Walking them inline
+        // would invent lock orders across threads.
+        if (tok.text == "[" && IsLambdaIntro(i)) {
+          i = SkipLambda(i, fn.body_end);
+          continue;
+        }
+        if (tok.text == "{") ++depth_;
+        if (tok.text == "}") {
+          --depth_;
+          PopScopes();
+        }
+        continue;
+      }
+      if (tok.kind != Token::Kind::kIdent) continue;
+      bool has_paren = NextIs(i, "(");
+      if (!has_paren) continue;
+
+      // RAII guard declaration: MutexLock l(expr); the guard class name is
+      // followed by the variable name, so has_paren is false on the class
+      // token — catch it one token early.
+      if (IsRaiiLock(tok.text)) continue;  // handled below via variable
+      if (i > 0 && t[i - 1].kind == Token::Kind::kIdent &&
+          IsRaiiLock(t[i - 1].text)) {
+        HandleRaii(i);
+        continue;
+      }
+
+      bool member = i > 0 && t[i - 1].kind == Token::Kind::kPunct &&
+                    (t[i - 1].text == "." || t[i - 1].text == "->");
+      if (member && (IsLockOp(tok.text) || IsSharedLockOp(tok.text))) {
+        std::string id = ResolveObject(i - 2);
+        // A negated try-lock (`while (!mu.try_lock()) ...`) reaches the
+        // following statements on *failure*: record that the function may
+        // acquire the lock, but do not mark it held.
+        bool negated = i >= 3 && t[i - 2].kind == Token::Kind::kIdent &&
+                       t[i - 3].kind == Token::Kind::kPunct &&
+                       t[i - 3].text == "!";
+        if (!id.empty()) Acquire(id, tok.line, /*push=*/!negated);
+        continue;
+      }
+      if (member && IsUnlockOp(tok.text)) {
+        std::string id = ResolveObject(i - 2);
+        if (!id.empty()) Release(id);
+        continue;
+      }
+      if (member && IsCvWait(tok.text)) {
+        std::set<std::string> exempt;
+        std::string arg = FirstArgSpine(i + 1);
+        std::string id = resolver_.Resolve(arg, fn.cls);
+        if (!id.empty()) exempt.insert(id);
+        Block("CondVar::" + tok.text, tok.line, exempt);
+        continue;
+      }
+      if (IsBlockingPrimitive(tok.text) ||
+          (member && tok.text == "join")) {
+        Block(tok.text, tok.line, {});
+        continue;
+      }
+      if (IsCtrl(tok.text) || IsRaiiLock(tok.text)) continue;
+      HandleCall(i, member);
+    }
+    return out_;
+  }
+
+ private:
+  struct Held {
+    std::string id;
+    int depth;  // scope depth of a RAII guard; -1 for manual locks
+    size_t line;
+  };
+
+  const RepoModel& repo_;
+  const LockResolver& resolver_;
+  const std::map<std::string, FuncSummary>& summaries_;
+  const std::map<std::string, std::vector<std::string>>& callables_;
+
+  const FileModel* fm_ = nullptr;
+  const FunctionDecl* fn_ = nullptr;
+  std::string qualified_;
+  WalkResult out_;
+  std::vector<Held> held_;
+  int depth_ = 0;
+
+  bool NextIs(size_t i, const char* p) const {
+    const std::vector<Token>& t = fm_->tokens;
+    return i + 1 < t.size() && t[i + 1].kind == Token::Kind::kPunct &&
+           t[i + 1].text == p;
+  }
+
+  // '[' starts a lambda capture unless it subscripts a value (previous
+  // token is an identifier that is not a keyword, a ']' or a ')') or is a
+  // structured binding (`auto& [id, conn] : conns_` / `auto [a, b] = f()`),
+  // recognised by the ':' or '=' that follows the matching ']'.
+  bool IsLambdaIntro(size_t i) const {
+    const std::vector<Token>& t = fm_->tokens;
+    if (i == 0) return false;
+    const Token& p = t[i - 1];
+    if (p.kind == Token::Kind::kPunct && (p.text == "]" || p.text == ")")) {
+      return false;
+    }
+    if (p.kind != Token::Kind::kIdent || IsCtrl(p.text)) {
+      size_t close = SkipGroup(i, "[", "]", t.size());
+      if (close + 1 < t.size() && t[close + 1].kind == Token::Kind::kPunct &&
+          (t[close + 1].text == ":" || t[close + 1].text == "=")) {
+        return false;
+      }
+    }
+    if (p.kind == Token::Kind::kIdent) return IsCtrl(p.text);
+    return p.kind == Token::Kind::kPunct || p.kind == Token::Kind::kString;
+  }
+
+  // Skips a lambda starting at the '[' token; returns the index of the
+  // body's closing '}' (or the capture ']' when no body follows).
+  size_t SkipLambda(size_t i, size_t limit) const {
+    const std::vector<Token>& t = fm_->tokens;
+    size_t j = SkipGroup(i, "[", "]", limit);
+    if (j + 1 < limit && t[j + 1].kind == Token::Kind::kPunct &&
+        t[j + 1].text == "(") {
+      j = SkipGroup(j + 1, "(", ")", limit);
+    }
+    // Allow a short specifier tail (mutable, noexcept, -> Type) before the
+    // body; give up if no '{' appears within a few tokens.
+    for (size_t k = j + 1; k < j + 8 && k < limit; ++k) {
+      if (t[k].kind != Token::Kind::kPunct) continue;
+      if (t[k].text == "{") return SkipGroup(k, "{", "}", limit);
+      if (t[k].text == ";" || t[k].text == ",") break;
+    }
+    return j;
+  }
+
+  size_t SkipGroup(size_t open, const char* o, const char* c,
+                   size_t limit) const {
+    const std::vector<Token>& t = fm_->tokens;
+    int d = 0;
+    for (size_t k = open; k < limit; ++k) {
+      if (t[k].kind != Token::Kind::kPunct) continue;
+      if (t[k].text == o) ++d;
+      if (t[k].text == c && --d == 0) return k;
+    }
+    return limit - 1;
+  }
+
+  void PopScopes() {
+    held_.erase(std::remove_if(held_.begin(), held_.end(),
+                               [&](const Held& h) {
+                                 return h.depth >= 0 && h.depth > depth_;
+                               }),
+                held_.end());
+  }
+
+  std::set<std::string> HeldIds() const {
+    std::set<std::string> out;
+    for (const Held& h : held_) out.insert(h.id);
+    return out;
+  }
+
+  bool SuppressedAt(size_t line, const char* rule) const {
+    return line > 0 && Suppressed(*fm_->text, line - 1, rule);
+  }
+
+  // Records an acquisition of `id` at `line`: one observed edge per
+  // currently-held mutex, a summary entry, optionally a held-stack push.
+  void Acquire(const std::string& id, size_t line, bool push) {
+    for (const std::string& h : HeldIds()) {
+      if (h == id) continue;
+      out_.edges.push_back({h, id, {qualified_, fm_->text->path, line, ""}});
+    }
+    if (!out_.acquires.count(id)) {
+      out_.acquires[id] = {qualified_, fm_->text->path, line, ""};
+    }
+    if (push) held_.push_back({id, -1, line});
+  }
+
+  void AcquireRaii(const std::string& id, size_t line) {
+    for (const std::string& h : HeldIds()) {
+      if (h == id) continue;
+      out_.edges.push_back({h, id, {qualified_, fm_->text->path, line, ""}});
+    }
+    if (!out_.acquires.count(id)) {
+      out_.acquires[id] = {qualified_, fm_->text->path, line, ""};
+    }
+    held_.push_back({id, depth_, line});
+  }
+
+  void Release(const std::string& id) {
+    for (size_t k = held_.size(); k-- > 0;) {
+      if (held_[k].id == id) {
+        held_.erase(held_.begin() + k);
+        return;
+      }
+    }
+  }
+
+  // A blocking point in this function's own body.
+  void Block(const std::string& what, size_t line,
+             std::set<std::string> exempt) {
+    BlockObservation o;
+    o.func = qualified_;
+    o.what = what;
+    o.file = fm_->text->path;
+    o.line = line;
+    o.origin = o.file + ":" + std::to_string(line);
+    o.held = HeldIds();
+    o.exempt = exempt;
+    o.suppressed = SuppressedAt(line, "blocking-under-lock");
+    out_.block_obs.push_back(o);
+
+    BlockSite s;
+    s.what = what;
+    s.file = o.file;
+    s.line = line;
+    s.exempt = exempt;
+    if (o.suppressed) {
+      // A waiver at the site covers every lock held *here*; callers
+      // holding something else still get flagged.
+      for (const std::string& h : o.held) s.exempt.insert(h);
+    }
+    AddSummaryBlock(s);
+  }
+
+  void AddSummaryBlock(const BlockSite& s) {
+    for (const BlockSite& e : out_.summary_blocks) {
+      if (e.file == s.file && e.line == s.line && e.what == s.what) return;
+    }
+    if (out_.summary_blocks.size() < 32) out_.summary_blocks.push_back(s);
+  }
+
+  // `MutexLock l(expr)` — i is the variable-name token, i+1 the '('.
+  void HandleRaii(size_t i) {
+    std::string arg = FirstArgSpine(i + 1);
+    std::string id = resolver_.Resolve(arg, fn_->cls);
+    if (!id.empty()) AcquireRaii(id, fm_->tokens[i].line);
+  }
+
+  // Spine of the first argument of the call whose '(' is at `open`:
+  // the last identifier before any '[' or top-level ','.
+  std::string FirstArgSpine(size_t open) const {
+    const std::vector<Token>& t = fm_->tokens;
+    int depth = 0;
+    std::string last;
+    for (size_t j = open; j < t.size(); ++j) {
+      const Token& tok = t[j];
+      if (tok.kind == Token::Kind::kPunct) {
+        if (tok.text == "(") {
+          ++depth;
+          continue;
+        }
+        if (tok.text == ")") {
+          if (--depth == 0) break;
+          continue;
+        }
+        if (depth == 1 && (tok.text == "," || tok.text == "[")) break;
+        continue;
+      }
+      if (tok.kind == Token::Kind::kIdent && depth == 1) last = tok.text;
+    }
+    return last;
+  }
+
+  // Object identifier for a member access ending at token index `j`
+  // (the token before '.' / '->'). Steps back over one index/call group:
+  // `shard_mu_[i]->lock()` resolves to shard_mu_.
+  std::string ObjectName(size_t j) const {
+    const std::vector<Token>& t = fm_->tokens;
+    if (j >= t.size()) return "";
+    if (t[j].kind == Token::Kind::kPunct &&
+        (t[j].text == "]" || t[j].text == ")")) {
+      const std::string close = t[j].text;
+      const std::string open = close == "]" ? "[" : "(";
+      int d = 0;
+      for (size_t k = j + 1; k-- > 0;) {
+        if (t[k].kind == Token::Kind::kPunct) {
+          if (t[k].text == close) ++d;
+          if (t[k].text == open && --d == 0) {
+            if (k > 0 && t[k - 1].kind == Token::Kind::kIdent) {
+              return t[k - 1].text;
+            }
+            return "";
+          }
+        }
+        if (k == 0) break;
+      }
+      return "";
+    }
+    if (t[j].kind == Token::Kind::kIdent) return t[j].text;
+    return "";
+  }
+
+  std::string ResolveObject(size_t j) const {
+    return resolver_.Resolve(ObjectName(j), fn_->cls);
+  }
+
+  // A general call site: resolve the callee conservatively, then apply
+  // its ACQUIRE/RELEASE contract and propagate its fixpoint summary.
+  void HandleCall(size_t i, bool member) {
+    const std::vector<Token>& t = fm_->tokens;
+    const std::string& name = t[i].text;
+    std::string callee = ResolveCallee(i, member);
+    if (callee.empty()) return;
+    size_t line = t[i].line;
+    std::string callee_cls;
+    size_t cut = callee.rfind("::");
+    if (cut != std::string::npos) callee_cls = callee.substr(0, cut);
+
+    // The callee's internal acquisitions and blocking points happen
+    // before its ACQUIRE contract takes effect for the caller, so
+    // propagation uses the held set as of the call.
+    std::set<std::string> held = HeldIds();
+
+    const FunctionDecl* ann = repo_.FindAnnotations(callee);
+    if (ann != nullptr) {
+      for (const std::string& cap : ann->acquires_caps) {
+        std::string id = resolver_.Resolve(cap, callee_cls);
+        if (!id.empty()) Acquire(id, line, /*push=*/true);
+      }
+      for (const std::string& cap : ann->releases_caps) {
+        std::string id = resolver_.Resolve(cap, callee_cls);
+        if (!id.empty()) Release(id);
+      }
+    }
+
+    auto sit = summaries_.find(callee);
+    if (sit == summaries_.end()) return;
+    const FuncSummary& sum = sit->second;
+    for (const auto& kv : sum.acquires) {
+      const std::string& id = kv.first;
+      std::string chain =
+          callee + (kv.second.chain.empty() ? "" : " -> " + kv.second.chain);
+      for (const std::string& h : held) {
+        if (h == id) continue;
+        out_.edges.push_back(
+            {h, id, {qualified_, fm_->text->path, line, chain}});
+      }
+      if (!out_.acquires.count(id)) {
+        out_.acquires[id] = {qualified_, fm_->text->path, line, chain};
+      }
+    }
+    for (const BlockSite& b : sum.blocks) {
+      BlockObservation o;
+      o.func = qualified_;
+      o.what = b.what;
+      o.file = fm_->text->path;
+      o.line = line;
+      o.origin = b.file + ":" + std::to_string(b.line);
+      o.chain = callee + (b.chain.empty() ? "" : " -> " + b.chain);
+      o.held = held;
+      o.exempt = b.exempt;
+      o.suppressed = SuppressedAt(line, "blocking-under-lock");
+      out_.block_obs.push_back(o);
+
+      BlockSite s = b;
+      s.chain = o.chain;
+      if (o.suppressed) {
+        for (const std::string& h : held) s.exempt.insert(h);
+      }
+      AddSummaryBlock(s);
+    }
+    (void)name;
+  }
+
+  std::string ResolveCallee(size_t i, bool member) const {
+    const std::vector<Token>& t = fm_->tokens;
+    const std::string& name = t[i].text;
+    // Explicit qualification: A::name(...).
+    if (i >= 2 && t[i - 1].kind == Token::Kind::kPunct &&
+        t[i - 1].text == "::" && t[i - 2].kind == Token::Kind::kIdent) {
+      std::string q = t[i - 2].text + "::" + name;
+      auto it = callables_.find(name);
+      if (it != callables_.end()) {
+        for (const std::string& cand : it->second) {
+          if (cand == q || HasSuffix(cand, ("::" + q).c_str())) return cand;
+        }
+      }
+      return "";
+    }
+    if (member) {
+      // Object type, when the object is a data member of the current
+      // class whose type names exactly one known class.
+      std::string obj = ObjectName(i - 2);
+      std::string cls = ObjectClass(obj);
+      if (!cls.empty()) {
+        std::string q = cls + "::" + name;
+        if (callables_.count(name)) {
+          for (const std::string& cand : callables_.at(name)) {
+            if (cand == q) return cand;
+          }
+        }
+        return UniqueByName(name);
+      }
+      return UniqueByName(name);
+    }
+    // Bare call: same class (innermost to outermost), then unique global.
+    std::string scope = fn_->cls;
+    while (!scope.empty()) {
+      std::string q = scope + "::" + name;
+      auto it = callables_.find(name);
+      if (it != callables_.end()) {
+        for (const std::string& cand : it->second) {
+          if (cand == q) return cand;
+        }
+      }
+      size_t cut = scope.rfind("::");
+      scope = cut == std::string::npos ? "" : scope.substr(0, cut);
+    }
+    return UniqueByName(name);
+  }
+
+  std::string UniqueByName(const std::string& name) const {
+    auto it = callables_.find(name);
+    if (it != callables_.end() && it->second.size() == 1) {
+      return it->second[0];
+    }
+    return "";
+  }
+
+  // Class named by the declared type of field `obj` of the current class
+  // (or an enclosing class). "" when unknown or ambiguous.
+  std::string ObjectClass(const std::string& obj) const {
+    if (obj.empty()) return "";
+    std::string scope = fn_->cls;
+    while (!scope.empty()) {
+      auto it = repo_.classes.find(scope);
+      if (it != repo_.classes.end()) {
+        for (const FieldDecl& f : it->second.fields) {
+          if (f.name != obj) continue;
+          // Scan the type text for a known class name.
+          std::string found;
+          std::string word;
+          for (char c : f.type + " ") {
+            if (IsIdentChar(c)) {
+              word += c;
+              continue;
+            }
+            if (!word.empty() && repo_.classes.count(word)) {
+              if (!found.empty() && found != word) return "";
+              found = word;
+            }
+            word.clear();
+          }
+          return found;
+        }
+      }
+      size_t cut = scope.rfind("::");
+      scope = cut == std::string::npos ? "" : scope.substr(0, cut);
+    }
+    return "";
+  }
+};
+
+}  // namespace
+
+// --- graph building --------------------------------------------------------
+
+namespace {
+
+void AddEdge(LockGraph* g, const std::string& from, const std::string& to,
+             bool declared, const Witness* w) {
+  LockEdge& e = g->edges[{from, to}];
+  e.from = from;
+  e.to = to;
+  e.declared |= declared;
+  if (w != nullptr && e.witnesses.size() < 4) e.witnesses.push_back(*w);
+}
+
+void FindCycles(LockGraph* g) {
+  // Adjacency.
+  std::map<std::string, std::vector<const LockEdge*>> adj;
+  for (const auto& kv : g->edges) adj[kv.first.first].push_back(&kv.second);
+
+  // Enumerate simple cycles whose smallest node is the start (each cycle
+  // found exactly once). Graphs here have a handful of nodes; depth is
+  // capped defensively.
+  std::vector<std::string> path;
+  std::vector<const LockEdge*> epath;
+  std::set<std::string> on_path;
+
+  std::function<void(const std::string&, const std::string&)> dfs =
+      [&](const std::string& start, const std::string& cur) {
+        if (g->cycles.size() >= 20 || path.size() > 8) return;
+        auto it = adj.find(cur);
+        if (it == adj.end()) return;
+        for (const LockEdge* e : it->second) {
+          if (e->to == start) {
+            LockGraph::Cycle c;
+            c.nodes = path;
+            c.edges = epath;
+            c.edges.push_back(e);
+            g->cycles.push_back(std::move(c));
+            continue;
+          }
+          if (e->to < start || on_path.count(e->to)) continue;
+          path.push_back(e->to);
+          epath.push_back(e);
+          on_path.insert(e->to);
+          dfs(start, e->to);
+          on_path.erase(e->to);
+          epath.pop_back();
+          path.pop_back();
+        }
+      };
+
+  for (const std::string& n : g->nodes) {
+    path = {n};
+    epath.clear();
+    on_path = {n};
+    dfs(n, n);
+  }
+}
+
+}  // namespace
+
+LockGraph BuildLockGraph(const RepoModel& repo, const LockResolver& resolver) {
+  LockGraph g;
+  g.nodes = resolver.AllMutexes();
+
+  // Declared edges from field annotations.
+  for (const auto& kv : repo.classes) {
+    for (const FieldDecl& f : kv.second.fields) {
+      if (!f.is_mutex) continue;
+      std::string self = kv.first + "::" + f.name;
+      for (const std::string& arg : f.acquired_after) {
+        std::string other = resolver.Resolve(arg, kv.first);
+        if (!other.empty()) AddEdge(&g, other, self, true, nullptr);
+      }
+      for (const std::string& arg : f.acquired_before) {
+        std::string other = resolver.Resolve(arg, kv.first);
+        if (!other.empty()) AddEdge(&g, self, other, true, nullptr);
+      }
+    }
+  }
+
+  // Index of callable names -> qualified names (definitions and annotated
+  // declarations both count).
+  std::map<std::string, std::vector<std::string>> callables;
+  {
+    std::set<std::string> seen;
+    auto add = [&](const std::string& qualified, const std::string& name) {
+      if (!seen.insert(qualified).second) return;
+      callables[name].push_back(qualified);
+    };
+    for (const auto& kv : repo.defs_by_qualified) {
+      size_t cut = kv.first.rfind("::");
+      add(kv.first,
+          cut == std::string::npos ? kv.first : kv.first.substr(cut + 2));
+    }
+    for (const auto& kv : repo.annotations) {
+      add(kv.first, kv.second.name);
+    }
+  }
+
+  // Seed summaries for functions the walker skips (NO_THREAD_SAFETY_ANALYSIS
+  // escape hatches) from their `// bih-analyze: acquires(...)` directives.
+  for (const auto& kv : repo.annotations) {
+    const FunctionDecl& fn = kv.second;
+    if (!fn.no_thread_safety_analysis) continue;
+    FuncSummary& sum = g.summaries[kv.first];
+    for (const std::string& cap : fn.acquires_caps) {
+      std::string id = resolver.Resolve(cap, fn.cls);
+      if (!id.empty() && !sum.acquires.count(id)) {
+        sum.acquires[id] = {kv.first, fn.file, fn.line, ""};
+      }
+    }
+  }
+
+  // Fixpoint over function summaries.
+  BodyWalker walker(repo, resolver, g.summaries, callables);
+  auto skip = [&](const FunctionDecl& fn) {
+    if (!fn.has_body) return true;
+    std::string q = fn.cls.empty() ? fn.name : fn.cls + "::" + fn.name;
+    const FunctionDecl* ann = repo.FindAnnotations(q);
+    return ann != nullptr && ann->no_thread_safety_analysis;
+  };
+  for (int iter = 0; iter < 20; ++iter) {
+    bool changed = false;
+    for (const FileModel& fm : repo.files) {
+      for (const FunctionDecl& fn : fm.functions) {
+        if (skip(fn)) continue;
+        std::string q = fn.cls.empty() ? fn.name : fn.cls + "::" + fn.name;
+        WalkResult r = walker.Walk(fm, fn);
+        FuncSummary& sum = g.summaries[q];
+        for (const auto& kv : r.acquires) {
+          if (sum.acquires.insert(kv).second) changed = true;
+        }
+        for (const BlockSite& b : r.summary_blocks) {
+          bool present = false;
+          for (const BlockSite& e : sum.blocks) {
+            present = present ||
+                      (e.file == b.file && e.line == b.line && e.what == b.what);
+          }
+          if (!present && sum.blocks.size() < 32) {
+            sum.blocks.push_back(b);
+            changed = true;
+          }
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Final walk: observed edges and block observations for the passes.
+  for (const FileModel& fm : repo.files) {
+    for (const FunctionDecl& fn : fm.functions) {
+      if (skip(fn)) continue;
+      WalkResult r = walker.Walk(fm, fn);
+      for (const EdgeObs& e : r.edges) {
+        AddEdge(&g, e.from, e.to, false, &e.w);
+      }
+      for (BlockObservation& o : r.block_obs) {
+        g.block_observations.push_back(std::move(o));
+      }
+    }
+  }
+
+  // Transitive closure of declared edges.
+  std::vector<std::string> nodes(g.nodes.begin(), g.nodes.end());
+  std::set<std::pair<std::string, std::string>>& cl = g.declared_closure;
+  for (const auto& kv : g.edges) {
+    if (kv.second.declared) cl.insert(kv.first);
+  }
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    std::vector<std::pair<std::string, std::string>> add;
+    for (const auto& ab : cl) {
+      for (const auto& bc : cl) {
+        if (ab.second != bc.first) continue;
+        std::pair<std::string, std::string> ac{ab.first, bc.second};
+        if (!cl.count(ac)) add.push_back(ac);
+      }
+    }
+    for (const auto& p : add) {
+      cl.insert(p);
+      grew = true;
+    }
+  }
+
+  FindCycles(&g);
+  return g;
+}
+
+}  // namespace analysis
+}  // namespace bih

@@ -1,0 +1,134 @@
+#ifndef TPCBIH_TOOLS_ANALYSIS_LOCK_GRAPH_H_
+#define TPCBIH_TOOLS_ANALYSIS_LOCK_GRAPH_H_
+
+// Lock-order graph construction for bih_analyze.
+//
+// Nodes are mutex identities "Class::field" — one node per declared
+// bih::Mutex / bih::SharedMutex data member. A vector-of-mutex member
+// (the session's write-shard array) is one node: internal ordering inside
+// the vector (ascending index) is a runtime protocol the graph cannot
+// check, but its position relative to every OTHER lock is.
+//
+// Edges mean "left is acquired before right" and come from two places:
+//  * declared: ACQUIRED_AFTER / ACQUIRED_BEFORE annotations on the field;
+//  * observed: a body walk that tracks the held-lock set through
+//    MutexLock/WriterLock/ReaderLock scopes, manual .lock()/.unlock()
+//    calls, ACQUIRE/TRY_ACQUIRE contracts and `// bih-analyze:
+//    acquires(...)` directives on called functions, and a fixpoint over
+//    direct calls so acquisitions deep in a callee chain still order
+//    against locks the caller holds.
+//
+// The walk is deliberately conservative about names: a call or mutex
+// expression that does not resolve to exactly one candidate is skipped.
+// A parse gap costs coverage, never a false positive.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/parser.h"
+
+namespace bih {
+namespace analysis {
+
+// Where an observed fact was seen. `chain` is a human-readable call chain
+// ("SessionManager::DoWrite -> GroupCommit::WaitDurable") for facts that
+// were propagated into a caller; empty for direct observations.
+struct Witness {
+  std::string func;  // qualified function the fact was attributed to
+  std::string file;
+  size_t line = 0;
+  std::string chain;
+};
+
+struct LockEdge {
+  std::string from;  // acquired first
+  std::string to;    // acquired second (while `from` is held)
+  bool declared = false;
+  std::vector<Witness> witnesses;  // observed sites (empty if declared-only)
+};
+
+// A site at which a function may block (fsync, CV wait, socket I/O,
+// sleep, thread join), possibly deep in a callee. `exempt` lists mutexes
+// that do NOT count as held across the blocking point: the mutex a CV
+// wait releases internally, and any mutex whose holding was explicitly
+// waived by a suppression at the original site.
+struct BlockSite {
+  std::string what;  // the blocking callee ("fdatasync", "CondVar::Wait")
+  std::string file;  // original site
+  size_t line = 0;
+  std::string chain;  // call chain from the function owning this summary
+  std::set<std::string> exempt;
+};
+
+// Per-function fixpoint summary.
+struct FuncSummary {
+  // Mutex id -> first witness of an acquisition (own body or transitive).
+  std::map<std::string, Witness> acquires;
+  std::vector<BlockSite> blocks;
+};
+
+// One blocking point observed during the final walk, with the lock
+// context needed by the blocking-under-lock pass. `suppressed` means a
+// `// bih-lint: allow(blocking-under-lock)` waiver covers the site.
+struct BlockObservation {
+  std::string func;   // qualified function the site was observed in
+  std::string what;
+  std::string file;   // site (call site for propagated blocks)
+  size_t line = 0;
+  std::string origin;  // "file:line" of the root blocking call
+  std::string chain;   // call chain, empty for direct sites
+  std::set<std::string> held;
+  std::set<std::string> exempt;
+  bool suppressed = false;
+};
+
+struct LockGraph {
+  std::set<std::string> nodes;  // every declared Mutex/SharedMutex field
+  std::map<std::pair<std::string, std::string>, LockEdge> edges;
+  std::map<std::string, FuncSummary> summaries;  // by qualified name
+  std::vector<BlockObservation> block_observations;
+
+  // Pairs (a, b) with a declared acquired-before path a -> ... -> b
+  // (transitive closure of declared edges only).
+  std::set<std::pair<std::string, std::string>> declared_closure;
+
+  struct Cycle {
+    std::vector<std::string> nodes;  // in order; front() == min element
+    std::vector<const LockEdge*> edges;
+  };
+  std::vector<Cycle> cycles;
+
+  bool DeclaredPath(const std::string& a, const std::string& b) const {
+    return declared_closure.count({a, b}) != 0;
+  }
+};
+
+// Resolves mutex names against the repo model.
+class LockResolver {
+ public:
+  explicit LockResolver(const RepoModel& repo);
+
+  // Resolves a mutex expression spine (identifier, possibly from an
+  // annotation string argument "Class::field") seen inside class `cls`
+  // ("" for free functions). Returns "" when not exactly one candidate.
+  std::string Resolve(const std::string& name, const std::string& cls) const;
+
+  const FieldDecl* Field(const std::string& id) const;
+  const std::set<std::string>& AllMutexes() const { return all_; }
+
+ private:
+  const RepoModel& repo_;
+  std::set<std::string> all_;                          // "Class::field"
+  std::map<std::string, std::vector<std::string>> by_name_;  // field -> ids
+};
+
+// Builds the full graph: declared edges from field annotations, observed
+// edges + block sites from the fixpoint body walk, cycles, closure.
+LockGraph BuildLockGraph(const RepoModel& repo, const LockResolver& resolver);
+
+}  // namespace analysis
+}  // namespace bih
+
+#endif  // TPCBIH_TOOLS_ANALYSIS_LOCK_GRAPH_H_

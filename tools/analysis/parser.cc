@@ -1,0 +1,796 @@
+#include "analysis/parser.h"
+
+#include <cctype>
+
+namespace bih {
+namespace analysis {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+std::vector<Token> Tokenize(const std::vector<std::string>& raw) {
+  std::vector<Token> out;
+  bool in_block_comment = false;
+  bool in_preproc = false;  // continued across lines by a trailing backslash
+  for (size_t li = 0; li < raw.size(); ++li) {
+    const std::string& line = raw[li];
+    const size_t lineno = li + 1;
+    size_t i = 0;
+    if (in_preproc) {
+      in_preproc = !line.empty() && line.back() == '\\';
+      continue;
+    }
+    // Preprocessor lines carry macro definitions and includes whose text
+    // would only confuse the declaration parser.
+    if (!in_block_comment) {
+      size_t first = line.find_first_not_of(" \t");
+      if (first != std::string::npos && line[first] == '#') {
+        in_preproc = !line.empty() && line.back() == '\\';
+        continue;
+      }
+    }
+    while (i < line.size()) {
+      char c = line[i];
+      char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      if (in_block_comment) {
+        if (c == '*' && next == '/') {
+          in_block_comment = false;
+          ++i;
+        }
+        ++i;
+        continue;
+      }
+      if (c == '/' && next == '/') break;  // line comment
+      if (c == '/' && next == '*') {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      // Raw string literal: R"delim( ... )delim" — contents kept.
+      if (c == 'R' && next == '"') {
+        size_t open = line.find('(', i + 2);
+        if (open != std::string::npos) {
+          std::string delim = line.substr(i + 2, open - (i + 2));
+          std::string close = ")" + delim + "\"";
+          std::string contents;
+          size_t end = line.find(close, open + 1);
+          if (end != std::string::npos) {
+            contents = line.substr(open + 1, end - open - 1);
+            i = end + close.size();
+          } else {
+            // Spans lines; swallow to the closing delimiter.
+            contents = line.substr(open + 1);
+            while (++li < raw.size()) {
+              size_t e = raw[li].find(close);
+              if (e != std::string::npos) {
+                contents += "\n" + raw[li].substr(0, e);
+                // Resume the outer loop on the remainder of this line.
+                break;
+              }
+              contents += "\n" + raw[li];
+            }
+            out.push_back({Token::Kind::kString, contents, lineno});
+            if (li >= raw.size()) return out;
+            i = raw[li].find(close) + close.size();
+            // fall through into the (new) current line
+            const std::string& nl = raw[li];
+            while (i < nl.size()) {
+              // Re-enter the tokenizer on the tail by a recursive call on a
+              // single synthetic line: simplest correct handling of the
+              // rare multi-line raw string.
+              std::vector<Token> tail = Tokenize({nl.substr(i)});
+              for (Token& t : tail) {
+                t.line = li + 1;
+                out.push_back(std::move(t));
+              }
+              i = nl.size();
+            }
+            break;
+          }
+          out.push_back({Token::Kind::kString, contents, lineno});
+          continue;
+        }
+      }
+      if (c == '"') {
+        std::string contents;
+        ++i;
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\' && i + 1 < line.size()) {
+            contents += line[i];
+            contents += line[i + 1];
+            i += 2;
+            continue;
+          }
+          contents += line[i];
+          ++i;
+        }
+        ++i;  // closing quote
+        out.push_back({Token::Kind::kString, contents, lineno});
+        continue;
+      }
+      if (c == '\'') {
+        // Digit separators (1'000'000) are glued into the number token.
+        if (!out.empty() && out.back().kind == Token::Kind::kNumber &&
+            IsDigit(next)) {
+          ++i;
+          continue;
+        }
+        std::string contents;
+        ++i;
+        while (i < line.size() && line[i] != '\'') {
+          if (line[i] == '\\' && i + 1 < line.size()) i += 2;
+          else ++i;
+        }
+        ++i;
+        out.push_back({Token::Kind::kChar, contents, lineno});
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        size_t b = i;
+        while (i < line.size() && IsIdentChar(line[i])) ++i;
+        out.push_back({Token::Kind::kIdent, line.substr(b, i - b), lineno});
+        continue;
+      }
+      if (IsDigit(c)) {
+        size_t b = i;
+        while (i < line.size() &&
+               (IsIdentChar(line[i]) || line[i] == '.')) {
+          ++i;
+        }
+        out.push_back({Token::Kind::kNumber, line.substr(b, i - b), lineno});
+        continue;
+      }
+      // Multi-char punctuators the parser needs to see whole.
+      if (c == ':' && next == ':') {
+        out.push_back({Token::Kind::kPunct, "::", lineno});
+        i += 2;
+        continue;
+      }
+      if (c == '-' && next == '>') {
+        out.push_back({Token::Kind::kPunct, "->", lineno});
+        i += 2;
+        continue;
+      }
+      out.push_back({Token::Kind::kPunct, std::string(1, c), lineno});
+      ++i;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Annotation macros from src/common/thread_annotations.h the parser
+// understands on declarations. EXCLUDES and the assertion forms carry no
+// ordering/holding information the passes use, so they are stripped only.
+enum class Macro {
+  kNone,
+  kGuardedBy,
+  kPtGuardedBy,
+  kAcquiredAfter,
+  kAcquiredBefore,
+  kRequires,
+  kAcquire,
+  kTryAcquire,
+  kRelease,
+  kStripOnly,  // EXCLUDES, ASSERT_CAPABILITY, CAPABILITY, RETURN_CAPABILITY...
+};
+
+Macro ClassifyMacro(const std::string& name) {
+  if (name == "GUARDED_BY") return Macro::kGuardedBy;
+  if (name == "PT_GUARDED_BY") return Macro::kPtGuardedBy;
+  if (name == "ACQUIRED_AFTER") return Macro::kAcquiredAfter;
+  if (name == "ACQUIRED_BEFORE") return Macro::kAcquiredBefore;
+  if (name == "REQUIRES" || name == "REQUIRES_SHARED") return Macro::kRequires;
+  if (name == "ACQUIRE" || name == "ACQUIRE_SHARED") return Macro::kAcquire;
+  if (name == "TRY_ACQUIRE" || name == "TRY_ACQUIRE_SHARED") {
+    return Macro::kTryAcquire;
+  }
+  if (name == "RELEASE" || name == "RELEASE_SHARED" ||
+      name == "RELEASE_GENERIC") {
+    return Macro::kRelease;
+  }
+  if (name == "EXCLUDES" || name == "CAPABILITY" ||
+      name == "SCOPED_CAPABILITY" || name == "ASSERT_CAPABILITY" ||
+      name == "ASSERT_SHARED_CAPABILITY" || name == "RETURN_CAPABILITY" ||
+      name == "BIH_THREAD_ANNOTATION") {
+    return Macro::kStripOnly;
+  }
+  return Macro::kNone;
+}
+
+bool IsCtrlKeyword(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "return" || s == "catch" || s == "sizeof" || s == "throw" ||
+         s == "new" || s == "delete" || s == "case" || s == "do" ||
+         s == "else" || s == "co_return" || s == "co_await";
+}
+
+struct Scope {
+  enum class Kind { kNamespace, kClass, kBrace };
+  Kind kind = Kind::kBrace;
+  std::string name;
+};
+
+// Splits the token range [b, e) of an annotation macro's argument list
+// (exclusive of the parens) on top-level commas and flattens each argument:
+// a string literal argument becomes its contents verbatim, anything else
+// becomes the identifier spine of the expression (`*shard_mu_[0]` ->
+// "shard_mu_", `watchdog_mu_` -> "watchdog_mu_").
+void FlattenArgs(const std::vector<Token>& toks, size_t b, size_t e,
+                 std::vector<std::string>* out) {
+  int depth = 0;
+  size_t arg_start = b;
+  auto emit = [&](size_t from, size_t to) {
+    // Prefer a string literal; otherwise the last identifier that is not
+    // an index/number (the field name of a member expression).
+    for (size_t i = from; i < to; ++i) {
+      if (toks[i].kind == Token::Kind::kString) {
+        if (!toks[i].text.empty()) out->push_back(toks[i].text);
+        return;
+      }
+    }
+    std::string last_ident;
+    for (size_t i = from; i < to; ++i) {
+      if (toks[i].kind == Token::Kind::kIdent) last_ident = toks[i].text;
+      if (toks[i].kind == Token::Kind::kPunct && toks[i].text == "[") break;
+    }
+    if (!last_ident.empty() && last_ident != "true" && last_ident != "false") {
+      out->push_back(last_ident);
+    }
+  };
+  for (size_t i = b; i < e; ++i) {
+    const Token& t = toks[i];
+    if (t.kind == Token::Kind::kPunct) {
+      if (t.text == "(" || t.text == "[" || t.text == "<") ++depth;
+      if (t.text == ")" || t.text == "]" || t.text == ">") --depth;
+      if (t.text == "," && depth == 0) {
+        emit(arg_start, i);
+        arg_start = i + 1;
+        continue;
+      }
+    }
+  }
+  if (arg_start < e) emit(arg_start, e);
+}
+
+// Scans the raw signature lines for "// bih-analyze: acquires(a, b)" /
+// "releases(...)" directives — the escape hatch for acquisition patterns
+// the declaration grammar cannot carry (runtime-indexed lock sets like the
+// session's write-shard array).
+void CollectDirectives(const FileText& text, size_t first_line,
+                       size_t last_line, FunctionDecl* fn) {
+  auto scan = [&](const char* key, std::vector<std::string>* out) {
+    std::string needle = std::string("bih-analyze: ") + key + "(";
+    size_t lo = first_line >= 2 ? first_line - 2 : 0;  // one line above too
+    for (size_t li = lo; li < last_line && li < text.raw.size(); ++li) {
+      size_t pos = text.raw[li].find(needle);
+      if (pos == std::string::npos) continue;
+      size_t b = pos + needle.size();
+      size_t end = text.raw[li].find(')', b);
+      if (end == std::string::npos) continue;
+      std::string args = text.raw[li].substr(b, end - b);
+      std::string cur;
+      for (char c : args + ",") {
+        if (c == ',') {
+          if (!cur.empty()) out->push_back(cur);
+          cur.clear();
+        } else if (IsIdentChar(c) || c == ':') {
+          cur += c;
+        }
+      }
+    }
+  };
+  scan("acquires", &fn->acquires_caps);
+  scan("releases", &fn->releases_caps);
+}
+
+class FileParser {
+ public:
+  explicit FileParser(const FileText& text) : text_(text) {
+    model_.text = &text;
+    model_.tokens = Tokenize(text.raw);
+  }
+
+  FileModel Run() {
+    const std::vector<Token>& t = model_.tokens;
+    std::vector<size_t> buf;  // token indexes of the pending declaration
+    for (size_t i = 0; i < t.size(); ++i) {
+      const Token& tok = t[i];
+      if (tok.kind == Token::Kind::kPunct && tok.text == "{") {
+        // Member brace initializer (`std::atomic<int> hits_{0};`,
+        // `std::vector<int> v_ = {1, 2};`): skip the braces but KEEP the
+        // pending declaration, so the ';' that follows flushes the field.
+        if (IsMemberBraceInit(buf)) {
+          i = SkipBalanced(i, "{", "}");
+          continue;
+        }
+        i = HandleOpenBrace(buf, i);
+        buf.clear();
+        continue;
+      }
+      if (tok.kind == Token::Kind::kPunct && tok.text == "}") {
+        if (!scopes_.empty()) scopes_.pop_back();
+        buf.clear();
+        continue;
+      }
+      if (tok.kind == Token::Kind::kPunct && tok.text == ";") {
+        HandleDeclaration(buf);
+        buf.clear();
+        continue;
+      }
+      if (tok.kind == Token::Kind::kPunct && tok.text == ":" &&
+          buf.size() == 1 && t[buf[0]].kind == Token::Kind::kIdent &&
+          (t[buf[0]].text == "public" || t[buf[0]].text == "private" ||
+           t[buf[0]].text == "protected")) {
+        buf.clear();  // access specifier
+        continue;
+      }
+      buf.push_back(i);
+    }
+    return std::move(model_);
+  }
+
+ private:
+  const FileText& text_;
+  FileModel model_;
+  std::vector<Scope> scopes_;
+
+  bool InClass() const {
+    return !scopes_.empty() && scopes_.back().kind == Scope::Kind::kClass;
+  }
+
+  // True when a '{' inside a class body is a data-member brace
+  // initializer rather than a scope: the pending declaration ends in the
+  // member name (or '='), has no parameter list, and contains no
+  // class/namespace/template head keyword.
+  bool IsMemberBraceInit(const std::vector<size_t>& buf) const {
+    if (!InClass() || buf.empty()) return false;
+    const std::vector<Token>& t = model_.tokens;
+    const Token& last = t[buf.back()];
+    bool after_name = last.kind == Token::Kind::kIdent &&
+                      !IsCtrlKeyword(last.text);
+    bool after_eq = last.kind == Token::Kind::kPunct && last.text == "=";
+    if (!after_name && !after_eq) return false;
+    for (size_t k : buf) {
+      const std::string& w = t[k].text;
+      if (w == "class" || w == "struct" || w == "union" || w == "enum" ||
+          w == "namespace" || w == "template") {
+        return false;
+      }
+    }
+    return FindSignatureParen(buf) == static_cast<size_t>(-1);
+  }
+
+  std::string ClassPath() const {
+    std::string out;
+    for (const Scope& s : scopes_) {
+      if (s.kind != Scope::Kind::kClass) continue;
+      if (!out.empty()) out += "::";
+      out += s.name;
+    }
+    return out;
+  }
+
+  // Advances past a balanced token group starting at the opener index.
+  size_t SkipBalanced(size_t open, const char* o, const char* c) const {
+    const std::vector<Token>& t = model_.tokens;
+    int depth = 0;
+    size_t i = open;
+    for (; i < t.size(); ++i) {
+      if (t[i].kind != Token::Kind::kPunct) continue;
+      if (t[i].text == o) ++depth;
+      if (t[i].text == c && --depth == 0) return i;
+    }
+    return t.size() - 1;
+  }
+
+  // Returns the index of the first '(' in buf that starts a parameter
+  // list (template-angle depth 0, not part of an annotation macro), or
+  // npos. Annotation macro calls are skipped wholesale.
+  size_t FindSignatureParen(const std::vector<size_t>& buf) const {
+    const std::vector<Token>& t = model_.tokens;
+    int angle = 0;
+    for (size_t k = 0; k < buf.size(); ++k) {
+      const Token& tok = t[buf[k]];
+      if (tok.kind == Token::Kind::kIdent &&
+          ClassifyMacro(tok.text) != Macro::kNone) {
+        // Skip the macro's argument list if it has one.
+        if (k + 1 < buf.size() && t[buf[k + 1]].text == "(") {
+          int d = 0;
+          while (k + 1 < buf.size()) {
+            ++k;
+            if (t[buf[k]].text == "(") ++d;
+            if (t[buf[k]].text == ")" && --d == 0) break;
+          }
+        }
+        continue;
+      }
+      if (tok.kind != Token::Kind::kPunct) continue;
+      if (tok.text == "<") ++angle;
+      if (tok.text == ">" && angle > 0) --angle;
+      if (tok.text == "(" && angle == 0) return k;
+    }
+    return static_cast<size_t>(-1);
+  }
+
+  // Collects annotation macros appearing anywhere in buf into fn.
+  void CollectSignatureAnnotations(const std::vector<size_t>& buf,
+                                   FunctionDecl* fn) const {
+    const std::vector<Token>& t = model_.tokens;
+    for (size_t k = 0; k < buf.size(); ++k) {
+      const Token& tok = t[buf[k]];
+      if (tok.kind != Token::Kind::kIdent) continue;
+      if (tok.text == "NO_THREAD_SAFETY_ANALYSIS") {
+        fn->no_thread_safety_analysis = true;
+        continue;
+      }
+      Macro m = ClassifyMacro(tok.text);
+      if (m == Macro::kNone || m == Macro::kStripOnly) continue;
+      if (k + 1 >= buf.size() || t[buf[k + 1]].text != "(") continue;
+      // Argument token range at buf indexes [k+2, close).
+      int d = 0;
+      size_t close = k + 1;
+      for (size_t j = k + 1; j < buf.size(); ++j) {
+        if (t[buf[j]].text == "(") ++d;
+        if (t[buf[j]].text == ")" && --d == 0) {
+          close = j;
+          break;
+        }
+      }
+      std::vector<std::string> args;
+      if (close > k + 2) {
+        // Flatten over the real token indexes.
+        FlattenArgs(t, buf[k + 2], buf[close - 1] + 1, &args);
+      }
+      if (m == Macro::kTryAcquire && !args.empty()) {
+        // The first argument is the success value; FlattenArgs already
+        // drops bare true/false, but a numeric success value survives.
+        if (args.front() == "true" || args.front() == "false") {
+          args.erase(args.begin());
+        }
+      }
+      std::vector<std::string>* dst = nullptr;
+      switch (m) {
+        case Macro::kRequires: dst = &fn->requires_caps; break;
+        case Macro::kAcquire:
+        case Macro::kTryAcquire: dst = &fn->acquires_caps; break;
+        case Macro::kRelease: dst = &fn->releases_caps; break;
+        default: break;
+      }
+      if (dst != nullptr) {
+        for (std::string& a : args) dst->push_back(std::move(a));
+      }
+    }
+  }
+
+  // buf opened a brace at token index `brace`. Classify and either push a
+  // scope (namespace/class), record a function definition and skip its
+  // body, or skip the brace group opaquely. Returns the index to resume at.
+  size_t HandleOpenBrace(const std::vector<size_t>& buf, size_t brace) {
+    const std::vector<Token>& t = model_.tokens;
+    if (!buf.empty() && t[buf[0]].text == "namespace") {
+      Scope s;
+      s.kind = Scope::Kind::kNamespace;
+      if (buf.size() >= 2 && t[buf[1]].kind == Token::Kind::kIdent) {
+        s.name = t[buf[1]].text;
+      }
+      scopes_.push_back(s);
+      return brace;
+    }
+    // Class head? Look for class/struct/union outside template params and
+    // not preceded by "enum"; "enum class" and plain enums skip opaquely.
+    for (size_t k = 0; k < buf.size(); ++k) {
+      const std::string& w = t[buf[k]].text;
+      if (w == "enum") {
+        return SkipBalanced(brace, "{", "}");
+      }
+      if (w == "template") {
+        // Skip the parameter list <...> (contains "class T").
+        if (k + 1 < buf.size() && t[buf[k + 1]].text == "<") {
+          int d = 0;
+          while (k + 1 < buf.size()) {
+            ++k;
+            if (t[buf[k]].text == "<") ++d;
+            if (t[buf[k]].text == ">" && --d == 0) break;
+          }
+        }
+        continue;
+      }
+      if (w == "class" || w == "struct" || w == "union") {
+        // Name: next identifier, skipping annotation macro calls.
+        std::string name;
+        for (size_t j = k + 1; j < buf.size(); ++j) {
+          const Token& n = t[buf[j]];
+          if (n.kind != Token::Kind::kIdent) break;
+          Macro m = ClassifyMacro(n.text);
+          if (m != Macro::kNone) {
+            if (j + 1 < buf.size() && t[buf[j + 1]].text == "(") {
+              int d = 0;
+              while (j + 1 < buf.size()) {
+                ++j;
+                if (t[buf[j]].text == "(") ++d;
+                if (t[buf[j]].text == ")" && --d == 0) break;
+              }
+            }
+            continue;
+          }
+          if (n.text == "alignas" || n.text == "final") continue;
+          name = n.text;
+          break;
+        }
+        if (name.empty()) return SkipBalanced(brace, "{", "}");
+        Scope s;
+        s.kind = Scope::Kind::kClass;
+        s.name = name;
+        scopes_.push_back(s);
+        ClassDecl cd;
+        cd.name = ClassPath();
+        cd.file = text_.path;
+        cd.line = t[buf[k]].line;
+        model_.classes.push_back(cd);
+        return brace;
+      }
+    }
+    // Function definition?
+    size_t paren = FindSignatureParen(buf);
+    if (paren != static_cast<size_t>(-1) && paren > 0) {
+      // Reject statements/initializers: '=' before the paren.
+      for (size_t k = 0; k < paren; ++k) {
+        if (t[buf[k]].kind == Token::Kind::kPunct && t[buf[k]].text == "=") {
+          return SkipBalanced(brace, "{", "}");
+        }
+      }
+      const Token& name_tok = t[buf[paren - 1]];
+      if (name_tok.kind == Token::Kind::kIdent &&
+          !IsCtrlKeyword(name_tok.text)) {
+        FunctionDecl fn;
+        fn.name = name_tok.text;
+        fn.file = text_.path;
+        fn.line = name_tok.line;
+        // Qualified name? Walk back over "A ::" pairs.
+        std::vector<std::string> quals;
+        size_t k = paren - 1;
+        while (k >= 2 && t[buf[k - 1]].text == "::" &&
+               t[buf[k - 2]].kind == Token::Kind::kIdent) {
+          quals.insert(quals.begin(), t[buf[k - 2]].text);
+          k -= 2;
+        }
+        std::string cls = ClassPath();
+        for (const std::string& q : quals) {
+          if (!cls.empty()) cls += "::";
+          cls += q;
+        }
+        fn.cls = cls;
+        if (!quals.empty() && !InClass()) {
+          // Out-of-line definition: quals alone name the class (possibly
+          // nested). ClassPath() was empty, so cls is already right.
+        }
+        CollectSignatureAnnotations(buf, &fn);
+        size_t close = SkipBalanced(brace, "{", "}");
+        fn.has_body = true;
+        fn.body_begin = brace;
+        fn.body_end = close + 1;
+        CollectDirectives(text_, t[buf[0]].line, t[brace].line, &fn);
+        model_.functions.push_back(std::move(fn));
+        return close;
+      }
+    }
+    // Anything else (brace initializer, lambda at namespace scope, ...)
+    // is opaque.
+    return SkipBalanced(brace, "{", "}");
+  }
+
+  // buf ended in ';' — a field, a method declaration, or noise.
+  void HandleDeclaration(const std::vector<size_t>& buf) {
+    const std::vector<Token>& t = model_.tokens;
+    if (buf.empty()) return;
+    const std::string& first = t[buf[0]].text;
+    if (first == "using" || first == "typedef" || first == "friend" ||
+        first == "static_assert" || first == "template" ||
+        first == "extern" || first == "namespace") {
+      return;
+    }
+    for (size_t k : buf) {
+      if (t[k].kind == Token::Kind::kIdent && t[k].text == "operator") return;
+    }
+    size_t paren = FindSignatureParen(buf);
+    if (paren != static_cast<size_t>(-1) && paren > 0 &&
+        t[buf[paren - 1]].kind == Token::Kind::kIdent &&
+        !IsCtrlKeyword(t[buf[paren - 1]].text)) {
+      // Method/function declaration: keep its annotations so call-site
+      // resolution can honour ACQUIRE/REQUIRES contracts declared in
+      // headers (the definition often lives in a .cc without them).
+      bool has_eq_before = false;
+      for (size_t k = 0; k < paren; ++k) {
+        if (t[buf[k]].text == "=") has_eq_before = true;
+      }
+      if (!has_eq_before) {
+        FunctionDecl fn;
+        fn.name = t[buf[paren - 1]].text;
+        fn.file = text_.path;
+        fn.line = t[buf[paren - 1]].line;
+        fn.cls = ClassPath();
+        CollectSignatureAnnotations(buf, &fn);
+        CollectDirectives(text_, t[buf[0]].line,
+                          t[buf[buf.size() - 1]].line + 1, &fn);
+        model_.functions.push_back(std::move(fn));
+        return;
+      }
+      return;
+    }
+    if (!InClass()) return;  // namespace-scope variable: out of scope
+    ParseField(buf);
+  }
+
+  void ParseField(const std::vector<size_t>& buf) {
+    const std::vector<Token>& t = model_.tokens;
+    FieldDecl fd;
+    fd.cls = ClassPath();
+    fd.line = t[buf[0]].line;
+    std::vector<size_t> decl;  // buf entries with annotations removed
+    for (size_t k = 0; k < buf.size(); ++k) {
+      const Token& tok = t[buf[k]];
+      if (tok.kind == Token::Kind::kIdent) {
+        Macro m = ClassifyMacro(tok.text);
+        if (m != Macro::kNone) {
+          size_t close = k;
+          std::vector<std::string> args;
+          if (k + 1 < buf.size() && t[buf[k + 1]].text == "(") {
+            int d = 0;
+            for (size_t j = k + 1; j < buf.size(); ++j) {
+              if (t[buf[j]].text == "(") ++d;
+              if (t[buf[j]].text == ")" && --d == 0) {
+                close = j;
+                break;
+              }
+            }
+            if (close > k + 2) {
+              FlattenArgs(t, buf[k + 2], buf[close - 1] + 1, &args);
+            }
+          }
+          switch (m) {
+            case Macro::kGuardedBy: fd.guarded_by = std::move(args); break;
+            case Macro::kPtGuardedBy:
+              fd.pt_guarded_by = std::move(args);
+              break;
+            case Macro::kAcquiredAfter:
+              for (std::string& a : args) {
+                fd.acquired_after.push_back(std::move(a));
+              }
+              break;
+            case Macro::kAcquiredBefore:
+              for (std::string& a : args) {
+                fd.acquired_before.push_back(std::move(a));
+              }
+              break;
+            default: break;
+          }
+          k = close;
+          continue;
+        }
+        if (tok.text == "static" || tok.text == "constexpr") {
+          fd.is_static = true;
+          continue;
+        }
+        if (tok.text == "mutable") continue;
+        if (tok.text == "const") fd.is_const = true;
+        if (tok.text == "atomic" || tok.text == "atomic_flag") {
+          fd.is_atomic = true;
+        }
+        if (tok.text == "Mutex" || tok.text == "SharedMutex") {
+          fd.is_mutex = true;
+        }
+        if (tok.text == "CondVar") fd.is_condvar = true;
+      }
+      decl.push_back(buf[k]);
+    }
+    // Truncate the initializer.
+    size_t end = decl.size();
+    int angle = 0;
+    for (size_t k = 0; k < decl.size(); ++k) {
+      const Token& tok = t[decl[k]];
+      if (tok.kind != Token::Kind::kPunct) continue;
+      if (tok.text == "<") ++angle;
+      if (tok.text == ">" && angle > 0) --angle;
+      if (tok.text == "=" && angle == 0) {
+        end = k;
+        break;
+      }
+    }
+    // Name: last identifier at angle depth 0 (stop at an array bracket).
+    angle = 0;
+    size_t name_at = static_cast<size_t>(-1);
+    for (size_t k = 0; k < end; ++k) {
+      const Token& tok = t[decl[k]];
+      if (tok.kind == Token::Kind::kPunct) {
+        if (tok.text == "<") ++angle;
+        if (tok.text == ">" && angle > 0) --angle;
+        if (tok.text == "[") break;
+        continue;
+      }
+      if (tok.kind == Token::Kind::kIdent && angle == 0) name_at = k;
+    }
+    if (name_at == static_cast<size_t>(-1)) return;
+    fd.name = t[decl[name_at]].text;
+    for (size_t k = 0; k < end; ++k) {
+      if (k == name_at) continue;
+      if (!fd.type.empty()) fd.type += " ";
+      fd.type += t[decl[k]].text;
+    }
+    if (fd.name.empty() || fd.type.empty()) return;
+    // Attach to the innermost open class.
+    for (auto it = model_.classes.rbegin(); it != model_.classes.rend();
+         ++it) {
+      if (it->name == fd.cls) {
+        if (fd.is_mutex) it->owns_mutex = true;
+        it->fields.push_back(std::move(fd));
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+FileModel ParseFile(const FileText& text) { return FileParser(text).Run(); }
+
+RepoModel ParseTree(const std::vector<FileText>& texts) {
+  RepoModel repo;
+  repo.files.reserve(texts.size());
+  for (const FileText& t : texts) repo.files.push_back(ParseFile(t));
+  for (size_t fi = 0; fi < repo.files.size(); ++fi) {
+    FileModel& fm = repo.files[fi];
+    for (ClassDecl& c : fm.classes) {
+      auto it = repo.classes.find(c.name);
+      if (it == repo.classes.end()) {
+        repo.classes.emplace(c.name, c);
+      } else if (it->second.fields.empty() && !c.fields.empty()) {
+        it->second = c;  // prefer the defining occurrence
+      }
+    }
+    for (size_t gi = 0; gi < fm.functions.size(); ++gi) {
+      const FunctionDecl& fn = fm.functions[gi];
+      std::string qualified =
+          fn.cls.empty() ? fn.name : fn.cls + "::" + fn.name;
+      if (fn.has_body) {
+        repo.defs_by_name[fn.name].push_back({fi, gi});
+        repo.defs_by_qualified[qualified].push_back({fi, gi});
+      }
+      FunctionDecl& merged = repo.annotations[qualified];
+      if (merged.name.empty()) {
+        merged.name = fn.name;
+        merged.cls = fn.cls;
+        merged.file = fn.file;
+        merged.line = fn.line;
+      }
+      auto append = [](std::vector<std::string>* dst,
+                       const std::vector<std::string>& src) {
+        for (const std::string& s : src) {
+          bool dup = false;
+          for (const std::string& d : *dst) dup = dup || d == s;
+          if (!dup) dst->push_back(s);
+        }
+      };
+      append(&merged.requires_caps, fn.requires_caps);
+      append(&merged.acquires_caps, fn.acquires_caps);
+      append(&merged.releases_caps, fn.releases_caps);
+      merged.no_thread_safety_analysis |= fn.no_thread_safety_analysis;
+    }
+  }
+  return repo;
+}
+
+}  // namespace analysis
+}  // namespace bih

@@ -1,0 +1,129 @@
+#ifndef TPCBIH_TOOLS_ANALYSIS_PARSER_H_
+#define TPCBIH_TOOLS_ANALYSIS_PARSER_H_
+
+// Lightweight C++ tokenizer and declaration/body parser for the repo's
+// whole-tree analyzer (tools/bih_analyze). This is not a compiler front
+// end: it recognizes exactly the subset of C++ the house style produces —
+// namespaces, classes/structs (possibly nested), data members with the
+// thread-safety annotation macros from src/common/thread_annotations.h,
+// and function definitions whose bodies it records as token spans for the
+// passes to walk. Anything it cannot classify it skips without guessing;
+// the passes are written so a parse gap costs coverage, never a false
+// positive.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/source.h"
+
+namespace bih {
+namespace analysis {
+
+// --- tokens ----------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct, kString, kChar };
+  Kind kind = Kind::kPunct;
+  std::string text;  // for kString: the unquoted contents
+  size_t line = 0;   // 1-based
+};
+
+// Tokenizes the raw lines, skipping comments and preprocessor directives
+// but KEEPING string literal contents (the annotation macros accept string
+// arguments naming capabilities the C++ grammar cannot reference, e.g.
+// private members of another class).
+std::vector<Token> Tokenize(const std::vector<std::string>& raw);
+
+// --- declarations ----------------------------------------------------------
+
+// One data member of a class.
+struct FieldDecl {
+  std::string cls;   // enclosing class, nesting joined with "::"
+  std::string name;
+  std::string type;  // flattened type text (annotation macros removed)
+  size_t line = 0;
+  bool is_static = false;
+  bool is_const = false;
+  bool is_atomic = false;   // std::atomic<...> / std::atomic_flag
+  bool is_mutex = false;    // Mutex / SharedMutex anywhere in the type
+  bool is_condvar = false;  // CondVar
+  std::vector<std::string> guarded_by;
+  std::vector<std::string> pt_guarded_by;
+  std::vector<std::string> acquired_after;   // raw args (idents or strings)
+  std::vector<std::string> acquired_before;
+};
+
+// A function definition (with a body) or declaration (annotations only).
+struct FunctionDecl {
+  std::string cls;  // "" for free functions
+  std::string name;
+  std::string file;
+  size_t line = 0;
+  bool has_body = false;
+  size_t body_begin = 0;  // token index of '{' (when has_body)
+  size_t body_end = 0;    // token index one past the matching '}'
+  // Annotation macros on the signature, raw args. TRY_ACQUIRE's leading
+  // success-value argument is already dropped.
+  std::vector<std::string> requires_caps;   // REQUIRES / REQUIRES_SHARED
+  std::vector<std::string> acquires_caps;   // ACQUIRE / ACQUIRE_SHARED /
+                                            // TRY_ACQUIRE* / bih-analyze:
+                                            // acquires(...) directives
+  std::vector<std::string> releases_caps;   // RELEASE* / bih-analyze:
+                                            // releases(...) directives
+  bool no_thread_safety_analysis = false;
+};
+
+struct ClassDecl {
+  std::string name;  // nesting joined with "::" (namespaces excluded)
+  std::string file;
+  size_t line = 0;
+  std::vector<FieldDecl> fields;
+  bool owns_mutex = false;  // at least one Mutex/SharedMutex field
+};
+
+// Parse result for one file. Token storage lives here; FunctionDecl body
+// spans index into `tokens`.
+struct FileModel {
+  const FileText* text = nullptr;  // borrowed
+  std::vector<Token> tokens;
+  std::vector<ClassDecl> classes;
+  std::vector<FunctionDecl> functions;
+};
+
+// Whole-tree model with the cross-file indexes the passes resolve against.
+struct RepoModel {
+  std::vector<FileModel> files;
+
+  // Class name -> merged declaration (fields from the defining file).
+  std::map<std::string, ClassDecl> classes;
+
+  // (class, name) and bare-name indexes over *definitions*; the bare-name
+  // index maps to every definition sharing the name, so the passes can
+  // tell unique names (safe to resolve) from ambiguous ones (skipped).
+  // Values are (file index, function index) pairs.
+  std::map<std::string, std::vector<std::pair<size_t, size_t>>> defs_by_name;
+  std::map<std::string, std::vector<std::pair<size_t, size_t>>>
+      defs_by_qualified;  // "Class::name"
+
+  // Signature annotations merged across declaration and definition,
+  // keyed "Class::name" (free functions: "name").
+  std::map<std::string, FunctionDecl> annotations;
+
+  const FunctionDecl* FindAnnotations(const std::string& qualified) const {
+    auto it = annotations.find(qualified);
+    return it == annotations.end() ? nullptr : &it->second;
+  }
+};
+
+// Parses one file. The FileText must outlive the model.
+FileModel ParseFile(const FileText& text);
+
+// Parses every file and builds the cross-file indexes.
+RepoModel ParseTree(const std::vector<FileText>& texts);
+
+}  // namespace analysis
+}  // namespace bih
+
+#endif  // TPCBIH_TOOLS_ANALYSIS_PARSER_H_

@@ -1,0 +1,60 @@
+#ifndef TPCBIH_TOOLS_ANALYSIS_PASSES_H_
+#define TPCBIH_TOOLS_ANALYSIS_PASSES_H_
+
+// The three whole-repo passes behind tools/bih_analyze:
+//
+//  [lock-order]          cycles in the declared+observed lock-order graph
+//                        (potential deadlocks, reported with the witness
+//                        path of every edge), and observed nestings with
+//                        no declared ACQUIRED_AFTER/ACQUIRED_BEFORE path.
+//  [guard-coverage]      mutable fields of mutex-owning classes that are
+//                        neither GUARDED_BY/PT_GUARDED_BY, atomic, const,
+//                        internally synchronized, nor suppressed.
+//  [blocking-under-lock] blocking calls (fsync family, CV waits, socket
+//                        I/O, sleeps, joins) reached — possibly through a
+//                        call chain — while a mutex from the no-blocking
+//                        set is held.
+//
+// Findings use the shared "path:line: [rule] message" format and the
+// shared suppression syntax (// bih-lint: allow(<rule>)).
+
+#include <string>
+#include <vector>
+
+#include "analysis/lock_graph.h"
+#include "analysis/parser.h"
+#include "analysis/source.h"
+
+namespace bih {
+namespace analysis {
+
+struct AnalyzeOptions {
+  // Mutexes ("Class::field") that must never be held across a blocking
+  // call. Defaults (applied unless `no_default_no_block`) encode the
+  // repo's durability invariants: the session's reader/writer gate and
+  // the WAL/group-commit staging mutexes.
+  std::vector<std::string> no_block;
+  bool no_default_no_block = false;
+};
+
+struct AnalyzeResult {
+  std::vector<Finding> findings;
+  size_t files_scanned = 0;
+  RepoModel repo;
+  LockGraph graph;
+};
+
+// Runs all three passes over the loaded tree.
+AnalyzeResult Analyze(const std::vector<FileText>& texts,
+                      const AnalyzeOptions& opts);
+
+// Serializes findings + the lock graph as a JSON report.
+std::string ToJson(const AnalyzeResult& result);
+
+// Human-readable dump of nodes, edges, and cycles (for --dump-graph).
+std::string DumpGraph(const LockGraph& graph);
+
+}  // namespace analysis
+}  // namespace bih
+
+#endif  // TPCBIH_TOOLS_ANALYSIS_PASSES_H_

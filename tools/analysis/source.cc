@@ -1,0 +1,214 @@
+#include "analysis/source.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace bih {
+namespace analysis {
+
+namespace fs = std::filesystem;
+
+bool HasSuffix(const std::string& s, const char* suf) {
+  size_t n = std::strlen(suf);
+  return s.size() >= n && s.compare(s.size() - n, n, suf) == 0;
+}
+
+bool IsSourceFile(const fs::path& p) {
+  std::string s = p.filename().string();
+  return HasSuffix(s, ".h") || HasSuffix(s, ".cc") || HasSuffix(s, ".cpp");
+}
+
+bool IsHeader(const std::string& path) { return HasSuffix(path, ".h"); }
+
+std::vector<std::string> StripCommentsAndStrings(
+    const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  bool in_block_comment = false;
+  for (const std::string& line : raw) {
+    std::string code(line.size(), ' ');
+    bool in_str = false, in_chr = false, in_line_comment = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+      char c = line[i];
+      char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      if (in_block_comment) {
+        if (c == '*' && next == '/') {
+          in_block_comment = false;
+          ++i;
+        }
+        continue;
+      }
+      if (in_line_comment) continue;
+      if (in_str) {
+        if (c == '\\') {
+          ++i;  // skip the escaped character
+        } else if (c == '"') {
+          in_str = false;
+          code[i] = '"';
+        }
+        continue;
+      }
+      if (in_chr) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          in_chr = false;
+          code[i] = '\'';
+        }
+        continue;
+      }
+      if (c == '/' && next == '/') {
+        in_line_comment = true;
+        continue;
+      }
+      if (c == '/' && next == '*') {
+        in_block_comment = true;
+        ++i;
+        continue;
+      }
+      if (c == '"') {
+        in_str = true;
+        code[i] = '"';
+        continue;
+      }
+      if (c == '\'') {
+        // Heuristic: a digit separator (1'000'000) is not a char literal.
+        bool digit_sep =
+            i > 0 && std::isdigit(static_cast<unsigned char>(line[i - 1])) &&
+            next != '\0' && std::isdigit(static_cast<unsigned char>(next));
+        if (!digit_sep) {
+          in_chr = true;
+        }
+        code[i] = '\'';
+        continue;
+      }
+      code[i] = c;
+    }
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+bool LineAllows(const std::string& raw_line, const std::string& rule) {
+  std::string needle = "bih-lint: allow(" + rule + ")";
+  return raw_line.find(needle) != std::string::npos;
+}
+
+bool FileAllows(const FileText& f, const std::string& rule) {
+  std::string needle = "bih-lint: allow-file(" + rule + ")";
+  size_t limit = std::min<size_t>(f.raw.size(), 40);
+  for (size_t i = 0; i < limit; ++i) {
+    if (f.raw[i].find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool Suppressed(const FileText& f, size_t idx, const std::string& rule) {
+  if (FileAllows(f, rule)) return true;
+  if (idx < f.raw.size() && LineAllows(f.raw[idx], rule)) return true;
+  if (idx > 0 && idx - 1 < f.raw.size() && LineAllows(f.raw[idx - 1], rule)) {
+    return true;
+  }
+  return false;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+size_t FindToken(const std::string& line, const std::string& token,
+                 size_t from) {
+  size_t pos = line.find(token, from);
+  while (pos != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    size_t end = pos + token.size();
+    bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) return pos;
+    pos = line.find(token, pos + 1);
+  }
+  return std::string::npos;
+}
+
+bool SkipDir(const fs::path& p) {
+  std::string name = p.filename().string();
+  return name == "build" || name.rfind("build-", 0) == 0 ||
+         name == "fixtures" || (!name.empty() && name[0] == '.');
+}
+
+void Collect(const fs::path& root, std::vector<fs::path>* files) {
+  std::error_code ec;
+  if (fs::is_regular_file(root, ec)) {
+    if (IsSourceFile(root)) files->push_back(root);
+    return;
+  }
+  if (!fs::is_directory(root, ec)) return;
+  for (auto it = fs::recursive_directory_iterator(root, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) break;
+    if (it->is_directory() && SkipDir(it->path())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && IsSourceFile(it->path())) {
+      files->push_back(it->path());
+    }
+  }
+}
+
+FileText LoadFile(const fs::path& p) {
+  FileText f;
+  f.path = p.generic_string();
+  std::ifstream in(p);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    f.raw.push_back(line);
+  }
+  f.code = StripCommentsAndStrings(f.raw);
+  return f;
+}
+
+std::vector<FileText> LoadTree(
+    const std::string& root, const std::vector<std::string>& explicit_paths,
+    const std::vector<std::string>& default_subdirs) {
+  std::vector<fs::path> files;
+  if (!explicit_paths.empty()) {
+    for (const std::string& p : explicit_paths) Collect(p, &files);
+  } else {
+    for (const std::string& sub : default_subdirs) {
+      Collect(fs::path(root) / sub, &files);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  std::vector<FileText> texts;
+  texts.reserve(files.size());
+  for (const fs::path& p : files) texts.push_back(LoadFile(p));
+  return texts;
+}
+
+int ReportFindings(std::vector<Finding>* findings, size_t files_scanned,
+                   const char* tool_name) {
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              return a.line < b.line;
+            });
+  for (const Finding& f : *findings) {
+    std::printf("%s:%zu: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (findings->empty()) {
+    std::printf("%s: %zu files clean\n", tool_name, files_scanned);
+    return 0;
+  }
+  std::printf("%s: %zu finding(s) in %zu files\n", tool_name,
+              findings->size(), files_scanned);
+  return 1;
+}
+
+}  // namespace analysis
+}  // namespace bih

@@ -1,0 +1,96 @@
+#ifndef TPCBIH_TOOLS_ANALYSIS_SOURCE_H_
+#define TPCBIH_TOOLS_ANALYSIS_SOURCE_H_
+
+// Shared source-handling layer for the repo's static-analysis tools
+// (tools/bih_lint and tools/bih_analyze): file collection, comment/string
+// stripping, the one suppression syntax both tools honour, and the tiny
+// token helpers the line-oriented lint rules are written against.
+//
+// Suppressions (always with a reason in the surrounding code):
+//   // bih-lint: allow(<rule>)       this line or the next line
+//   // bih-lint: allow-file(<rule>)  whole file, within the first 40 lines
+//
+// The same syntax covers every rule of both tools, so a reader never has
+// to know which binary enforces the rule being waived.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace bih {
+namespace analysis {
+
+// One reported violation. `rule` is the suppression key ("naked-mutex",
+// "lock-order", ...); output format is "path:line: [rule] message".
+struct Finding {
+  std::string path;
+  size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+// A loaded source file: the raw lines (where suppression comments live)
+// and a "code" view with comments and string/char literal *contents*
+// blanked to spaces, so rule matchers never trip on prose or test data.
+// The quote characters themselves survive in the code view.
+struct FileText {
+  std::string path;
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+};
+
+bool HasSuffix(const std::string& s, const char* suf);
+bool IsSourceFile(const std::filesystem::path& p);
+bool IsHeader(const std::string& path);
+
+// Blanks comments and string/char literal contents, keeping line structure.
+std::vector<std::string> StripCommentsAndStrings(
+    const std::vector<std::string>& raw);
+
+// --- suppression handling --------------------------------------------------
+
+bool LineAllows(const std::string& raw_line, const std::string& rule);
+bool FileAllows(const FileText& f, const std::string& rule);
+// True when a finding at 0-based line `idx` is suppressed on its own line,
+// on the previous line, or file-wide.
+bool Suppressed(const FileText& f, size_t idx, const std::string& rule);
+
+// --- token helpers (no <regex>: slow, and these tools run in CI) -----------
+
+bool IsIdentChar(char c);
+
+// Finds `token` in `line` at identifier boundaries. Returns npos if absent.
+size_t FindToken(const std::string& line, const std::string& token,
+                 size_t from = 0);
+
+// --- file collection -------------------------------------------------------
+
+// Directories the recursive walk never descends into: build trees
+// (build, build-asan, ...), lint/analyzer fixtures (deliberately dirty),
+// and dotted directories.
+bool SkipDir(const std::filesystem::path& p);
+
+// Collects source files under `root` (a file or a directory) into `files`.
+void Collect(const std::filesystem::path& root,
+             std::vector<std::filesystem::path>* files);
+
+// Loads one file into the raw + code views.
+FileText LoadFile(const std::filesystem::path& p);
+
+// Resolves the tool's command line into a sorted, deduplicated load list:
+// explicit paths if any were given, otherwise `default_subdirs` under
+// `root`.
+std::vector<FileText> LoadTree(const std::string& root,
+                               const std::vector<std::string>& explicit_paths,
+                               const std::vector<std::string>& default_subdirs);
+
+// Sorts findings by (path, line) and prints them in the shared
+// "path:line: [rule] message" format, then the one-line summary. Returns
+// the process exit code: 0 clean, 1 when anything fired.
+int ReportFindings(std::vector<Finding>* findings, size_t files_scanned,
+                   const char* tool_name);
+
+}  // namespace analysis
+}  // namespace bih
+
+#endif  // TPCBIH_TOOLS_ANALYSIS_SOURCE_H_

@@ -1,0 +1,93 @@
+// bih_analyze: whole-repo lock-graph and annotation-discipline analyzer.
+//
+// Runs three passes over the tree (see tools/analysis/passes.h):
+//   [lock-order]           deadlock cycles + undeclared observed nestings
+//   [guard-coverage]       unannotated mutable fields in mutex-owning classes
+//   [blocking-under-lock]  blocking calls while a no-blocking mutex is held
+//
+// Usage:
+//   bih_analyze [--root DIR] [--json FILE] [--no-block Class::field]...
+//               [--no-default-no-block] [--dump-graph] [PATH...]
+//
+// With no PATH arguments, scans src/ and tools/ under --root (default ".").
+// Exit code: 0 clean, 1 findings, 2 usage error.
+//
+// Suppression (same syntax as bih_lint, always with a reason nearby):
+//   // bih-lint: allow(lock-order)            this or the previous line
+//   // bih-lint: allow-file(guard-coverage)   whole file, first 40 lines
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/passes.h"
+#include "analysis/source.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bih_analyze [--root DIR] [--json FILE] "
+               "[--no-block Class::field]... [--no-default-no-block] "
+               "[--dump-graph] [PATH...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bih::analysis;
+
+  std::string root = ".";
+  std::string json_path;
+  bool dump_graph = false;
+  AnalyzeOptions opts;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--no-block" && i + 1 < argc) {
+      opts.no_block.push_back(argv[++i]);
+    } else if (arg == "--no-default-no-block") {
+      opts.no_default_no_block = true;
+    } else if (arg == "--dump-graph") {
+      dump_graph = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  std::vector<FileText> texts = LoadTree(root, paths, {"src", "tools"});
+  if (texts.empty()) {
+    std::fprintf(stderr, "bih_analyze: no source files found\n");
+    return 2;
+  }
+
+  AnalyzeResult result = Analyze(texts, opts);
+
+  if (dump_graph) {
+    std::fputs(DumpGraph(result.graph).c_str(), stdout);
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "bih_analyze: cannot write %s\n",
+                   json_path.c_str());
+      return 2;
+    }
+    out << ToJson(result);
+  }
+  return ReportFindings(&result.findings, result.files_scanned,
+                        "bih_analyze");
+}

@@ -39,162 +39,32 @@
 // Output is "path:line: [rule] message", one finding per line, then a
 // summary. Exit status 1 when anything fired, 0 on a clean tree.
 
-#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
-#include <map>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/source.h"
+
 namespace fs = std::filesystem;
 
 namespace {
 
-struct Finding {
-  std::string path;
-  size_t line = 0;  // 1-based
-  std::string rule;
-  std::string message;
-};
-
-struct FileText {
-  std::string path;
-  std::vector<std::string> raw;   // original lines (suppression comments live here)
-  std::vector<std::string> code;  // comments and string/char literals blanked
-};
-
-bool HasSuffix(const std::string& s, const char* suf) {
-  size_t n = std::strlen(suf);
-  return s.size() >= n && s.compare(s.size() - n, n, suf) == 0;
-}
-
-bool IsSourceFile(const fs::path& p) {
-  std::string s = p.filename().string();
-  return HasSuffix(s, ".h") || HasSuffix(s, ".cc") || HasSuffix(s, ".cpp");
-}
-
-bool IsHeader(const std::string& path) { return HasSuffix(path, ".h"); }
-
-// Blanks comments and string/char literal contents (keeping the line
-// structure) so the rule matchers never trip on prose or test data. The
-// quotes themselves survive; what was between them becomes spaces.
-std::vector<std::string> StripCommentsAndStrings(
-    const std::vector<std::string>& raw) {
-  std::vector<std::string> out;
-  out.reserve(raw.size());
-  bool in_block_comment = false;
-  for (const std::string& line : raw) {
-    std::string code(line.size(), ' ');
-    bool in_str = false, in_chr = false, in_line_comment = false;
-    for (size_t i = 0; i < line.size(); ++i) {
-      char c = line[i];
-      char next = i + 1 < line.size() ? line[i + 1] : '\0';
-      if (in_block_comment) {
-        if (c == '*' && next == '/') {
-          in_block_comment = false;
-          ++i;
-        }
-        continue;
-      }
-      if (in_line_comment) continue;
-      if (in_str) {
-        if (c == '\\') {
-          ++i;  // skip the escaped character
-        } else if (c == '"') {
-          in_str = false;
-          code[i] = '"';
-        }
-        continue;
-      }
-      if (in_chr) {
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          in_chr = false;
-          code[i] = '\'';
-        }
-        continue;
-      }
-      if (c == '/' && next == '/') {
-        in_line_comment = true;
-        continue;
-      }
-      if (c == '/' && next == '*') {
-        in_block_comment = true;
-        ++i;
-        continue;
-      }
-      if (c == '"') {
-        in_str = true;
-        code[i] = '"';
-        continue;
-      }
-      if (c == '\'') {
-        // Heuristic: a digit separator (1'000'000) is not a char literal.
-        bool digit_sep = i > 0 && std::isdigit(static_cast<unsigned char>(line[i - 1])) &&
-                         next != '\0' && std::isdigit(static_cast<unsigned char>(next));
-        if (!digit_sep) {
-          in_chr = true;
-        }
-        code[i] = '\'';
-        continue;
-      }
-      code[i] = c;
-    }
-    out.push_back(std::move(code));
-  }
-  return out;
-}
-
-// --- suppression handling ---------------------------------------------------
-
-bool LineAllows(const std::string& raw_line, const std::string& rule) {
-  std::string needle = "bih-lint: allow(" + rule + ")";
-  return raw_line.find(needle) != std::string::npos;
-}
-
-bool FileAllows(const FileText& f, const std::string& rule) {
-  std::string needle = "bih-lint: allow-file(" + rule + ")";
-  size_t limit = std::min<size_t>(f.raw.size(), 40);
-  for (size_t i = 0; i < limit; ++i) {
-    if (f.raw[i].find(needle) != std::string::npos) return true;
-  }
-  return false;
-}
-
-// True when the finding at `idx` (0-based line index) is suppressed either on
-// its own line, on the previous line, or file-wide.
-bool Suppressed(const FileText& f, size_t idx, const std::string& rule) {
-  if (FileAllows(f, rule)) return true;
-  if (idx < f.raw.size() && LineAllows(f.raw[idx], rule)) return true;
-  if (idx > 0 && LineAllows(f.raw[idx - 1], rule)) return true;
-  return false;
-}
-
-// --- tiny token helpers (no <regex>: it is slow and this tool runs in CI) ---
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-// Finds `token` in `line` at a word boundary (preceded by a non-identifier
-// character or start of line). Returns npos when absent.
-size_t FindToken(const std::string& line, const std::string& token,
-                 size_t from = 0) {
-  size_t pos = line.find(token, from);
-  while (pos != std::string::npos) {
-    bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
-    size_t end = pos + token.size();
-    bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
-    if (left_ok && right_ok) return pos;
-    pos = line.find(token, pos + 1);
-  }
-  return std::string::npos;
-}
+// File walking, comment/string stripping, the suppression syntax and the
+// "path:line: [rule] message" output format live in tools/analysis/ and
+// are shared with bih_analyze; this file holds only the lint rules.
+using bih::analysis::FileText;
+using bih::analysis::Finding;
+using bih::analysis::FindToken;
+using bih::analysis::HasSuffix;
+using bih::analysis::IsHeader;
+using bih::analysis::IsIdentChar;
+using bih::analysis::LoadTree;
+using bih::analysis::ReportFindings;
+using bih::analysis::Suppressed;
 
 // --- rule: include-guard ----------------------------------------------------
 
@@ -676,45 +546,6 @@ void CheckScanCtx(const FileText& f, std::vector<Finding>* out) {
 
 // --- driver -----------------------------------------------------------------
 
-bool SkipDir(const fs::path& p) {
-  std::string name = p.filename().string();
-  return name == "build" || name == "fixtures" ||
-         (!name.empty() && name[0] == '.');
-}
-
-void Collect(const fs::path& root, std::vector<fs::path>* files) {
-  std::error_code ec;
-  if (fs::is_regular_file(root, ec)) {
-    if (IsSourceFile(root)) files->push_back(root);
-    return;
-  }
-  if (!fs::is_directory(root, ec)) return;
-  for (auto it = fs::recursive_directory_iterator(root, ec);
-       it != fs::recursive_directory_iterator(); it.increment(ec)) {
-    if (ec) break;
-    if (it->is_directory() && SkipDir(it->path())) {
-      it.disable_recursion_pending();
-      continue;
-    }
-    if (it->is_regular_file() && IsSourceFile(it->path())) {
-      files->push_back(it->path());
-    }
-  }
-}
-
-FileText LoadFile(const fs::path& p) {
-  FileText f;
-  f.path = p.generic_string();
-  std::ifstream in(p);
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    f.raw.push_back(line);
-  }
-  f.code = StripCommentsAndStrings(f.raw);
-  return f;
-}
-
 const char* kRuleNames[] = {"include-guard",      "naked-mutex",
                             "ignored-status",     "assert-side-effect",
                             "scan-ctx",           "raw-io",
@@ -748,20 +579,8 @@ int main(int argc, char** argv) {
     explicit_paths.push_back(arg);
   }
 
-  std::vector<fs::path> files;
-  if (!explicit_paths.empty()) {
-    for (const std::string& p : explicit_paths) Collect(p, &files);
-  } else {
-    for (const char* sub : {"src", "tests", "tools", "bench"}) {
-      Collect(fs::path(root) / sub, &files);
-    }
-  }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
-
-  std::vector<FileText> texts;
-  texts.reserve(files.size());
-  for (const fs::path& p : files) texts.push_back(LoadFile(p));
+  std::vector<FileText> texts =
+      LoadTree(root, explicit_paths, {"src", "tests", "tools", "bench"});
 
   // The thread_annotations header is the one place allowed to name the raw
   // primitives; it carries its own allow-file comment, so no special case
@@ -788,20 +607,5 @@ int main(int argc, char** argv) {
     CheckExecApi(f, &findings);
   }
 
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              if (a.path != b.path) return a.path < b.path;
-              return a.line < b.line;
-            });
-  for (const Finding& f : findings) {
-    std::printf("%s:%zu: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(),
-                f.message.c_str());
-  }
-  if (findings.empty()) {
-    std::printf("bih_lint: %zu files clean\n", texts.size());
-    return 0;
-  }
-  std::printf("bih_lint: %zu finding(s) in %zu files\n", findings.size(),
-              texts.size());
-  return 1;
+  return ReportFindings(&findings, texts.size(), "bih_lint");
 }
